@@ -1,0 +1,38 @@
+# QUEPA reproduction — common development targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz figures clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerates every figure of the paper (Figs. 9-13 plus the extra cache
+# and ablation experiments). Takes a few minutes.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Short fuzzing pass over the parsers.
+fuzz:
+	$(GO) test ./internal/core -fuzz=FuzzParseGlobalKey -fuzztime=15s -run='^$$'
+	$(GO) test ./internal/stores/relstore -fuzz=FuzzParse -fuzztime=15s -run='^$$'
+	$(GO) test ./internal/stores/docstore -fuzz=FuzzParseFilter -fuzztime=15s -run='^$$'
+
+# One figure: make figures FIG=11ab
+FIG ?= all
+figures:
+	$(GO) run ./cmd/quepa-bench -fig $(FIG)
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,81 @@
+package quepa
+
+// One benchmark per figure of the paper's evaluation (Section VII). Each
+// benchmark regenerates the figure's series at full harness scale and
+// prints the same rows the paper plots; run with
+//
+//	go test -bench=. -benchmem
+//
+// The absolute numbers reflect the embedded engines and the scaled-down
+// network simulation; the comparison of shapes against the paper is
+// recorded in EXPERIMENTS.md.
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"quepa/internal/bench"
+)
+
+var reportOnce sync.Map
+
+func runFigure(b *testing.B, id string) {
+	b.Helper()
+	opts := bench.Options{Seed: 1}
+	for i := 0; i < b.N; i++ {
+		points, err := bench.Run(id, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, printed := reportOnce.LoadOrStore(id, true); !printed {
+			bench.Report(os.Stdout, points)
+		}
+	}
+}
+
+// BenchmarkFig9a_9b regenerates Fig. 9(a,b): BATCH and OUTER-BATCH vs
+// BATCH_SIZE, centralized, cold level 0 and warm level 1.
+func BenchmarkFig9a_9b(b *testing.B) { runFigure(b, "9") }
+
+// BenchmarkFig10a_10b regenerates Fig. 10(a,b): batching vs SEQUENTIAL in
+// the distributed deployment, varying BATCH_SIZE.
+func BenchmarkFig10a_10b(b *testing.B) { runFigure(b, "10ab") }
+
+// BenchmarkFig10c_10d regenerates Fig. 10(c,d): batching scalability with
+// the query size in the distributed deployment.
+func BenchmarkFig10c_10d(b *testing.B) { runFigure(b, "10cd") }
+
+// BenchmarkFig11a_11b regenerates Fig. 11(a,b): concurrent augmenters vs
+// THREADS_SIZE.
+func BenchmarkFig11a_11b(b *testing.B) { runFigure(b, "11ab") }
+
+// BenchmarkFig11c_11d regenerates Fig. 11(c,d): all six augmenters vs query
+// size.
+func BenchmarkFig11c_11d(b *testing.B) { runFigure(b, "11cd") }
+
+// BenchmarkFig11e_11f regenerates Fig. 11(e,f): all six augmenters vs the
+// number of databases.
+func BenchmarkFig11e_11f(b *testing.B) { runFigure(b, "11ef") }
+
+// BenchmarkFig12 regenerates Fig. 12(a,b): ADAPTIVE vs HUMAN vs RANDOM win
+// counts and ADAPTIVE's top-k placement.
+func BenchmarkFig12(b *testing.B) { runFigure(b, "12") }
+
+// BenchmarkFig13a_13b regenerates Fig. 13(a,b): QUEPA vs the middleware
+// baselines over the query size, with OOM points.
+func BenchmarkFig13a_13b(b *testing.B) { runFigure(b, "13ab") }
+
+// BenchmarkFig13c_13d regenerates Fig. 13(c,d): QUEPA vs the middleware
+// baselines over the number of databases, with OOM points.
+func BenchmarkFig13c_13d(b *testing.B) { runFigure(b, "13cd") }
+
+// BenchmarkExtraCache regenerates the memory-based study of Section
+// VII-B(c), which the paper describes but does not plot: CACHE_SIZE effect
+// in the centralized vs the distributed deployment.
+func BenchmarkExtraCache(b *testing.B) { runFigure(b, "cache") }
+
+// BenchmarkExtraAblation quantifies the consistency-materialization design
+// choice of Section III-C: build cost and index size versus the related
+// objects a level-0 augmentation reaches.
+func BenchmarkExtraAblation(b *testing.B) { runFigure(b, "ablation") }

@@ -1,0 +1,43 @@
+// Command quepa-bench regenerates the figures of the paper's evaluation
+// (Section VII) and prints the same series the paper plots.
+//
+// Usage:
+//
+//	quepa-bench -fig 9            # one figure (9, 10ab, 10cd, 11ab, 11cd, 11ef, 12, 13ab, 13cd)
+//	quepa-bench -fig all          # the full campaign
+//	quepa-bench -fig 13cd -quick  # tiny sizes, for smoke-testing the harness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"quepa/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate, or 'all'")
+	quick := flag.Bool("quick", false, "tiny sizes (harness smoke test)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	budget := flag.Int64("budget", 0, "middleware memory budget in bytes (0 = default)")
+	flag.Parse()
+
+	opts := bench.Options{Quick: *quick, Seed: *seed, BaselineBudget: *budget}
+
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = bench.FigureNames()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		points, err := bench.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quepa-bench: figure %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		bench.Report(os.Stdout, points)
+		fmt.Printf("\n[figure %s regenerated in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"quepa/internal/workload"
+)
+
+func newBuilt(t *testing.T) *workload.Built {
+	t.Helper()
+	spec := workload.DefaultSpec()
+	spec.Artists = 8
+	spec.AlbumsPerArtist = 2
+	built, err := workload.Build(spec, workload.Colocated())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return built
+}
+
+// drive runs a scripted session and returns the transcript.
+func drive(t *testing.T, built *workload.Built, commands ...string) string {
+	t.Helper()
+	in := strings.NewReader(strings.Join(commands, "\n") + "\n")
+	var out strings.Builder
+	repl(in, &out, built)
+	return out.String()
+}
+
+func TestScriptedExploration(t *testing.T) {
+	built := newBuilt(t)
+	transcript := drive(t, built,
+		"help",
+		"dbs",
+		"q transactions SELECT * FROM sales WHERE seq < 1",
+		"0", // click the sale
+		"0", // follow the top link
+		"path",
+		"finish",
+		"quit",
+	)
+	for _, want := range []string{
+		"commands:",
+		"transactions",
+		"[0] transactions.sales.s0",
+		"p=",
+		"session ended",
+	} {
+		if !strings.Contains(transcript, want) {
+			t.Errorf("transcript lacks %q:\n%s", want, transcript)
+		}
+	}
+}
+
+func TestScriptedSearch(t *testing.T) {
+	built := newBuilt(t)
+	transcript := drive(t, built,
+		"search transactions 0 SELECT * FROM inventory WHERE seq < 2",
+		"quit",
+	)
+	if !strings.Contains(transcript, "2 local,") {
+		t.Errorf("search output missing:\n%s", transcript)
+	}
+}
+
+func TestErrorHandling(t *testing.T) {
+	built := newBuilt(t)
+	transcript := drive(t, built,
+		"bogus",
+		"q",
+		"search transactions x SELECT",
+		"q ghostdb SELECT * FROM t",
+		"7",      // no session
+		"path",   // no session
+		"finish", // no session
+		"q transactions SELECT * FROM sales WHERE seq < 1",
+		"99", // out of range
+		"quit",
+	)
+	for _, want := range []string{
+		"unknown command",
+		"usage: q",
+		"bad level",
+		"error:",
+		"no session",
+		"no starting object 99",
+	} {
+		if !strings.Contains(transcript, want) {
+			t.Errorf("transcript lacks %q:\n%s", want, transcript)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command quepa-loadgen generates the Polyphony polystore of the paper's
+// evaluation (Section VII-A) and either prints its statistics or serves
+// every database over the TCP wire protocol, turning the current machine
+// into one node of a distributed polystore.
+//
+// Usage:
+//
+//	quepa-loadgen -replicas 2 -scale 1          # print dataset statistics
+//	quepa-loadgen -serve 127.0.0.1:0            # serve all stores over TCP
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"quepa/internal/middleware"
+	"quepa/internal/wire"
+	"quepa/internal/workload"
+)
+
+func main() {
+	replicas := flag.Int("replicas", 0, "replication rounds (0 -> 4 databases, 3 -> 13)")
+	scale := flag.Float64("scale", 1, "workload scale factor")
+	seed := flag.Int64("seed", 1, "generation seed")
+	serve := flag.String("serve", "", "serve every database over TCP from this base address (e.g. 127.0.0.1:0)")
+	flag.Parse()
+
+	spec := workload.DefaultSpec().Scale(*scale)
+	spec.ReplicaRounds = *replicas
+	spec.Seed = *seed
+	built, err := workload.Build(spec, workload.Colocated())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Polyphony polystore (seed %d, scale %g):\n", *seed, *scale)
+	fmt.Printf("  %-16s %d\n", "databases:", built.Poly.Size())
+	for _, name := range built.Databases() {
+		s, err := built.Poly.Database(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		objs, err := middleware.ScanAll(context.Background(), s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("    %-20s %-11s %6d objects in %v\n", name, s.Kind(), len(objs), s.Collections())
+	}
+	fmt.Printf("  %-16s %d global keys, %d p-relations\n", "A' index:", built.Index.NodeCount(), built.Index.EdgeCount())
+
+	if *serve == "" {
+		return
+	}
+
+	var servers []*wire.Server
+	for _, name := range built.Databases() {
+		s, err := built.Poly.Database(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := wire.Serve(s, *serve)
+		if err != nil {
+			log.Fatal(err)
+		}
+		servers = append(servers, srv)
+		fmt.Printf("serving %-20s on %s\n", name, srv.Addr())
+	}
+	fmt.Println("press Ctrl-C to stop")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	for _, srv := range servers {
+		srv.Close()
+	}
+}

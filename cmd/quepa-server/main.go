@@ -1,0 +1,300 @@
+// Command quepa-server exposes augmented search and augmented exploration
+// over a REST interface (the User Interface component of the paper's Fig. 2),
+// backed by a generated Polyphony polystore.
+//
+// Endpoints:
+//
+//	GET /databases                         list the polystore's databases
+//	GET /search?db=…&q=…&level=N           augmented search (level defaults to 0);
+//	                                       optional minp=0.8 / topk=10 trim the ranking
+//	GET /object?key=D.C.K                  fetch one object with its p-relations
+//	POST /explore?db=…&q=…                 start an exploration session -> {session}
+//	POST /explore/step?session=…&key=…     expand one object -> ranked links
+//	POST /explore/finish?session=…         end the session (may promote the path)
+//	GET /stats                             index/cache statistics
+//
+// Example:
+//
+//	quepa-server -addr :8080 -replicas 1 &
+//	curl 'localhost:8080/search?db=transactions&q=SELECT+*+FROM+inventory+WHERE+seq+<+3'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+
+	"quepa/internal/aindex"
+	"quepa/internal/augment"
+	"quepa/internal/core"
+	"quepa/internal/workload"
+)
+
+type server struct {
+	built   *workload.Built
+	aug     *augment.Augmenter
+	tracker *aindex.PathTracker
+
+	mu       sync.Mutex
+	sessions map[string]*augment.Exploration
+	nextID   int
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	replicas := flag.Int("replicas", 0, "replication rounds (0 -> 4 databases, 3 -> 13)")
+	scale := flag.Float64("scale", 1, "workload scale factor")
+	indexPath := flag.String("index", "", "load the A' index from this JSON-lines file (e.g. from quepa-collect -out) instead of the generated one")
+	flag.Parse()
+
+	spec := workload.DefaultSpec().Scale(*scale)
+	spec.ReplicaRounds = *replicas
+	built, err := workload.Build(spec, workload.Colocated())
+	if err != nil {
+		log.Fatal(err)
+	}
+	index := built.Index
+	if *indexPath != "" {
+		f, err := os.Open(*indexPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		index, err = aindex.ReadIndex(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		built.Index = index
+		log.Printf("quepa-server: loaded A' index from %s", *indexPath)
+	}
+	s := &server{
+		built:    built,
+		aug:      augment.New(built.Poly, index, augment.Config{Strategy: augment.OuterBatch, BatchSize: 64, ThreadsSize: 8, CacheSize: 4096}),
+		tracker:  aindex.NewPathTracker(index, aindex.DefaultPromotionPolicy),
+		sessions: map[string]*augment.Exploration{},
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /databases", s.handleDatabases)
+	mux.HandleFunc("GET /search", s.handleSearch)
+	mux.HandleFunc("GET /object", s.handleObject)
+	mux.HandleFunc("POST /explore", s.handleExploreStart)
+	mux.HandleFunc("POST /explore/step", s.handleExploreStep)
+	mux.HandleFunc("POST /explore/finish", s.handleExploreFinish)
+	mux.HandleFunc("GET /stats", s.handleStats)
+
+	log.Printf("quepa-server: %d databases, index %d keys / %d p-relations, listening on %s",
+		built.Poly.Size(), built.Index.NodeCount(), built.Index.EdgeCount(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+type objectJSON struct {
+	Key    string            `json:"key"`
+	Fields map[string]string `json:"fields"`
+	Prob   float64           `json:"prob,omitempty"`
+	Dist   int               `json:"dist,omitempty"`
+}
+
+func toJSON(o core.Object) objectJSON {
+	return objectJSON{Key: o.GK.String(), Fields: o.Fields}
+}
+
+func augmentedJSON(aos []augment.AugmentedObject) []objectJSON {
+	out := make([]objectJSON, len(aos))
+	for i, ao := range aos {
+		out[i] = toJSON(ao.Object)
+		out[i].Prob = ao.Prob
+		out[i].Dist = ao.Dist
+	}
+	return out
+}
+
+func (s *server) handleDatabases(w http.ResponseWriter, r *http.Request) {
+	type db struct {
+		Name        string   `json:"name"`
+		Kind        string   `json:"kind"`
+		Collections []string `json:"collections"`
+	}
+	var out []db
+	for _, name := range s.built.Poly.Databases() {
+		store, err := s.built.Poly.Database(name)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out = append(out, db{Name: name, Kind: store.Kind().String(), Collections: store.Collections()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	db := r.URL.Query().Get("db")
+	q := r.URL.Query().Get("q")
+	if db == "" || q == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("db and q parameters are required"))
+		return
+	}
+	level := 0
+	if l := r.URL.Query().Get("level"); l != "" {
+		var err error
+		if level, err = strconv.Atoi(l); err != nil || level < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad level %q", l))
+			return
+		}
+	}
+	// Optional presentation controls (the paper's colors/rankings): minp
+	// filters by probability, topk truncates the ranking.
+	minProb := 0.0
+	if m := r.URL.Query().Get("minp"); m != "" {
+		var err error
+		if minProb, err = strconv.ParseFloat(m, 64); err != nil || minProb < 0 || minProb > 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad minp %q", m))
+			return
+		}
+	}
+	topK := 0
+	if k := r.URL.Query().Get("topk"); k != "" {
+		var err error
+		if topK, err = strconv.Atoi(k); err != nil || topK < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad topk %q", k))
+			return
+		}
+	}
+	answer, err := s.aug.Search(r.Context(), db, q, level)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	original := make([]objectJSON, len(answer.Original))
+	for i, o := range answer.Original {
+		original[i] = toJSON(o)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"original":  original,
+		"augmented": augmentedJSON(answer.Rank(minProb, topK)),
+	})
+}
+
+func (s *server) handleObject(w http.ResponseWriter, r *http.Request) {
+	gk, err := core.ParseGlobalKey(r.URL.Query().Get("key"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	obj, err := s.built.Poly.Fetch(r.Context(), gk)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	type link struct {
+		Key  string  `json:"key"`
+		Type string  `json:"type"`
+		Prob float64 `json:"prob"`
+	}
+	var links []link
+	for _, rel := range s.built.Index.Neighbors(gk) {
+		links = append(links, link{Key: rel.To.String(), Type: rel.Type.String(), Prob: rel.Prob})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"object": toJSON(obj), "links": links})
+}
+
+func (s *server) handleExploreStart(w http.ResponseWriter, r *http.Request) {
+	db := r.URL.Query().Get("db")
+	q := r.URL.Query().Get("q")
+	sess, start, err := s.aug.Explore(r.Context(), db, q, s.tracker)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := strconv.Itoa(s.nextID)
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	original := make([]objectJSON, len(start))
+	for i, o := range start {
+		original[i] = toJSON(o)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"session": id, "objects": original})
+}
+
+func (s *server) session(r *http.Request) (*augment.Exploration, error) {
+	id := r.URL.Query().Get("session")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("unknown session %q", id)
+	}
+	return sess, nil
+}
+
+func (s *server) handleExploreStep(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	gk, err := core.ParseGlobalKey(r.URL.Query().Get("key"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	links, err := sess.Step(r.Context(), gk)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"links": augmentedJSON(links)})
+}
+
+func (s *server) handleExploreFinish(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	promoted := sess.Finish()
+	s.mu.Lock()
+	delete(s.sessions, r.URL.Query().Get("session"))
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"promoted": promoted, "path": pathStrings(sess.Path())})
+}
+
+func pathStrings(path []core.GlobalKey) []string {
+	out := make([]string, len(path))
+	for i, gk := range path {
+		out[i] = gk.String()
+	}
+	return out
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.aug.Cache().Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"databases":   s.built.Poly.Size(),
+		"index_keys":  s.built.Index.NodeCount(),
+		"index_edges": s.built.Index.EdgeCount(),
+		"cache_len":   s.aug.Cache().Len(),
+		"cache_hits":  hits,
+		"cache_miss":  misses,
+		"config":      s.aug.Config().String(),
+	})
+}

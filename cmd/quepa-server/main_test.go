@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"quepa/internal/aindex"
+	"quepa/internal/augment"
+	"quepa/internal/workload"
+)
+
+func newTestServer(t *testing.T) *server {
+	t.Helper()
+	spec := workload.DefaultSpec()
+	spec.Artists = 10
+	spec.AlbumsPerArtist = 2
+	built, err := workload.Build(spec, workload.Colocated())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &server{
+		built:    built,
+		aug:      augment.New(built.Poly, built.Index, augment.Config{Strategy: augment.Batch, BatchSize: 32, CacheSize: 128}),
+		tracker:  aindex.NewPathTracker(built.Index, aindex.DefaultPromotionPolicy),
+		sessions: map[string]*augment.Exploration{},
+	}
+}
+
+func do(t *testing.T, h http.HandlerFunc, method, target string) (int, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(method, target, nil)
+	rec := httptest.NewRecorder()
+	h(rec, req)
+	var body map[string]any
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		// Arrays decode differently; retry generically.
+		body = map[string]any{}
+	}
+	return rec.Code, body
+}
+
+func TestHandleDatabases(t *testing.T) {
+	s := newTestServer(t)
+	req := httptest.NewRequest("GET", "/databases", nil)
+	rec := httptest.NewRecorder()
+	s.handleDatabases(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var dbs []map[string]any
+	if err := json.NewDecoder(rec.Body).Decode(&dbs); err != nil {
+		t.Fatal(err)
+	}
+	if len(dbs) != 4 {
+		t.Errorf("databases = %d", len(dbs))
+	}
+}
+
+func TestHandleSearch(t *testing.T) {
+	s := newTestServer(t)
+	q := url.QueryEscape(`SELECT * FROM inventory WHERE seq < 2`)
+	code, body := do(t, s.handleSearch, "GET", "/search?db=transactions&q="+q+"&level=0")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %v", code, body)
+	}
+	orig, ok := body["original"].([]any)
+	if !ok || len(orig) != 2 {
+		t.Errorf("original = %v", body["original"])
+	}
+	if _, ok := body["augmented"].([]any); !ok {
+		t.Errorf("augmented missing: %v", body)
+	}
+
+	// Error paths.
+	for _, target := range []string{
+		"/search", // missing params
+		"/search?db=transactions&q=" + q + "&level=-1",                                   // bad level
+		"/search?db=ghost&q=" + q,                                                        // unknown database
+		"/search?db=transactions&q=" + url.QueryEscape("SELECT COUNT(*) FROM inventory"), // aggregate
+	} {
+		if code, _ := do(t, s.handleSearch, "GET", target); code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", target, code)
+		}
+	}
+}
+
+func TestHandleObject(t *testing.T) {
+	s := newTestServer(t)
+	code, body := do(t, s.handleObject, "GET", "/object?key=catalogue.albums.d0")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %v", code, body)
+	}
+	if _, ok := body["object"]; !ok {
+		t.Error("object missing")
+	}
+	if links, ok := body["links"].([]any); !ok || len(links) == 0 {
+		t.Errorf("links = %v", body["links"])
+	}
+	if code, _ := do(t, s.handleObject, "GET", "/object?key=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bad key status = %d", code)
+	}
+	if code, _ := do(t, s.handleObject, "GET", "/object?key=catalogue.albums.ghost"); code != http.StatusNotFound {
+		t.Errorf("missing object status = %d", code)
+	}
+}
+
+func TestExplorationFlow(t *testing.T) {
+	s := newTestServer(t)
+	q := url.QueryEscape(`SELECT * FROM sales WHERE seq < 1`)
+	code, body := do(t, s.handleExploreStart, "POST", "/explore?db=transactions&q="+q)
+	if code != http.StatusOK {
+		t.Fatalf("start status = %d: %v", code, body)
+	}
+	session, _ := body["session"].(string)
+	if session == "" {
+		t.Fatalf("no session id: %v", body)
+	}
+	objects := body["objects"].([]any)
+	first := objects[0].(map[string]any)["key"].(string)
+
+	code, body = do(t, s.handleExploreStep, "POST", "/explore/step?session="+session+"&key="+url.QueryEscape(first))
+	if code != http.StatusOK {
+		t.Fatalf("step status = %d: %v", code, body)
+	}
+	if links, ok := body["links"].([]any); !ok || len(links) == 0 {
+		t.Errorf("links = %v", body["links"])
+	}
+
+	// Stepping with a bad session or key fails.
+	if code, _ := do(t, s.handleExploreStep, "POST", "/explore/step?session=zzz&key="+url.QueryEscape(first)); code != http.StatusNotFound {
+		t.Errorf("bad session status = %d", code)
+	}
+	if code, _ := do(t, s.handleExploreStep, "POST", "/explore/step?session="+session+"&key=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bad key status = %d", code)
+	}
+
+	code, body = do(t, s.handleExploreFinish, "POST", "/explore/finish?session="+session)
+	if code != http.StatusOK {
+		t.Fatalf("finish status = %d: %v", code, body)
+	}
+	if _, ok := body["promoted"]; !ok {
+		t.Errorf("finish body = %v", body)
+	}
+	// The session is gone afterwards.
+	if code, _ := do(t, s.handleExploreFinish, "POST", "/explore/finish?session="+session); code != http.StatusNotFound {
+		t.Errorf("finished session still reachable: %d", code)
+	}
+}
+
+func TestHandleStats(t *testing.T) {
+	s := newTestServer(t)
+	code, body := do(t, s.handleStats, "GET", "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if body["databases"].(float64) != 4 {
+		t.Errorf("stats = %v", body)
+	}
+	cfg, _ := body["config"].(string)
+	if !strings.Contains(cfg, "BATCH") {
+		t.Errorf("config = %q", cfg)
+	}
+}
+
+func TestSearchRankingParams(t *testing.T) {
+	s := newTestServer(t)
+	q := url.QueryEscape(`SELECT * FROM inventory WHERE seq < 3`)
+	code, body := do(t, s.handleSearch, "GET", "/search?db=transactions&q="+q+"&topk=1")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %v", code, body)
+	}
+	if aug, _ := body["augmented"].([]any); len(aug) != 1 {
+		t.Errorf("topk=1 returned %d augmented", len(body["augmented"].([]any)))
+	}
+	code, body = do(t, s.handleSearch, "GET", "/search?db=transactions&q="+q+"&minp=0.999999")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if aug, ok := body["augmented"].([]any); ok && len(aug) != 0 {
+		t.Errorf("minp=0.999999 returned %d augmented", len(aug))
+	}
+	for _, target := range []string{
+		"/search?db=transactions&q=" + q + "&minp=2",
+		"/search?db=transactions&q=" + q + "&minp=x",
+		"/search?db=transactions&q=" + q + "&topk=-1",
+		"/search?db=transactions&q=" + q + "&topk=x",
+	} {
+		if code, _ := do(t, s.handleSearch, "GET", target); code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", target, code)
+		}
+	}
+}

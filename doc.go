@@ -1,0 +1,29 @@
+// Package quepa is a from-scratch Go reproduction of QUEPA (Maccioni &
+// Torlone, "Augmented Access for Querying and Exploring a Polystore", ICDE
+// 2018): query augmentation over a polystore of heterogeneous embedded
+// database engines, without middleware layers, global schemas or query
+// translation.
+//
+// The implementation lives under internal/:
+//
+//   - core: the polystore data model (global keys, data objects, p-relations)
+//   - stores/{relstore,docstore,kvstore,graphstore}: four embedded engines
+//     standing in for MySQL, MongoDB, Redis and Neo4j, each with its own
+//     query language
+//   - connector, wire, netsim: uniform store access, a TCP wire protocol,
+//     and the simulated centralized/distributed deployments
+//   - aindex: the A' index of p-relations with consistency materialization,
+//     lazy deletion and exploration-path promotion
+//   - augment: the augmentation operator, augmented search and exploration,
+//     and the six execution strategies (SEQUENTIAL, BATCH, INNER, OUTER,
+//     OUTER-BATCH, OUTER-INNER)
+//   - collector: record linkage (blocking + matching) building the A' index
+//   - ml/{c45,reptree}, optimizer: the learned rule-based ADAPTIVE optimizer
+//   - middleware: the Metamodel, Talend and ArangoDB baseline emulations
+//   - workload, bench: the Polyphony dataset generator and the harness
+//     regenerating every figure of the paper's evaluation
+//
+// The benchmarks in bench_test.go regenerate the paper's Figs. 9–13; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for measured
+// results.
+package quepa

@@ -1,0 +1,109 @@
+// Command adaptive demonstrates the adaptive optimizer of Section V: QUEPA
+// logs completed augmentation runs, trains the four models (T1, the C4.5
+// tree choosing the augmenter; T2–T4, the regression trees choosing
+// BATCH_SIZE, THREADS_SIZE and CACHE_SIZE), and then predicts a
+// configuration for unseen queries. The example prints the learned T1 tree
+// in the if/else form of the paper's Fig. 8.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"quepa/internal/augment"
+	"quepa/internal/optimizer"
+	"quepa/internal/workload"
+)
+
+func main() {
+	// Two polystore variants (4 and 7 databases).
+	var variants []*workload.Built
+	for _, rounds := range []int{0, 1} {
+		spec := workload.DefaultSpec()
+		spec.Artists = 30
+		spec.AlbumsPerArtist = 3
+		spec.ReplicaRounds = rounds
+		built, err := workload.Build(spec, workload.Centralized())
+		if err != nil {
+			log.Fatal(err)
+		}
+		variants = append(variants, built)
+	}
+
+	// Phase 1 — logs collection: run a grid of configurations over training
+	// queries, recording features and times.
+	adaptive := optimizer.NewAdaptive()
+	grid := []augment.Config{
+		{Strategy: augment.Sequential},
+		{Strategy: augment.Batch, BatchSize: 100},
+		{Strategy: augment.Outer, ThreadsSize: 8},
+		{Strategy: augment.OuterBatch, BatchSize: 100, ThreadsSize: 8},
+	}
+	runs := 0
+	for _, built := range variants {
+		for _, size := range []int{5, 20, 60} {
+			query, err := built.Query("transactions", size)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, cfg := range grid {
+				aug := augment.New(built.Poly, built.Index, cfg)
+				start := time.Now()
+				answer, err := aug.Search(context.Background(), "transactions", query, 0)
+				if err != nil {
+					log.Fatal(err)
+				}
+				adaptive.Log(optimizer.RunLog{
+					Features: optimizer.QueryFeatures{
+						ResultSize:    len(answer.Original),
+						AugmentedSize: len(answer.Augmented),
+						NumStores:     built.Spec.Databases(),
+					},
+					Config:   cfg,
+					Duration: time.Since(start),
+				})
+				runs++
+			}
+		}
+	}
+	fmt.Printf("Phase 1: logged %d augmentation runs\n", runs)
+
+	// Phase 2 — training.
+	if err := adaptive.Train(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Phase 2: models trained. T1 (augmenter choice, cf. paper Fig. 8):")
+	fmt.Println(indent(adaptive.TreeStrings()["T1"]))
+
+	// Phase 3 — prediction on unseen queries.
+	fmt.Println("Phase 3: predictions for unseen queries:")
+	for _, f := range []optimizer.QueryFeatures{
+		{ResultSize: 8, AugmentedSize: 30, NumStores: 4},
+		{ResultSize: 50, AugmentedSize: 500, NumStores: 7},
+		{ResultSize: 80, AugmentedSize: 1200, NumStores: 7, Level: 1},
+	} {
+		cfg := adaptive.Choose(f, 0)
+		fmt.Printf("    result=%-4d augmented=%-5d stores=%-2d -> %v\n",
+			f.ResultSize, f.AugmentedSize, f.NumStores, cfg)
+	}
+
+	// The HUMAN and RANDOM baselines of Fig. 12, for comparison.
+	human := optimizer.Human{}
+	random := optimizer.NewRandom(42)
+	f := optimizer.QueryFeatures{ResultSize: 50, AugmentedSize: 500, NumStores: 7}
+	fmt.Printf("\nSame query, other optimizers:\n    HUMAN  -> %v\n    RANDOM -> %v\n",
+		human.Choose(f, 0), random.Choose(f, 0))
+}
+
+func indent(s string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		b.WriteString("    ")
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

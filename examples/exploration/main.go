@@ -1,0 +1,94 @@
+// Command exploration demonstrates augmented exploration (Definition 4 and
+// Example 5 of the paper): a click-through session over the Polyphony
+// polystore in which a user starts from a local SQL query and walks the
+// p-relation links across the stores, one level-0 augmentation at a time.
+// The traversed path is recorded in the D_P repository; once the same path
+// is walked often enough, it is promoted to a matching shortcut in the A'
+// index (Section III-D(a), Fig. 5).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"quepa/internal/aindex"
+	"quepa/internal/augment"
+	"quepa/internal/core"
+	"quepa/internal/workload"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// A small generated Polyphony polystore (same shape as the paper's
+	// evaluation workload).
+	spec := workload.DefaultSpec()
+	spec.Artists = 20
+	spec.AlbumsPerArtist = 3
+	built, err := workload.Build(spec, workload.Colocated())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Polystore: %d databases, A' index with %d keys / %d p-relations\n\n",
+		built.Poly.Size(), built.Index.NodeCount(), built.Index.EdgeCount())
+
+	aug := augment.New(built.Poly, built.Index, augment.Config{Strategy: augment.Inner, ThreadsSize: 2, CacheSize: 256})
+	// Promote paths of length >= 2 after just two traversals, so the demo
+	// shows a promotion.
+	tracker := aindex.NewPathTracker(built.Index, aindex.PromotionPolicy{BaseThreshold: 2, Decay: 0, MinThreshold: 2})
+
+	// Walk the same exploration twice: sale -> inventory item -> catalogue
+	// album. The second walk triggers the promotion.
+	var first, last core.GlobalKey
+	for walk := 1; walk <= 2; walk++ {
+		fmt.Printf("--- Exploration session %d ---\n", walk)
+		sess, start, err := aug.Explore(ctx, "transactions", `SELECT * FROM sales WHERE seq < 1`, tracker)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("local query returned %d object(s); clicking %v\n", len(start), start[0].GK)
+
+		links, err := sess.Step(ctx, start[0].GK)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("step 1: %d links:\n", len(links))
+		for i, l := range links {
+			if i == 3 {
+				fmt.Println("        ...")
+				break
+			}
+			fmt.Printf("        p=%.2f -> %v\n", l.Prob, l.Object.GK)
+		}
+
+		// Click the most probable link, then the most probable link that
+		// leads outside the current database.
+		links2, err := sess.Step(ctx, links[0].Object.GK)
+		if err != nil {
+			log.Fatal(err)
+		}
+		next := links2[0]
+		for _, l := range links2 {
+			if l.Object.GK.Database != links[0].Object.GK.Database {
+				next = l
+				break
+			}
+		}
+		fmt.Printf("step 2: following p=%.2f -> %v\n", next.Prob, next.Object.GK)
+		if _, err := sess.Step(ctx, next.Object.GK); err != nil {
+			log.Fatal(err)
+		}
+
+		path := sess.Path()
+		first, last = path[0], path[len(path)-1]
+		promoted := sess.Finish()
+		fmt.Printf("path: %v\npromoted: %v\n\n", path, promoted)
+	}
+
+	if r, ok := built.Index.Relation(first, last); ok {
+		fmt.Printf("The popular path became a shortcut in the A' index:\n    %v\n", r)
+	} else {
+		fmt.Println("no shortcut was created (the two walks diverged)")
+	}
+}

@@ -1,0 +1,82 @@
+// Command oblivion demonstrates the lineage system the paper names as
+// future work in Section III-C(b): "In order to cover those use cases that
+// require data oblivion, we will embed a lineage system that allows
+// cascading deletions of inferred p-relations."
+//
+// The default A' index deletes lazily and keeps inferred p-relations when
+// their source disappears — great for availability, wrong for oblivion: if
+// the relation "this discount is for that album" must be forgotten, the
+// materialized consequences of that assertion must go too. The
+// LineageIndex tracks which asserted p-relations every edge derives from
+// and rebuilds the closure from the surviving assertions on demand.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"quepa/internal/aindex"
+	"quepa/internal/core"
+)
+
+func main() {
+	gk := core.MustParseGlobalKey
+	album := gk("catalogue.albums.d1")
+	item := gk("transactions.inventory.a32")
+	discount := gk("discount.drop.k1:cure:wish")
+	sale := gk("transactions.sales.s8")
+
+	li := aindex.NewLineageIndex()
+	must(li.Insert(core.NewIdentity(album, item, 0.9)))
+	must(li.Insert(core.NewIdentity(album, discount, 0.8)))
+	must(li.Insert(core.NewMatching(sale, item, 0.7)))
+
+	fmt.Println("Asserted p-relations:")
+	for _, r := range li.Asserted() {
+		fmt.Printf("    %v\n", r)
+	}
+	fmt.Printf("\nIndex after materialization: %d edges (closure included)\n", li.Index().EdgeCount())
+	if r, ok := li.Index().Relation(item, discount); ok {
+		fmt.Printf("    inferred: %v (via the album identities)\n", r)
+	}
+	if r, ok := li.Index().Relation(sale, discount); ok {
+		fmt.Printf("    inferred: %v (matching propagated over identity)\n", r)
+	}
+	fmt.Printf("    the inferred item~discount edge derives from album~discount: %v\n",
+		li.DerivedFrom(item, discount, album, discount))
+
+	// The discount relation must be forgotten (say, a data-subject request
+	// or a retracted linkage). Cascading deletion removes it AND everything
+	// that only existed because of it.
+	fmt.Println("\nForgetting album ~ discount with cascade...")
+	ok, err := li.DeleteCascading(album, discount)
+	must(err)
+	if !ok {
+		log.Fatal("assertion was not present")
+	}
+
+	fmt.Printf("Index after cascade: %d edges\n", li.Index().EdgeCount())
+	report := func(a, b core.GlobalKey, label string) {
+		if r, ok := li.Index().Relation(a, b); ok {
+			fmt.Printf("    kept:   %v (%s)\n", r, label)
+		} else {
+			fmt.Printf("    purged: %v <-> %v (%s)\n", a, b, label)
+		}
+	}
+	report(album, discount, "the forgotten assertion")
+	report(item, discount, "was inferred via the forgotten assertion")
+	report(sale, discount, "was propagated via the forgotten assertion")
+	report(album, item, "independent assertion")
+	report(sale, item, "independent assertion")
+	report(sale, album, "re-derivable from the survivors")
+
+	fmt.Println("\nCompare with the default lazy policy, which keeps inferred edges")
+	fmt.Println("when their source vanishes (paper Section III-C(b)) — the right")
+	fmt.Println("default for availability, the wrong one for oblivion.")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module quepa
+
+go 1.22

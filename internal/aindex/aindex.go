@@ -1,0 +1,433 @@
+// Package aindex implements the A' index of QUEPA (Section III-B/C): a graph
+// whose nodes are the global keys of the polystore's data objects and whose
+// edges are the identity and matching p-relations between them, each carrying
+// a probability.
+//
+// The index enforces the paper's Consistency Condition at insertion time by
+// materializing inferred p-relations:
+//
+//   - identity is transitive: inserting a ~ b merges the identity classes of
+//     a and b, adding the missing identity edges with the product of the
+//     probabilities along the connecting path (paper Fig. 4);
+//   - matching propagates over identity (o1 ≡ o2 and o2 ~ o3 imply o1 ≡ o3):
+//     every member of an identity class shares the class's matching edges.
+//
+// Deletion is lazy: an object is removed only when the augmenter discovers,
+// during a fetch, that it no longer exists in the polystore. Because inferred
+// edges are materialized, removing the node that induced them keeps them in
+// place, matching the paper's chosen deletion strategy.
+package aindex
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"quepa/internal/core"
+)
+
+// edge is one stored p-relation endpoint.
+type edge struct {
+	typ  core.RelType
+	prob float64
+}
+
+// Index is the in-memory A' index. It is safe for concurrent use.
+type Index struct {
+	mu    sync.RWMutex
+	adj   map[core.GlobalKey]map[core.GlobalKey]edge
+	edges int
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{adj: map[core.GlobalKey]map[core.GlobalKey]edge{}}
+}
+
+// NodeCount returns the number of global keys present in the index.
+func (ix *Index) NodeCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.adj)
+}
+
+// EdgeCount returns the number of (undirected) p-relations in the index,
+// including materialized inferred ones.
+func (ix *Index) EdgeCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.edges
+}
+
+// Insert adds a p-relation and materializes every p-relation inferable from
+// it under the Consistency Condition. Inserting an edge that already exists
+// keeps the higher probability; inserting an identity where a matching edge
+// exists upgrades it.
+func (ix *Index) Insert(r core.PRelation) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+
+	if r.Type == core.Matching {
+		// Matching propagates across the identity classes of both endpoints.
+		clsFrom := ix.identityClassLocked(r.From) // includes r.From with prob 1
+		clsTo := ix.identityClassLocked(r.To)
+		for x, px := range clsFrom {
+			for y, py := range clsTo {
+				if x == y {
+					continue
+				}
+				ix.setEdgeLocked(x, y, core.Matching, px*r.Prob*py)
+			}
+		}
+		return nil
+	}
+
+	// Identity: merge the two classes into one clique (paper Fig. 4), then
+	// share all matching edges across the merged class.
+	clsFrom := ix.identityClassLocked(r.From)
+	clsTo := ix.identityClassLocked(r.To)
+	for x, px := range clsFrom {
+		for y, py := range clsTo {
+			if x == y {
+				continue
+			}
+			ix.setEdgeLocked(x, y, core.Identity, px*r.Prob*py)
+		}
+	}
+	// Collect the matching edges of every member of the merged class, then
+	// propagate each to the members that miss it. The propagated probability
+	// follows the path member ~ owner ≡ partner: the identity probability
+	// between the receiving member and the member that owns the matching
+	// edge, times the matching probability — independent of insertion order.
+	merged := ix.identityClassLocked(r.From)
+	type match struct {
+		owner   core.GlobalKey
+		partner core.GlobalKey
+		prob    float64
+	}
+	var matches []match
+	for member := range merged {
+		for nb, e := range ix.adj[member] {
+			if e.typ == core.Matching {
+				matches = append(matches, match{owner: member, partner: nb, prob: e.prob})
+			}
+		}
+	}
+	for _, m := range matches {
+		for member := range merged {
+			if member == m.partner || member == m.owner {
+				continue
+			}
+			link, ok := ix.edgeLocked(member, m.owner)
+			if !ok {
+				continue // not actually connected (defensive)
+			}
+			ix.setEdgeLocked(member, m.partner, core.Matching, link.prob*m.prob)
+		}
+	}
+	return nil
+}
+
+// identityClassLocked returns the identity class of gk as a map from member
+// to the best path probability from gk (gk itself maps to 1). Identity
+// classes are maintained as cliques, so direct neighbors suffice; the
+// traversal is still transitive for robustness against partially built
+// indexes (e.g. bulk loads that bypass materialization).
+func (ix *Index) identityClassLocked(gk core.GlobalKey) map[core.GlobalKey]float64 {
+	cls := map[core.GlobalKey]float64{gk: 1}
+	frontier := []core.GlobalKey{gk}
+	for len(frontier) > 0 {
+		var next []core.GlobalKey
+		for _, cur := range frontier {
+			for nb, e := range ix.adj[cur] {
+				if e.typ != core.Identity {
+					continue
+				}
+				p := cls[cur] * e.prob
+				if old, seen := cls[nb]; !seen || p > old {
+					if !seen {
+						next = append(next, nb)
+					}
+					cls[nb] = p
+				}
+			}
+		}
+		frontier = next
+	}
+	return cls
+}
+
+// setEdgeLocked installs an undirected edge, keeping the stronger of the old
+// and new variants: identity beats matching, and within a type the higher
+// probability wins.
+func (ix *Index) setEdgeLocked(a, b core.GlobalKey, typ core.RelType, prob float64) {
+	if prob > 1 {
+		prob = 1
+	}
+	if prob <= 0 {
+		return
+	}
+	old, exists := ix.edgeLocked(a, b)
+	if exists {
+		if old.typ == core.Identity && typ == core.Matching {
+			return // identity subsumes matching
+		}
+		if old.typ == typ && old.prob >= prob {
+			return
+		}
+	}
+	if ix.adj[a] == nil {
+		ix.adj[a] = map[core.GlobalKey]edge{}
+	}
+	if ix.adj[b] == nil {
+		ix.adj[b] = map[core.GlobalKey]edge{}
+	}
+	if !exists {
+		ix.edges++
+	}
+	e := edge{typ: typ, prob: prob}
+	ix.adj[a][b] = e
+	ix.adj[b][a] = e
+}
+
+func (ix *Index) edgeLocked(a, b core.GlobalKey) (edge, bool) {
+	e, ok := ix.adj[a][b]
+	return e, ok
+}
+
+// Relation reports the stored p-relation between two global keys, if any.
+func (ix *Index) Relation(a, b core.GlobalKey) (core.PRelation, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	e, ok := ix.edgeLocked(a, b)
+	if !ok {
+		return core.PRelation{}, false
+	}
+	return core.PRelation{From: a, To: b, Type: e.typ, Prob: e.prob}, true
+}
+
+// Contains reports whether a global key is present in the index.
+func (ix *Index) Contains(gk core.GlobalKey) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	_, ok := ix.adj[gk]
+	return ok
+}
+
+// RemoveObject deletes a global key and its incident edges. It implements
+// the lazy-deletion policy: the augmenter calls it when a fetch reveals the
+// object no longer exists. Inferred edges between the remaining nodes stay.
+func (ix *Index) RemoveObject(gk core.GlobalKey) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	nbs, ok := ix.adj[gk]
+	if !ok {
+		return false
+	}
+	for nb := range nbs {
+		delete(ix.adj[nb], gk)
+		ix.edges--
+	}
+	delete(ix.adj, gk)
+	return true
+}
+
+// Hit is one global key reachable through the index, with the probability of
+// the best path leading to it and the hop distance at which it was first
+// reached.
+type Hit struct {
+	Key  core.GlobalKey
+	Prob float64
+	Dist int
+}
+
+// Reach returns the global keys reachable from gk within level+1 hops — the
+// augmentation primitive α of Definition 2: level 0 reaches the direct
+// p-relations of gk, each further level expands one hop more. The starting
+// key is not included. Probabilities are the maximum product over all paths
+// within the hop bound; results are ordered by decreasing probability (ties
+// broken by key order) as Definition 3 requires.
+func (ix *Index) Reach(gk core.GlobalKey, level int) []Hit {
+	if level < 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	maxHops := level + 1
+	best := map[core.GlobalKey]Hit{gk: {Key: gk, Prob: 1, Dist: 0}}
+	frontier := map[core.GlobalKey]float64{gk: 1}
+	for hop := 1; hop <= maxHops && len(frontier) > 0; hop++ {
+		next := map[core.GlobalKey]float64{}
+		for cur, curProb := range frontier {
+			for nb, e := range ix.adj[cur] {
+				p := curProb * e.prob
+				old, seen := best[nb]
+				if !seen || p > old.Prob {
+					dist := hop
+					if seen && old.Dist < hop {
+						dist = old.Dist
+					}
+					best[nb] = Hit{Key: nb, Prob: p, Dist: dist}
+					if p > next[nb] {
+						next[nb] = p
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+
+	out := make([]Hit, 0, len(best)-1)
+	for k, h := range best {
+		if k == gk {
+			continue
+		}
+		out = append(out, h)
+	}
+	SortHits(out)
+	return out
+}
+
+// Neighbors returns the direct p-relations of gk (its level-0 reach)
+// together with their types, ordered by decreasing probability. Augmented
+// exploration uses it to render clickable links.
+func (ix *Index) Neighbors(gk core.GlobalKey) []core.PRelation {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	nbs := ix.adj[gk]
+	out := make([]core.PRelation, 0, len(nbs))
+	for nb, e := range nbs {
+		out = append(out, core.PRelation{From: gk, To: nb, Type: e.typ, Prob: e.prob})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return out[i].To.Compare(out[j].To) < 0
+	})
+	return out
+}
+
+// SortHits orders hits by decreasing probability, breaking ties by key.
+func SortHits(hits []Hit) {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Prob != hits[j].Prob {
+			return hits[i].Prob > hits[j].Prob
+		}
+		return hits[i].Key.Compare(hits[j].Key) < 0
+	})
+}
+
+// Keys returns every global key in the index, sorted. Intended for tools and
+// tests; it copies the key set under the read lock.
+func (ix *Index) Keys() []core.GlobalKey {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]core.GlobalKey, 0, len(ix.adj))
+	for k := range ix.adj {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Validate checks the structural invariants of the index: symmetry of the
+// adjacency, probability bounds, and the Consistency Condition. It is meant
+// for tests and for integrity checks after bulk loads.
+func (ix *Index) Validate() error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for a, nbs := range ix.adj {
+		for b, e := range nbs {
+			back, ok := ix.adj[b][a]
+			if !ok {
+				return fmt.Errorf("aindex: edge %v -> %v has no reverse", a, b)
+			}
+			if back != e {
+				return fmt.Errorf("aindex: asymmetric edge %v <-> %v", a, b)
+			}
+			if e.prob <= 0 || e.prob > 1 {
+				return fmt.Errorf("aindex: edge %v <-> %v has probability %g", a, b, e.prob)
+			}
+		}
+	}
+	// Consistency Condition: o1 ≡ o2 and o2 ~ o3 imply o1 ≡ o3 (or stronger:
+	// an identity between o1 and o3).
+	for o2, nbs := range ix.adj {
+		for o1, e12 := range nbs {
+			if e12.typ != core.Matching {
+				continue
+			}
+			for o3, e23 := range nbs {
+				if e23.typ != core.Identity || o3 == o1 {
+					continue
+				}
+				if _, ok := ix.adj[o1][o3]; !ok {
+					return fmt.Errorf("aindex: consistency violation: %v ≡ %v, %v ~ %v, but no %v ≡ %v",
+						o1, o2, o2, o3, o1, o3)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Edges exports every p-relation of the index exactly once (normalized so
+// From <= To), in deterministic order. The middleware baselines use it to
+// materialize the index as a join relation.
+func (ix *Index) Edges() []core.PRelation {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]core.PRelation, 0, ix.edges)
+	for a, nbs := range ix.adj {
+		for b, e := range nbs {
+			if a.Compare(b) < 0 {
+				out = append(out, core.PRelation{From: a, To: b, Type: e.typ, Prob: e.prob})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].From.Compare(out[j].From); c != 0 {
+			return c < 0
+		}
+		return out[i].To.Compare(out[j].To) < 0
+	})
+	return out
+}
+
+// InsertRaw installs a p-relation WITHOUT enforcing the Consistency
+// Condition: no transitive identities, no matching propagation. It exists
+// for bulk loads of already-closed dumps (ReadIndex) and for the ablation
+// experiment that quantifies what materialization buys (bench "ablation").
+// Regular callers should use Insert.
+func (ix *Index) InsertRaw(r core.PRelation) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.setEdgeLocked(r.From, r.To, r.Type, r.Prob)
+	return nil
+}
+
+// Clone returns a deep copy of the index. The paper's deployment gives each
+// QUEPA instance "its own A' index replica"; Clone produces such replicas
+// from a master index built once (by the collector or a ReadIndex load).
+func (ix *Index) Clone() *Index {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := New()
+	out.edges = ix.edges
+	for a, nbs := range ix.adj {
+		m := make(map[core.GlobalKey]edge, len(nbs))
+		for b, e := range nbs {
+			m[b] = e
+		}
+		out.adj[a] = m
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package aindex
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"quepa/internal/core"
+)
+
+// buildRandomIndex creates an index with n keys and ~2n edges.
+func buildRandomIndex(n int, seed int64) (*Index, []core.GlobalKey) {
+	rng := rand.New(rand.NewSource(seed))
+	ix := New()
+	keys := make([]core.GlobalKey, n)
+	for i := range keys {
+		keys[i] = core.NewGlobalKey(fmt.Sprintf("db%d", i%7), "c", fmt.Sprintf("k%d", i))
+	}
+	for i := 0; i < 2*n; i++ {
+		a := keys[rng.Intn(n)]
+		b := keys[rng.Intn(n)]
+		if a == b {
+			continue
+		}
+		typ := core.Matching
+		if rng.Intn(5) == 0 {
+			typ = core.Identity
+		}
+		ix.Insert(core.PRelation{From: a, To: b, Type: typ, Prob: 0.6 + 0.4*rng.Float64()})
+	}
+	return ix, keys
+}
+
+func BenchmarkInsertMatching(b *testing.B) {
+	ix := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		from := core.NewGlobalKey("db", "c", fmt.Sprintf("a%d", i))
+		to := core.NewGlobalKey("db", "c", fmt.Sprintf("b%d", i))
+		ix.Insert(core.NewMatching(from, to, 0.7))
+	}
+}
+
+func BenchmarkInsertIdentityWithClosure(b *testing.B) {
+	// Worst-ish case: identities chained into one growing class would be
+	// quadratic; bound class size by cycling through many chains.
+	ix := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		chain := i % 1024
+		from := core.NewGlobalKey("db", "c", fmt.Sprintf("x%d-%d", chain, i/1024))
+		to := core.NewGlobalKey("db", "c", fmt.Sprintf("x%d-%d", chain, i/1024+1))
+		ix.Insert(core.NewIdentity(from, to, 0.9))
+	}
+}
+
+func BenchmarkReach(b *testing.B) {
+	ix, keys := buildRandomIndex(5000, 1)
+	for _, level := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("level%d", level), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ix.Reach(keys[i%len(keys)], level)
+			}
+		})
+	}
+}
+
+func BenchmarkEdgesExport(b *testing.B) {
+	ix, _ := buildRandomIndex(5000, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(ix.Edges()) == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}
+
+func BenchmarkNeighbors(b *testing.B) {
+	ix, keys := buildRandomIndex(5000, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.Neighbors(keys[i%len(keys)])
+	}
+}

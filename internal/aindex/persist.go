@@ -1,0 +1,95 @@
+package aindex
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"quepa/internal/core"
+)
+
+// This file persists an A' index as JSON lines — one p-relation per line —
+// so a collector-built index can be saved once and loaded by every QUEPA
+// instance (the paper deploys one A' index replica per instance).
+
+// persistedEdge is the on-disk form of one p-relation.
+type persistedEdge struct {
+	From string  `json:"from"`
+	To   string  `json:"to"`
+	Type string  `json:"type"` // "identity" or "matching"
+	Prob float64 `json:"p"`
+}
+
+// WriteTo streams every edge of the index (including materialized inferred
+// ones) as JSON lines. It returns the number of bytes written.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	enc := json.NewEncoder(bw)
+	for _, e := range ix.Edges() {
+		rec := persistedEdge{
+			From: e.From.String(),
+			To:   e.To.String(),
+			Type: e.Type.String(),
+			Prob: e.Prob,
+		}
+		// Encoder writes a trailing newline: exactly one record per line.
+		if err := enc.Encode(&rec); err != nil {
+			return total, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
+// ReadIndex loads an index from the JSON-lines form produced by WriteTo.
+// Edges are installed verbatim (no re-materialization: the dump already
+// contains the closure), so loading is linear in the file size.
+func ReadIndex(r io.Reader) (*Index, error) {
+	ix := New()
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for scanner.Scan() {
+		line++
+		raw := scanner.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec persistedEdge
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("aindex: line %d: %w", line, err)
+		}
+		from, err := core.ParseGlobalKey(rec.From)
+		if err != nil {
+			return nil, fmt.Errorf("aindex: line %d: %w", line, err)
+		}
+		to, err := core.ParseGlobalKey(rec.To)
+		if err != nil {
+			return nil, fmt.Errorf("aindex: line %d: %w", line, err)
+		}
+		var typ core.RelType
+		switch rec.Type {
+		case "identity":
+			typ = core.Identity
+		case "matching":
+			typ = core.Matching
+		default:
+			return nil, fmt.Errorf("aindex: line %d: unknown relation type %q", line, rec.Type)
+		}
+		rel := core.PRelation{From: from, To: to, Type: typ, Prob: rec.Prob}
+		if err := rel.Validate(); err != nil {
+			return nil, fmt.Errorf("aindex: line %d: %w", line, err)
+		}
+		ix.mu.Lock()
+		ix.setEdgeLocked(from, to, typ, rec.Prob)
+		ix.mu.Unlock()
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}

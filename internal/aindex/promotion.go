@@ -1,0 +1,114 @@
+package aindex
+
+import (
+	"strings"
+	"sync"
+
+	"quepa/internal/core"
+)
+
+// This file implements the promotion of p-relations (Section III-D(a)): the
+// system tracks the full paths users traverse during augmented exploration in
+// a repository D_P; when the number of visits of a path reaches a
+// length-dependent threshold, a matching p-relation between the path's
+// endpoints is added to the index as a shortcut, with probability equal to
+// the average of the probabilities along the path.
+
+// PromotionPolicy controls when a traversed path is promoted to a matching
+// p-relation. The threshold decreases as the path gets longer, "since the
+// longer is a path the less likely it is to be traversed" (paper Example 8).
+type PromotionPolicy struct {
+	// BaseThreshold is the number of visits required for the shortest
+	// promotable path (length 2, i.e. three nodes).
+	BaseThreshold int
+	// Decay is subtracted from the threshold for each extra hop.
+	Decay int
+	// MinThreshold floors the threshold.
+	MinThreshold int
+}
+
+// DefaultPromotionPolicy mirrors the spirit of the paper's setting: paths of
+// length 2 need 10 visits, each extra hop lowers the bar by 2, never below 3.
+var DefaultPromotionPolicy = PromotionPolicy{BaseThreshold: 10, Decay: 2, MinThreshold: 3}
+
+// Threshold returns the visit count required for a path of the given length
+// (number of edges).
+func (p PromotionPolicy) Threshold(pathLen int) int {
+	t := p.BaseThreshold - (pathLen-2)*p.Decay
+	if t < p.MinThreshold {
+		t = p.MinThreshold
+	}
+	return t
+}
+
+// PathTracker is the D_P repository: it counts traversals of exploration
+// paths and promotes them into the index according to the policy.
+type PathTracker struct {
+	mu     sync.Mutex
+	index  *Index
+	policy PromotionPolicy
+	visits map[string]int
+}
+
+// NewPathTracker creates a tracker feeding promotions into the given index.
+func NewPathTracker(index *Index, policy PromotionPolicy) *PathTracker {
+	if policy.BaseThreshold <= 0 {
+		policy = DefaultPromotionPolicy
+	}
+	return &PathTracker{index: index, policy: policy, visits: map[string]int{}}
+}
+
+// Record registers a fully traversed exploration path v0, ..., vk (k > 1,
+// per the paper's definition of full path). It returns true when the path's
+// visit count reached the threshold and a matching p-relation between v0 and
+// vk was added (or refreshed) in the index.
+//
+// The promoted edge's probability is the average of the probabilities of the
+// path's edges, read from the index at promotion time.
+func (t *PathTracker) Record(path []core.GlobalKey) bool {
+	if len(path) < 3 {
+		return false // paths of length < 2 edges are not "full paths"
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sig := pathSignature(path)
+	t.visits[sig]++
+	pathLen := len(path) - 1
+	if t.visits[sig] < t.policy.Threshold(pathLen) {
+		return false
+	}
+	// Reset the counter so a long-lived system can re-promote after the
+	// edge is lazily deleted.
+	t.visits[sig] = 0
+
+	var sum float64
+	edges := 0
+	for i := 0; i+1 < len(path); i++ {
+		if r, ok := t.index.Relation(path[i], path[i+1]); ok {
+			sum += r.Prob
+			edges++
+		}
+	}
+	if edges == 0 {
+		return false // path no longer exists in the index
+	}
+	avg := sum / float64(edges)
+	err := t.index.Insert(core.NewMatching(path[0], path[len(path)-1], avg))
+	return err == nil
+}
+
+// Visits reports how many times a path has been recorded since the last
+// promotion. Intended for tests and introspection endpoints.
+func (t *PathTracker) Visits(path []core.GlobalKey) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.visits[pathSignature(path)]
+}
+
+func pathSignature(path []core.GlobalKey) string {
+	parts := make([]string, len(path))
+	for i, gk := range path {
+		parts[i] = gk.String()
+	}
+	return strings.Join(parts, "\x1f")
+}

@@ -1,0 +1,110 @@
+package aindex
+
+import (
+	"math"
+	"testing"
+
+	"quepa/internal/core"
+)
+
+func newPathIndex(t *testing.T) (*Index, []core.GlobalKey) {
+	t.Helper()
+	ix := New()
+	path := []core.GlobalKey{
+		gk("d1.c.v1"), gk("d2.c.v2"), gk("d3.c.v3"), gk("d4.c.v4"),
+	}
+	// A chain of matching edges (identities would materialize shortcuts on
+	// their own and muddy the test).
+	probs := []float64{0.8, 0.6, 0.7}
+	for i := 0; i+1 < len(path); i++ {
+		if err := ix.Insert(core.NewMatching(path[i], path[i+1], probs[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix, path
+}
+
+func TestThresholdDecreasesWithLength(t *testing.T) {
+	p := PromotionPolicy{BaseThreshold: 10, Decay: 2, MinThreshold: 3}
+	if p.Threshold(2) != 10 || p.Threshold(3) != 8 || p.Threshold(4) != 6 {
+		t.Errorf("thresholds = %d, %d, %d", p.Threshold(2), p.Threshold(3), p.Threshold(4))
+	}
+	if p.Threshold(10) != 3 {
+		t.Errorf("long path threshold = %d, want floor 3", p.Threshold(10))
+	}
+}
+
+func TestPromotionAddsShortcut(t *testing.T) {
+	ix, path := newPathIndex(t)
+	tr := NewPathTracker(ix, PromotionPolicy{BaseThreshold: 3, Decay: 0, MinThreshold: 1})
+
+	// Path of 3 edges, threshold 3: first two visits do nothing.
+	for i := 0; i < 2; i++ {
+		if tr.Record(path) {
+			t.Fatalf("visit %d promoted early", i+1)
+		}
+	}
+	if _, ok := ix.Relation(path[0], path[3]); ok {
+		t.Fatal("shortcut exists before threshold")
+	}
+	if !tr.Record(path) {
+		t.Fatal("third visit did not promote")
+	}
+	r, ok := ix.Relation(path[0], path[3])
+	if !ok || r.Type != core.Matching {
+		t.Fatalf("shortcut missing: %+v, %v", r, ok)
+	}
+	// Probability is the average of the path's edges: (0.8+0.6+0.7)/3 = 0.7.
+	if math.Abs(r.Prob-0.7) > 1e-9 {
+		t.Errorf("shortcut probability = %g, want 0.7", r.Prob)
+	}
+	// Counter reset after promotion.
+	if tr.Visits(path) != 0 {
+		t.Errorf("visits after promotion = %d", tr.Visits(path))
+	}
+}
+
+func TestShortPathsNotPromoted(t *testing.T) {
+	ix, path := newPathIndex(t)
+	tr := NewPathTracker(ix, PromotionPolicy{BaseThreshold: 1, Decay: 0, MinThreshold: 1})
+	// A two-node path (single edge) is not a "full path".
+	for i := 0; i < 5; i++ {
+		if tr.Record(path[:2]) {
+			t.Fatal("single-edge path promoted")
+		}
+	}
+	if tr.Visits(path[:2]) != 0 {
+		t.Error("short path should not even be counted")
+	}
+}
+
+func TestPromotionOfVanishedPath(t *testing.T) {
+	ix, path := newPathIndex(t)
+	tr := NewPathTracker(ix, PromotionPolicy{BaseThreshold: 1, Decay: 0, MinThreshold: 1})
+	// Remove the whole chain before the promoting visit.
+	for _, k := range path {
+		ix.RemoveObject(k)
+	}
+	if tr.Record(path) {
+		t.Error("promotion on a vanished path should fail")
+	}
+}
+
+func TestDefaultPolicyFallback(t *testing.T) {
+	ix, _ := newPathIndex(t)
+	tr := NewPathTracker(ix, PromotionPolicy{})
+	if tr.policy.BaseThreshold != DefaultPromotionPolicy.BaseThreshold {
+		t.Error("zero policy should fall back to the default")
+	}
+}
+
+func TestDistinctPathsCountedSeparately(t *testing.T) {
+	ix, path := newPathIndex(t)
+	tr := NewPathTracker(ix, PromotionPolicy{BaseThreshold: 2, Decay: 0, MinThreshold: 2})
+	other := []core.GlobalKey{path[3], path[2], path[1], path[0]} // reversed = different path
+	tr.Record(path)
+	tr.Record(other)
+	if tr.Visits(path) != 1 || tr.Visits(other) != 1 {
+		t.Errorf("visits = %d, %d", tr.Visits(path), tr.Visits(other))
+	}
+}

@@ -1,0 +1,408 @@
+// Package augment implements the query augmentation operator of QUEPA
+// (Section II) and its six execution strategies (Section IV): SEQUENTIAL,
+// BATCH, INNER, OUTER, OUTER-BATCH and OUTER-INNER.
+//
+// Augmented search (Definition 3) expands the result of a local query with
+// the related data objects reachable through the A' index at a given level,
+// ordered by probability. Augmented exploration (Definition 4) applies the
+// level-0 operator step by step under user guidance; see Exploration.
+//
+// The strategies differ only in how they schedule the object fetches against
+// the polystore — one by one, grouped per store (batching), parallel per
+// result (outer concurrency), parallel within a result's expansion (inner
+// concurrency), or combinations — and therefore produce identical answers,
+// a property the tests enforce.
+package augment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"quepa/internal/aindex"
+	"quepa/internal/cache"
+	"quepa/internal/core"
+	"quepa/internal/validator"
+)
+
+// Strategy selects one of the augmenter implementations of Section IV.
+type Strategy int
+
+// The six augmenters of the paper.
+const (
+	Sequential Strategy = iota
+	Batch
+	Inner
+	Outer
+	OuterBatch
+	OuterInner
+)
+
+// Strategies lists all strategies in a stable order (useful for sweeps).
+var Strategies = []Strategy{Sequential, Batch, Inner, Outer, OuterBatch, OuterInner}
+
+// String returns the paper's name for the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Sequential:
+		return "SEQUENTIAL"
+	case Batch:
+		return "BATCH"
+	case Inner:
+		return "INNER"
+	case Outer:
+		return "OUTER"
+	case OuterBatch:
+		return "OUTER-BATCH"
+	case OuterInner:
+		return "OUTER-INNER"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy resolves a strategy name (case-insensitive, '-' and '_'
+// interchangeable).
+func ParseStrategy(name string) (Strategy, error) {
+	switch strings.ToUpper(strings.ReplaceAll(name, "_", "-")) {
+	case "SEQUENTIAL":
+		return Sequential, nil
+	case "BATCH":
+		return Batch, nil
+	case "INNER":
+		return Inner, nil
+	case "OUTER":
+		return Outer, nil
+	case "OUTER-BATCH", "OUTERBATCH":
+		return OuterBatch, nil
+	case "OUTER-INNER", "OUTERINNER":
+		return OuterInner, nil
+	default:
+		return 0, fmt.Errorf("augment: unknown strategy %q", name)
+	}
+}
+
+// Concurrent reports whether the strategy uses worker goroutines.
+func (s Strategy) Concurrent() bool {
+	switch s {
+	case Inner, Outer, OuterBatch, OuterInner:
+		return true
+	}
+	return false
+}
+
+// Batched reports whether the strategy groups keys into batch fetches.
+func (s Strategy) Batched() bool { return s == Batch || s == OuterBatch }
+
+// Config is a QUEPA configuration (Section V): an augmenter plus its
+// parameters. Zero values select sensible defaults.
+type Config struct {
+	Strategy    Strategy
+	BatchSize   int // max global keys per batched query (BATCH, OUTER-BATCH)
+	ThreadsSize int // max simultaneous fetch goroutines (concurrent strategies)
+	CacheSize   int // LRU capacity; 0 disables caching
+}
+
+// Defaults used when Config fields are left zero or negative.
+const (
+	DefaultBatchSize   = 64
+	DefaultThreadsSize = 4
+)
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.ThreadsSize <= 0 {
+		c.ThreadsSize = DefaultThreadsSize
+	}
+	if c.CacheSize < 0 {
+		c.CacheSize = 0
+	}
+	return c
+}
+
+// String renders the configuration compactly for logs and run records.
+func (c Config) String() string {
+	return fmt.Sprintf("%s(batch=%d,threads=%d,cache=%d)", c.Strategy, c.BatchSize, c.ThreadsSize, c.CacheSize)
+}
+
+// AugmentedObject is one element of an augmented answer: a data object, the
+// probability that it is related to the original result, and the hop
+// distance at which the A' index reached it (0 marks original results).
+type AugmentedObject struct {
+	Object core.Object
+	Prob   float64
+	Dist   int
+}
+
+// Answer is the result of an augmented search: the local query's own result
+// plus the augmentation, ordered by decreasing probability.
+type Answer struct {
+	Original  []core.Object
+	Augmented []AugmentedObject
+}
+
+// Size returns the total number of data objects in the answer.
+func (a *Answer) Size() int { return len(a.Original) + len(a.Augmented) }
+
+// Augmenter orchestrates augmented query answering over a polystore and an
+// A' index (the Augmenter component of Fig. 2). It is safe for concurrent
+// use; the cache is shared across queries, as in the paper's design.
+type Augmenter struct {
+	poly  *core.Polystore
+	index *aindex.Index
+	cfg   Config
+	cache *cache.LRU
+}
+
+// New creates an augmenter with the given configuration.
+func New(poly *core.Polystore, index *aindex.Index, cfg Config) *Augmenter {
+	cfg = cfg.withDefaults()
+	return &Augmenter{
+		poly:  poly,
+		index: index,
+		cfg:   cfg,
+		cache: cache.NewLRU(cfg.CacheSize),
+	}
+}
+
+// Config returns the augmenter's current configuration.
+func (a *Augmenter) Config() Config { return a.cfg }
+
+// SetConfig swaps strategy and parameters. The cache is resized, not
+// dropped: the adaptive optimizer adjusts CACHE_SIZE in small increments
+// precisely to keep its content useful (Section V, Phase 3).
+func (a *Augmenter) SetConfig(cfg Config) {
+	cfg = cfg.withDefaults()
+	a.cfg = cfg
+	a.cache.Resize(cfg.CacheSize)
+}
+
+// Cache exposes the augmenter's cache (for stats and tests).
+func (a *Augmenter) Cache() *cache.LRU { return a.cache }
+
+// Index exposes the augmenter's A' index.
+func (a *Augmenter) Index() *aindex.Index { return a.index }
+
+// Polystore exposes the polystore the augmenter operates on.
+func (a *Augmenter) Polystore() *core.Polystore { return a.poly }
+
+// ClearCache empties the cache (cold-cache experiment runs).
+func (a *Augmenter) ClearCache() { a.cache.Clear() }
+
+// Search executes a query in augmented mode (Definition 3): the query is
+// validated (and possibly rewritten to expose identifiers), executed against
+// its database with the local language, and its result is augmented at the
+// given level.
+func (a *Augmenter) Search(ctx context.Context, database, query string, level int) (*Answer, error) {
+	store, err := a.poly.Database(database)
+	if err != nil {
+		return nil, err
+	}
+	v, err := validator.Validate(store, query)
+	if err != nil {
+		return nil, err
+	}
+	original, err := store.Query(ctx, v.Query)
+	if err != nil {
+		return nil, err
+	}
+	augmented, err := a.AugmentObjects(ctx, original, level)
+	if err != nil {
+		return nil, err
+	}
+	return &Answer{Original: original, Augmented: augmented}, nil
+}
+
+// AugmentObjects applies the augmentation construct of level n to a set of
+// objects (the α operator of Definition 2 extended to sets) and returns the
+// retrieved objects ordered by decreasing probability. Objects that are in
+// the A' index but no longer in the polystore are dropped and lazily removed
+// from the index.
+func (a *Augmenter) AugmentObjects(ctx context.Context, origins []core.Object, level int) ([]AugmentedObject, error) {
+	if level < 0 {
+		return nil, fmt.Errorf("augment: negative level %d", level)
+	}
+	plan := a.buildPlan(origins, level)
+	if len(plan.order) == 0 {
+		return nil, nil
+	}
+	sink := newSink()
+	var err error
+	switch a.cfg.Strategy {
+	case Sequential:
+		err = a.runSequential(ctx, plan, sink)
+	case Batch:
+		err = a.runBatch(ctx, plan, sink)
+	case Inner:
+		err = a.runInner(ctx, plan, sink)
+	case Outer:
+		err = a.runOuter(ctx, plan, sink)
+	case OuterBatch:
+		err = a.runOuterBatch(ctx, plan, sink)
+	case OuterInner:
+		err = a.runOuterInner(ctx, plan, sink)
+	default:
+		err = fmt.Errorf("augment: unknown strategy %v", a.cfg.Strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return plan.answer(sink), nil
+}
+
+// plan is the resolved fetch work of one augmentation: the unique global
+// keys to retrieve, their best probabilities and distances, and the
+// per-origin partition the outer/inner strategies parallelize over.
+type plan struct {
+	hits     map[core.GlobalKey]aindex.Hit
+	order    []core.GlobalKey   // deterministic fetch order
+	byOrigin [][]core.GlobalKey // keys grouped by the origin that reached them first
+}
+
+// buildPlan consults the A' index for every origin and deduplicates the
+// reachable keys, keeping the best probability. Each unique key is assigned
+// to the first origin that reaches it, which partitions the fetch work for
+// the per-result (outer) strategies. Origins themselves are never fetched.
+func (a *Augmenter) buildPlan(origins []core.Object, level int) *plan {
+	p := &plan{hits: map[core.GlobalKey]aindex.Hit{}}
+	originSet := make(map[core.GlobalKey]bool, len(origins))
+	for _, o := range origins {
+		originSet[o.GK] = true
+	}
+	for _, o := range origins {
+		var mine []core.GlobalKey
+		for _, h := range a.index.Reach(o.GK, level) {
+			if originSet[h.Key] {
+				continue
+			}
+			old, seen := p.hits[h.Key]
+			if !seen {
+				p.order = append(p.order, h.Key)
+				mine = append(mine, h.Key)
+				p.hits[h.Key] = h
+				continue
+			}
+			if h.Prob > old.Prob || (h.Prob == old.Prob && h.Dist < old.Dist) {
+				p.hits[h.Key] = h
+			}
+		}
+		p.byOrigin = append(p.byOrigin, mine)
+	}
+	return p
+}
+
+// answer assembles the final ordered augmentation from the fetched objects.
+func (p *plan) answer(s *sink) []AugmentedObject {
+	out := make([]AugmentedObject, 0, len(s.objects))
+	for gk, obj := range s.objects {
+		h := p.hits[gk]
+		out = append(out, AugmentedObject{Object: obj, Prob: h.Prob, Dist: h.Dist})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return out[i].Object.GK.Compare(out[j].Object.GK) < 0
+	})
+	return out
+}
+
+// sink collects fetched objects from concurrent workers.
+type sink struct {
+	mu      sync.Mutex
+	objects map[core.GlobalKey]core.Object
+}
+
+func newSink() *sink {
+	return &sink{objects: map[core.GlobalKey]core.Object{}}
+}
+
+func (s *sink) add(objs ...core.Object) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, o := range objs {
+		s.objects[o.GK] = o
+	}
+}
+
+// fetchOne retrieves a single object, consulting the cache first and
+// applying lazy deletion on misses. The boolean reports whether the object
+// exists.
+func (a *Augmenter) fetchOne(ctx context.Context, gk core.GlobalKey) (core.Object, bool, error) {
+	if obj, ok := a.cache.Get(gk); ok {
+		return obj, true, nil
+	}
+	obj, err := a.poly.Fetch(ctx, gk)
+	if err != nil {
+		if errors.Is(err, core.ErrNotFound) {
+			a.index.RemoveObject(gk)
+			a.cache.Remove(gk)
+			return core.Object{}, false, nil
+		}
+		return core.Object{}, false, err
+	}
+	a.cache.Put(obj)
+	return obj, true, nil
+}
+
+// fetchGroup retrieves a group of keys belonging to one database and
+// collection with a single batched query, consulting the cache first and
+// lazily deleting keys the store no longer has.
+func (a *Augmenter) fetchGroup(ctx context.Context, database, collection string, keys []string, s *sink) error {
+	missing := keys[:0:0]
+	for _, k := range keys {
+		gk := core.NewGlobalKey(database, collection, k)
+		if obj, ok := a.cache.Get(gk); ok {
+			s.add(obj)
+			continue
+		}
+		missing = append(missing, k)
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	objs, err := a.poly.FetchBatch(ctx, database, collection, missing)
+	if err != nil {
+		return err
+	}
+	found := make(map[string]bool, len(objs))
+	for _, o := range objs {
+		found[o.GK.Key] = true
+		a.cache.Put(o)
+	}
+	s.add(objs...)
+	for _, k := range missing {
+		if !found[k] {
+			gk := core.NewGlobalKey(database, collection, k)
+			a.index.RemoveObject(gk)
+			a.cache.Remove(gk)
+		}
+	}
+	return nil
+}
+
+// Rank presents the augmentation the way the paper's interface does: the
+// probability of each element drives colors and rankings. It returns the
+// augmented objects with probability at least minProb, truncated to the
+// topK strongest (topK <= 0 means no truncation). The receiver is not
+// modified.
+func (a *Answer) Rank(minProb float64, topK int) []AugmentedObject {
+	out := make([]AugmentedObject, 0, len(a.Augmented))
+	for _, ao := range a.Augmented {
+		if ao.Prob < minProb {
+			// Augmented answers are probability-ordered: everything after
+			// the first miss is below the threshold too.
+			break
+		}
+		out = append(out, ao)
+		if topK > 0 && len(out) == topK {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package augment
+
+import (
+	"testing"
+
+	"quepa/internal/aindex"
+	"quepa/internal/core"
+)
+
+// Benchmarks of the six strategies over an in-process polystore (no network
+// simulation): this isolates the orchestration overhead of each augmenter —
+// goroutine fan-out, batching bookkeeping, cache traffic — from the
+// round-trip costs the paper's figures measure.
+
+func benchConfigs() []Config {
+	return []Config{
+		{Strategy: Sequential},
+		{Strategy: Batch, BatchSize: 64},
+		{Strategy: Inner, ThreadsSize: 4},
+		{Strategy: Outer, ThreadsSize: 4},
+		{Strategy: OuterBatch, BatchSize: 64, ThreadsSize: 4},
+		{Strategy: OuterInner, ThreadsSize: 4},
+	}
+}
+
+func BenchmarkStrategiesOverhead(b *testing.B) {
+	poly, ix, db, query := syntheticPolystoreB(b, 6, 200, 11)
+	for _, cfg := range benchConfigs() {
+		b.Run(cfg.Strategy.String(), func(b *testing.B) {
+			aug := New(poly, ix, cfg)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := aug.Search(ctx, db, query, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSearchWithCache(b *testing.B) {
+	poly, ix, db, query := syntheticPolystoreB(b, 6, 200, 12)
+	aug := New(poly, ix, Config{Strategy: OuterBatch, BatchSize: 64, ThreadsSize: 4, CacheSize: 100000})
+	if _, err := aug.Search(ctx, db, query, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := aug.Search(ctx, db, query, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// syntheticPolystoreB mirrors the test fixture for benchmarks.
+func syntheticPolystoreB(b *testing.B, n, m int, seed int64) (*core.Polystore, *aindex.Index, string, string) {
+	b.Helper()
+	t := &testing.T{}
+	poly, ix, db, query := syntheticPolystore(t, n, m, seed)
+	if t.Failed() {
+		b.Fatal("fixture construction failed")
+	}
+	return poly, ix, db, query
+}

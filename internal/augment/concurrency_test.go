@@ -1,0 +1,188 @@
+package augment
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"quepa/internal/core"
+)
+
+// TestMultipleInstancesInParallel models the paper's multi-instance
+// deployment (Section III-A: "it is easy to deploy multiple instances of
+// the system that can answer independent queries in parallel; each instance
+// has its own A' index replica and its own augmenter"): several augmenters
+// over the same polystore answer concurrent queries correctly.
+func TestMultipleInstancesInParallel(t *testing.T) {
+	poly, ix, db, query := syntheticPolystore(t, 4, 60, 99)
+	want := answerSignature(t, New(poly, ix, Config{Strategy: Sequential}), db, query)
+
+	const instances = 6
+	var wg sync.WaitGroup
+	errs := make(chan string, instances*4)
+	for i := 0; i < instances; i++ {
+		cfg := Config{
+			Strategy:    Strategies[i%len(Strategies)],
+			BatchSize:   8,
+			ThreadsSize: 3,
+			CacheSize:   64,
+		}
+		wg.Add(1)
+		go func(cfg Config) {
+			defer wg.Done()
+			aug := New(poly, ix, cfg)
+			for rep := 0; rep < 4; rep++ {
+				answer, err := aug.Search(ctx, db, query, 1)
+				if err != nil {
+					errs <- fmt.Sprintf("%v: %v", cfg, err)
+					return
+				}
+				got := ""
+				for _, ao := range answer.Augmented {
+					got += fmt.Sprintf("%s:%.6f;", ao.Object.GK, ao.Prob)
+				}
+				if got != want {
+					errs <- fmt.Sprintf("%v rep %d: answer diverged", cfg, rep)
+					return
+				}
+			}
+		}(cfg)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestStrategiesAgreeQuick drives the strategy-equivalence property over
+// random polystores (testing/quick generates the seeds).
+func TestStrategiesAgreeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		poly, ix, db, query := syntheticPolystore(t, 3, 25, seed)
+		want := answerSignature(t, New(poly, ix, Config{Strategy: Sequential}), db, query)
+		for _, s := range Strategies[1:] {
+			aug := New(poly, ix, Config{Strategy: s, BatchSize: 4, ThreadsSize: 3})
+			if answerSignature(t, aug, db, query) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestThreadsExceedWork: worker pools larger than the work must not hang or
+// mis-compute.
+func TestThreadsExceedWork(t *testing.T) {
+	poly, ix := polyphony(t)
+	for _, s := range []Strategy{Inner, Outer, OuterBatch, OuterInner} {
+		aug := New(poly, ix, Config{Strategy: s, ThreadsSize: 64, BatchSize: 1000})
+		answer, err := aug.Search(ctx, "transactions", `SELECT * FROM inventory WHERE name LIKE '%wish%'`, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if len(answer.Augmented) == 0 {
+			t.Errorf("%v: empty augmentation", s)
+		}
+	}
+}
+
+// TestBatchSizeOne degenerates batching to per-key queries and must still
+// agree with the reference.
+func TestBatchSizeOne(t *testing.T) {
+	poly, ix, db, query := syntheticPolystore(t, 3, 30, 5)
+	want := answerSignature(t, New(poly, ix, Config{Strategy: Sequential}), db, query)
+	got := answerSignature(t, New(poly, ix, Config{Strategy: Batch, BatchSize: 1}), db, query)
+	if got != want {
+		t.Error("BATCH_SIZE=1 diverged from sequential")
+	}
+}
+
+// TestSharedCacheAcrossQueries: one augmenter reused for different queries
+// keeps returning correct (not stale-mixed) answers.
+func TestSharedCacheAcrossQueries(t *testing.T) {
+	poly, ix := polyphony(t)
+	aug := New(poly, ix, Config{Strategy: Sequential, CacheSize: 100})
+	q1 := `SELECT * FROM inventory WHERE name LIKE '%wish%'`
+	q2 := `SELECT * FROM sales WHERE total > 15`
+	a1, err := aug.Search(ctx, "transactions", q1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := aug.Search(ctx, "transactions", q2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two answers have different originals and their augmentations are
+	// rooted at different objects.
+	if a1.Original[0].GK == a2.Original[0].GK {
+		t.Fatal("fixture broken")
+	}
+	for _, ao := range a2.Augmented {
+		if ao.Object.GK == a2.Original[0].GK {
+			t.Error("origin leaked into augmentation after cache reuse")
+		}
+	}
+	// Re-running q1 warm matches the cold answer.
+	a1b, err := aug.Search(ctx, "transactions", q1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1b.Augmented) != len(a1.Augmented) {
+		t.Errorf("warm re-run changed the answer: %d vs %d", len(a1b.Augmented), len(a1.Augmented))
+	}
+	for i := range a1.Augmented {
+		if !a1.Augmented[i].Object.Equal(a1b.Augmented[i].Object) {
+			t.Errorf("warm object %d differs", i)
+		}
+	}
+}
+
+// TestAnswerOrderingInvariant: for every strategy, the augmented answer is
+// sorted by probability with deterministic key tie-breaks.
+func TestAnswerOrderingInvariant(t *testing.T) {
+	poly, ix, db, query := syntheticPolystore(t, 4, 50, 21)
+	for _, s := range Strategies {
+		aug := New(poly, ix, Config{Strategy: s, BatchSize: 8, ThreadsSize: 4})
+		answer, err := aug.Search(ctx, db, query, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(answer.Augmented); i++ {
+			prev, cur := answer.Augmented[i-1], answer.Augmented[i]
+			if prev.Prob < cur.Prob {
+				t.Fatalf("%v: probabilities out of order at %d", s, i)
+			}
+			if prev.Prob == cur.Prob && prev.Object.GK.Compare(cur.Object.GK) >= 0 {
+				t.Fatalf("%v: tie not broken by key at %d", s, i)
+			}
+		}
+	}
+}
+
+// TestAugmentObjectsDirect exercises the operator without a query: α applied
+// to explicit objects (the paper's Definition 2 applied programmatically).
+func TestAugmentObjectsDirect(t *testing.T) {
+	poly, ix := polyphony(t)
+	aug := New(poly, ix, Config{Strategy: Sequential})
+	origin, err := poly.Fetch(ctx, core.MustParseGlobalKey("catalogue.albums.d1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := aug.AugmentObjects(ctx, []core.Object{origin}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty augmentation of a linked object")
+	}
+	// Empty input is fine.
+	out, err = aug.AugmentObjects(ctx, nil, 3)
+	if err != nil || out != nil {
+		t.Errorf("nil input: %v, %v", out, err)
+	}
+}

@@ -1,0 +1,68 @@
+package augment_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"quepa/internal/aindex"
+	"quepa/internal/augment"
+	"quepa/internal/connector"
+	"quepa/internal/core"
+	"quepa/internal/stores/docstore"
+	"quepa/internal/stores/relstore"
+)
+
+// Example runs the paper's running example end to end: a polystore of two
+// departments, an A' index linking their objects, and an augmented SQL
+// search whose answer includes a document from a database the SQL user
+// cannot query.
+func Example() {
+	ctx := context.Background()
+
+	// The sales department's relational database.
+	transactions := relstore.New("transactions")
+	transactions.Exec(`CREATE TABLE inventory (id TEXT PRIMARY KEY, artist TEXT, name TEXT)`)
+	transactions.Exec(`INSERT INTO inventory VALUES ('a32', 'Cure', 'Wish')`)
+
+	// The warehouse department's document store.
+	catalogue := docstore.New("catalogue")
+	catalogue.Insert("albums", `{"_id": "d1", "title": "Wish", "artist": "The Cure", "year": 1992}`)
+
+	// The polystore: a loose registry, no global schema.
+	poly := core.NewPolystore()
+	poly.Register(connector.NewRelational(transactions))
+	poly.Register(connector.NewDocument(catalogue))
+
+	// One p-relation: the tuple and the document are the same album.
+	index := aindex.New()
+	index.Insert(core.NewIdentity(
+		core.MustParseGlobalKey("catalogue.albums.d1"),
+		core.MustParseGlobalKey("transactions.inventory.a32"),
+		0.9,
+	))
+
+	// Lucy's query, in plain SQL, augmented at level 0.
+	aug := augment.New(poly, index, augment.Config{Strategy: augment.OuterBatch})
+	answer, err := aug.Search(ctx, "transactions", `SELECT * FROM inventory WHERE name LIKE '%wish%'`, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("local: %d result(s)\n", len(answer.Original))
+	for _, ao := range answer.Augmented {
+		fmt.Printf("augmented: p=%.1f %s.%s\n", ao.Prob, ao.Object.GK.Database, ao.Object.GK.Key)
+	}
+	// Output:
+	// local: 1 result(s)
+	// augmented: p=0.9 catalogue.d1
+}
+
+// ExampleAnswer_Rank shows the presentation helpers: probability cutoffs and
+// top-k truncation of an augmented answer.
+func ExampleAnswer_Rank() {
+	answer := &augment.Answer{Augmented: []augment.AugmentedObject{
+		{Prob: 0.9}, {Prob: 0.8}, {Prob: 0.6},
+	}}
+	fmt.Println(len(answer.Rank(0.7, 0)), len(answer.Rank(0, 2)))
+	// Output: 2 2
+}

@@ -1,0 +1,143 @@
+package augment
+
+import (
+	"testing"
+
+	"quepa/internal/aindex"
+	"quepa/internal/core"
+)
+
+// TestExplorationSession walks the paper's Example 5 pattern: start from a
+// query, expand an object, then expand one of the objects it revealed.
+func TestExplorationSession(t *testing.T) {
+	poly, ix := polyphony(t)
+	aug := New(poly, ix, Config{Strategy: Inner, ThreadsSize: 2, CacheSize: 50})
+	tracker := aindex.NewPathTracker(ix, aindex.PromotionPolicy{BaseThreshold: 100, Decay: 0, MinThreshold: 100})
+
+	sess, start, err := aug.Explore(ctx, "transactions", `SELECT * FROM sales WHERE total > 15`, tracker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(start) != 1 || start[0].GK.Key != "s8" {
+		t.Fatalf("start = %v", start)
+	}
+
+	// Step 1: expand the sale.
+	links, err := sess.Step(ctx, start[0].GK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) == 0 {
+		t.Fatal("no links from s8")
+	}
+	// Ordered by probability.
+	for i := 1; i < len(links); i++ {
+		if links[i-1].Prob < links[i].Prob {
+			t.Error("links not ordered by probability")
+		}
+	}
+
+	// Step 2: follow the top link.
+	links2, err := sess.Step(ctx, links[0].Object.GK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = links2
+	if got := sess.Path(); len(got) != 2 {
+		t.Errorf("path = %v", got)
+	}
+
+	// Stepping to an object that was not offered fails.
+	if _, err := sess.Step(ctx, core.MustParseGlobalKey("discount.drop.zzz")); err == nil {
+		t.Error("step to unoffered object should fail")
+	}
+
+	sess.Finish()
+	if _, err := sess.Step(ctx, start[0].GK); err == nil {
+		t.Error("step after Finish should fail")
+	}
+	if sess.Finish() {
+		t.Error("second Finish should be a no-op")
+	}
+}
+
+func TestExplorationPromotesPopularPath(t *testing.T) {
+	poly, ix := polyphony(t)
+	aug := New(poly, ix, Config{Strategy: Sequential})
+	policy := aindex.PromotionPolicy{BaseThreshold: 2, Decay: 0, MinThreshold: 2}
+	tracker := aindex.NewPathTracker(ix, policy)
+
+	gk := core.MustParseGlobalKey
+	s8 := gk("transactions.sales.s8")
+	a32 := gk("transactions.inventory.a32")
+	n1 := gk("similar-items.items.n1")
+	if _, ok := ix.Relation(s8, n1); ok {
+		t.Skip("fixture already has the shortcut (materialization changed)")
+	}
+
+	walk := func() {
+		sess, start, err := aug.Explore(ctx, "transactions", `SELECT * FROM sales WHERE total > 15`, tracker)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Step(ctx, start[0].GK); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Step(ctx, a32); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Step(ctx, n1); err != nil {
+			t.Fatal(err)
+		}
+		sess.Finish()
+	}
+	walk()
+	if _, ok := ix.Relation(s8, n1); ok {
+		t.Fatal("shortcut promoted too early")
+	}
+	walk()
+	r, ok := ix.Relation(s8, n1)
+	if !ok {
+		t.Fatal("popular path not promoted")
+	}
+	if r.Type != core.Matching {
+		t.Errorf("promoted relation type = %v", r.Type)
+	}
+}
+
+func TestExploreWithNilTracker(t *testing.T) {
+	poly, ix := polyphony(t)
+	aug := New(poly, ix, Config{})
+	sess, start, err := aug.Explore(ctx, "transactions", `SELECT * FROM sales WHERE total > 15`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Step(ctx, start[0].GK); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Finish() {
+		t.Error("Finish with nil tracker should report no promotion")
+	}
+}
+
+func TestExploreInvalidQuery(t *testing.T) {
+	poly, ix := polyphony(t)
+	aug := New(poly, ix, Config{})
+	if _, _, err := aug.Explore(ctx, "transactions", `SELECT SUM(total) FROM sales`, nil); err == nil {
+		t.Error("aggregate exploration should fail validation")
+	}
+}
+
+func TestStepFetchesFreshOrigin(t *testing.T) {
+	poly, ix := polyphony(t)
+	aug := New(poly, ix, Config{})
+	sess, _, err := aug.Explore(ctx, "transactions", `SELECT * FROM sales WHERE total > 15`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First step may target any object of the start result; an unknown
+	// object fails at fetch.
+	if _, err := sess.Step(ctx, core.MustParseGlobalKey("transactions.sales.ghost")); err == nil {
+		t.Error("step to missing object should fail")
+	}
+}

@@ -1,0 +1,170 @@
+package augment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"quepa/internal/aindex"
+	"quepa/internal/core"
+)
+
+// faultyStore wraps a set of objects and fails Get/GetBatch after a given
+// number of successful calls — simulating a store that degrades mid-query.
+type faultyStore struct {
+	name      string
+	objects   map[string]core.Object // key -> object (single collection "c")
+	failAfter int64
+	calls     atomic.Int64
+}
+
+var errStoreDown = errors.New("store down")
+
+func newFaultyStore(name string, keys int, failAfter int64) *faultyStore {
+	f := &faultyStore{name: name, objects: map[string]core.Object{}, failAfter: failAfter}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("k%d", i)
+		f.objects[k] = core.NewObject(core.NewGlobalKey(name, "c", k), map[string]string{"v": k})
+	}
+	return f
+}
+
+func (f *faultyStore) Name() string          { return f.name }
+func (f *faultyStore) Kind() core.StoreKind  { return core.KindKeyValue }
+func (f *faultyStore) Collections() []string { return []string{"c"} }
+
+func (f *faultyStore) fail() bool {
+	return f.calls.Add(1) > f.failAfter
+}
+
+func (f *faultyStore) Get(ctx context.Context, collection, key string) (core.Object, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Object{}, err
+	}
+	if f.fail() {
+		return core.Object{}, errStoreDown
+	}
+	o, ok := f.objects[key]
+	if !ok {
+		return core.Object{}, core.ErrNotFound
+	}
+	return o, nil
+}
+
+func (f *faultyStore) GetBatch(ctx context.Context, collection string, keys []string) ([]core.Object, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if f.fail() {
+		return nil, errStoreDown
+	}
+	var out []core.Object
+	for _, k := range keys {
+		if o, ok := f.objects[k]; ok {
+			out = append(out, o)
+		}
+	}
+	return out, nil
+}
+
+func (f *faultyStore) Query(ctx context.Context, q string) ([]core.Object, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// The local query itself always works: failures hit the fetch phase.
+	var out []core.Object
+	for i := 0; i < 3; i++ {
+		out = append(out, f.objects[fmt.Sprintf("k%d", i)])
+	}
+	return out, nil
+}
+
+// faultyFixture: two stores, the remote one failing after `failAfter`
+// fetches; every queried object links to several remote ones.
+func faultyFixture(t *testing.T, failAfter int64) (*core.Polystore, *aindex.Index) {
+	t.Helper()
+	poly := core.NewPolystore()
+	local := newFaultyStore("local", 3, 1<<40) // never fails
+	remote := newFaultyStore("remote", 40, failAfter)
+	if err := poly.Register(local); err != nil {
+		t.Fatal(err)
+	}
+	if err := poly.Register(remote); err != nil {
+		t.Fatal(err)
+	}
+	ix := aindex.New()
+	for i := 0; i < 3; i++ {
+		src := core.NewGlobalKey("local", "c", fmt.Sprintf("k%d", i))
+		for j := 0; j < 8; j++ {
+			dst := core.NewGlobalKey("remote", "c", fmt.Sprintf("k%d", i*8+j))
+			if err := ix.Insert(core.NewMatching(src, dst, 0.7)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return poly, ix
+}
+
+// TestAllStrategiesPropagateStoreErrors: a mid-flight store failure must
+// surface as an error from Search for every execution strategy — no hangs,
+// no silently truncated answers.
+func TestAllStrategiesPropagateStoreErrors(t *testing.T) {
+	for _, cfg := range []Config{
+		{Strategy: Sequential},
+		{Strategy: Batch, BatchSize: 4},
+		{Strategy: Inner, ThreadsSize: 3},
+		{Strategy: Outer, ThreadsSize: 3},
+		{Strategy: OuterBatch, BatchSize: 4, ThreadsSize: 3},
+		{Strategy: OuterInner, ThreadsSize: 4},
+	} {
+		poly, ix := faultyFixture(t, 2) // fail from the third fetch on
+		aug := New(poly, ix, cfg)
+		_, err := aug.Search(ctx, "local", "SCAN c", 0)
+		if err == nil {
+			t.Errorf("%v: degraded store did not surface an error", cfg)
+			continue
+		}
+		if !errors.Is(err, errStoreDown) {
+			t.Errorf("%v: error chain lost the cause: %v", cfg, err)
+		}
+	}
+}
+
+// TestHealthyRunAfterFailure: the augmenter holds no poisoned state — the
+// same instance succeeds once the store recovers.
+func TestHealthyRunAfterFailure(t *testing.T) {
+	poly, ix := faultyFixture(t, 2)
+	aug := New(poly, ix, Config{Strategy: OuterBatch, BatchSize: 4, ThreadsSize: 3})
+	if _, err := aug.Search(ctx, "local", "SCAN c", 0); err == nil {
+		t.Fatal("expected failure")
+	}
+	// "Repair" the store by raising its failure threshold.
+	s, err := poly.Database("remote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.(*faultyStore).failAfter = 1 << 40
+	answer, err := aug.Search(ctx, "local", "SCAN c", 0)
+	if err != nil {
+		t.Fatalf("recovered store still failing: %v", err)
+	}
+	if len(answer.Augmented) != 24 {
+		t.Errorf("recovered answer = %d objects, want 24", len(answer.Augmented))
+	}
+}
+
+// TestErrorsDoNotCorruptIndex: fetch errors (unlike not-found results) must
+// not trigger lazy deletion.
+func TestErrorsDoNotCorruptIndex(t *testing.T) {
+	poly, ix := faultyFixture(t, 0) // every fetch fails
+	edgesBefore := ix.EdgeCount()
+	aug := New(poly, ix, Config{Strategy: Sequential})
+	if _, err := aug.Search(ctx, "local", "SCAN c", 0); err == nil {
+		t.Fatal("expected failure")
+	}
+	if ix.EdgeCount() != edgesBefore {
+		t.Errorf("store errors mutated the index: %d -> %d edges", edgesBefore, ix.EdgeCount())
+	}
+}

@@ -1,0 +1,289 @@
+package augment
+
+import (
+	"context"
+	"sync"
+
+	"quepa/internal/core"
+)
+
+// This file contains the six execution strategies of Section IV. They all
+// consume a plan (the deduplicated fetch work) and fill a sink; they differ
+// only in scheduling:
+//
+//	SEQUENTIAL   one direct-access query per key, in order (Fig. 6(a))
+//	BATCH        keys grouped per store, flushed at BATCH_SIZE (Fig. 6(b))
+//	INNER        per origin, its keys fetched by THREADS_SIZE workers (Fig. 6(c))
+//	OUTER        a worker per origin, keys fetched sequentially (Fig. 7(a))
+//	OUTER-BATCH  main fills groups, workers flush them (Fig. 7(b))
+//	OUTER-INNER  THREADS_SIZE/2 outer workers × THREADS_SIZE/2 inner workers (Fig. 7(c))
+
+func (a *Augmenter) runSequential(ctx context.Context, p *plan, s *sink) error {
+	for _, gk := range p.order {
+		obj, ok, err := a.fetchOne(ctx, gk)
+		if err != nil {
+			return err
+		}
+		if ok {
+			s.add(obj)
+		}
+	}
+	return nil
+}
+
+// group identifies a batch bucket: one target database and collection.
+type group struct {
+	database   string
+	collection string
+}
+
+func (a *Augmenter) runBatch(ctx context.Context, p *plan, s *sink) error {
+	groups := map[group][]string{}
+	for _, gk := range p.order {
+		g := group{database: gk.Database, collection: gk.Collection}
+		groups[g] = append(groups[g], gk.Key)
+		if len(groups[g]) >= a.cfg.BatchSize {
+			if err := a.fetchGroup(ctx, g.database, g.collection, groups[g], s); err != nil {
+				return err
+			}
+			delete(groups, g)
+		}
+	}
+	// Flush the incomplete groups at process end, iterating in the
+	// deterministic order of first appearance.
+	for _, gk := range p.order {
+		g := group{database: gk.Database, collection: gk.Collection}
+		keys, ok := groups[g]
+		if !ok {
+			continue
+		}
+		delete(groups, g)
+		if err := a.fetchGroup(ctx, g.database, g.collection, keys, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runInner iterates over the origins in the main goroutine; the keys of each
+// origin are fetched by a pool of THREADS_SIZE workers before moving on.
+func (a *Augmenter) runInner(ctx context.Context, p *plan, s *sink) error {
+	for _, keys := range p.byOrigin {
+		if err := a.parallelFetch(ctx, keys, a.cfg.ThreadsSize, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runOuter launches a goroutine per origin (bounded by THREADS_SIZE); each
+// fetches its keys sequentially.
+func (a *Augmenter) runOuter(ctx context.Context, p *plan, s *sink) error {
+	return a.forEachOrigin(ctx, p, a.cfg.ThreadsSize, func(ctx context.Context, keys []core.GlobalKey) error {
+		for _, gk := range keys {
+			obj, ok, err := a.fetchOne(ctx, gk)
+			if err != nil {
+				return err
+			}
+			if ok {
+				s.add(obj)
+			}
+		}
+		return nil
+	})
+}
+
+// runOuterBatch has the main goroutine fill per-store groups while
+// THREADS_SIZE workers flush full groups concurrently.
+func (a *Augmenter) runOuterBatch(ctx context.Context, p *plan, s *sink) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type job struct {
+		g    group
+		keys []string
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	errOnce := newErrOnce(cancel)
+	for w := 0; w < a.cfg.ThreadsSize; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if err := a.fetchGroup(ctx, j.g.database, j.g.collection, j.keys, s); err != nil {
+					errOnce.set(err)
+					// Keep draining so the producer never blocks.
+				}
+			}
+		}()
+	}
+
+	groups := map[group][]string{}
+	submit := func(g group, keys []string) bool {
+		select {
+		case jobs <- job{g: g, keys: keys}:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+produce:
+	for _, gk := range p.order {
+		g := group{database: gk.Database, collection: gk.Collection}
+		groups[g] = append(groups[g], gk.Key)
+		if len(groups[g]) >= a.cfg.BatchSize {
+			keys := groups[g]
+			delete(groups, g)
+			if !submit(g, keys) {
+				break produce
+			}
+		}
+	}
+	for _, gk := range p.order {
+		g := group{database: gk.Database, collection: gk.Collection}
+		keys, ok := groups[g]
+		if !ok {
+			continue
+		}
+		delete(groups, g)
+		if !submit(g, keys) {
+			break
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := errOnce.get(); err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// runOuterInner splits THREADS_SIZE between the two levels of parallelism:
+// half the threads process origins concurrently, and each of those uses the
+// other half as inner fetch parallelism for its keys.
+func (a *Augmenter) runOuterInner(ctx context.Context, p *plan, s *sink) error {
+	outer := a.cfg.ThreadsSize / 2
+	if outer < 1 {
+		outer = 1
+	}
+	inner := a.cfg.ThreadsSize - outer
+	if inner < 1 {
+		inner = 1
+	}
+	return a.forEachOrigin(ctx, p, outer, func(ctx context.Context, keys []core.GlobalKey) error {
+		return a.parallelFetch(ctx, keys, inner, s)
+	})
+}
+
+// forEachOrigin runs fn over every origin's key list with at most `workers`
+// concurrent invocations, stopping at the first error.
+func (a *Augmenter) forEachOrigin(ctx context.Context, p *plan, workers int, fn func(context.Context, []core.GlobalKey) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	errOnce := newErrOnce(cancel)
+	for _, keys := range p.byOrigin {
+		if len(keys) == 0 {
+			continue
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			wg.Wait()
+			if err := errOnce.get(); err != nil {
+				return err
+			}
+			return ctx.Err()
+		}
+		wg.Add(1)
+		go func(keys []core.GlobalKey) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(ctx, keys); err != nil {
+				errOnce.set(err)
+			}
+		}(keys)
+	}
+	wg.Wait()
+	if err := errOnce.get(); err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// parallelFetch retrieves a key list with a pool of `workers` goroutines.
+func (a *Augmenter) parallelFetch(ctx context.Context, keys []core.GlobalKey, workers int, s *sink) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	work := make(chan core.GlobalKey)
+	var wg sync.WaitGroup
+	errOnce := newErrOnce(cancel)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for gk := range work {
+				obj, ok, err := a.fetchOne(ctx, gk)
+				if err != nil {
+					errOnce.set(err)
+					continue // drain
+				}
+				if ok {
+					s.add(obj)
+				}
+			}
+		}()
+	}
+feed:
+	for _, gk := range keys {
+		select {
+		case work <- gk:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+	if err := errOnce.get(); err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// errOnce records the first error and cancels the shared context.
+type errOnce struct {
+	once   sync.Once
+	cancel context.CancelFunc
+	mu     sync.Mutex
+	err    error
+}
+
+func newErrOnce(cancel context.CancelFunc) *errOnce {
+	return &errOnce{cancel: cancel}
+}
+
+func (e *errOnce) set(err error) {
+	if err == nil {
+		return
+	}
+	e.once.Do(func() {
+		e.mu.Lock()
+		e.err = err
+		e.mu.Unlock()
+		e.cancel()
+	})
+}
+
+func (e *errOnce) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"quepa/internal/augment"
+	"quepa/internal/middleware"
+	"quepa/internal/middleware/memlimit"
+	"quepa/internal/optimizer"
+	"quepa/internal/workload"
+)
+
+// This file regenerates Fig. 13: QUEPA (driven by ADAPTIVE) against the
+// middleware baselines — META-NAT, META-AUG, TALEND, ARANGO-NAT and
+// ARANGO-AUG — over the query size (a cold, b warm) and over the number of
+// databases (c cold, d warm). Runs that exhaust the middleware memory
+// budget are marked OOM, the paper's red X.
+
+// quepaSystem adapts the QUEPA augmenter + ADAPTIVE optimizer to the
+// middleware.System interface so the sweep code treats every contender
+// uniformly.
+type quepaSystem struct {
+	built    *workload.Built
+	adaptive *optimizer.Adaptive
+	aug      *augment.Augmenter
+}
+
+func newQuepaSystem(built *workload.Built, adaptive *optimizer.Adaptive) *quepaSystem {
+	return &quepaSystem{
+		built:    built,
+		adaptive: adaptive,
+		aug:      augment.New(built.Poly, built.Index, augment.Config{Strategy: augment.OuterBatch, CacheSize: 100000}),
+	}
+}
+
+func (q *quepaSystem) Name() string { return "QUEPA" }
+
+func (q *quepaSystem) ColdStart() { q.aug.ClearCache() }
+
+func (q *quepaSystem) Augment(ctx context.Context, database, query string, level int) (*augment.Answer, error) {
+	// ADAPTIVE predicts from the query characteristics; sizes are estimated
+	// from the index like QUEPA's optimizer does from its logs.
+	cfg := q.adaptive.Choose(optimizer.QueryFeatures{
+		ResultSize:    q.built.Spec.Albums(),
+		AugmentedSize: q.built.Spec.Albums() * q.built.Spec.Databases(),
+		Level:         level,
+		NumStores:     q.built.Spec.Databases(),
+	}, q.aug.Config().CacheSize)
+	q.aug.SetConfig(cfg)
+	return q.aug.Search(ctx, database, query, level)
+}
+
+// fig13Systems builds the six contenders over one polystore variant.
+func fig13Systems(o Options, built *workload.Built, adaptive *optimizer.Adaptive) []middleware.System {
+	budget := func() *memlimit.Accountant { return memlimit.New(o.BaselineBudget) }
+	// The in-memory multi-model image is the most memory-pressured system in
+	// the paper's runs; its emulation gets two thirds of the budget.
+	arangoBudget := func() *memlimit.Accountant { return memlimit.New(o.BaselineBudget * 2 / 3) }
+	return []middleware.System{
+		newQuepaSystem(built, adaptive),
+		middleware.NewMetamodel(built.Poly, built.Index, middleware.MetamodelConfig{Native: true, Mem: budget()}),
+		middleware.NewMetamodel(built.Poly, built.Index, middleware.MetamodelConfig{Native: false, Mem: budget()}),
+		middleware.NewTalend(built.Poly, built.Index, middleware.TalendConfig{Mem: budget()}),
+		middleware.NewArango(built.Poly, built.Index, middleware.ArangoConfig{Native: true, Mem: arangoBudget()}),
+		middleware.NewArango(built.Poly, built.Index, middleware.ArangoConfig{Native: false, Mem: arangoBudget()}),
+	}
+}
+
+// measureSystem times one cold and one warm augmented query on a system.
+// An out-of-memory failure is reported as an OOM point, any other error
+// aborts the sweep.
+func measureSystem(s middleware.System, db, query string, level int) (cold, warm time.Duration, size int, oom bool, err error) {
+	ctx := context.Background()
+	s.ColdStart()
+	start := time.Now()
+	answer, err := s.Augment(ctx, db, query, level)
+	cold = time.Since(start)
+	if err != nil {
+		if errors.Is(err, memlimit.ErrOutOfMemory) {
+			return 0, 0, 0, true, nil
+		}
+		return 0, 0, 0, false, err
+	}
+	size = answer.Size()
+	start = time.Now()
+	_, err = s.Augment(ctx, db, query, level)
+	warm = time.Since(start)
+	if err != nil {
+		if errors.Is(err, memlimit.ErrOutOfMemory) {
+			return cold, 0, size, true, nil
+		}
+		return 0, 0, 0, false, err
+	}
+	return cold, warm, size, false, nil
+}
+
+// Fig13ab sweeps the query size on the 10-database polystore (the paper's
+// "polystore with 9 stores" variant), cold (a) and warm (b). Both axes of
+// the paper's plot are logarithmic; the series here carry the raw numbers.
+func Fig13ab(o Options) ([]Point, error) {
+	o = o.withDefaults()
+	rounds := 2
+	if o.Quick {
+		rounds = 1
+	}
+	built, err := o.build(rounds, workload.Centralized())
+	if err != nil {
+		return nil, err
+	}
+	adaptive, err := trainAdaptive(o, []*workload.Built{built})
+	if err != nil {
+		return nil, err
+	}
+	var points []Point
+	for _, system := range fig13Systems(o, built, adaptive) {
+		for _, qs := range o.querySizes() {
+			query, err := built.Query("catalogue", qs)
+			if err != nil {
+				return nil, err
+			}
+			cold, warm, size, oom, err := measureSystem(system, "catalogue", query, 0)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points,
+				Point{Figure: "13a", Series: system.Name(), XLabel: "query_size", X: float64(qs), Millis: ms(cold), Size: size, OOM: oom},
+				Point{Figure: "13b", Series: system.Name(), XLabel: "query_size", X: float64(qs), Millis: ms(warm), Size: size, OOM: oom},
+			)
+		}
+	}
+	return points, nil
+}
+
+// Fig13cd sweeps the number of databases at a fixed query size, cold (c)
+// and warm (d).
+func Fig13cd(o Options) ([]Point, error) {
+	o = o.withDefaults()
+	var points []Point
+	for _, rounds := range o.storeRounds() {
+		built, err := o.build(rounds, workload.Centralized())
+		if err != nil {
+			return nil, err
+		}
+		adaptive, err := trainAdaptive(o, []*workload.Built{built})
+		if err != nil {
+			return nil, err
+		}
+		query, err := built.Query("catalogue", o.midQuery())
+		if err != nil {
+			return nil, err
+		}
+		dbs := float64(built.Spec.Databases())
+		for _, system := range fig13Systems(o, built, adaptive) {
+			cold, warm, size, oom, err := measureSystem(system, "catalogue", query, 0)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points,
+				Point{Figure: "13c", Series: system.Name(), XLabel: "databases", X: dbs, Millis: ms(cold), Size: size, OOM: oom},
+				Point{Figure: "13d", Series: system.Name(), XLabel: "databases", X: dbs, Millis: ms(warm), Size: size, OOM: oom},
+			)
+		}
+	}
+	return points, nil
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"quepa/internal/middleware"
+	"quepa/internal/middleware/memlimit"
+	"quepa/internal/workload"
+)
+
+func TestMeasureBaselineFootprints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	o := Options{Seed: 1}.withDefaults()
+	for _, rounds := range []int{0, 1, 2, 3} {
+		built, err := o.build(rounds, workload.Colocated())
+		if err != nil {
+			t.Fatal(err)
+		}
+		query, err := built.Query("catalogue", 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nat := memlimit.New(0)
+		tal := memlimit.New(0)
+		ara := memlimit.New(0)
+		systems := []middleware.System{
+			middleware.NewMetamodel(built.Poly, built.Index, middleware.MetamodelConfig{Native: true, Mem: nat}),
+			middleware.NewTalend(built.Poly, built.Index, middleware.TalendConfig{Mem: tal}),
+			middleware.NewArango(built.Poly, built.Index, middleware.ArangoConfig{Native: true, Mem: ara}),
+		}
+		for _, s := range systems {
+			if _, err := s.Augment(context.Background(), "catalogue", query, 0); err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+		}
+		t.Logf("rounds=%d dbs=%d edges=%d: NAT=%dKB TALEND=%dKB ARANGO=%dKB",
+			rounds, built.Spec.Databases(), built.Index.EdgeCount(),
+			nat.Peak()/1024, tal.Peak()/1024, ara.Peak()/1024)
+	}
+}

@@ -1,0 +1,140 @@
+// Package cache implements the memory-efficient strategy of Section IV-C:
+// an LRU cache of data objects keyed by global key, standing in for the
+// Ehcache instance QUEPA uses. All augmenters consult it before asking the
+// polystore for an object; it pays off in augmented exploration (users
+// revisit objects) and in level > 0 searches (augmented results overlap).
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"quepa/internal/core"
+)
+
+// LRU is a fixed-capacity least-recently-used object cache, safe for
+// concurrent use. A capacity of zero disables caching (every Get misses,
+// every Put is dropped): the cold-cache experiments rely on this.
+type LRU struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[core.GlobalKey]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type lruEntry struct {
+	key core.GlobalKey
+	obj core.Object
+}
+
+// NewLRU creates a cache holding at most capacity objects. Negative
+// capacities are treated as zero.
+func NewLRU(capacity int) *LRU {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &LRU{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    map[core.GlobalKey]*list.Element{},
+	}
+}
+
+// Get returns the cached object for gk, marking it most recently used.
+func (c *LRU) Get(gk core.GlobalKey) (core.Object, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[gk]
+	if !ok {
+		c.misses++
+		return core.Object{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).obj, true
+}
+
+// Put inserts or refreshes an object, evicting the least recently used entry
+// when the cache is full.
+func (c *LRU) Put(obj core.Object) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity == 0 {
+		return
+	}
+	if el, ok := c.items[obj.GK]; ok {
+		el.Value.(*lruEntry).obj = obj
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[obj.GK] = c.ll.PushFront(&lruEntry{key: obj.GK, obj: obj})
+	c.evictLocked()
+}
+
+// Remove drops an object from the cache, reporting whether it was present.
+// The augmenter calls it when lazy deletion discovers a vanished object.
+func (c *LRU) Remove(gk core.GlobalKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[gk]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.items, gk)
+	return true
+}
+
+// Resize changes the capacity, evicting LRU entries if the cache shrank.
+// The adaptive optimizer adjusts CACHE_SIZE in small steps through this.
+func (c *LRU) Resize(capacity int) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = capacity
+	c.evictLocked()
+}
+
+// Clear empties the cache without touching the hit/miss statistics.
+func (c *LRU) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = map[core.GlobalKey]*list.Element{}
+}
+
+func (c *LRU) evictLocked() {
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		if back == nil {
+			return
+		}
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the number of cached objects.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Capacity returns the configured capacity.
+func (c *LRU) Capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.capacity
+}
+
+// Stats reports cumulative hits and misses.
+func (c *LRU) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

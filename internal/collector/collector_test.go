@@ -1,0 +1,348 @@
+package collector
+
+import (
+	"context"
+	"testing"
+
+	"quepa/internal/core"
+)
+
+var ctx = context.Background()
+
+func obj(gk string, fields map[string]string) core.Object {
+	return core.NewObject(core.MustParseGlobalKey(gk), fields)
+}
+
+// fixture returns objects representing the same few albums across three
+// databases, plus unrelated noise.
+func fixture() []core.Object {
+	return []core.Object{
+		obj("transactions.inventory.a32", map[string]string{"artist": "The Cure", "name": "Wish", "price": "18.5"}),
+		obj("catalogue.albums.d1", map[string]string{"artist": "The Cure", "title": "Wish", "year": "1992"}),
+		obj("discount.drop.k1:cure:wish", map[string]string{"value": "The Cure Wish 40%"}),
+		obj("transactions.inventory.a34", map[string]string{"artist": "Radiohead", "name": "OK Computer", "price": "21.0"}),
+		obj("catalogue.albums.d3", map[string]string{"artist": "Radiohead", "title": "OK Computer", "year": "1997"}),
+		obj("catalogue.albums.d4", map[string]string{"artist": "Portishead", "title": "Dummy", "year": "1994"}),
+		obj("transactions.sales.s8", map[string]string{"customer": "John Doe", "total": "20.0"}),
+	}
+}
+
+func TestBlocksGroupRelatedObjects(t *testing.T) {
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	objects := fixture()
+	blocks := c.Blocks(objects)
+	// The "cure" token must group the three Cure objects.
+	cure, ok := blocks["cure"]
+	if !ok {
+		t.Fatalf("no block for token 'cure': %v", blocks)
+	}
+	if len(cure) != 3 {
+		t.Errorf("cure block = %v, want 3 members", cure)
+	}
+	// Singleton blocks are dropped.
+	for tok, members := range blocks {
+		if len(members) < 2 {
+			t.Errorf("block %q kept with %d members", tok, len(members))
+		}
+	}
+}
+
+func TestBlocksDropOversized(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxBlockSize = 2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := c.Blocks(fixture())
+	for tok, members := range blocks {
+		if len(members) > 2 {
+			t.Errorf("oversized block %q survived: %v", tok, members)
+		}
+	}
+}
+
+func TestRunFindsCrossStoreRelations(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IdentityThreshold = 0.5
+	cfg.MatchingThreshold = 0.2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels, err := c.Run(ctx, fixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rels) == 0 {
+		t.Fatal("no p-relations found")
+	}
+	// The Cure album in transactions and catalogue must be related.
+	found := false
+	for _, r := range rels {
+		a, b := r.From.String(), r.To.String()
+		if (a == "catalogue.albums.d1" && b == "transactions.inventory.a32") ||
+			(b == "catalogue.albums.d1" && a == "transactions.inventory.a32") {
+			found = true
+		}
+		if err := r.Validate(); err != nil {
+			t.Errorf("invalid relation produced: %v", err)
+		}
+	}
+	if !found {
+		t.Errorf("Wish album pair not linked; got %v", rels)
+	}
+	// Unrelated pair must not be linked strongly.
+	for _, r := range rels {
+		a, b := r.From.String(), r.To.String()
+		if (a == "transactions.sales.s8" || b == "transactions.sales.s8") && r.Type == core.Identity {
+			t.Errorf("noise object got an identity relation: %v", r)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IdentityThreshold = 0.5
+	cfg.MatchingThreshold = 0.2
+	c, _ := New(cfg)
+	r1, err := c.Run(ctx, fixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Run(ctx, fixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != len(r2) {
+		t.Fatalf("non-deterministic result size: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Errorf("relation %d differs: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+}
+
+func TestDedupeRule(t *testing.T) {
+	// Two objects of the same dataset claiming identity with the same
+	// foreign object: only the stronger claim survives.
+	c, _ := New(DefaultConfig())
+	gk := core.MustParseGlobalKey
+	rels := []core.PRelation{
+		core.NewIdentity(gk("catalogue.albums.d1"), gk("transactions.inventory.a32"), 0.95),
+		core.NewIdentity(gk("catalogue.albums.d9"), gk("transactions.inventory.a32"), 0.91),
+		core.NewMatching(gk("catalogue.albums.d9"), gk("transactions.inventory.a32"), 0.7),
+	}
+	out := c.dedupeIdentities(rels)
+	identities := 0
+	for _, r := range out {
+		if r.Type == core.Identity {
+			identities++
+			if r.From != gk("catalogue.albums.d1") {
+				t.Errorf("weaker identity survived: %v", r)
+			}
+		}
+	}
+	if identities != 1 {
+		t.Errorf("identities after dedupe = %d, want 1", identities)
+	}
+	// The matching relation is untouched by the rule.
+	foundMatching := false
+	for _, r := range out {
+		if r.Type == core.Matching {
+			foundMatching = true
+		}
+	}
+	if !foundMatching {
+		t.Error("matching relation dropped by identity dedupe")
+	}
+}
+
+func TestDedupeSameDatabaseExempt(t *testing.T) {
+	c, _ := New(DefaultConfig())
+	gk := core.MustParseGlobalKey
+	// Identities within one database are a local concern: rule not applied.
+	rels := []core.PRelation{
+		core.NewIdentity(gk("db.t1.a"), gk("db.t2.x"), 0.95),
+		core.NewIdentity(gk("db.t1.b"), gk("db.t2.x"), 0.91),
+	}
+	out := c.dedupeIdentities(rels)
+	if len(out) != 2 {
+		t.Errorf("same-database identities deduped: %v", out)
+	}
+}
+
+func TestBuildIndex(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IdentityThreshold = 0.5
+	cfg.MatchingThreshold = 0.2
+	c, _ := New(cfg)
+	ix, rels, err := c.BuildIndex(ctx, fixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.EdgeCount() < len(rels) {
+		t.Errorf("index has %d edges for %d relations", ix.EdgeCount(), len(rels))
+	}
+	if err := ix.Validate(); err != nil {
+		t.Errorf("built index invalid: %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{IdentityThreshold: 0, MatchingThreshold: 0.5},
+		{IdentityThreshold: 1.5, MatchingThreshold: 0.5},
+		{IdentityThreshold: 0.9, MatchingThreshold: 0},
+		{IdentityThreshold: 0.6, MatchingThreshold: 0.9},
+		{IdentityThreshold: 0.9, MatchingThreshold: 0.6, Comparators: []Comparator{TokenJaccard{}}, Weights: []float64{1, 2}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	c, _ := New(DefaultConfig())
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Run(cancelled, fixture()); err == nil {
+		t.Error("cancelled Run should fail")
+	}
+}
+
+func TestScoreSymmetric(t *testing.T) {
+	c, _ := New(DefaultConfig())
+	objs := fixture()
+	for i := range objs {
+		for j := range objs {
+			a, b := c.Score(objs[i], objs[j]), c.Score(objs[j], objs[i])
+			if diff := a - b; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("asymmetric score for (%d, %d): %g vs %g", i, j, a, b)
+			}
+			if a < 0 || a > 1 {
+				t.Errorf("score out of range: %g", a)
+			}
+		}
+	}
+	// Self-similarity is maximal.
+	if s := c.Score(objs[0], objs[0]); s < 0.99 {
+		t.Errorf("self score = %g", s)
+	}
+}
+
+func TestTuneImprovesF1(t *testing.T) {
+	cfg := DefaultConfig()
+	// Start with weights that emphasize the useless numeric comparator.
+	cfg.Comparators = []Comparator{NumericProximity{}, TokenJaccard{}, FieldOverlap{}, Levenshtein{}}
+	cfg.Weights = []float64{10, 0.1, 0.1, 0.1}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := fixture()
+	pairs := []LabeledPair{
+		{A: objs[0], B: objs[1], Match: true},  // Wish in transactions vs catalogue
+		{A: objs[3], B: objs[4], Match: true},  // OK Computer pair
+		{A: objs[0], B: objs[5], Match: false}, // Wish vs Dummy
+		{A: objs[0], B: objs[6], Match: false}, // Wish vs sale
+		{A: objs[4], B: objs[6], Match: false},
+		{A: objs[1], B: objs[3], Match: false},
+	}
+	before := c.evalF1(pairs, cfg.Weights, 0.5)
+	res, err := c.Tune(pairs, 0.5, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F1 < before {
+		t.Errorf("tuning made F1 worse: %g -> %g", before, res.F1)
+	}
+	if res.F1 < 0.9 {
+		t.Errorf("tuned F1 = %g on an easy task", res.F1)
+	}
+}
+
+func TestTuneValidation(t *testing.T) {
+	c, _ := New(DefaultConfig())
+	if _, err := c.Tune(nil, 0.5, 10, 1); err == nil {
+		t.Error("empty pairs should fail")
+	}
+	if _, err := c.Tune([]LabeledPair{{}}, 0, 10, 1); err == nil {
+		t.Error("bad threshold should fail")
+	}
+}
+
+func TestComparatorEdgeCases(t *testing.T) {
+	empty := obj("d.c.e", map[string]string{})
+	full := obj("d.c.f", map[string]string{"a": "hello world", "n": "42"})
+	for _, cmp := range []Comparator{TokenJaccard{}, FieldOverlap{}, Levenshtein{}, NumericProximity{}} {
+		if s := cmp.Compare(empty, full); s != 0 {
+			t.Errorf("%s on empty object = %g", cmp.Name(), s)
+		}
+		if s := cmp.Compare(full, full); s < 0 || s > 1 {
+			t.Errorf("%s self = %g out of range", cmp.Name(), s)
+		}
+		if cmp.Name() == "" {
+			t.Error("comparator with empty name")
+		}
+	}
+}
+
+func TestLevenshteinSim(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want float64
+	}{
+		{"abc", "abc", 1},
+		{"", "", 1},
+		{"abc", "", 0},
+		{"", "abc", 0},
+		{"kitten", "sitting", 1 - 3.0/7.0},
+		{"wish", "fish", 0.75},
+	}
+	for _, tt := range tests {
+		if got := levenshteinSim(tt.a, tt.b); got < tt.want-1e-9 || got > tt.want+1e-9 {
+			t.Errorf("levenshteinSim(%q, %q) = %g, want %g", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestNumericSim(t *testing.T) {
+	tests := []struct {
+		x, y, want float64
+	}{
+		{5, 5, 1},
+		{0, 0, 1},
+		{10, 5, 0.5},
+		{5, 10, 0.5},
+		{-5, 5, 0},
+		{100, 1, 0.01},
+	}
+	for _, tt := range tests {
+		if got := numericSim(tt.x, tt.y); got < tt.want-1e-9 || got > tt.want+1e-9 {
+			t.Errorf("numericSim(%g, %g) = %g, want %g", tt.x, tt.y, got, tt.want)
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := tokenize("The Cure - Wish (1992)!")
+	want := map[string]bool{"the": true, "cure": true, "wish": true, "1992": true}
+	if len(got) != len(want) {
+		t.Fatalf("tokenize = %v", got)
+	}
+	for _, tok := range got {
+		if !want[tok] {
+			t.Errorf("unexpected token %q", tok)
+		}
+	}
+	if toks := tokenize("ab a x"); len(toks) != 0 {
+		t.Errorf("short tokens kept: %v", toks)
+	}
+}

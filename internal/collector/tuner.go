@@ -1,0 +1,95 @@
+package collector
+
+import (
+	"fmt"
+	"math/rand"
+
+	"quepa/internal/core"
+)
+
+// This file substitutes Duke's genetic configuration tuner with a simple
+// stochastic hill climber: given labeled example pairs, it searches the
+// comparator-weight space for the weights that maximize F1 of the implied
+// classifier (score >= threshold means "same entity").
+
+// LabeledPair is a ground-truth example for weight tuning.
+type LabeledPair struct {
+	A, B  core.Object
+	Match bool // whether A and B refer to the same real-world entity
+}
+
+// TuneResult is the outcome of a tuning run.
+type TuneResult struct {
+	Weights []float64
+	F1      float64
+}
+
+// Tune searches comparator weights by stochastic hill climbing, maximizing
+// F1 at the given decision threshold over the labeled pairs. The collector's
+// weights are updated to the best found; the result reports them and their
+// F1 score.
+func (c *Collector) Tune(pairs []LabeledPair, threshold float64, iterations int, seed int64) (TuneResult, error) {
+	if len(pairs) == 0 {
+		return TuneResult{}, fmt.Errorf("collector: no labeled pairs to tune on")
+	}
+	if threshold <= 0 || threshold > 1 {
+		return TuneResult{}, fmt.Errorf("collector: threshold %g outside (0, 1]", threshold)
+	}
+	if iterations <= 0 {
+		iterations = 200
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	best := append([]float64(nil), c.cfg.Weights...)
+	bestF1 := c.evalF1(pairs, best, threshold)
+
+	for it := 0; it < iterations; it++ {
+		candidate := append([]float64(nil), best...)
+		if rng.Float64() < 0.1 {
+			// Occasional random restart to escape local optima.
+			for i := range candidate {
+				candidate[i] = rng.Float64()
+			}
+		} else {
+			// Perturb one weight multiplicatively.
+			i := rng.Intn(len(candidate))
+			candidate[i] *= 0.5 + rng.Float64()*1.5
+			if candidate[i] > 10 {
+				candidate[i] = 10
+			}
+		}
+		if f1 := c.evalF1(pairs, candidate, threshold); f1 > bestF1 {
+			bestF1 = f1
+			best = candidate
+		}
+	}
+	c.cfg.Weights = best
+	return TuneResult{Weights: best, F1: bestF1}, nil
+}
+
+// evalF1 scores a weight vector: F1 of "score >= threshold" against the
+// labels.
+func (c *Collector) evalF1(pairs []LabeledPair, weights []float64, threshold float64) float64 {
+	saved := c.cfg.Weights
+	c.cfg.Weights = weights
+	defer func() { c.cfg.Weights = saved }()
+
+	tp, fp, fn := 0, 0, 0
+	for _, p := range pairs {
+		predicted := c.Score(p.A, p.B) >= threshold
+		switch {
+		case predicted && p.Match:
+			tp++
+		case predicted && !p.Match:
+			fp++
+		case !predicted && p.Match:
+			fn++
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	precision := float64(tp) / float64(tp+fp)
+	recall := float64(tp) / float64(tp+fn)
+	return 2 * precision * recall / (precision + recall)
+}

@@ -1,0 +1,194 @@
+package connector
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"quepa/internal/core"
+	"quepa/internal/stores/docstore"
+	"quepa/internal/stores/graphstore"
+	"quepa/internal/stores/kvstore"
+	"quepa/internal/stores/relstore"
+)
+
+var ctx = context.Background()
+
+// The four connectors must all satisfy core.Store and core.Counter.
+var (
+	_ core.Store   = (*Relational)(nil)
+	_ core.Store   = (*Document)(nil)
+	_ core.Store   = (*KeyValue)(nil)
+	_ core.Store   = (*Graph)(nil)
+	_ core.Counter = (*Relational)(nil)
+	_ core.Counter = (*Document)(nil)
+	_ core.Counter = (*KeyValue)(nil)
+	_ core.Counter = (*Graph)(nil)
+	_ KeyResolver  = (*Relational)(nil)
+	_ KeyResolver  = (*Document)(nil)
+)
+
+func newRelational(t *testing.T) *Relational {
+	t.Helper()
+	db := relstore.New("transactions")
+	if _, err := db.Exec(`CREATE TABLE inventory (id TEXT PRIMARY KEY, artist TEXT, name TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO inventory VALUES ('a32', 'Cure', 'Wish'), ('a33', 'Cure', 'Disintegration')`); err != nil {
+		t.Fatal(err)
+	}
+	return NewRelational(db)
+}
+
+func TestRelationalConnector(t *testing.T) {
+	c := newRelational(t)
+	if c.Name() != "transactions" || c.Kind() != core.KindRelational {
+		t.Errorf("identity: %s %v", c.Name(), c.Kind())
+	}
+	if cols := c.Collections(); len(cols) != 1 || cols[0] != "inventory" {
+		t.Errorf("Collections = %v", cols)
+	}
+	o, err := c.Get(ctx, "inventory", "a32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.GK.String() != "transactions.inventory.a32" || o.Fields["name"] != "Wish" {
+		t.Errorf("Get object = %v", o)
+	}
+	if _, err := c.Get(ctx, "inventory", "nope"); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("missing key error = %v", err)
+	}
+	objs, err := c.GetBatch(ctx, "inventory", []string{"a33", "missing", "a32"})
+	if err != nil || len(objs) != 2 {
+		t.Fatalf("GetBatch = %v, %v", objs, err)
+	}
+	objs, err = c.Query(ctx, `SELECT * FROM inventory WHERE name LIKE '%wish%'`)
+	if err != nil || len(objs) != 1 || objs[0].GK.Key != "a32" {
+		t.Errorf("Query = %v, %v", objs, err)
+	}
+	if kf, err := c.KeyField("inventory"); err != nil || kf != "id" {
+		t.Errorf("KeyField = %q, %v", kf, err)
+	}
+}
+
+func TestDocumentConnector(t *testing.T) {
+	db := docstore.New("catalogue")
+	if _, err := db.Insert("albums", `{"_id": "d1", "title": "Wish", "label": {"name": "Fiction"}}`); err != nil {
+		t.Fatal(err)
+	}
+	c := NewDocument(db)
+	if c.Kind() != core.KindDocument {
+		t.Error("kind")
+	}
+	o, err := c.Get(ctx, "albums", "d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Fields["label.name"] != "Fiction" {
+		t.Errorf("flattened fields = %v", o.Fields)
+	}
+	if _, err := c.Get(ctx, "albums", "nope"); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("missing doc error = %v", err)
+	}
+	objs, err := c.Query(ctx, `albums.find({"title": "Wish"})`)
+	if err != nil || len(objs) != 1 || objs[0].GK.Collection != "albums" {
+		t.Errorf("Query = %v, %v", objs, err)
+	}
+	if _, err := c.Query(ctx, `bogus`); err == nil {
+		t.Error("bad query should fail")
+	}
+	if kf, _ := c.KeyField("albums"); kf != "_id" {
+		t.Errorf("KeyField = %q", kf)
+	}
+	objs, err = c.GetBatch(ctx, "albums", []string{"d1", "ghost"})
+	if err != nil || len(objs) != 1 {
+		t.Errorf("GetBatch = %v, %v", objs, err)
+	}
+}
+
+func TestKeyValueConnector(t *testing.T) {
+	db := kvstore.New("discount")
+	db.Set("drop", "k1:cure:wish", "40%")
+	c := NewKeyValue(db)
+	if c.Kind() != core.KindKeyValue {
+		t.Error("kind")
+	}
+	o, err := c.Get(ctx, "drop", "k1:cure:wish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.GK.String() != "discount.drop.k1:cure:wish" || o.Fields[core.ValueField] != "40%" {
+		t.Errorf("Get = %v", o)
+	}
+	if _, err := c.Get(ctx, "drop", "nope"); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("missing entry error = %v", err)
+	}
+	objs, err := c.Query(ctx, "KEYS drop *")
+	if err != nil || len(objs) != 1 {
+		t.Errorf("Query = %v, %v", objs, err)
+	}
+	if _, err := c.Query(ctx, "NOPE x"); err == nil {
+		t.Error("bad command should fail")
+	}
+	objs, err = c.GetBatch(ctx, "drop", []string{"k1:cure:wish", "ghost"})
+	if err != nil || len(objs) != 1 {
+		t.Errorf("GetBatch = %v, %v", objs, err)
+	}
+}
+
+func TestGraphConnector(t *testing.T) {
+	db := graphstore.New("similar-items")
+	db.AddNode("n1", "items", map[string]string{"title": "Wish"})
+	db.AddNode("n2", "items", map[string]string{"title": "Disintegration"})
+	db.AddNode("p1", "people", nil)
+	db.AddEdge("n1", "n2", "SIMILAR", nil)
+	c := NewGraph(db)
+	if c.Kind() != core.KindGraph {
+		t.Error("kind")
+	}
+	o, err := c.Get(ctx, "items", "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.GK.String() != "similar-items.items.n1" || o.Fields["title"] != "Wish" {
+		t.Errorf("Get = %v", o)
+	}
+	// A node fetched under the wrong label (collection) is not found.
+	if _, err := c.Get(ctx, "people", "n1"); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("cross-label Get error = %v", err)
+	}
+	objs, err := c.GetBatch(ctx, "items", []string{"n1", "p1", "n2"})
+	if err != nil || len(objs) != 2 {
+		t.Errorf("GetBatch filters labels: %v, %v", objs, err)
+	}
+	objs, err = c.Query(ctx, `NEIGHBORS n1`)
+	if err != nil || len(objs) != 1 || objs[0].GK.Key != "n2" {
+		t.Errorf("Query = %v, %v", objs, err)
+	}
+	if _, err := c.Query(ctx, `garbage`); err == nil {
+		t.Error("bad query should fail")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	rc := newRelational(t)
+	stores := []core.Store{
+		rc,
+		NewDocument(docstore.New("d")),
+		NewKeyValue(kvstore.New("k")),
+		NewGraph(graphstore.New("g")),
+	}
+	for _, s := range stores {
+		if _, err := s.Get(cancelled, "c", "k"); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: Get with cancelled ctx = %v", s.Name(), err)
+		}
+		if _, err := s.GetBatch(cancelled, "c", []string{"k"}); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: GetBatch with cancelled ctx = %v", s.Name(), err)
+		}
+		if _, err := s.Query(cancelled, "q"); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: Query with cancelled ctx = %v", s.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package core
+
+import "testing"
+
+// FuzzParseGlobalKey: parsing never panics and successful parses round-trip
+// through String.
+func FuzzParseGlobalKey(f *testing.F) {
+	for _, seed := range []string{
+		"transactions.sales.s8",
+		"discount.drop.k1:cure:wish",
+		"a.b.c.d.e",
+		"..",
+		"",
+		"x.y.",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		gk, err := ParseGlobalKey(input)
+		if err != nil {
+			return
+		}
+		again, err := ParseGlobalKey(gk.String())
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v", input, err)
+		}
+		if again != gk {
+			t.Fatalf("round trip changed %v to %v", gk, again)
+		}
+	})
+}

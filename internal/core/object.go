@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sort"
+	"strings"
+)
+
+// StoreKind enumerates the families of storage engines a polystore database
+// can live in. The kind determines which native query language a connector
+// accepts and how data objects are rendered back to the user.
+type StoreKind int
+
+const (
+	// KindRelational is a relational engine queried with SQL (the paper uses MySQL).
+	KindRelational StoreKind = iota
+	// KindDocument is a document store queried with a JSON filter language
+	// (the paper uses MongoDB).
+	KindDocument
+	// KindKeyValue is a key-value store queried with GET/MGET-style commands
+	// (the paper uses Redis).
+	KindKeyValue
+	// KindGraph is a property-graph store queried with a pattern language
+	// (the paper uses Neo4j).
+	KindGraph
+)
+
+// String returns the lowercase name of the store kind.
+func (k StoreKind) String() string {
+	switch k {
+	case KindRelational:
+		return "relational"
+	case KindDocument:
+		return "document"
+	case KindKeyValue:
+		return "keyvalue"
+	case KindGraph:
+		return "graph"
+	default:
+		return "unknown"
+	}
+}
+
+// Object is a PDM data object: a uniquely identified piece of data inside a
+// collection of a database. A relational tuple, a JSON document, a key-value
+// entry and a graph node are all data objects.
+//
+// Values are kept in a flattened field map so that objects from different
+// engines share one internal representation (the paper's connectors "parse
+// data objects into an internal representation"). Nested document fields use
+// dot-separated paths. A bare key-value entry stores its payload under the
+// ValueField name.
+type Object struct {
+	GK     GlobalKey         // the object's global key within the polystore
+	Fields map[string]string // flattened field/value pairs
+}
+
+// ValueField is the field name under which engines without named attributes
+// (e.g. key-value stores) expose the object's payload.
+const ValueField = "value"
+
+// NewObject builds an object from a global key and a field map. The field map
+// is used as is; callers must not mutate it afterwards.
+func NewObject(gk GlobalKey, fields map[string]string) Object {
+	if fields == nil {
+		fields = map[string]string{}
+	}
+	return Object{GK: gk, Fields: fields}
+}
+
+// Field returns the value of the named field and whether it is present.
+func (o Object) Field(name string) (string, bool) {
+	v, ok := o.Fields[name]
+	return v, ok
+}
+
+// FieldNames returns the object's field names in sorted order, for
+// deterministic rendering.
+func (o Object) FieldNames() []string {
+	names := make([]string, 0, len(o.Fields))
+	for name := range o.Fields {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Clone returns a deep copy of the object.
+func (o Object) Clone() Object {
+	fields := make(map[string]string, len(o.Fields))
+	for k, v := range o.Fields {
+		fields[k] = v
+	}
+	return Object{GK: o.GK, Fields: fields}
+}
+
+// Equal reports whether two objects have the same global key and identical
+// field maps.
+func (o Object) Equal(other Object) bool {
+	if o.GK != other.GK || len(o.Fields) != len(other.Fields) {
+		return false
+	}
+	for k, v := range o.Fields {
+		if ov, ok := other.Fields[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the object as "D.C.k{f1: v1, f2: v2}" with fields in sorted
+// order. Intended for logs, examples and debugging.
+func (o Object) String() string {
+	var b strings.Builder
+	b.WriteString(o.GK.String())
+	b.WriteByte('{')
+	for i, name := range o.FieldNames() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(name)
+		b.WriteString(": ")
+		b.WriteString(o.Fields[name])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestObjectFieldAccess(t *testing.T) {
+	o := NewObject(MustParseGlobalKey("transactions.inventory.a32"), map[string]string{
+		"artist": "Cure",
+		"name":   "Wish",
+	})
+	if v, ok := o.Field("artist"); !ok || v != "Cure" {
+		t.Errorf("Field(artist) = %q, %v", v, ok)
+	}
+	if _, ok := o.Field("missing"); ok {
+		t.Error("Field(missing) reported present")
+	}
+	if got, want := o.FieldNames(), []string{"artist", "name"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("FieldNames() = %v, want %v", got, want)
+	}
+}
+
+func TestNewObjectNilFields(t *testing.T) {
+	o := NewObject(MustParseGlobalKey("d.c.k"), nil)
+	if o.Fields == nil {
+		t.Fatal("NewObject(nil) should allocate an empty field map")
+	}
+}
+
+func TestObjectCloneIsDeep(t *testing.T) {
+	o := NewObject(MustParseGlobalKey("d.c.k"), map[string]string{"a": "1"})
+	c := o.Clone()
+	c.Fields["a"] = "2"
+	if o.Fields["a"] != "1" {
+		t.Error("mutating clone affected original")
+	}
+	if !o.Equal(o.Clone()) {
+		t.Error("clone should be Equal to original")
+	}
+}
+
+func TestObjectEqual(t *testing.T) {
+	gk := MustParseGlobalKey("d.c.k")
+	base := NewObject(gk, map[string]string{"a": "1", "b": "2"})
+	tests := []struct {
+		name  string
+		other Object
+		want  bool
+	}{
+		{"identical", NewObject(gk, map[string]string{"a": "1", "b": "2"}), true},
+		{"different key", NewObject(MustParseGlobalKey("d.c.k2"), map[string]string{"a": "1", "b": "2"}), false},
+		{"different value", NewObject(gk, map[string]string{"a": "1", "b": "3"}), false},
+		{"missing field", NewObject(gk, map[string]string{"a": "1"}), false},
+		{"extra field", NewObject(gk, map[string]string{"a": "1", "b": "2", "c": "3"}), false},
+	}
+	for _, tt := range tests {
+		if got := base.Equal(tt.other); got != tt.want {
+			t.Errorf("%s: Equal = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestObjectString(t *testing.T) {
+	o := NewObject(MustParseGlobalKey("catalogue.albums.d1"), map[string]string{
+		"title": "Wish", "artist": "The Cure",
+	})
+	want := "catalogue.albums.d1{artist: The Cure, title: Wish}"
+	if got := o.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestStoreKindString(t *testing.T) {
+	tests := []struct {
+		k    StoreKind
+		want string
+	}{
+		{KindRelational, "relational"},
+		{KindDocument, "document"},
+		{KindKeyValue, "keyvalue"},
+		{KindGraph, "graph"},
+		{StoreKind(99), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("StoreKind(%d).String() = %q, want %q", int(tt.k), got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Polystore is the registry binding database names to their stores. It is the
+// loosely coupled integration point of the system: it holds no data itself,
+// only the handles needed to reach each database with its native access
+// methods.
+//
+// A Polystore is safe for concurrent use.
+type Polystore struct {
+	mu  sync.RWMutex
+	dbs map[string]Store
+}
+
+// NewPolystore returns an empty polystore.
+func NewPolystore() *Polystore {
+	return &Polystore{dbs: make(map[string]Store)}
+}
+
+// Register adds a database to the polystore under the store's own name.
+// Registering a name twice is an error: databases are identified by name in
+// every global key, so silently replacing one would corrupt the mapping.
+func (p *Polystore) Register(s Store) error {
+	if s == nil {
+		return fmt.Errorf("core: cannot register nil store")
+	}
+	name := s.Name()
+	if name == "" {
+		return fmt.Errorf("core: cannot register store with empty name")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.dbs[name]; dup {
+		return fmt.Errorf("core: database %q already registered", name)
+	}
+	p.dbs[name] = s
+	return nil
+}
+
+// Deregister removes the named database. It reports whether it was present.
+func (p *Polystore) Deregister(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.dbs[name]
+	delete(p.dbs, name)
+	return ok
+}
+
+// Database returns the store registered under name.
+func (p *Polystore) Database(name string) (Store, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	s, ok := p.dbs[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown database %q", name)
+	}
+	return s, nil
+}
+
+// Databases returns the registered database names in sorted order.
+func (p *Polystore) Databases() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	names := make([]string, 0, len(p.dbs))
+	for name := range p.dbs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Size returns the number of registered databases.
+func (p *Polystore) Size() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.dbs)
+}
+
+// Fetch retrieves the object identified by the global key, routing the
+// request to the owning database. It returns ErrNotFound (possibly wrapped)
+// when the object does not exist.
+func (p *Polystore) Fetch(ctx context.Context, gk GlobalKey) (Object, error) {
+	s, err := p.Database(gk.Database)
+	if err != nil {
+		return Object{}, err
+	}
+	return s.Get(ctx, gk.Collection, gk.Key)
+}
+
+// FetchBatch retrieves many objects of a single database and collection in
+// one round trip. Keys that do not exist are skipped.
+func (p *Polystore) FetchBatch(ctx context.Context, database, collection string, keys []string) ([]Object, error) {
+	s, err := p.Database(database)
+	if err != nil {
+		return nil, err
+	}
+	return s.GetBatch(ctx, collection, keys)
+}
+
+// Query runs a native-language query against the named database.
+func (p *Polystore) Query(ctx context.Context, database, query string) ([]Object, error) {
+	s, err := p.Database(database)
+	if err != nil {
+		return nil, err
+	}
+	return s.Query(ctx, query)
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrNotFound is returned by stores and connectors when a requested object
+// does not exist. The augmenter relies on it to implement the lazy-deletion
+// policy of the A' index: an object that is no longer present in the
+// polystore is dropped from the index when the miss is observed.
+var ErrNotFound = errors.New("core: object not found")
+
+// ErrUnsupportedQuery is returned when a local query is syntactically valid
+// but uses a feature the engine (or the augmentation validator) does not
+// support.
+var ErrUnsupportedQuery = errors.New("core: unsupported query")
+
+// Store is the minimal capability a database must expose to participate in a
+// polystore. Connectors adapt each native engine (and its wire client) to
+// this interface; the augmenters and the middleware baselines speak only
+// Store.
+//
+// Implementations must be safe for concurrent use: the concurrent augmenters
+// issue Get and GetBatch from many goroutines at once.
+type Store interface {
+	// Name returns the database name the store is registered under.
+	Name() string
+
+	// Kind reports the family of the underlying engine.
+	Kind() StoreKind
+
+	// Collections lists the data collections in the database.
+	Collections() []string
+
+	// Get retrieves a single object by collection and local key.
+	// It returns ErrNotFound if no such object exists.
+	Get(ctx context.Context, collection, key string) (Object, error)
+
+	// GetBatch retrieves many objects of one collection in a single round
+	// trip (the paper's BATCH augmenter relies on this being cheaper than
+	// len(keys) calls to Get). Missing keys are silently skipped; the result
+	// preserves the order of the found keys.
+	GetBatch(ctx context.Context, collection string, keys []string) ([]Object, error)
+
+	// Query executes a query written in the engine's native language and
+	// returns the matching objects.
+	Query(ctx context.Context, query string) ([]Object, error)
+}
+
+// Counter is implemented by stores that can report how many round trips they
+// have served. The benchmark harness uses it to report queries-saved numbers
+// alongside wall-clock times.
+type Counter interface {
+	// RoundTrips returns the number of requests served since creation.
+	RoundTrips() uint64
+}

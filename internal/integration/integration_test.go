@@ -1,0 +1,274 @@
+// Package integration exercises the full QUEPA stack end to end: the
+// generated Polyphony polystore served over the TCP wire protocol, dialed
+// back through wire clients, wrapped with the distributed network profile,
+// and queried in augmented mode with every execution strategy — the shape
+// of the paper's distributed deployment, in one process.
+package integration
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"quepa/internal/aindex"
+	"quepa/internal/augment"
+	"quepa/internal/connector"
+	"quepa/internal/core"
+	"quepa/internal/netsim"
+	"quepa/internal/wire"
+	"quepa/internal/workload"
+)
+
+var ctx = context.Background()
+
+// remotePolystore builds a workload polystore, serves every database over
+// TCP, and returns a polystore of wire clients plus a shutdown function.
+func remotePolystore(t *testing.T, profile netsim.Profile) (*core.Polystore, *aindex.Index, *workload.Built, func()) {
+	t.Helper()
+	spec := workload.DefaultSpec()
+	spec.Artists = 12
+	spec.AlbumsPerArtist = 3
+	spec.ReplicaRounds = 1
+	built, err := workload.Build(spec, workload.Colocated())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	remote := core.NewPolystore()
+	var servers []*wire.Server
+	var clients []*wire.Client
+	for _, name := range built.Databases() {
+		s, err := built.Poly.Database(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := wire.Serve(s, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, srv)
+		cli, err := wire.Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, cli)
+		var store core.Store = cli
+		if profile != (netsim.Profile{}) {
+			store = netsim.Wrap(cli, profile, nil)
+		}
+		if err := remote.Register(store); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shutdown := func() {
+		for _, c := range clients {
+			c.Close()
+		}
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	return remote, built.Index, built, shutdown
+}
+
+// TestRemoteMatchesLocal is the core integration property: an augmented
+// search through TCP wire clients returns exactly the answer the in-process
+// polystore returns, for every strategy.
+func TestRemoteMatchesLocal(t *testing.T) {
+	remote, index, built, shutdown := remotePolystore(t, netsim.Profile{})
+	defer shutdown()
+
+	query, err := built.Query("transactions", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference := signature(t, augment.New(built.Poly, index, augment.Config{Strategy: augment.Sequential}), query)
+
+	for _, cfg := range []augment.Config{
+		{Strategy: augment.Sequential},
+		{Strategy: augment.Batch, BatchSize: 16},
+		{Strategy: augment.Inner, ThreadsSize: 4},
+		{Strategy: augment.Outer, ThreadsSize: 4},
+		{Strategy: augment.OuterBatch, BatchSize: 16, ThreadsSize: 4},
+		{Strategy: augment.OuterInner, ThreadsSize: 4},
+	} {
+		got := signature(t, augment.New(remote, index, cfg), query)
+		if got != reference {
+			t.Errorf("%v over TCP differs from local:\n got  %s\n want %s", cfg, got, reference)
+		}
+	}
+}
+
+func signature(t *testing.T, aug *augment.Augmenter, query string) string {
+	t.Helper()
+	answer, err := aug.Search(ctx, "transactions", query, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := fmt.Sprintf("orig=%d;", len(answer.Original))
+	for _, ao := range answer.Augmented {
+		sig += fmt.Sprintf("%s:%.5f;", ao.Object.GK, ao.Prob)
+	}
+	return sig
+}
+
+// TestValidatorRewriteOverWire: the key-column rewrite works through the
+// wire protocol's keyfield op.
+func TestValidatorRewriteOverWire(t *testing.T) {
+	remote, index, _, shutdown := remotePolystore(t, netsim.Profile{})
+	defer shutdown()
+	aug := augment.New(remote, index, augment.Config{Strategy: augment.Sequential})
+	answer, err := aug.Search(ctx, "transactions", `SELECT name FROM inventory WHERE seq < 2`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range answer.Original {
+		if _, ok := o.Field("id"); !ok {
+			t.Errorf("rewritten projection lacks id over wire: %v", o)
+		}
+	}
+}
+
+// TestServerShutdownSurfacesErrors: killing a store's server mid-flight
+// makes augmented searches fail with an error rather than hang or lie.
+func TestServerShutdownSurfacesErrors(t *testing.T) {
+	remote, index, built, shutdown := remotePolystore(t, netsim.Profile{})
+	defer shutdown()
+
+	query, err := built.Query("transactions", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug := augment.New(remote, index, augment.Config{Strategy: augment.OuterBatch, BatchSize: 8, ThreadsSize: 4})
+	if _, err := aug.Search(ctx, "transactions", query, 0); err != nil {
+		t.Fatalf("healthy search failed: %v", err)
+	}
+
+	// Kill the catalogue server: its objects are part of every album's
+	// identity class, so the augmentation must hit the dead connection.
+	// Rebuild a polystore where catalogue points at a closed address.
+	dead, err := built.Poly.Database("catalogue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := wire.Serve(dead, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := wire.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // server is now gone; the client's pool is stale
+	cli.Close()
+
+	broken := core.NewPolystore()
+	for _, name := range remote.Databases() {
+		if name == "catalogue" {
+			if err := broken.Register(cli); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		s, err := remote.Database(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := broken.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	aug = augment.New(broken, index, augment.Config{Strategy: augment.OuterBatch, BatchSize: 8, ThreadsSize: 4})
+	if _, err := aug.Search(ctx, "transactions", query, 0); err == nil {
+		t.Error("search over a dead store succeeded")
+	}
+}
+
+// TestDistributedBatchingSavesTime reproduces the paper's core distributed
+// claim end to end over real TCP: the batched augmenter is much faster than
+// the sequential one under cross-region latency.
+func TestDistributedBatchingSavesTime(t *testing.T) {
+	profile := netsim.Profile{RoundTrip: 2 * time.Millisecond}
+	remote, index, built, shutdown := remotePolystore(t, profile)
+	defer shutdown()
+
+	query, err := built.Query("transactions", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeOf := func(cfg augment.Config) time.Duration {
+		aug := augment.New(remote, index, cfg)
+		start := time.Now()
+		if _, err := aug.Search(ctx, "transactions", query, 0); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	seq := timeOf(augment.Config{Strategy: augment.Sequential})
+	batch := timeOf(augment.Config{Strategy: augment.Batch, BatchSize: 1000})
+	if batch*3 > seq {
+		t.Errorf("batching saved too little over TCP: sequential %v vs batch %v", seq, batch)
+	}
+}
+
+// TestLazyDeletionOverWire: deleting an object behind the wire makes the
+// augmenter drop it and remove it from the index, exactly as in-process.
+func TestLazyDeletionOverWire(t *testing.T) {
+	remote, index, built, shutdown := remotePolystore(t, netsim.Profile{})
+	defer shutdown()
+
+	victim := core.NewGlobalKey("catalogue", "albums", "d1")
+	if !index.Contains(victim) {
+		t.Fatal("fixture broken: d1 not indexed")
+	}
+	// Delete through the local engine (the server shares it).
+	local, err := built.Poly.Database("catalogue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = local
+	// The docstore connector has no delete in its query language; remove
+	// via the engine by rebuilding is overkill — fetch the underlying
+	// object list through the polystore and delete directly using the
+	// generated spec's docstore. Simplest: issue Get over the wire to pin
+	// behavior, then remove via the in-process store handle.
+	if _, err := remote.Fetch(ctx, victim); err != nil {
+		t.Fatalf("pre-delete fetch failed: %v", err)
+	}
+	deleteFromDocstore(t, built, "catalogue", "albums", "d1")
+
+	query, err := built.Query("transactions", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug := augment.New(remote, index, augment.Config{Strategy: augment.Batch, BatchSize: 8})
+	answer, err := aug.Search(ctx, "transactions", query, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ao := range answer.Augmented {
+		if ao.Object.GK == victim {
+			t.Error("deleted object still in remote answer")
+		}
+	}
+	if index.Contains(victim) {
+		t.Error("deleted object not lazily removed from the index over wire")
+	}
+}
+
+// deleteFromDocstore digs the document engine out of the workload fixture.
+func deleteFromDocstore(t *testing.T, built *workload.Built, db, collection, id string) {
+	t.Helper()
+	s, err := built.Poly.Database(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, ok := s.(*connector.Document)
+	if !ok {
+		t.Fatalf("store %T is not a document connector", s)
+	}
+	if !eng.Engine().Delete(collection, id) {
+		t.Fatal("delete failed")
+	}
+}

@@ -1,0 +1,258 @@
+package middleware
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"quepa/internal/aindex"
+	"quepa/internal/augment"
+	"quepa/internal/core"
+	"quepa/internal/middleware/memlimit"
+	"quepa/internal/validator"
+)
+
+// Arango emulates the ArangoDB baseline of Section VII: a multi-model
+// in-memory database into which the whole polystore and the A' index are
+// imported. Two modes mirror the paper's two implementations:
+//
+//   - ModeNative ("ARANGO-NAT") answers the augmentation with a single
+//     traversal query over the imported graph;
+//   - ModeAugment ("ARANGO-AUG") runs QUEPA's augmentation algorithm using
+//     the imported store only for object access.
+//
+// Because everything lives in memory, the system "needs to warm up at
+// start-up" (the import, charged on the first query after ColdStart) and its
+// footprint grows with the polystore, producing the out-of-memory failures
+// of Fig. 13 as databases are added. Relational engines are not importable
+// (the paper: "relational databases are not supported").
+type Arango struct {
+	poly        *core.Polystore
+	index       *aindex.Index
+	native      bool
+	mem         *memlimit.Accountant
+	sleep       func(time.Duration)
+	perImport   time.Duration
+	perTraverse time.Duration
+	unsupported map[core.StoreKind]bool
+
+	mu        sync.Mutex
+	imported  bool
+	rows      map[core.GlobalKey]core.Object
+	adj       map[core.GlobalKey][]aindex.Hit
+	importMem int64
+}
+
+// ArangoConfig parameterizes the emulation.
+type ArangoConfig struct {
+	// Native selects ARANGO-NAT; false selects ARANGO-AUG.
+	Native bool
+	// Mem is the in-memory database's budget (nil = unlimited).
+	Mem *memlimit.Accountant
+	// PerImport is the warm-up cost per imported object/edge (default 1µs).
+	PerImport time.Duration
+	// PerTraverse is the cost per traversal step (default 100ns).
+	PerTraverse time.Duration
+	// Sleep injects the cost model's sleeper (nil = time.Sleep).
+	Sleep func(time.Duration)
+	// Unsupported engine kinds (defaults to relational, as in the paper).
+	Unsupported []core.StoreKind
+}
+
+// NewArango creates the emulation over a polystore and its A' index.
+func NewArango(poly *core.Polystore, index *aindex.Index, cfg ArangoConfig) *Arango {
+	a := &Arango{
+		poly:        poly,
+		index:       index,
+		native:      cfg.Native,
+		mem:         cfg.Mem,
+		sleep:       cfg.Sleep,
+		perImport:   cfg.PerImport,
+		perTraverse: cfg.PerTraverse,
+	}
+	if a.mem == nil {
+		a.mem = memlimit.New(0)
+	}
+	if a.sleep == nil {
+		a.sleep = time.Sleep
+	}
+	if a.perImport <= 0 {
+		a.perImport = time.Microsecond
+	}
+	if a.perTraverse <= 0 {
+		a.perTraverse = 100 * time.Nanosecond
+	}
+	kinds := cfg.Unsupported
+	if kinds == nil {
+		kinds = []core.StoreKind{core.KindRelational}
+	}
+	a.unsupported = map[core.StoreKind]bool{}
+	for _, k := range kinds {
+		a.unsupported[k] = true
+	}
+	return a
+}
+
+// Name implements System.
+func (a *Arango) Name() string {
+	if a.native {
+		return "ARANGO-NAT"
+	}
+	return "ARANGO-AUG"
+}
+
+// ColdStart implements System: the in-memory image is dropped; the next
+// query pays the import warm-up again.
+func (a *Arango) ColdStart() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.imported = false
+	a.rows = nil
+	a.adj = nil
+	a.mem.Free(a.importMem)
+	a.importMem = 0
+}
+
+// ensureImported performs the warm-up import of data and index.
+func (a *Arango) ensureImported(ctx context.Context) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.imported {
+		return nil
+	}
+	rows := map[core.GlobalKey]core.Object{}
+	var cost int64
+	imported := 0
+	for _, name := range a.poly.Databases() {
+		s, err := a.poly.Database(name)
+		if err != nil {
+			return err
+		}
+		if a.unsupported[s.Kind()] {
+			continue
+		}
+		objs, err := ScanAll(ctx, s)
+		if err != nil {
+			return err
+		}
+		for _, o := range objs {
+			c := memlimit.ObjectCost(o)
+			if err := a.mem.Alloc(c); err != nil {
+				a.mem.Free(cost)
+				return fmt.Errorf("arango: importing %s: %w", name, err)
+			}
+			cost += c
+			rows[o.GK] = o
+			imported++
+		}
+	}
+	edges := a.index.Edges()
+	adj := map[core.GlobalKey][]aindex.Hit{}
+	for _, e := range edges {
+		c := memlimit.EdgeCost(e)
+		if err := a.mem.Alloc(c); err != nil {
+			a.mem.Free(cost)
+			return fmt.Errorf("arango: importing index: %w", err)
+		}
+		cost += c
+		adj[e.From] = append(adj[e.From], aindex.Hit{Key: e.To, Prob: e.Prob})
+		adj[e.To] = append(adj[e.To], aindex.Hit{Key: e.From, Prob: e.Prob})
+		imported++
+	}
+	a.sleep(time.Duration(imported) * a.perImport)
+	a.rows = rows
+	a.adj = adj
+	a.importMem = cost
+	a.imported = true
+	return nil
+}
+
+// Augment implements System.
+func (a *Arango) Augment(ctx context.Context, database, query string, level int) (*augment.Answer, error) {
+	store, err := a.poly.Database(database)
+	if err != nil {
+		return nil, err
+	}
+	if a.unsupported[store.Kind()] {
+		return nil, fmt.Errorf("arango: engine kind %v is not supported", store.Kind())
+	}
+	if err := a.ensureImported(ctx); err != nil {
+		return nil, err
+	}
+	v, err := validator.Validate(store, query)
+	if err != nil {
+		return nil, err
+	}
+	// The local query still runs on the imported image in ArangoDB, but the
+	// result is identical to the native store's: execute it natively for
+	// fidelity of the answer, charge traversal cost for the AQL execution.
+	original, err := store.Query(ctx, v.Query)
+	if err != nil {
+		return nil, err
+	}
+	a.sleep(time.Duration(len(original)) * a.perTraverse)
+
+	originSet := map[core.GlobalKey]bool{}
+	for _, o := range original {
+		originSet[o.GK] = true
+	}
+
+	a.mu.Lock()
+	adj, rows := a.adj, a.rows
+	a.mu.Unlock()
+
+	best := map[core.GlobalKey]aindex.Hit{}
+	steps := 0
+	if a.native {
+		// ARANGO-NAT: one AQL traversal of depth level+1 from all origins.
+		frontier := map[core.GlobalKey]float64{}
+		for _, o := range original {
+			frontier[o.GK] = 1
+		}
+		for hop := 1; hop <= level+1; hop++ {
+			next := map[core.GlobalKey]float64{}
+			for cur, p := range frontier {
+				for _, h := range adj[cur] {
+					steps++
+					prob := p * h.Prob
+					if originSet[h.Key] {
+						continue
+					}
+					old, seen := best[h.Key]
+					if !seen || prob > old.Prob {
+						best[h.Key] = aindex.Hit{Key: h.Key, Prob: prob, Dist: hop}
+						if prob > next[h.Key] {
+							next[h.Key] = prob
+						}
+					}
+				}
+			}
+			frontier = next
+		}
+	} else {
+		// ARANGO-AUG: QUEPA's algorithm, consulting the real A' index and
+		// touching the imported image once per reached key.
+		for _, o := range original {
+			for _, h := range a.index.Reach(o.GK, level) {
+				steps++
+				if originSet[h.Key] {
+					continue
+				}
+				if old, ok := best[h.Key]; !ok || h.Prob > old.Prob {
+					best[h.Key] = h
+				}
+			}
+		}
+	}
+	a.sleep(time.Duration(steps) * a.perTraverse)
+
+	var out []augment.AugmentedObject
+	for gk, h := range best {
+		if obj, ok := rows[gk]; ok {
+			out = append(out, augment.AugmentedObject{Object: obj, Prob: h.Prob, Dist: h.Dist})
+		}
+	}
+	sortAugmented(out)
+	return &augment.Answer{Original: original, Augmented: out}, nil
+}

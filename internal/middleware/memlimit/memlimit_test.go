@@ -1,0 +1,90 @@
+package memlimit
+
+import (
+	"errors"
+	"testing"
+
+	"quepa/internal/core"
+)
+
+func TestAllocWithinBudget(t *testing.T) {
+	a := New(100)
+	if err := a.Alloc(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Alloc(40); err != nil {
+		t.Fatal(err)
+	}
+	if a.Used() != 100 {
+		t.Errorf("Used = %d", a.Used())
+	}
+}
+
+func TestAllocOverBudget(t *testing.T) {
+	a := New(100)
+	if err := a.Alloc(90); err != nil {
+		t.Fatal(err)
+	}
+	err := a.Alloc(11)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	// Failed allocation charges nothing.
+	if a.Used() != 90 {
+		t.Errorf("Used after failed alloc = %d", a.Used())
+	}
+}
+
+func TestUnlimitedBudget(t *testing.T) {
+	a := New(0)
+	if err := a.Alloc(1 << 40); err != nil {
+		t.Errorf("unlimited budget rejected: %v", err)
+	}
+	neg := New(-10)
+	if neg.Budget() != 0 {
+		t.Errorf("negative budget = %d", neg.Budget())
+	}
+}
+
+func TestFreeAndReset(t *testing.T) {
+	a := New(100)
+	a.Alloc(80)
+	a.Free(30)
+	if a.Used() != 50 {
+		t.Errorf("Used after free = %d", a.Used())
+	}
+	a.Free(1000) // clamped
+	if a.Used() != 0 {
+		t.Errorf("Used after overfree = %d", a.Used())
+	}
+	a.Alloc(70)
+	a.Reset()
+	if a.Used() != 0 {
+		t.Errorf("Used after reset = %d", a.Used())
+	}
+	if a.Peak() != 80 {
+		t.Errorf("Peak = %d, want 80", a.Peak())
+	}
+}
+
+func TestNegativeAlloc(t *testing.T) {
+	a := New(100)
+	if err := a.Alloc(-1); err == nil {
+		t.Error("negative alloc should fail")
+	}
+}
+
+func TestCosts(t *testing.T) {
+	o := core.NewObject(core.MustParseGlobalKey("db.coll.key"), map[string]string{"a": "hello"})
+	if c := ObjectCost(o); c <= 96 {
+		t.Errorf("ObjectCost = %d", c)
+	}
+	bigger := core.NewObject(o.GK, map[string]string{"a": "hello", "b": "world"})
+	if ObjectCost(bigger) <= ObjectCost(o) {
+		t.Error("ObjectCost not monotone in fields")
+	}
+	r := core.NewIdentity(o.GK, core.MustParseGlobalKey("x.y.z"), 0.9)
+	if c := EdgeCost(r); c <= 64 {
+		t.Errorf("EdgeCost = %d", c)
+	}
+}

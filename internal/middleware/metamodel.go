@@ -1,0 +1,317 @@
+package middleware
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"quepa/internal/aindex"
+	"quepa/internal/augment"
+	"quepa/internal/core"
+	"quepa/internal/middleware/memlimit"
+	"quepa/internal/validator"
+)
+
+// Metamodel emulates Apache Metamodel, the representative of loosely-coupled
+// integration interfaces (Section VII-A): a middleware layer that converts
+// every object it touches into a unified row model. Two modes mirror the
+// paper's two implementations:
+//
+//   - ModeNative ("META-NAT") implements augmentation with the middleware's
+//     native join operators: the A' index is materialized as a relation, the
+//     touched collections are scanned wholesale into unified rows, and the
+//     expansion is computed as level+1 hash joins. Everything is
+//     materialized, so memory grows with the data and the paper's
+//     out-of-memory crossovers appear.
+//
+//   - ModeAugment ("META-AUG") simulates QUEPA's algorithm on top of the
+//     middleware: objects are fetched one by one through the unified row
+//     layer (Metamodel cannot batch heterogeneous backends), paying the
+//     conversion cost per row but only for the objects actually needed.
+//
+// Like the real tool, the emulation can be configured with unsupported
+// engine kinds (the paper could not integrate Redis): objects living in
+// unsupported stores are invisible to it.
+type Metamodel struct {
+	poly        *core.Polystore
+	index       *aindex.Index
+	native      bool
+	mem         *memlimit.Accountant
+	sleep       func(time.Duration)
+	perRow      time.Duration
+	unsupported map[core.StoreKind]bool
+}
+
+// MetamodelConfig parameterizes the emulation.
+type MetamodelConfig struct {
+	// Native selects META-NAT; false selects META-AUG.
+	Native bool
+	// Mem is the middleware's memory budget (nil = unlimited).
+	Mem *memlimit.Accountant
+	// PerRow is the unified-row conversion cost charged per materialized
+	// row (default 200ns).
+	PerRow time.Duration
+	// Sleep injects the cost model's sleeper (nil = time.Sleep).
+	Sleep func(time.Duration)
+	// Unsupported lists engine kinds the middleware cannot integrate
+	// (defaults to key-value stores, as in the paper's setup).
+	Unsupported []core.StoreKind
+}
+
+// NewMetamodel creates the emulation over a polystore and its A' index.
+func NewMetamodel(poly *core.Polystore, index *aindex.Index, cfg MetamodelConfig) *Metamodel {
+	m := &Metamodel{
+		poly:   poly,
+		index:  index,
+		native: cfg.Native,
+		mem:    cfg.Mem,
+		sleep:  cfg.Sleep,
+		perRow: cfg.PerRow,
+	}
+	if m.mem == nil {
+		m.mem = memlimit.New(0)
+	}
+	if m.sleep == nil {
+		m.sleep = time.Sleep
+	}
+	if m.perRow <= 0 {
+		m.perRow = 200 * time.Nanosecond
+	}
+	kinds := cfg.Unsupported
+	if kinds == nil {
+		kinds = []core.StoreKind{core.KindKeyValue}
+	}
+	m.unsupported = map[core.StoreKind]bool{}
+	for _, k := range kinds {
+		m.unsupported[k] = true
+	}
+	return m
+}
+
+// Name implements System.
+func (m *Metamodel) Name() string {
+	if m.native {
+		return "META-NAT"
+	}
+	return "META-AUG"
+}
+
+// ColdStart implements System: the middleware keeps no cross-query state
+// beyond its memory accounting, which a restart clears.
+func (m *Metamodel) ColdStart() { m.mem.Reset() }
+
+// Augment implements System.
+func (m *Metamodel) Augment(ctx context.Context, database, query string, level int) (*augment.Answer, error) {
+	store, err := m.poly.Database(database)
+	if err != nil {
+		return nil, err
+	}
+	if m.unsupported[store.Kind()] {
+		return nil, fmt.Errorf("metamodel: engine kind %v is not supported", store.Kind())
+	}
+	v, err := validator.Validate(store, query)
+	if err != nil {
+		return nil, err
+	}
+	original, err := store.Query(ctx, v.Query)
+	if err != nil {
+		return nil, err
+	}
+	// The local result passes through the unified row layer.
+	cost, err := m.materialize(original)
+	if err != nil {
+		return nil, err
+	}
+	defer m.mem.Free(cost)
+
+	if m.native {
+		return m.augmentNative(ctx, original, level)
+	}
+	return m.augmentSimulated(ctx, original, level)
+}
+
+// augmentSimulated is META-AUG: QUEPA's algorithm through the row layer,
+// one direct-access query per key (no cross-backend batching).
+func (m *Metamodel) augmentSimulated(ctx context.Context, original []core.Object, level int) (*augment.Answer, error) {
+	originSet := map[core.GlobalKey]bool{}
+	for _, o := range original {
+		originSet[o.GK] = true
+	}
+	best := map[core.GlobalKey]aindex.Hit{}
+	for _, o := range original {
+		for _, h := range m.index.Reach(o.GK, level) {
+			if originSet[h.Key] || m.unsupportedKey(h.Key) {
+				continue
+			}
+			if old, ok := best[h.Key]; !ok || h.Prob > old.Prob {
+				best[h.Key] = h
+			}
+		}
+	}
+	var out []augment.AugmentedObject
+	var materialized int64
+	defer func() { m.mem.Free(materialized) }()
+	for gk, h := range best {
+		obj, err := m.poly.Fetch(ctx, gk)
+		if err != nil {
+			if errors.Is(err, core.ErrNotFound) {
+				continue
+			}
+			return nil, err
+		}
+		cost, err := m.materialize([]core.Object{obj})
+		if err != nil {
+			return nil, err
+		}
+		materialized += cost
+		out = append(out, augment.AugmentedObject{Object: obj, Prob: h.Prob, Dist: h.Dist})
+	}
+	sortAugmented(out)
+	return &augment.Answer{Original: original, Augmented: out}, nil
+}
+
+// augmentNative is META-NAT: the index becomes a join relation, the touched
+// collections are scanned wholesale, and the expansion is computed by
+// level+1 hash joins over fully materialized intermediates.
+func (m *Metamodel) augmentNative(ctx context.Context, original []core.Object, level int) (*augment.Answer, error) {
+	// 1. Materialize the whole A' index as a relation.
+	edges := m.index.Edges()
+	var edgeCost int64
+	for _, e := range edges {
+		edgeCost += memlimit.EdgeCost(e)
+	}
+	if err := m.mem.Alloc(edgeCost); err != nil {
+		return nil, err
+	}
+	defer m.mem.Free(edgeCost)
+	m.sleep(time.Duration(len(edges)) * m.perRow / 4)
+
+	adj := map[core.GlobalKey][]aindex.Hit{}
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], aindex.Hit{Key: e.To, Prob: e.Prob})
+		adj[e.To] = append(adj[e.To], aindex.Hit{Key: e.From, Prob: e.Prob})
+	}
+
+	// 2. level+1 hash joins, materializing every intermediate frontier.
+	originSet := map[core.GlobalKey]bool{}
+	for _, o := range original {
+		originSet[o.GK] = true
+	}
+	best := map[core.GlobalKey]aindex.Hit{}
+	frontier := map[core.GlobalKey]float64{}
+	for _, o := range original {
+		frontier[o.GK] = 1
+	}
+	var joinCost int64
+	defer func() { m.mem.Free(joinCost) }()
+	for hop := 1; hop <= level+1; hop++ {
+		next := map[core.GlobalKey]float64{}
+		for cur, p := range frontier {
+			for _, h := range adj[cur] {
+				prob := p * h.Prob
+				// Every join output row is materialized.
+				joinCost += 64
+				if err := m.mem.Alloc(64); err != nil {
+					return nil, err
+				}
+				if originSet[h.Key] || m.unsupportedKey(h.Key) {
+					continue
+				}
+				old, seen := best[h.Key]
+				if !seen || prob > old.Prob {
+					best[h.Key] = aindex.Hit{Key: h.Key, Prob: prob, Dist: hop}
+					if prob > next[h.Key] {
+						next[h.Key] = prob
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+
+	// 3. Scan every touched collection wholesale into unified rows.
+	type coll struct{ db, name string }
+	touched := map[coll]bool{}
+	for gk := range best {
+		touched[coll{gk.Database, gk.Collection}] = true
+	}
+	ordered := make([]coll, 0, len(touched))
+	for c := range touched {
+		ordered = append(ordered, c)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].db != ordered[j].db {
+			return ordered[i].db < ordered[j].db
+		}
+		return ordered[i].name < ordered[j].name
+	})
+	rows := map[core.GlobalKey]core.Object{}
+	var scanCost int64
+	defer func() { m.mem.Free(scanCost) }()
+	for _, c := range ordered {
+		store, err := m.poly.Database(c.db)
+		if err != nil {
+			return nil, err
+		}
+		q, err := ScanQuery(store.Kind(), c.name)
+		if err != nil {
+			return nil, err
+		}
+		objs, err := store.Query(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		cost, err := m.materialize(objs)
+		scanCost += cost
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range objs {
+			rows[o.GK] = o
+		}
+	}
+
+	// 4. Final join: expansion keys against the scanned rows.
+	var out []augment.AugmentedObject
+	for gk, h := range best {
+		if obj, ok := rows[gk]; ok {
+			out = append(out, augment.AugmentedObject{Object: obj, Prob: h.Prob, Dist: h.Dist})
+		}
+	}
+	sortAugmented(out)
+	return &augment.Answer{Original: original, Augmented: out}, nil
+}
+
+// materialize charges memory and conversion time for rows entering the
+// unified row model. It returns the bytes charged (also on failure, where
+// the return is what was charged before the failure: zero).
+func (m *Metamodel) materialize(objs []core.Object) (int64, error) {
+	var cost int64
+	for _, o := range objs {
+		cost += memlimit.ObjectCost(o)
+	}
+	if err := m.mem.Alloc(cost); err != nil {
+		return 0, err
+	}
+	m.sleep(time.Duration(len(objs)) * m.perRow)
+	return cost, nil
+}
+
+func (m *Metamodel) unsupportedKey(gk core.GlobalKey) bool {
+	store, err := m.poly.Database(gk.Database)
+	if err != nil {
+		return true
+	}
+	return m.unsupported[store.Kind()]
+}
+
+func sortAugmented(out []augment.AugmentedObject) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return out[i].Object.GK.Compare(out[j].Object.GK) < 0
+	})
+}

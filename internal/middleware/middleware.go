@@ -1,0 +1,64 @@
+// Package middleware defines the common surface of the baseline systems the
+// paper compares QUEPA against in Section VII-D — Apache Metamodel, Talend
+// Open Studio and ArangoDB — together with shared helpers. Each baseline is
+// a behavioural emulation: it executes real augmentation work over the real
+// polystore/engines, while reproducing the architectural cost profile the
+// paper attributes to the original tool (unified row conversion, staged ETL
+// materialization, full in-memory import with warm-up) through explicit
+// memory accounting (package memlimit) and deterministic processing costs.
+package middleware
+
+import (
+	"context"
+	"fmt"
+
+	"quepa/internal/augment"
+	"quepa/internal/core"
+)
+
+// System is a baseline that can answer augmented queries; Fig. 13 sweeps
+// over implementations of this interface plus QUEPA itself.
+type System interface {
+	// Name is the label used in the paper's plots (e.g. "META-NAT").
+	Name() string
+	// Augment runs the equivalent of an augmented search.
+	Augment(ctx context.Context, database, query string, level int) (*augment.Answer, error)
+	// ColdStart resets the system to its just-started state (drops caches
+	// and imports; the next query pays any warm-up cost).
+	ColdStart()
+}
+
+// ScanQuery returns the native query that retrieves every object of a
+// collection for the given store kind. Middleware tools pull whole
+// collections through exactly such scans when materializing data.
+func ScanQuery(kind core.StoreKind, collection string) (string, error) {
+	switch kind {
+	case core.KindRelational:
+		return "SELECT * FROM " + collection, nil
+	case core.KindDocument:
+		return collection + ".find({})", nil
+	case core.KindKeyValue:
+		return "SCAN " + collection, nil
+	case core.KindGraph:
+		return fmt.Sprintf("MATCH (n:%s) RETURN n", collection), nil
+	default:
+		return "", fmt.Errorf("middleware: unknown store kind %v", kind)
+	}
+}
+
+// ScanAll retrieves every object of every collection of a store.
+func ScanAll(ctx context.Context, s core.Store) ([]core.Object, error) {
+	var out []core.Object
+	for _, coll := range s.Collections() {
+		q, err := ScanQuery(s.Kind(), coll)
+		if err != nil {
+			return nil, err
+		}
+		objs, err := s.Query(ctx, q)
+		if err != nil {
+			return nil, fmt.Errorf("middleware: scanning %s.%s: %w", s.Name(), coll, err)
+		}
+		out = append(out, objs...)
+	}
+	return out, nil
+}

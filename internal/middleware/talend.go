@@ -1,0 +1,213 @@
+package middleware
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"quepa/internal/aindex"
+	"quepa/internal/augment"
+	"quepa/internal/core"
+	"quepa/internal/middleware/memlimit"
+	"quepa/internal/validator"
+)
+
+// Talend emulates the compiled Talend Open Studio workflow of Section VII:
+// a classical ETL pipeline that implements augmentation as a sequence of
+// statically wired stages —
+//
+//	extract:   scan every supported database wholesale,
+//	reference: load the A' index as a lookup table,
+//	join:      expand the local result level+1 times against the lookup,
+//	emit:      project the joined rows into the answer.
+//
+// Every stage materializes its full output before the next stage starts
+// (that is what generated ETL code does), which gives Talend the steepest
+// memory and time slopes in the paper's Fig. 13. A fixed startup cost models
+// the compiled job's JVM spin-up, paid again after every ColdStart.
+type Talend struct {
+	poly        *core.Polystore
+	index       *aindex.Index
+	mem         *memlimit.Accountant
+	sleep       func(time.Duration)
+	perRow      time.Duration
+	startup     time.Duration
+	started     bool
+	unsupported map[core.StoreKind]bool
+}
+
+// TalendConfig parameterizes the emulation.
+type TalendConfig struct {
+	// Mem is the workflow's memory budget (nil = unlimited).
+	Mem *memlimit.Accountant
+	// PerRow is the per-row stage processing cost (default 500ns).
+	PerRow time.Duration
+	// Startup is the compiled job's start cost (default 2ms), paid on the
+	// first query after a cold start.
+	Startup time.Duration
+	// Sleep injects the cost model's sleeper (nil = time.Sleep).
+	Sleep func(time.Duration)
+	// Unsupported engine kinds (defaults to key-value stores, as in the
+	// paper's workflow, which had no Redis connector).
+	Unsupported []core.StoreKind
+}
+
+// NewTalend creates the emulation over a polystore and its A' index.
+func NewTalend(poly *core.Polystore, index *aindex.Index, cfg TalendConfig) *Talend {
+	t := &Talend{
+		poly:    poly,
+		index:   index,
+		mem:     cfg.Mem,
+		sleep:   cfg.Sleep,
+		perRow:  cfg.PerRow,
+		startup: cfg.Startup,
+	}
+	if t.mem == nil {
+		t.mem = memlimit.New(0)
+	}
+	if t.sleep == nil {
+		t.sleep = time.Sleep
+	}
+	if t.perRow <= 0 {
+		t.perRow = 500 * time.Nanosecond
+	}
+	if t.startup <= 0 {
+		t.startup = 2 * time.Millisecond
+	}
+	kinds := cfg.Unsupported
+	if kinds == nil {
+		kinds = []core.StoreKind{core.KindKeyValue}
+	}
+	t.unsupported = map[core.StoreKind]bool{}
+	for _, k := range kinds {
+		t.unsupported[k] = true
+	}
+	return t
+}
+
+// Name implements System.
+func (t *Talend) Name() string { return "TALEND" }
+
+// ColdStart implements System.
+func (t *Talend) ColdStart() {
+	t.started = false
+	t.mem.Reset()
+}
+
+// Augment implements System.
+func (t *Talend) Augment(ctx context.Context, database, query string, level int) (*augment.Answer, error) {
+	if !t.started {
+		t.sleep(t.startup)
+		t.started = true
+	}
+	store, err := t.poly.Database(database)
+	if err != nil {
+		return nil, err
+	}
+	if t.unsupported[store.Kind()] {
+		return nil, fmt.Errorf("talend: engine kind %v is not supported", store.Kind())
+	}
+	v, err := validator.Validate(store, query)
+	if err != nil {
+		return nil, err
+	}
+	original, err := store.Query(ctx, v.Query)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 1 — extract: scan every supported database wholesale. The
+	// workflow is statically wired, so it always pulls everything.
+	rows := map[core.GlobalKey]core.Object{}
+	var extractCost int64
+	defer func() { t.mem.Free(extractCost) }()
+	for _, name := range t.poly.Databases() {
+		s, err := t.poly.Database(name)
+		if err != nil {
+			return nil, err
+		}
+		if t.unsupported[s.Kind()] {
+			continue
+		}
+		objs, err := ScanAll(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range objs {
+			c := memlimit.ObjectCost(o)
+			if err := t.mem.Alloc(c); err != nil {
+				return nil, err
+			}
+			extractCost += c
+			rows[o.GK] = o
+		}
+		t.sleep(time.Duration(len(objs)) * t.perRow)
+	}
+
+	// Stage 2 — reference: materialize the index as a lookup table.
+	edges := t.index.Edges()
+	var edgeCost int64
+	for _, e := range edges {
+		edgeCost += memlimit.EdgeCost(e)
+	}
+	if err := t.mem.Alloc(edgeCost); err != nil {
+		return nil, err
+	}
+	defer t.mem.Free(edgeCost)
+	t.sleep(time.Duration(len(edges)) * t.perRow)
+	adj := map[core.GlobalKey][]aindex.Hit{}
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], aindex.Hit{Key: e.To, Prob: e.Prob})
+		adj[e.To] = append(adj[e.To], aindex.Hit{Key: e.From, Prob: e.Prob})
+	}
+
+	// Stage 3 — join: expand level+1 times, materializing each round.
+	originSet := map[core.GlobalKey]bool{}
+	for _, o := range original {
+		originSet[o.GK] = true
+	}
+	best := map[core.GlobalKey]aindex.Hit{}
+	frontier := map[core.GlobalKey]float64{}
+	for _, o := range original {
+		frontier[o.GK] = 1
+	}
+	var joinCost int64
+	defer func() { t.mem.Free(joinCost) }()
+	joined := 0
+	for hop := 1; hop <= level+1; hop++ {
+		next := map[core.GlobalKey]float64{}
+		for cur, p := range frontier {
+			for _, h := range adj[cur] {
+				joined++
+				joinCost += 64
+				if err := t.mem.Alloc(64); err != nil {
+					return nil, err
+				}
+				prob := p * h.Prob
+				if originSet[h.Key] {
+					continue
+				}
+				old, seen := best[h.Key]
+				if !seen || prob > old.Prob {
+					best[h.Key] = aindex.Hit{Key: h.Key, Prob: prob, Dist: hop}
+					if prob > next[h.Key] {
+						next[h.Key] = prob
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	t.sleep(time.Duration(joined) * t.perRow)
+
+	// Stage 4 — emit.
+	var out []augment.AugmentedObject
+	for gk, h := range best {
+		if obj, ok := rows[gk]; ok {
+			out = append(out, augment.AugmentedObject{Object: obj, Prob: h.Prob, Dist: h.Dist})
+		}
+	}
+	t.sleep(time.Duration(len(out)) * t.perRow)
+	sortAugmented(out)
+	return &augment.Answer{Original: original, Augmented: out}, nil
+}

@@ -1,0 +1,311 @@
+// Package c45 implements a C4.5-style decision-tree classifier over numeric
+// features: binary splits chosen by gain ratio, with pessimistic error
+// pruning. It stands in for the Weka J48 classifier the paper trains as T1,
+// the model that picks the augmenter for a query (Section V, Phase 2).
+//
+// Categorical inputs (e.g. the target database) are one-hot encoded by the
+// caller; all features reaching the tree are float64.
+package c45
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Example is one training instance: a dense feature vector and a class label.
+type Example struct {
+	Features []float64
+	Label    string
+}
+
+// Config controls tree induction.
+type Config struct {
+	// MaxDepth bounds the tree height; 0 means unbounded.
+	MaxDepth int
+	// MinLeaf is the minimum number of examples per leaf (default 2).
+	MinLeaf int
+	// Prune enables pessimistic subtree replacement after induction.
+	Prune bool
+	// PruneConfidence is the z-like factor of the pessimistic error
+	// estimate (default 0.69, roughly Weka's CF=0.25).
+	PruneConfidence float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+	if c.PruneConfidence <= 0 {
+		c.PruneConfidence = 0.69
+	}
+	return c
+}
+
+// Tree is a trained classifier.
+type Tree struct {
+	root         *node
+	featureNames []string
+	labels       []string
+}
+
+type node struct {
+	// Internal nodes.
+	feature   int
+	threshold float64
+	left      *node // feature <= threshold
+	right     *node // feature > threshold
+	// Leaves (left == nil).
+	label string
+	// Statistics for pruning and rendering.
+	n      int
+	errs   int // training errors if this node were a leaf with `label`
+	counts map[string]int
+}
+
+// Train induces a tree from examples. featureNames are used only for
+// rendering and must match the feature vector length.
+func Train(examples []Example, featureNames []string, cfg Config) (*Tree, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("c45: empty training set")
+	}
+	width := len(examples[0].Features)
+	if width == 0 {
+		return nil, fmt.Errorf("c45: examples have no features")
+	}
+	if len(featureNames) != width {
+		return nil, fmt.Errorf("c45: %d feature names for %d features", len(featureNames), width)
+	}
+	for i, ex := range examples {
+		if len(ex.Features) != width {
+			return nil, fmt.Errorf("c45: example %d has %d features, want %d", i, len(ex.Features), width)
+		}
+		if ex.Label == "" {
+			return nil, fmt.Errorf("c45: example %d has an empty label", i)
+		}
+	}
+	cfg = cfg.withDefaults()
+	t := &Tree{featureNames: featureNames}
+	t.root = build(examples, cfg, 0)
+	if cfg.Prune {
+		prune(t.root, cfg.PruneConfidence)
+	}
+	labelSet := map[string]bool{}
+	for _, ex := range examples {
+		labelSet[ex.Label] = true
+	}
+	for l := range labelSet {
+		t.labels = append(t.labels, l)
+	}
+	sort.Strings(t.labels)
+	return t, nil
+}
+
+// Predict returns the class label for a feature vector.
+func (t *Tree) Predict(features []float64) string {
+	n := t.root
+	for n.left != nil {
+		if features[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.label
+}
+
+// Labels returns the class labels seen during training, sorted.
+func (t *Tree) Labels() []string { return t.labels }
+
+// Depth returns the tree height (a single leaf has depth 1).
+func (t *Tree) Depth() int { return depth(t.root) }
+
+func depth(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.left == nil {
+		return 1
+	}
+	l, r := depth(n.left), depth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Leaves returns the number of leaves.
+func (t *Tree) Leaves() int { return leaves(t.root) }
+
+func leaves(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.left == nil {
+		return 1
+	}
+	return leaves(n.left) + leaves(n.right)
+}
+
+// String renders the tree in an indented if/else form like the paper's
+// Fig. 8.
+func (t *Tree) String() string {
+	var b strings.Builder
+	t.render(&b, t.root, 0)
+	return b.String()
+}
+
+func (t *Tree) render(b *strings.Builder, n *node, indent int) {
+	pad := strings.Repeat("  ", indent)
+	if n.left == nil {
+		fmt.Fprintf(b, "%s=> %s (%d)\n", pad, n.label, n.n)
+		return
+	}
+	fmt.Fprintf(b, "%s%s <= %g?\n", pad, t.featureNames[n.feature], n.threshold)
+	t.render(b, n.left, indent+1)
+	fmt.Fprintf(b, "%s%s > %g?\n", pad, t.featureNames[n.feature], n.threshold)
+	t.render(b, n.right, indent+1)
+}
+
+func build(examples []Example, cfg Config, d int) *node {
+	n := leafOf(examples)
+	if n.errs == 0 || len(examples) < 2*cfg.MinLeaf || (cfg.MaxDepth > 0 && d >= cfg.MaxDepth-1) {
+		return n
+	}
+	feature, threshold, ok := bestSplit(examples, cfg.MinLeaf)
+	if !ok {
+		return n
+	}
+	var left, right []Example
+	for _, ex := range examples {
+		if ex.Features[feature] <= threshold {
+			left = append(left, ex)
+		} else {
+			right = append(right, ex)
+		}
+	}
+	n.feature = feature
+	n.threshold = threshold
+	n.left = build(left, cfg, d+1)
+	n.right = build(right, cfg, d+1)
+	return n
+}
+
+// leafOf builds a majority-class leaf for the examples.
+func leafOf(examples []Example) *node {
+	counts := map[string]int{}
+	for _, ex := range examples {
+		counts[ex.Label]++
+	}
+	best, bestN := "", -1
+	// Deterministic majority: ties broken by label order.
+	labels := make([]string, 0, len(counts))
+	for l := range counts {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		if counts[l] > bestN {
+			best, bestN = l, counts[l]
+		}
+	}
+	return &node{label: best, n: len(examples), errs: len(examples) - bestN, counts: counts}
+}
+
+// bestSplit finds the (feature, threshold) pair with the highest gain ratio.
+func bestSplit(examples []Example, minLeaf int) (int, float64, bool) {
+	baseEntropy := entropyOf(examples)
+	width := len(examples[0].Features)
+	bestRatio := 1e-9
+	bestFeature, bestThreshold := -1, 0.0
+
+	values := make([]float64, len(examples))
+	for f := 0; f < width; f++ {
+		for i, ex := range examples {
+			values[i] = ex.Features[f]
+		}
+		sort.Float64s(values)
+		for i := 0; i+1 < len(values); i++ {
+			if values[i] == values[i+1] {
+				continue
+			}
+			threshold := (values[i] + values[i+1]) / 2
+			gain, split := gainOf(examples, f, threshold, baseEntropy, minLeaf)
+			if split <= 0 {
+				continue
+			}
+			ratio := gain / split
+			if ratio > bestRatio {
+				bestRatio, bestFeature, bestThreshold = ratio, f, threshold
+			}
+		}
+	}
+	return bestFeature, bestThreshold, bestFeature >= 0
+}
+
+func gainOf(examples []Example, feature int, threshold, baseEntropy float64, minLeaf int) (gain, splitInfo float64) {
+	leftCounts := map[string]int{}
+	rightCounts := map[string]int{}
+	nl, nr := 0, 0
+	for _, ex := range examples {
+		if ex.Features[feature] <= threshold {
+			leftCounts[ex.Label]++
+			nl++
+		} else {
+			rightCounts[ex.Label]++
+			nr++
+		}
+	}
+	if nl < minLeaf || nr < minLeaf {
+		return 0, 0
+	}
+	n := float64(len(examples))
+	pl, pr := float64(nl)/n, float64(nr)/n
+	gain = baseEntropy - pl*entropyCounts(leftCounts, nl) - pr*entropyCounts(rightCounts, nr)
+	splitInfo = -pl*math.Log2(pl) - pr*math.Log2(pr)
+	return gain, splitInfo
+}
+
+func entropyOf(examples []Example) float64 {
+	counts := map[string]int{}
+	for _, ex := range examples {
+		counts[ex.Label]++
+	}
+	return entropyCounts(counts, len(examples))
+}
+
+func entropyCounts(counts map[string]int, n int) float64 {
+	e := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(n)
+		e -= p * math.Log2(p)
+	}
+	return e
+}
+
+// prune performs pessimistic subtree replacement: a subtree collapses to a
+// leaf when the leaf's pessimistic error estimate does not exceed the
+// subtree's.
+func prune(n *node, confidence float64) (subtreeErrs float64) {
+	if n.left == nil {
+		return pessimistic(n.errs, n.n, confidence)
+	}
+	childErrs := prune(n.left, confidence) + prune(n.right, confidence)
+	leafErrs := pessimistic(n.errs, n.n, confidence)
+	if leafErrs <= childErrs {
+		n.left, n.right = nil, nil
+		return leafErrs
+	}
+	return childErrs
+}
+
+// pessimistic is the classic continuity-corrected error estimate
+// e + z*sqrt(e*(1-e/n)) with e = errs + 0.5.
+func pessimistic(errs, n int, confidence float64) float64 {
+	e := float64(errs) + 0.5
+	return e + confidence*math.Sqrt(e*(1-e/float64(n)))
+}

@@ -1,0 +1,196 @@
+package c45
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, Config{}); err == nil {
+		t.Error("empty training set should fail")
+	}
+	if _, err := Train([]Example{{Features: nil, Label: "a"}}, nil, Config{}); err == nil {
+		t.Error("no features should fail")
+	}
+	if _, err := Train([]Example{{Features: []float64{1}, Label: "a"}}, []string{"x", "y"}, Config{}); err == nil {
+		t.Error("name/width mismatch should fail")
+	}
+	if _, err := Train([]Example{
+		{Features: []float64{1}, Label: "a"},
+		{Features: []float64{1, 2}, Label: "b"},
+	}, []string{"x"}, Config{}); err == nil {
+		t.Error("ragged features should fail")
+	}
+	if _, err := Train([]Example{{Features: []float64{1}, Label: ""}}, []string{"x"}, Config{}); err == nil {
+		t.Error("empty label should fail")
+	}
+}
+
+func TestLearnsThreshold(t *testing.T) {
+	// y = "big" iff x > 5: trivially separable.
+	var examples []Example
+	for x := 0.0; x <= 10; x++ {
+		label := "small"
+		if x > 5 {
+			label = "big"
+		}
+		examples = append(examples, Example{Features: []float64{x}, Label: label})
+	}
+	tree, err := Train(examples, []string{"x"}, Config{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		x    float64
+		want string
+	}{{0, "small"}, {5, "small"}, {6, "big"}, {100, "big"}} {
+		if got := tree.Predict([]float64{tc.x}); got != tc.want {
+			t.Errorf("Predict(%g) = %q, want %q", tc.x, got, tc.want)
+		}
+	}
+	if got := tree.Labels(); len(got) != 2 || got[0] != "big" || got[1] != "small" {
+		t.Errorf("Labels = %v", got)
+	}
+}
+
+func TestLearnsConjunction(t *testing.T) {
+	// label = "yes" iff x > 3 AND y <= 7: needs two levels.
+	var examples []Example
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 400; i++ {
+		x, y := rng.Float64()*10, rng.Float64()*10
+		label := "no"
+		if x > 3 && y <= 7 {
+			label = "yes"
+		}
+		examples = append(examples, Example{Features: []float64{x, y}, Label: label})
+	}
+	tree, err := Train(examples, []string{"x", "y"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < 200; i++ {
+		x, y := rng.Float64()*10, rng.Float64()*10
+		want := "no"
+		if x > 3 && y <= 7 {
+			want = "yes"
+		}
+		if tree.Predict([]float64{x, y}) == want {
+			correct++
+		}
+	}
+	if correct < 190 {
+		t.Errorf("accuracy %d/200 on a separable concept", correct)
+	}
+}
+
+func TestSingleClassYieldsLeaf(t *testing.T) {
+	examples := []Example{
+		{Features: []float64{1}, Label: "only"},
+		{Features: []float64{2}, Label: "only"},
+		{Features: []float64{3}, Label: "only"},
+	}
+	tree, err := Train(examples, []string{"x"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 1 || tree.Leaves() != 1 {
+		t.Errorf("depth=%d leaves=%d, want a single leaf", tree.Depth(), tree.Leaves())
+	}
+	if tree.Predict([]float64{-100}) != "only" {
+		t.Error("single-class prediction wrong")
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var examples []Example
+	for i := 0; i < 300; i++ {
+		x, y, z := rng.Float64(), rng.Float64(), rng.Float64()
+		label := "a"
+		if x+y+z > 1.5 {
+			label = "b"
+		}
+		examples = append(examples, Example{Features: []float64{x, y, z}, Label: label})
+	}
+	tree, err := Train(examples, []string{"x", "y", "z"}, Config{MaxDepth: 3, MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() > 3 {
+		t.Errorf("depth %d exceeds MaxDepth 3", tree.Depth())
+	}
+}
+
+func TestPruningShrinksNoisyTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	gen := func() []Example {
+		var out []Example
+		for i := 0; i < 400; i++ {
+			x := rng.Float64() * 10
+			label := "lo"
+			if x > 5 {
+				label = "hi"
+			}
+			if rng.Float64() < 0.15 { // label noise
+				if label == "lo" {
+					label = "hi"
+				} else {
+					label = "lo"
+				}
+			}
+			out = append(out, Example{Features: []float64{x, rng.Float64()}, Label: label})
+		}
+		return out
+	}
+	examples := gen()
+	unpruned, err := Train(examples, []string{"x", "noise"}, Config{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Train(examples, []string{"x", "noise"}, Config{MinLeaf: 1, Prune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Leaves() > unpruned.Leaves() {
+		t.Errorf("pruned tree larger: %d > %d leaves", pruned.Leaves(), unpruned.Leaves())
+	}
+	// Pruned tree still learns the main threshold.
+	if pruned.Predict([]float64{1, 0.5}) != "lo" || pruned.Predict([]float64{9, 0.5}) != "hi" {
+		t.Error("pruned tree lost the concept")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	examples := []Example{
+		{Features: []float64{1}, Label: "a"},
+		{Features: []float64{2}, Label: "a"},
+		{Features: []float64{8}, Label: "b"},
+		{Features: []float64{9}, Label: "b"},
+	}
+	tree, err := Train(examples, []string{"size"}, Config{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tree.String()
+	if !strings.Contains(s, "size <=") || !strings.Contains(s, "=> a") || !strings.Contains(s, "=> b") {
+		t.Errorf("rendering = %q", s)
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	// Equal class counts: the lexicographically first label wins.
+	examples := []Example{
+		{Features: []float64{1}, Label: "zzz"},
+		{Features: []float64{1}, Label: "aaa"},
+	}
+	tree, err := Train(examples, []string{"x"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Predict([]float64{1}) != "aaa" {
+		t.Error("tie not broken deterministically")
+	}
+}

@@ -1,0 +1,261 @@
+// Package reptree implements a regression tree in the style of Weka's
+// REPTree: binary splits chosen by variance reduction, grown fast, then
+// pruned by reduced-error pruning on a held-out subset of the training data.
+// The paper trains three such trees (T2, T3, T4) to predict BATCH_SIZE,
+// THREADS_SIZE and CACHE_SIZE for a query (Section V, Phase 2).
+package reptree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Example is one training instance: a dense feature vector and a numeric
+// target.
+type Example struct {
+	Features []float64
+	Target   float64
+}
+
+// Config controls induction.
+type Config struct {
+	// MaxDepth bounds the tree height; 0 means unbounded.
+	MaxDepth int
+	// MinLeaf is the minimum number of examples per leaf (default 3).
+	MinLeaf int
+	// PruneFraction is the share of examples held out for reduced-error
+	// pruning (default 0.25; 0 < f < 1). Set Prune to enable.
+	PruneFraction float64
+	// Prune enables reduced-error pruning.
+	Prune bool
+	// Seed drives the train/holdout shuffle.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 3
+	}
+	if c.PruneFraction <= 0 || c.PruneFraction >= 1 {
+		c.PruneFraction = 0.25
+	}
+	return c
+}
+
+// Tree is a trained regression tree.
+type Tree struct {
+	root         *node
+	featureNames []string
+}
+
+type node struct {
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+	value     float64 // leaf prediction (mean target)
+	n         int
+}
+
+// Train induces a regression tree from examples.
+func Train(examples []Example, featureNames []string, cfg Config) (*Tree, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("reptree: empty training set")
+	}
+	width := len(examples[0].Features)
+	if width == 0 {
+		return nil, fmt.Errorf("reptree: examples have no features")
+	}
+	if len(featureNames) != width {
+		return nil, fmt.Errorf("reptree: %d feature names for %d features", len(featureNames), width)
+	}
+	for i, ex := range examples {
+		if len(ex.Features) != width {
+			return nil, fmt.Errorf("reptree: example %d has %d features, want %d", i, len(ex.Features), width)
+		}
+	}
+	cfg = cfg.withDefaults()
+
+	grow := examples
+	var holdout []Example
+	if cfg.Prune && len(examples) >= 8 {
+		shuffled := make([]Example, len(examples))
+		copy(shuffled, examples)
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		cut := int(float64(len(shuffled)) * cfg.PruneFraction)
+		if cut < 1 {
+			cut = 1
+		}
+		holdout, grow = shuffled[:cut], shuffled[cut:]
+	}
+
+	t := &Tree{featureNames: featureNames}
+	t.root = build(grow, cfg, 0)
+	if len(holdout) > 0 {
+		pruneREP(t.root, holdout)
+	}
+	return t, nil
+}
+
+// Predict returns the tree's estimate for a feature vector.
+func (t *Tree) Predict(features []float64) float64 {
+	n := t.root
+	for n.left != nil {
+		if features[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Depth returns the tree height (a single leaf has depth 1).
+func (t *Tree) Depth() int { return depth(t.root) }
+
+func depth(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.left == nil {
+		return 1
+	}
+	l, r := depth(n.left), depth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// String renders the tree in indented form.
+func (t *Tree) String() string {
+	var b strings.Builder
+	t.render(&b, t.root, 0)
+	return b.String()
+}
+
+func (t *Tree) render(b *strings.Builder, n *node, indent int) {
+	pad := strings.Repeat("  ", indent)
+	if n.left == nil {
+		fmt.Fprintf(b, "%s=> %.4g (%d)\n", pad, n.value, n.n)
+		return
+	}
+	fmt.Fprintf(b, "%s%s <= %g?\n", pad, t.featureNames[n.feature], n.threshold)
+	t.render(b, n.left, indent+1)
+	fmt.Fprintf(b, "%s%s > %g?\n", pad, t.featureNames[n.feature], n.threshold)
+	t.render(b, n.right, indent+1)
+}
+
+func build(examples []Example, cfg Config, d int) *node {
+	n := &node{value: mean(examples), n: len(examples)}
+	if len(examples) < 2*cfg.MinLeaf || (cfg.MaxDepth > 0 && d >= cfg.MaxDepth-1) || sse(examples, n.value) == 0 {
+		return n
+	}
+	feature, threshold, ok := bestSplit(examples, cfg.MinLeaf)
+	if !ok {
+		return n
+	}
+	var left, right []Example
+	for _, ex := range examples {
+		if ex.Features[feature] <= threshold {
+			left = append(left, ex)
+		} else {
+			right = append(right, ex)
+		}
+	}
+	n.feature = feature
+	n.threshold = threshold
+	n.left = build(left, cfg, d+1)
+	n.right = build(right, cfg, d+1)
+	return n
+}
+
+func mean(examples []Example) float64 {
+	s := 0.0
+	for _, ex := range examples {
+		s += ex.Target
+	}
+	return s / float64(len(examples))
+}
+
+func sse(examples []Example, m float64) float64 {
+	s := 0.0
+	for _, ex := range examples {
+		d := ex.Target - m
+		s += d * d
+	}
+	return s
+}
+
+// bestSplit maximizes variance reduction (equivalently, minimizes the sum of
+// child SSEs) with an O(n log n) sweep per feature.
+func bestSplit(examples []Example, minLeaf int) (int, float64, bool) {
+	width := len(examples[0].Features)
+	n := len(examples)
+	total := sse(examples, mean(examples))
+	bestGain := 1e-12
+	bestFeature, bestThreshold := -1, 0.0
+
+	type fv struct{ f, t float64 }
+	col := make([]fv, n)
+	for f := 0; f < width; f++ {
+		for i, ex := range examples {
+			col[i] = fv{f: ex.Features[f], t: ex.Target}
+		}
+		sort.Slice(col, func(i, j int) bool { return col[i].f < col[j].f })
+		// Prefix sums for incremental SSE.
+		sumL, sumSqL := 0.0, 0.0
+		sumT, sumSqT := 0.0, 0.0
+		for _, v := range col {
+			sumT += v.t
+			sumSqT += v.t * v.t
+		}
+		for i := 0; i+1 < n; i++ {
+			sumL += col[i].t
+			sumSqL += col[i].t * col[i].t
+			if col[i].f == col[i+1].f {
+				continue
+			}
+			nl := i + 1
+			nr := n - nl
+			if nl < minLeaf || nr < minLeaf {
+				continue
+			}
+			sseL := sumSqL - sumL*sumL/float64(nl)
+			sumR := sumT - sumL
+			sseR := (sumSqT - sumSqL) - sumR*sumR/float64(nr)
+			gain := total - sseL - sseR
+			if gain > bestGain {
+				bestGain = gain
+				bestFeature = f
+				bestThreshold = (col[i].f + col[i+1].f) / 2
+			}
+		}
+	}
+	return bestFeature, bestThreshold, bestFeature >= 0
+}
+
+// pruneREP collapses subtrees whose holdout SSE does not beat the leaf's.
+func pruneREP(n *node, holdout []Example) float64 {
+	if n.left == nil {
+		return sse(holdout, n.value)
+	}
+	var left, right []Example
+	for _, ex := range holdout {
+		if ex.Features[n.feature] <= n.threshold {
+			left = append(left, ex)
+		} else {
+			right = append(right, ex)
+		}
+	}
+	childSSE := pruneREP(n.left, left) + pruneREP(n.right, right)
+	leafSSE := sse(holdout, n.value)
+	if leafSSE <= childSSE {
+		n.left, n.right = nil, nil
+		return leafSSE
+	}
+	return childSSE
+}

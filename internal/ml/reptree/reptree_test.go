@@ -1,0 +1,165 @@
+package reptree
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, Config{}); err == nil {
+		t.Error("empty training set should fail")
+	}
+	if _, err := Train([]Example{{Features: nil}}, nil, Config{}); err == nil {
+		t.Error("no features should fail")
+	}
+	if _, err := Train([]Example{{Features: []float64{1}}}, []string{"a", "b"}, Config{}); err == nil {
+		t.Error("name mismatch should fail")
+	}
+	if _, err := Train([]Example{
+		{Features: []float64{1}},
+		{Features: []float64{1, 2}},
+	}, []string{"x"}, Config{}); err == nil {
+		t.Error("ragged features should fail")
+	}
+}
+
+func TestLearnsStepFunction(t *testing.T) {
+	// target = 10 for x <= 5, 100 for x > 5.
+	var examples []Example
+	for x := 0.0; x <= 10; x += 0.5 {
+		target := 10.0
+		if x > 5 {
+			target = 100
+		}
+		examples = append(examples, Example{Features: []float64{x}, Target: target})
+	}
+	tree, err := Train(examples, []string{"x"}, Config{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Predict([]float64{2}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("Predict(2) = %g", got)
+	}
+	if got := tree.Predict([]float64{8}); math.Abs(got-100) > 1e-9 {
+		t.Errorf("Predict(8) = %g", got)
+	}
+}
+
+func TestApproximatesPiecewise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(x, y float64) float64 {
+		switch {
+		case x < 3:
+			return 5
+		case y < 5:
+			return 50
+		default:
+			return 500
+		}
+	}
+	var examples []Example
+	for i := 0; i < 600; i++ {
+		x, y := rng.Float64()*10, rng.Float64()*10
+		examples = append(examples, Example{Features: []float64{x, y}, Target: f(x, y)})
+	}
+	tree, err := Train(examples, []string{"x", "y"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mse float64
+	const n = 300
+	for i := 0; i < n; i++ {
+		x, y := rng.Float64()*10, rng.Float64()*10
+		d := tree.Predict([]float64{x, y}) - f(x, y)
+		mse += d * d
+	}
+	mse /= n
+	if mse > 500 { // target variance is ~40k; the tree must do far better
+		t.Errorf("MSE = %g on a piecewise-constant target", mse)
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	examples := []Example{
+		{Features: []float64{1}, Target: 7},
+		{Features: []float64{2}, Target: 7},
+		{Features: []float64{3}, Target: 7},
+	}
+	tree, err := Train(examples, []string{"x"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 1 {
+		t.Errorf("constant target grew depth %d", tree.Depth())
+	}
+	if got := tree.Predict([]float64{99}); got != 7 {
+		t.Errorf("Predict = %g", got)
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var examples []Example
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 100
+		examples = append(examples, Example{Features: []float64{x}, Target: x})
+	}
+	tree, err := Train(examples, []string{"x"}, Config{MaxDepth: 4, MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() > 4 {
+		t.Errorf("depth %d exceeds limit", tree.Depth())
+	}
+}
+
+func TestPruningReducesOverfit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	noisy := func() []Example {
+		var out []Example
+		for i := 0; i < 500; i++ {
+			x := rng.Float64() * 10
+			target := 10.0
+			if x > 5 {
+				target = 100
+			}
+			out = append(out, Example{Features: []float64{x, rng.Float64()}, Target: target + rng.NormFloat64()*15})
+		}
+		return out
+	}
+	examples := noisy()
+	unpruned, err := Train(examples, []string{"x", "noise"}, Config{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Train(examples, []string{"x", "noise"}, Config{MinLeaf: 1, Prune: true, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Depth() > unpruned.Depth() {
+		t.Errorf("pruned deeper than unpruned: %d > %d", pruned.Depth(), unpruned.Depth())
+	}
+	// Pruned tree still captures the step.
+	if pruned.Predict([]float64{1, 0.5}) > 60 || pruned.Predict([]float64{9, 0.5}) < 60 {
+		t.Error("pruned tree lost the step")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	examples := []Example{
+		{Features: []float64{1}, Target: 1},
+		{Features: []float64{2}, Target: 1},
+		{Features: []float64{8}, Target: 9},
+		{Features: []float64{9}, Target: 9},
+	}
+	tree, err := Train(examples, []string{"size"}, Config{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tree.String()
+	if !strings.Contains(s, "size <=") {
+		t.Errorf("rendering = %q", s)
+	}
+}

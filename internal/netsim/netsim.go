@@ -1,0 +1,126 @@
+// Package netsim simulates the network cost of reaching a polystore store.
+//
+// The paper evaluates QUEPA in two deployments: a centralized one (all stores
+// co-located with QUEPA on one machine) and a distributed one (each store in
+// a different EC2 region, with round-trip latencies up to a few hundred
+// milliseconds). Re-running on real multi-region hardware is not possible
+// here, so the deployment is reproduced by wrapping every store with a
+// deterministic latency model charged per round trip plus a per-object
+// transfer cost. This preserves exactly the arithmetic that drives the
+// paper's batching results: a batch of k objects costs one round trip plus k
+// transfer units instead of k round trips.
+//
+// Latencies are scaled down (~100x) from the paper's wide-area numbers so
+// that full experiment sweeps run in seconds; the relative shapes are
+// unchanged because every strategy is charged by the same model.
+package netsim
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"quepa/internal/core"
+)
+
+// Profile is the network cost model between QUEPA and one store.
+type Profile struct {
+	// RoundTrip is charged once per request.
+	RoundTrip time.Duration
+	// PerObject is charged once per object returned (transfer cost).
+	PerObject time.Duration
+}
+
+// Deployment presets. Colocated has no simulated cost (in-process testing),
+// Centralized models a same-datacenter deployment, Distributed a multi-region
+// one (the paper's t2.medium machines "each placed in a different region").
+var (
+	Colocated   = Profile{}
+	Centralized = Profile{RoundTrip: time.Millisecond, PerObject: 2 * time.Microsecond}
+	Distributed = Profile{RoundTrip: 3 * time.Millisecond, PerObject: 2 * time.Microsecond}
+)
+
+// Store wraps a core.Store, charging the profile's cost on every call.
+// It is safe for concurrent use; concurrent requests sleep independently,
+// exactly as independent TCP round trips would.
+type Store struct {
+	inner      core.Store
+	profile    Profile
+	sleep      func(time.Duration)
+	roundTrips atomic.Uint64
+	simulated  atomic.Int64 // total simulated network time, ns
+}
+
+// Wrap decorates a store with a network profile. A nil sleep function uses
+// time.Sleep; tests inject a recorder instead.
+func Wrap(inner core.Store, profile Profile, sleep func(time.Duration)) *Store {
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	return &Store{inner: inner, profile: profile, sleep: sleep}
+}
+
+// Name returns the wrapped store's name.
+func (s *Store) Name() string { return s.inner.Name() }
+
+// Kind returns the wrapped store's kind.
+func (s *Store) Kind() core.StoreKind { return s.inner.Kind() }
+
+// Collections lists the wrapped store's collections (metadata access is not
+// charged: it happens once at setup, not during query answering).
+func (s *Store) Collections() []string { return s.inner.Collections() }
+
+// RoundTrips returns the number of charged requests.
+func (s *Store) RoundTrips() uint64 { return s.roundTrips.Load() }
+
+// SimulatedNetworkTime returns the total simulated network time charged.
+func (s *Store) SimulatedNetworkTime() time.Duration {
+	return time.Duration(s.simulated.Load())
+}
+
+// Unwrap returns the underlying store.
+func (s *Store) Unwrap() core.Store { return s.inner }
+
+func (s *Store) charge(objects int) {
+	s.roundTrips.Add(1)
+	d := s.profile.RoundTrip + time.Duration(objects)*s.profile.PerObject
+	if d > 0 {
+		s.simulated.Add(int64(d))
+		s.sleep(d)
+	}
+}
+
+// Get retrieves one object, charging one round trip.
+func (s *Store) Get(ctx context.Context, collection, key string) (core.Object, error) {
+	o, err := s.inner.Get(ctx, collection, key)
+	n := 0
+	if err == nil {
+		n = 1
+	}
+	s.charge(n)
+	return o, err
+}
+
+// GetBatch retrieves many objects, charging one round trip plus transfer.
+func (s *Store) GetBatch(ctx context.Context, collection string, keys []string) ([]core.Object, error) {
+	out, err := s.inner.GetBatch(ctx, collection, keys)
+	s.charge(len(out))
+	return out, err
+}
+
+// Query executes a native query, charging one round trip plus transfer.
+func (s *Store) Query(ctx context.Context, query string) ([]core.Object, error) {
+	out, err := s.inner.Query(ctx, query)
+	s.charge(len(out))
+	return out, err
+}
+
+// KeyField forwards to the wrapped store when it can resolve key fields,
+// so that wrapping does not hide validator support.
+func (s *Store) KeyField(collection string) (string, error) {
+	type keyResolver interface{ KeyField(string) (string, error) }
+	if kr, ok := s.inner.(keyResolver); ok {
+		return kr.KeyField(collection)
+	}
+	return "", core.ErrUnsupportedQuery
+}

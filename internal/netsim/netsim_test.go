@@ -1,0 +1,156 @@
+package netsim
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"quepa/internal/connector"
+	"quepa/internal/core"
+	"quepa/internal/stores/kvstore"
+)
+
+var _ core.Store = (*Store)(nil)
+
+// recorder collects the sleeps the wrapper requested instead of sleeping.
+type recorder struct {
+	mu     sync.Mutex
+	sleeps []time.Duration
+}
+
+func (r *recorder) sleep(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sleeps = append(r.sleeps, d)
+}
+
+func (r *recorder) total() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var t time.Duration
+	for _, d := range r.sleeps {
+		t += d
+	}
+	return t
+}
+
+func newWrapped(profile Profile) (*Store, *recorder) {
+	db := kvstore.New("discount")
+	db.Set("drop", "k1", "40%")
+	db.Set("drop", "k2", "10%")
+	db.Set("drop", "k3", "25%")
+	rec := &recorder{}
+	return Wrap(connector.NewKeyValue(db), profile, rec.sleep), rec
+}
+
+func TestChargesPerCall(t *testing.T) {
+	profile := Profile{RoundTrip: time.Millisecond, PerObject: time.Microsecond}
+	s, rec := newWrapped(profile)
+	ctx := context.Background()
+
+	if _, err := s.Get(ctx, "drop", "k1"); err != nil {
+		t.Fatal(err)
+	}
+	want := time.Millisecond + time.Microsecond
+	if got := rec.total(); got != want {
+		t.Errorf("Get charge = %v, want %v", got, want)
+	}
+
+	rec.sleeps = nil
+	if _, err := s.GetBatch(ctx, "drop", []string{"k1", "k2", "k3"}); err != nil {
+		t.Fatal(err)
+	}
+	want = time.Millisecond + 3*time.Microsecond
+	if got := rec.total(); got != want {
+		t.Errorf("GetBatch charge = %v, want %v (one RTT + 3 transfers)", got, want)
+	}
+
+	rec.sleeps = nil
+	if _, err := s.Query(ctx, "SCAN drop"); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.total(); got != want {
+		t.Errorf("Query charge = %v, want %v", got, want)
+	}
+}
+
+func TestBatchingSavesRoundTrips(t *testing.T) {
+	// The central claim the simulation must preserve: k Gets cost k round
+	// trips, one GetBatch of k keys costs one.
+	profile := Profile{RoundTrip: time.Millisecond}
+	ctx := context.Background()
+
+	seq, seqRec := newWrapped(profile)
+	for _, k := range []string{"k1", "k2", "k3"} {
+		seq.Get(ctx, "drop", k)
+	}
+	batch, batchRec := newWrapped(profile)
+	batch.GetBatch(ctx, "drop", []string{"k1", "k2", "k3"})
+
+	if seqRec.total() != 3*batchRec.total() {
+		t.Errorf("sequential %v vs batch %v: want 3x", seqRec.total(), batchRec.total())
+	}
+	if seq.RoundTrips() != 3 || batch.RoundTrips() != 1 {
+		t.Errorf("round trips: seq=%d batch=%d", seq.RoundTrips(), batch.RoundTrips())
+	}
+}
+
+func TestColocatedChargesNothing(t *testing.T) {
+	s, rec := newWrapped(Colocated)
+	s.Get(context.Background(), "drop", "k1")
+	if len(rec.sleeps) != 0 {
+		t.Errorf("colocated profile slept: %v", rec.sleeps)
+	}
+	if s.RoundTrips() != 1 {
+		t.Errorf("round trips still counted: %d", s.RoundTrips())
+	}
+}
+
+func TestMissDoesNotChargeTransfer(t *testing.T) {
+	profile := Profile{RoundTrip: time.Millisecond, PerObject: time.Second}
+	s, rec := newWrapped(profile)
+	s.Get(context.Background(), "drop", "missing")
+	if got := rec.total(); got != time.Millisecond {
+		t.Errorf("miss charge = %v, want bare round trip", got)
+	}
+}
+
+func TestSimulatedNetworkTime(t *testing.T) {
+	profile := Profile{RoundTrip: time.Millisecond}
+	s, _ := newWrapped(profile)
+	ctx := context.Background()
+	s.Get(ctx, "drop", "k1")
+	s.Get(ctx, "drop", "k2")
+	if got := s.SimulatedNetworkTime(); got != 2*time.Millisecond {
+		t.Errorf("SimulatedNetworkTime = %v", got)
+	}
+}
+
+func TestForwardingAndUnwrap(t *testing.T) {
+	s, _ := newWrapped(Colocated)
+	if s.Name() != "discount" || s.Kind() != core.KindKeyValue {
+		t.Error("identity not forwarded")
+	}
+	if len(s.Collections()) != 1 {
+		t.Error("collections not forwarded")
+	}
+	if s.Unwrap() == nil {
+		t.Error("Unwrap returned nil")
+	}
+	// kv connector has no KeyField; wrapper reports unsupported.
+	if _, err := s.KeyField("drop"); err == nil {
+		t.Error("KeyField on kv should be unsupported")
+	}
+}
+
+func TestRealSleepDefault(t *testing.T) {
+	db := kvstore.New("kv")
+	db.Set("b", "k", "v")
+	s := Wrap(connector.NewKeyValue(db), Profile{RoundTrip: time.Millisecond}, nil)
+	start := time.Now()
+	s.Get(context.Background(), "b", "k")
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Errorf("default sleep did not sleep: %v", elapsed)
+	}
+}

@@ -1,0 +1,317 @@
+// Package optimizer implements the adaptive augmentation optimizer of
+// Section V: a rule-based optimizer that learns, from the logs of completed
+// augmentation runs, which augmenter and which parameters to use for a
+// query. Four models are trained (Phase 2):
+//
+//	T1 — a C4.5 decision tree choosing the augmenter,
+//	T2 — a regression tree predicting BATCH_SIZE (when T1 picks a batched
+//	     augmenter),
+//	T3 — a regression tree predicting THREADS_SIZE (when T1 picks a
+//	     concurrent augmenter),
+//	T4 — a regression tree predicting CACHE_SIZE.
+//
+// Prediction (Phase 3) composes them; the cache size moves toward the
+// prediction by (predicted-current)/10 per query rather than jumping, since
+// cache benefits accrue across future queries.
+//
+// The package also provides the HUMAN and RANDOM baseline optimizers the
+// paper compares against in Fig. 12.
+package optimizer
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"quepa/internal/augment"
+	"quepa/internal/ml/c45"
+	"quepa/internal/ml/reptree"
+)
+
+// QueryFeatures are the query characteristics recorded in the run logs and
+// used for prediction: "target database, number of original data objects in
+// the result, number of augmented data objects" plus the deployment shape.
+type QueryFeatures struct {
+	ResultSize    int  // data objects in the local result
+	AugmentedSize int  // data objects in the augmentation
+	Level         int  // augmentation level
+	NumStores     int  // databases in the polystore
+	Distributed   bool // deployment: false = centralized
+}
+
+// featureNames must match vector().
+var featureNames = []string{"result_size", "augmented_size", "level", "num_stores", "distributed"}
+
+func (f QueryFeatures) vector() []float64 {
+	d := 0.0
+	if f.Distributed {
+		d = 1
+	}
+	return []float64{
+		float64(f.ResultSize),
+		float64(f.AugmentedSize),
+		float64(f.Level),
+		float64(f.NumStores),
+		d,
+	}
+}
+
+// signature groups runs of the same query for best-run extraction.
+func (f QueryFeatures) signature() string {
+	return fmt.Sprintf("%d|%d|%d|%d|%v", f.ResultSize, f.AugmentedSize, f.Level, f.NumStores, f.Distributed)
+}
+
+// RunLog is one completed augmentation run (Phase 1).
+type RunLog struct {
+	Features QueryFeatures
+	Config   augment.Config
+	Duration time.Duration
+}
+
+// Optimizer chooses a configuration for a query. ADAPTIVE, HUMAN and RANDOM
+// all satisfy it.
+type Optimizer interface {
+	Name() string
+	// Choose returns the configuration to run the query with. currentCache
+	// is the augmenter's present CACHE_SIZE (used by ADAPTIVE's incremental
+	// adjustment; the baselines ignore it).
+	Choose(f QueryFeatures, currentCache int) augment.Config
+}
+
+// Adaptive is the learned optimizer. It is safe for concurrent use.
+type Adaptive struct {
+	mu   sync.Mutex
+	logs []RunLog
+	t1   *c45.Tree
+	t2   *reptree.Tree
+	t3   *reptree.Tree
+	t4   *reptree.Tree
+	// RetrainEvery triggers automatic retraining after this many new logs
+	// (0 disables; Train can always be called explicitly).
+	RetrainEvery int
+	sinceTrain   int
+}
+
+// NewAdaptive creates an untrained adaptive optimizer.
+func NewAdaptive() *Adaptive { return &Adaptive{} }
+
+// Name implements Optimizer.
+func (a *Adaptive) Name() string { return "ADAPTIVE" }
+
+// Log records a completed run (Phase 1) and retrains when the automatic
+// retraining threshold is reached.
+func (a *Adaptive) Log(r RunLog) {
+	a.mu.Lock()
+	a.logs = append(a.logs, r)
+	a.sinceTrain++
+	retrain := a.RetrainEvery > 0 && a.sinceTrain >= a.RetrainEvery
+	a.mu.Unlock()
+	if retrain {
+		_ = a.Train() // best effort: keep the old models on failure
+	}
+}
+
+// LogCount returns the number of recorded runs.
+func (a *Adaptive) LogCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.logs)
+}
+
+// Trained reports whether models are available.
+func (a *Adaptive) Trained() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.t1 != nil
+}
+
+// Train fits T1–T4 on the recorded logs (Phase 2). For every distinct query
+// (grouped by features) the fastest run provides the training example: its
+// strategy labels T1, and its parameters feed the regression trees.
+func (a *Adaptive) Train() error {
+	a.mu.Lock()
+	logs := make([]RunLog, len(a.logs))
+	copy(logs, a.logs)
+	a.mu.Unlock()
+
+	if len(logs) == 0 {
+		return fmt.Errorf("optimizer: no run logs to train on")
+	}
+	best := map[string]RunLog{}
+	for _, r := range logs {
+		sig := r.Features.signature()
+		if old, ok := best[sig]; !ok || r.Duration < old.Duration {
+			best[sig] = r
+		}
+	}
+
+	var t1Examples []c45.Example
+	var t2Examples, t3Examples, t4Examples []reptree.Example
+	for _, r := range best {
+		v := r.Features.vector()
+		t1Examples = append(t1Examples, c45.Example{Features: v, Label: r.Config.Strategy.String()})
+		if r.Config.Strategy.Batched() {
+			t2Examples = append(t2Examples, reptree.Example{Features: v, Target: float64(r.Config.BatchSize)})
+		}
+		if r.Config.Strategy.Concurrent() {
+			t3Examples = append(t3Examples, reptree.Example{Features: v, Target: float64(r.Config.ThreadsSize)})
+		}
+		t4Examples = append(t4Examples, reptree.Example{Features: v, Target: float64(r.Config.CacheSize)})
+	}
+
+	t1, err := c45.Train(t1Examples, featureNames, c45.Config{MinLeaf: 1, Prune: true})
+	if err != nil {
+		return fmt.Errorf("optimizer: training T1: %w", err)
+	}
+	train := func(examples []reptree.Example, what string) (*reptree.Tree, error) {
+		if len(examples) == 0 {
+			return nil, nil
+		}
+		t, err := reptree.Train(examples, featureNames, reptree.Config{MinLeaf: 1, Prune: len(examples) >= 16})
+		if err != nil {
+			return nil, fmt.Errorf("optimizer: training %s: %w", what, err)
+		}
+		return t, nil
+	}
+	t2, err := train(t2Examples, "T2")
+	if err != nil {
+		return err
+	}
+	t3, err := train(t3Examples, "T3")
+	if err != nil {
+		return err
+	}
+	t4, err := train(t4Examples, "T4")
+	if err != nil {
+		return err
+	}
+
+	a.mu.Lock()
+	a.t1, a.t2, a.t3, a.t4 = t1, t2, t3, t4
+	a.sinceTrain = 0
+	a.mu.Unlock()
+	return nil
+}
+
+// Choose implements Optimizer (Phase 3). An untrained optimizer falls back
+// to a safe default configuration.
+func (a *Adaptive) Choose(f QueryFeatures, currentCache int) augment.Config {
+	a.mu.Lock()
+	t1, t2, t3, t4 := a.t1, a.t2, a.t3, a.t4
+	a.mu.Unlock()
+	if t1 == nil {
+		return augment.Config{Strategy: augment.OuterBatch, CacheSize: currentCache}
+	}
+	v := f.vector()
+	strategy, err := augment.ParseStrategy(t1.Predict(v))
+	if err != nil {
+		strategy = augment.OuterBatch
+	}
+	cfg := augment.Config{Strategy: strategy, CacheSize: currentCache}
+	if strategy.Batched() && t2 != nil {
+		cfg.BatchSize = clampInt(int(t2.Predict(v)+0.5), 1, 1<<20)
+	}
+	if strategy.Concurrent() && t3 != nil {
+		cfg.ThreadsSize = clampInt(int(t3.Predict(v)+0.5), 1, 4096)
+	}
+	if t4 != nil {
+		predicted := int(t4.Predict(v) + 0.5)
+		// Move a tenth of the way toward the prediction (Section V): cache
+		// effects are spread over future queries, so no sudden jumps.
+		cfg.CacheSize = currentCache + (predicted-currentCache)/10
+		if cfg.CacheSize < 0 {
+			cfg.CacheSize = 0
+		}
+	}
+	return cfg
+}
+
+// TreeStrings renders the trained models for inspection (Fig. 8).
+func (a *Adaptive) TreeStrings() map[string]string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := map[string]string{}
+	if a.t1 != nil {
+		out["T1"] = a.t1.String()
+	}
+	if a.t2 != nil {
+		out["T2"] = a.t2.String()
+	}
+	if a.t3 != nil {
+		out["T3"] = a.t3.String()
+	}
+	if a.t4 != nil {
+		out["T4"] = a.t4.String()
+	}
+	return out
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Human is the expert-rules baseline of Fig. 12: the configuration a person
+// familiar with Section VII's findings would pick.
+type Human struct{}
+
+// Name implements Optimizer.
+func (Human) Name() string { return "HUMAN" }
+
+// Choose implements Optimizer with rules distilled from the paper's own
+// findings: batching dominates in distributed deployments, sequential wins
+// tiny queries, outer-batch is the best all-rounder, threads track stores.
+func (Human) Choose(f QueryFeatures, currentCache int) augment.Config {
+	cache := 0
+	if f.Distributed {
+		cache = 10000
+	}
+	switch {
+	case f.AugmentedSize <= 16 && f.NumStores <= 4 && !f.Distributed:
+		return augment.Config{Strategy: augment.Sequential, CacheSize: cache}
+	case f.Distributed:
+		return augment.Config{Strategy: augment.Batch, BatchSize: 1000, CacheSize: cache}
+	case f.AugmentedSize >= 1000:
+		return augment.Config{Strategy: augment.OuterBatch, BatchSize: 100, ThreadsSize: 16, CacheSize: cache}
+	default:
+		return augment.Config{Strategy: augment.Outer, ThreadsSize: 8, CacheSize: cache}
+	}
+}
+
+// Random is the random baseline of Fig. 12.
+type Random struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRandom creates a random optimizer with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Optimizer.
+func (*Random) Name() string { return "RANDOM" }
+
+var (
+	randomBatchSizes  = []int{1, 10, 100, 1000, 10000}
+	randomThreadSizes = []int{1, 2, 4, 8, 16, 32}
+	randomCacheSizes  = []int{0, 100, 1000, 10000}
+)
+
+// Choose implements Optimizer.
+func (r *Random) Choose(QueryFeatures, int) augment.Config {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return augment.Config{
+		Strategy:    augment.Strategies[r.rng.Intn(len(augment.Strategies))],
+		BatchSize:   randomBatchSizes[r.rng.Intn(len(randomBatchSizes))],
+		ThreadsSize: randomThreadSizes[r.rng.Intn(len(randomThreadSizes))],
+		CacheSize:   randomCacheSizes[r.rng.Intn(len(randomCacheSizes))],
+	}
+}

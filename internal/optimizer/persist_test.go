@@ -1,0 +1,79 @@
+package optimizer
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"quepa/internal/augment"
+)
+
+func TestLogPersistenceRoundTrip(t *testing.T) {
+	a := NewAdaptive()
+	logs := []RunLog{
+		{
+			Features: QueryFeatures{ResultSize: 100, AugmentedSize: 400, Level: 1, NumStores: 7, Distributed: true},
+			Config:   augment.Config{Strategy: augment.OuterBatch, BatchSize: 100, ThreadsSize: 8, CacheSize: 1000},
+			Duration: 42 * time.Millisecond,
+		},
+		{
+			Features: QueryFeatures{ResultSize: 10, AugmentedSize: 40, NumStores: 4},
+			Config:   augment.Config{Strategy: augment.Sequential},
+			Duration: 7 * time.Millisecond,
+		},
+	}
+	for _, r := range logs {
+		a.Log(r)
+	}
+	var buf bytes.Buffer
+	if err := a.SaveLogs(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewAdaptive()
+	n, err := b.LoadLogs(&buf)
+	if err != nil || n != 2 {
+		t.Fatalf("LoadLogs = %d, %v", n, err)
+	}
+	if b.LogCount() != 2 {
+		t.Errorf("LogCount = %d", b.LogCount())
+	}
+	// The loaded optimizer trains and predicts like the original.
+	if err := b.Train(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := b.Choose(QueryFeatures{ResultSize: 100, AugmentedSize: 400, Level: 1, NumStores: 7, Distributed: true}, 0)
+	if cfg.Strategy != augment.OuterBatch {
+		t.Errorf("loaded prediction = %v", cfg.Strategy)
+	}
+}
+
+func TestLoadLogsErrors(t *testing.T) {
+	a := NewAdaptive()
+	cases := []string{
+		`not json`,
+		`{"strategy": "WARP-DRIVE", "durationNs": 1}`,
+		`{"strategy": "BATCH", "durationNs": -5}`,
+	}
+	for _, c := range cases {
+		if _, err := a.LoadLogs(strings.NewReader(c + "\n")); err == nil {
+			t.Errorf("LoadLogs(%s) should fail", c)
+		}
+	}
+	// Empty lines tolerated.
+	n, err := a.LoadLogs(strings.NewReader("\n\n"))
+	if err != nil || n != 0 {
+		t.Errorf("empty input: %d, %v", n, err)
+	}
+}
+
+func TestSaveEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewAdaptive().SaveLogs(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty save wrote %d bytes", buf.Len())
+	}
+}

@@ -1,0 +1,69 @@
+package docstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchStore(b *testing.B, n int) *Store {
+	b.Helper()
+	s := New("bench")
+	for i := 0; i < n; i++ {
+		doc := fmt.Sprintf(`{"_id": "d%d", "title": "Album %d", "year": %d, "label": {"name": "L%d"}}`,
+			i, i, 1970+i%55, i%20)
+		if _, err := s.Insert("albums", doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+func BenchmarkFindEquality(b *testing.B) {
+	s := benchStore(b, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Find("albums", `{"year": 1999}`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFindRange(b *testing.B) {
+	s := benchStore(b, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Find("albums", `{"year": {"$gte": 1990, "$lt": 2000}}`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetBatchDocs(b *testing.B) {
+	s := benchStore(b, 5000)
+	ids := make([]string, 100)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("d%d", i*37%5000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.GetBatch("albums", ids); len(got) != 100 {
+			b.Fatal("short read")
+		}
+	}
+}
+
+func BenchmarkFlatten(b *testing.B) {
+	s := benchStore(b, 1)
+	d, _ := s.Get("albums", "d0")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fresh := &Document{ID: d.ID, Body: d.Body}
+		if len(fresh.Fields()) == 0 {
+			b.Fatal("no fields")
+		}
+	}
+}

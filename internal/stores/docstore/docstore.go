@@ -1,0 +1,312 @@
+// Package docstore implements an embedded JSON document store with a
+// MongoDB-like filter language. It stands in for the MongoDB instance of the
+// paper's polystore: the warehouse department's catalogue database.
+//
+// Documents are JSON objects identified by a string "_id" field (generated
+// when absent). Queries are expressed either through the typed Find API or
+// through the textual form accepted by Query:
+//
+//	<collection>.find(<filter>)
+//	<collection>.count(<filter>)
+//
+// where <filter> is a JSON object combining equality ({"artist": "The Cure"}),
+// comparison operators ({"year": {"$gt": 1990}} with $gt/$gte/$lt/$lte/$ne/
+// $regex/$in) and the logical operators {"$and": [...]} / {"$or": [...]}.
+// Nested fields are addressed with dot paths ("label.name").
+package docstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Document is a stored JSON object plus its identifier.
+type Document struct {
+	ID     string
+	Body   map[string]any
+	fields map[string]string // lazily built flattened view
+}
+
+// Fields returns a flattened field/value view of the document: nested objects
+// use dot paths, arrays use numeric path components, scalars are rendered
+// with JSON formatting conventions (no quotes on strings).
+func (d *Document) Fields() map[string]string {
+	if d.fields == nil {
+		d.fields = map[string]string{}
+		flattenInto(d.fields, "", d.Body)
+	}
+	return d.fields
+}
+
+// JSON renders the document body as compact JSON.
+func (d *Document) JSON() string {
+	b, err := json.Marshal(d.Body)
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+func flattenInto(out map[string]string, prefix string, v any) {
+	switch val := v.(type) {
+	case map[string]any:
+		for k, sub := range val {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flattenInto(out, p, sub)
+		}
+	case []any:
+		for i, sub := range val {
+			p := strconv.Itoa(i)
+			if prefix != "" {
+				p = prefix + "." + p
+			}
+			flattenInto(out, p, sub)
+		}
+	default:
+		out[prefix] = scalarString(v)
+	}
+}
+
+func scalarString(v any) string {
+	switch val := v.(type) {
+	case nil:
+		return "null"
+	case string:
+		return val
+	case bool:
+		return strconv.FormatBool(val)
+	case float64:
+		return strconv.FormatFloat(val, 'g', -1, 64)
+	case json.Number:
+		return val.String()
+	default:
+		b, err := json.Marshal(val)
+		if err != nil {
+			return fmt.Sprint(val)
+		}
+		return string(b)
+	}
+}
+
+// Store is an embedded document database.
+type Store struct {
+	name        string
+	mu          sync.RWMutex
+	collections map[string]*collection
+	roundTrips  atomic.Uint64
+	nextID      uint64
+}
+
+type collection struct {
+	docs  map[string]*Document
+	order []string
+}
+
+// New creates an empty document database with the given name.
+func New(name string) *Store {
+	return &Store{name: name, collections: map[string]*collection{}}
+}
+
+// Name returns the database name.
+func (s *Store) Name() string { return s.name }
+
+// RoundTrips returns the number of public calls served so far.
+func (s *Store) RoundTrips() uint64 { return s.roundTrips.Load() }
+
+// Collections lists collection names in sorted order.
+func (s *Store) Collections() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.collections))
+	for n := range s.collections {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of documents in a collection.
+func (s *Store) Len(collectionName string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if c, ok := s.collections[collectionName]; ok {
+		return len(c.docs)
+	}
+	return 0
+}
+
+// Insert stores a document given as a JSON string. A missing "_id" gets a
+// generated one. It returns the document id.
+func (s *Store) Insert(collectionName, jsonBody string) (string, error) {
+	var body map[string]any
+	dec := json.NewDecoder(strings.NewReader(jsonBody))
+	if err := dec.Decode(&body); err != nil {
+		return "", fmt.Errorf("docstore: invalid document JSON: %w", err)
+	}
+	return s.InsertMap(collectionName, body)
+}
+
+// InsertMap stores a document given as a decoded JSON object. The map is
+// owned by the store afterwards and must not be mutated by the caller.
+func (s *Store) InsertMap(collectionName string, body map[string]any) (string, error) {
+	s.roundTrips.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.collections[collectionName]
+	if !ok {
+		c = &collection{docs: map[string]*Document{}}
+		s.collections[collectionName] = c
+	}
+	var id string
+	if raw, ok := body["_id"]; ok {
+		id, ok = raw.(string)
+		if !ok || id == "" {
+			return "", fmt.Errorf("docstore: _id must be a non-empty string, got %v", raw)
+		}
+	} else {
+		s.nextID++
+		id = "doc:" + strconv.FormatUint(s.nextID, 10)
+		body["_id"] = id
+	}
+	if _, dup := c.docs[id]; dup {
+		return "", fmt.Errorf("docstore: duplicate _id %q in collection %q", id, collectionName)
+	}
+	c.docs[id] = &Document{ID: id, Body: body}
+	c.order = append(c.order, id)
+	return id, nil
+}
+
+// Get retrieves one document by id. The boolean reports presence.
+func (s *Store) Get(collectionName, id string) (*Document, bool) {
+	s.roundTrips.Add(1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.collections[collectionName]
+	if !ok {
+		return nil, false
+	}
+	d, ok := c.docs[id]
+	return d, ok
+}
+
+// GetBatch retrieves many documents by id in one round trip, preserving the
+// order of found ids and skipping missing ones.
+func (s *Store) GetBatch(collectionName string, ids []string) []*Document {
+	s.roundTrips.Add(1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.collections[collectionName]
+	if !ok {
+		return nil
+	}
+	out := make([]*Document, 0, len(ids))
+	for _, id := range ids {
+		if d, ok := c.docs[id]; ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Delete removes a document by id, reporting whether it existed.
+func (s *Store) Delete(collectionName, id string) bool {
+	s.roundTrips.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.collections[collectionName]
+	if !ok {
+		return false
+	}
+	if _, exists := c.docs[id]; !exists {
+		return false
+	}
+	delete(c.docs, id)
+	for i, k := range c.order {
+		if k == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Find returns the documents of a collection matching a filter given as a
+// JSON string ("{}" or "" matches everything), in insertion order.
+func (s *Store) Find(collectionName, filterJSON string) ([]*Document, error) {
+	f, err := parseFilter(filterJSON)
+	if err != nil {
+		return nil, err
+	}
+	s.roundTrips.Add(1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.collections[collectionName]
+	if !ok {
+		return nil, fmt.Errorf("docstore: unknown collection %q", collectionName)
+	}
+	var out []*Document
+	for _, id := range c.order {
+		d := c.docs[id]
+		match, err := f.matches(d)
+		if err != nil {
+			return nil, err
+		}
+		if match {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// Count returns the number of documents matching a filter.
+func (s *Store) Count(collectionName, filterJSON string) (int, error) {
+	docs, err := s.Find(collectionName, filterJSON)
+	if err != nil {
+		return 0, err
+	}
+	return len(docs), nil
+}
+
+// queryRE matches the textual query form "<collection>.<verb>(<filter>)".
+var queryRE = regexp.MustCompile(`(?s)^\s*([A-Za-z0-9_-]+)\.(find|count)\((.*)\)\s*$`)
+
+// ParseQuery splits a textual query into collection, verb and filter.
+// Exposed for the validator, which must classify queries (count is an
+// aggregate and therefore not augmentable) without executing them.
+func ParseQuery(q string) (collectionName, verb, filter string, err error) {
+	m := queryRE.FindStringSubmatch(q)
+	if m == nil {
+		return "", "", "", fmt.Errorf("docstore: malformed query %q: want collection.find({...}) or collection.count({...})", q)
+	}
+	return m[1], m[2], strings.TrimSpace(m[3]), nil
+}
+
+// Query executes the textual query form. find returns the matching
+// documents; count returns a single synthetic document {"count": n}.
+func (s *Store) Query(q string) ([]*Document, error) {
+	collectionName, verb, filter, err := ParseQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	switch verb {
+	case "find":
+		return s.Find(collectionName, filter)
+	case "count":
+		n, err := s.Count(collectionName, filter)
+		if err != nil {
+			return nil, err
+		}
+		return []*Document{{ID: "count", Body: map[string]any{"count": float64(n)}}}, nil
+	default:
+		return nil, fmt.Errorf("docstore: unknown verb %q", verb)
+	}
+}

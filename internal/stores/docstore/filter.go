@@ -1,0 +1,272 @@
+package docstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// filter is a compiled document predicate.
+type filter interface {
+	matches(d *Document) (bool, error)
+}
+
+// allFilter matches every document (the empty filter {}).
+type allFilter struct{}
+
+func (allFilter) matches(*Document) (bool, error) { return true, nil }
+
+// andFilter / orFilter combine sub-filters.
+type andFilter struct{ subs []filter }
+
+func (f andFilter) matches(d *Document) (bool, error) {
+	for _, s := range f.subs {
+		ok, err := s.matches(d)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+type orFilter struct{ subs []filter }
+
+func (f orFilter) matches(d *Document) (bool, error) {
+	for _, s := range f.subs {
+		ok, err := s.matches(d)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// fieldFilter applies one operator to one dot-path field.
+type fieldFilter struct {
+	path string
+	op   string // $eq, $ne, $gt, $gte, $lt, $lte, $in, $regex
+	arg  any
+	re   *regexp.Regexp // compiled for $regex
+}
+
+func (f fieldFilter) matches(d *Document) (bool, error) {
+	v, present := lookupPath(d.Body, f.path)
+	switch f.op {
+	case "$eq":
+		return present && compareAny(v, f.arg) == 0, nil
+	case "$ne":
+		// Mongo semantics: $ne matches documents where the field is absent too.
+		return !present || compareAny(v, f.arg) != 0, nil
+	case "$gt":
+		return present && compareAny(v, f.arg) > 0, nil
+	case "$gte":
+		return present && compareAny(v, f.arg) >= 0, nil
+	case "$lt":
+		return present && compareAny(v, f.arg) < 0, nil
+	case "$lte":
+		return present && compareAny(v, f.arg) <= 0, nil
+	case "$in":
+		if !present {
+			return false, nil
+		}
+		list, ok := f.arg.([]any)
+		if !ok {
+			return false, fmt.Errorf("docstore: $in requires an array")
+		}
+		for _, cand := range list {
+			if compareAny(v, cand) == 0 {
+				return true, nil
+			}
+		}
+		return false, nil
+	case "$nin":
+		list, ok := f.arg.([]any)
+		if !ok {
+			return false, fmt.Errorf("docstore: $nin requires an array")
+		}
+		if !present {
+			return true, nil // Mongo: $nin matches absent fields
+		}
+		for _, cand := range list {
+			if compareAny(v, cand) == 0 {
+				return false, nil
+			}
+		}
+		return true, nil
+	case "$exists":
+		want, ok := f.arg.(bool)
+		if !ok {
+			return false, fmt.Errorf("docstore: $exists requires a boolean")
+		}
+		return present == want, nil
+	case "$regex":
+		if !present {
+			return false, nil
+		}
+		return f.re.MatchString(scalarString(v)), nil
+	default:
+		return false, fmt.Errorf("docstore: unknown operator %q", f.op)
+	}
+}
+
+// lookupPath resolves a dot path against a decoded JSON value. Numeric path
+// components index into arrays. Additionally, a path into an array of scalars
+// matches if any element matches (Mongo's implicit array traversal), which is
+// handled by the caller via compareAny on the array value.
+func lookupPath(v any, path string) (any, bool) {
+	if path == "" {
+		return v, true
+	}
+	cur := v
+	for _, part := range strings.Split(path, ".") {
+		switch node := cur.(type) {
+		case map[string]any:
+			nxt, ok := node[part]
+			if !ok {
+				return nil, false
+			}
+			cur = nxt
+		case []any:
+			idx := -1
+			if _, err := fmt.Sscanf(part, "%d", &idx); err != nil || idx < 0 || idx >= len(node) {
+				return nil, false
+			}
+			cur = node[idx]
+		default:
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+// compareAny orders two decoded JSON scalars. Numbers compare numerically;
+// everything else compares through its string rendering. When the left value
+// is an array, the comparison succeeds (returns 0) if any element equals the
+// right value — Mongo's implicit array membership for equality.
+func compareAny(a, b any) int {
+	if arr, ok := a.([]any); ok {
+		for _, el := range arr {
+			if compareAny(el, b) == 0 {
+				return 0
+			}
+		}
+		return -1
+	}
+	fa, aNum := a.(float64)
+	fb, bNum := b.(float64)
+	if aNum && bNum {
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(scalarString(a), scalarString(b))
+}
+
+// parseFilter compiles a JSON filter expression. The empty string and "{}"
+// compile to the match-everything filter.
+func parseFilter(filterJSON string) (filter, error) {
+	filterJSON = strings.TrimSpace(filterJSON)
+	if filterJSON == "" || filterJSON == "{}" {
+		return allFilter{}, nil
+	}
+	var raw map[string]any
+	if err := json.Unmarshal([]byte(filterJSON), &raw); err != nil {
+		return nil, fmt.Errorf("docstore: invalid filter JSON: %w", err)
+	}
+	return compileFilter(raw)
+}
+
+func compileFilter(raw map[string]any) (filter, error) {
+	var subs []filter
+	for key, val := range raw {
+		switch key {
+		case "$and", "$or":
+			list, ok := val.([]any)
+			if !ok {
+				return nil, fmt.Errorf("docstore: %s requires an array of filters", key)
+			}
+			var inner []filter
+			for _, el := range list {
+				m, ok := el.(map[string]any)
+				if !ok {
+					return nil, fmt.Errorf("docstore: %s elements must be objects", key)
+				}
+				f, err := compileFilter(m)
+				if err != nil {
+					return nil, err
+				}
+				inner = append(inner, f)
+			}
+			if key == "$and" {
+				subs = append(subs, andFilter{subs: inner})
+			} else {
+				subs = append(subs, orFilter{subs: inner})
+			}
+		default:
+			if strings.HasPrefix(key, "$") {
+				return nil, fmt.Errorf("docstore: unknown top-level operator %q", key)
+			}
+			f, err := compileField(key, val)
+			if err != nil {
+				return nil, err
+			}
+			subs = append(subs, f...)
+		}
+	}
+	if len(subs) == 0 {
+		return allFilter{}, nil
+	}
+	if len(subs) == 1 {
+		return subs[0], nil
+	}
+	return andFilter{subs: subs}, nil
+}
+
+func compileField(path string, val any) ([]filter, error) {
+	ops, isOps := val.(map[string]any)
+	if !isOps {
+		return []filter{fieldFilter{path: path, op: "$eq", arg: val}}, nil
+	}
+	// Distinguish {"field": {"$gt": 3}} from equality against a literal
+	// object: an operator object has only $-prefixed keys.
+	allDollar := len(ops) > 0
+	for k := range ops {
+		if !strings.HasPrefix(k, "$") {
+			allDollar = false
+			break
+		}
+	}
+	if !allDollar {
+		return []filter{fieldFilter{path: path, op: "$eq", arg: val}}, nil
+	}
+	var out []filter
+	for op, arg := range ops {
+		ff := fieldFilter{path: path, op: op, arg: arg}
+		switch op {
+		case "$eq", "$ne", "$gt", "$gte", "$lt", "$lte", "$in", "$nin", "$exists":
+		case "$regex":
+			pat, ok := arg.(string)
+			if !ok {
+				return nil, fmt.Errorf("docstore: $regex requires a string pattern")
+			}
+			re, err := regexp.Compile("(?i)" + pat)
+			if err != nil {
+				return nil, fmt.Errorf("docstore: bad $regex %q: %w", pat, err)
+			}
+			ff.re = re
+		default:
+			return nil, fmt.Errorf("docstore: unknown operator %q on field %q", op, path)
+		}
+		out = append(out, ff)
+	}
+	return out, nil
+}

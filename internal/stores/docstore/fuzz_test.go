@@ -1,0 +1,41 @@
+package docstore
+
+import "testing"
+
+// FuzzParseFilter drives the filter compiler with arbitrary JSON: it must
+// never panic, and compiled filters must evaluate without panicking.
+func FuzzParseFilter(f *testing.F) {
+	for _, seed := range []string{
+		`{}`,
+		`{"a": 1}`,
+		`{"a": {"$gt": 3, "$lt": 9}}`,
+		`{"$or": [{"a": 1}, {"b": {"$regex": "x"}}]}`,
+		`{"$and": [{"a": {"$in": [1, 2]}}, {"b": {"$exists": true}}]}`,
+		`{"a.b.c": {"$nin": ["x"]}}`,
+		`{"a": {"$regex": "["}}`,
+		`[1,2]`,
+		`{"$and": 5}`,
+	} {
+		f.Add(seed)
+	}
+	doc := &Document{ID: "d", Body: map[string]any{
+		"a": 1.0, "b": "x", "nested": map[string]any{"c": []any{1.0, "two"}},
+	}}
+	f.Fuzz(func(t *testing.T, filterJSON string) {
+		flt, err := parseFilter(filterJSON)
+		if err != nil {
+			return
+		}
+		flt.matches(doc) // must not panic
+	})
+}
+
+// FuzzQueryParse ensures the textual query splitter never panics.
+func FuzzQueryParse(f *testing.F) {
+	f.Add(`albums.find({"a": 1})`)
+	f.Add(`c.count({})`)
+	f.Add(`garbage`)
+	f.Fuzz(func(t *testing.T, q string) {
+		ParseQuery(q)
+	})
+}

@@ -1,0 +1,66 @@
+package graphstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(b *testing.B, nodes, edgesPerNode int) *Store {
+	b.Helper()
+	s := New("bench")
+	for i := 0; i < nodes; i++ {
+		if err := s.AddNode(fmt.Sprintf("n%d", i), "items", map[string]string{
+			"seq": fmt.Sprintf("%d", i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < nodes; i++ {
+		for e := 0; e < edgesPerNode; e++ {
+			j := rng.Intn(nodes)
+			if j != i {
+				s.AddEdge(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", j), "SIMILAR", nil)
+			}
+		}
+	}
+	return s
+}
+
+func BenchmarkNeighborsLookup(b *testing.B) {
+	s := benchGraph(b, 5000, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Neighbors(fmt.Sprintf("n%d", i%5000), ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatchScan(b *testing.B) {
+	s := benchGraph(b, 5000, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query(`MATCH (n:items) WHERE n.seq < 100 RETURN n`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetNodes(b *testing.B) {
+	s := benchGraph(b, 5000, 1)
+	ids := make([]string, 100)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("n%d", i*41%5000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.GetNodes(ids); len(got) != 100 {
+			b.Fatal("short read")
+		}
+	}
+}

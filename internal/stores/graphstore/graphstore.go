@@ -1,0 +1,434 @@
+// Package graphstore implements an embedded property-graph store with a
+// small Cypher-like pattern language. It stands in for the Neo4j instance of
+// the paper's polystore: the marketing department's similar-items graph.
+//
+// Nodes have a string id, one label and string properties; edges are typed,
+// directed at insertion but traversed in both directions (similarity edges
+// are symmetric in the running example), and may carry properties such as a
+// weight.
+//
+// Query language (one statement per Query call):
+//
+//	MATCH (n:Label) RETURN n [LIMIT k]
+//	MATCH (n:Label) WHERE n.prop = 'v' [AND n.prop2 > 3 ...] RETURN n [LIMIT k]
+//	NEIGHBORS <id> [<edge-type>]
+//
+// WHERE supports the operators =, !=, <, >, <=, >= and CONTAINS, combined
+// with AND. Property comparisons are numeric when both sides parse as
+// numbers, string otherwise (CONTAINS is case-insensitive substring).
+package graphstore
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Node is a labelled vertex with string properties.
+type Node struct {
+	ID    string
+	Label string
+	Props map[string]string
+}
+
+// Edge is a typed connection between two nodes with optional properties.
+type Edge struct {
+	From  string
+	To    string
+	Type  string
+	Props map[string]string
+}
+
+// Store is an embedded property-graph database.
+type Store struct {
+	name       string
+	mu         sync.RWMutex
+	nodes      map[string]*Node
+	byLabel    map[string][]string // label -> node ids in insertion order
+	out        map[string][]Edge
+	in         map[string][]Edge
+	edgeCount  int
+	roundTrips atomic.Uint64
+}
+
+// New creates an empty graph database with the given name.
+func New(name string) *Store {
+	return &Store{
+		name:    name,
+		nodes:   map[string]*Node{},
+		byLabel: map[string][]string{},
+		out:     map[string][]Edge{},
+		in:      map[string][]Edge{},
+	}
+}
+
+// Name returns the database name.
+func (s *Store) Name() string { return s.name }
+
+// RoundTrips returns the number of public calls served so far.
+func (s *Store) RoundTrips() uint64 { return s.roundTrips.Load() }
+
+// Labels lists node labels in sorted order.
+func (s *Store) Labels() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	labels := make([]string, 0, len(s.byLabel))
+	for l := range s.byLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return labels
+}
+
+// NodeCount returns the number of nodes; EdgeCount the number of edges.
+func (s *Store) NodeCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.nodes)
+}
+
+// EdgeCount returns the number of edges in the graph.
+func (s *Store) EdgeCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.edgeCount
+}
+
+// AddNode inserts a node. Duplicate ids are an error.
+func (s *Store) AddNode(id, label string, props map[string]string) error {
+	s.roundTrips.Add(1)
+	if id == "" || label == "" {
+		return fmt.Errorf("graphstore: node id and label must be non-empty")
+	}
+	if props == nil {
+		props = map[string]string{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.nodes[id]; dup {
+		return fmt.Errorf("graphstore: duplicate node id %q", id)
+	}
+	s.nodes[id] = &Node{ID: id, Label: label, Props: props}
+	s.byLabel[label] = append(s.byLabel[label], id)
+	return nil
+}
+
+// AddEdge inserts a typed edge; both endpoints must exist.
+func (s *Store) AddEdge(from, to, edgeType string, props map[string]string) error {
+	s.roundTrips.Add(1)
+	if props == nil {
+		props = map[string]string{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.nodes[from]; !ok {
+		return fmt.Errorf("graphstore: unknown source node %q", from)
+	}
+	if _, ok := s.nodes[to]; !ok {
+		return fmt.Errorf("graphstore: unknown target node %q", to)
+	}
+	e := Edge{From: from, To: to, Type: edgeType, Props: props}
+	s.out[from] = append(s.out[from], e)
+	s.in[to] = append(s.in[to], e)
+	s.edgeCount++
+	return nil
+}
+
+// GetNode retrieves one node by id. The boolean reports presence.
+func (s *Store) GetNode(id string) (*Node, bool) {
+	s.roundTrips.Add(1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.nodes[id]
+	return n, ok
+}
+
+// GetNodes retrieves many nodes by id in one round trip, preserving the
+// order of found ids and skipping missing ones.
+func (s *Store) GetNodes(ids []string) []*Node {
+	s.roundTrips.Add(1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Node, 0, len(ids))
+	for _, id := range ids {
+		if n, ok := s.nodes[id]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// DeleteNode removes a node and all its incident edges, reporting whether
+// the node existed.
+func (s *Store) DeleteNode(id string) bool {
+	s.roundTrips.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[id]
+	if !ok {
+		return false
+	}
+	delete(s.nodes, id)
+	ids := s.byLabel[n.Label]
+	for i, cand := range ids {
+		if cand == id {
+			s.byLabel[n.Label] = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	for _, e := range s.out[id] {
+		s.in[e.To] = removeEdge(s.in[e.To], e)
+		s.edgeCount--
+	}
+	for _, e := range s.in[id] {
+		if e.From == id {
+			continue // self-loop already counted above
+		}
+		s.out[e.From] = removeEdge(s.out[e.From], e)
+		s.edgeCount--
+	}
+	delete(s.out, id)
+	delete(s.in, id)
+	return true
+}
+
+func removeEdge(edges []Edge, target Edge) []Edge {
+	for i, e := range edges {
+		if e.From == target.From && e.To == target.To && e.Type == target.Type {
+			return append(edges[:i], edges[i+1:]...)
+		}
+	}
+	return edges
+}
+
+// Neighbors returns the nodes adjacent to id (both directions), optionally
+// restricted to one edge type, in edge-insertion order without duplicates.
+func (s *Store) Neighbors(id, edgeType string) ([]*Node, error) {
+	s.roundTrips.Add(1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.nodes[id]; !ok {
+		return nil, fmt.Errorf("graphstore: unknown node %q", id)
+	}
+	seen := map[string]bool{}
+	var out []*Node
+	visit := func(other string) {
+		if other == id || seen[other] {
+			return
+		}
+		seen[other] = true
+		out = append(out, s.nodes[other])
+	}
+	for _, e := range s.out[id] {
+		if edgeType == "" || e.Type == edgeType {
+			visit(e.To)
+		}
+	}
+	for _, e := range s.in[id] {
+		if edgeType == "" || e.Type == edgeType {
+			visit(e.From)
+		}
+	}
+	return out, nil
+}
+
+// Edges returns the edges incident to a node (both directions).
+func (s *Store) Edges(id string) []Edge {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Edge
+	out = append(out, s.out[id]...)
+	for _, e := range s.in[id] {
+		if e.From != id { // avoid double-counting self-loops
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+var (
+	matchRE     = regexp.MustCompile(`(?i)^\s*MATCH\s*\(\s*(\w+)\s*:\s*([\w-]+)\s*\)\s*(?:WHERE\s+(.*?)\s+)?RETURN\s+(\w+)\s*(?:LIMIT\s+(\d+)\s*)?$`)
+	neighborsRE = regexp.MustCompile(`(?i)^\s*NEIGHBORS\s+(\S+)(?:\s+(\S+))?\s*$`)
+	condRE      = regexp.MustCompile(`^(\w+)\.([\w.]+)\s*(=|!=|<=|>=|<|>|CONTAINS)\s*(.+)$`)
+)
+
+// Query executes one statement of the pattern language.
+func (s *Store) Query(q string) ([]*Node, error) {
+	if m := neighborsRE.FindStringSubmatch(q); m != nil {
+		return s.Neighbors(m[1], m[2])
+	}
+	if p, isPattern, err := parseEdgePattern(q); isPattern {
+		if err != nil {
+			return nil, err
+		}
+		return s.queryEdgePattern(p)
+	}
+	m := matchRE.FindStringSubmatch(q)
+	if m == nil {
+		return nil, fmt.Errorf("graphstore: malformed query %q", q)
+	}
+	varName, label, whereClause, returnVar, limitStr := m[1], m[2], m[3], m[4], m[5]
+	if returnVar != varName {
+		return nil, fmt.Errorf("graphstore: RETURN variable %q does not match pattern variable %q", returnVar, varName)
+	}
+	limit := -1
+	if limitStr != "" {
+		limit, _ = strconv.Atoi(limitStr)
+	}
+	conds, err := parseConds(varName, whereClause)
+	if err != nil {
+		return nil, err
+	}
+
+	s.roundTrips.Add(1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Node
+	for _, id := range s.byLabel[label] {
+		n := s.nodes[id]
+		ok, err := conds.eval(n)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, n)
+		if limit >= 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+// condition is one WHERE comparison; conditions is an AND chain.
+type condition struct {
+	prop  string
+	op    string
+	value string
+}
+
+type conditions []condition
+
+func (cs conditions) eval(n *Node) (bool, error) {
+	for _, c := range cs {
+		v, present := n.Props[c.prop]
+		if c.prop == "id" && !present {
+			v, present = n.ID, true
+		}
+		if !present {
+			return false, nil
+		}
+		switch c.op {
+		case "=":
+			if compareProps(v, c.value) != 0 {
+				return false, nil
+			}
+		case "!=":
+			if compareProps(v, c.value) == 0 {
+				return false, nil
+			}
+		case "<":
+			if compareProps(v, c.value) >= 0 {
+				return false, nil
+			}
+		case ">":
+			if compareProps(v, c.value) <= 0 {
+				return false, nil
+			}
+		case "<=":
+			if compareProps(v, c.value) > 0 {
+				return false, nil
+			}
+		case ">=":
+			if compareProps(v, c.value) < 0 {
+				return false, nil
+			}
+		case "CONTAINS":
+			if !strings.Contains(strings.ToLower(v), strings.ToLower(c.value)) {
+				return false, nil
+			}
+		default:
+			return false, fmt.Errorf("graphstore: unknown operator %q", c.op)
+		}
+	}
+	return true, nil
+}
+
+func compareProps(a, b string) int {
+	fa, errA := strconv.ParseFloat(a, 64)
+	fb, errB := strconv.ParseFloat(b, 64)
+	if errA == nil && errB == nil {
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(a, b)
+}
+
+func parseConds(varName, whereClause string) (conditions, error) {
+	whereClause = strings.TrimSpace(whereClause)
+	if whereClause == "" {
+		return nil, nil
+	}
+	var cs conditions
+	for _, part := range splitAnd(whereClause) {
+		m := condRE.FindStringSubmatch(strings.TrimSpace(part))
+		if m == nil {
+			return nil, fmt.Errorf("graphstore: malformed condition %q", part)
+		}
+		if m[1] != varName {
+			return nil, fmt.Errorf("graphstore: condition variable %q does not match pattern variable %q", m[1], varName)
+		}
+		val := strings.TrimSpace(m[4])
+		if len(val) >= 2 && val[0] == '\'' && val[len(val)-1] == '\'' {
+			val = val[1 : len(val)-1]
+		}
+		cs = append(cs, condition{prop: m[2], op: strings.ToUpper(m[3]), value: val})
+	}
+	return cs, nil
+}
+
+// splitAnd splits on the AND keyword outside single-quoted strings.
+func splitAnd(s string) []string {
+	var parts []string
+	depth := false // inside quotes
+	last := 0
+	upper := strings.ToUpper(s)
+	for i := 0; i+5 <= len(s); i++ {
+		if s[i] == '\'' {
+			depth = !depth
+		}
+		if !depth && upper[i:i+5] == " AND " {
+			parts = append(parts, s[last:i])
+			last = i + 5
+		}
+	}
+	parts = append(parts, s[last:])
+	return parts
+}
+
+// ClassifyQuery reports whether a query string is syntactically one of the
+// language's read statements, without executing it. The augmentation
+// validator uses it to vet queries before submission.
+func ClassifyQuery(q string) (kind string, ok bool) {
+	if neighborsRE.MatchString(q) {
+		return "neighbors", true
+	}
+	if edgePatternRE.MatchString(q) {
+		return "pattern", true
+	}
+	if matchRE.MatchString(q) {
+		return "match", true
+	}
+	return "", false
+}

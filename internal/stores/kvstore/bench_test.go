@@ -1,0 +1,50 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchStore(b *testing.B, n int) *Store {
+	b.Helper()
+	s := New("bench")
+	for i := 0; i < n; i++ {
+		s.Set("b", fmt.Sprintf("k%d", i), fmt.Sprintf("value-%d", i))
+	}
+	return s
+}
+
+func BenchmarkGet(b *testing.B) {
+	s := benchStore(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get("b", fmt.Sprintf("k%d", i%10000)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkMGet100(b *testing.B) {
+	s := benchStore(b, 10000)
+	keys := make([]string, 100)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i*101%10000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.MGet("b", keys); len(got) != 100 {
+			b.Fatal("short read")
+		}
+	}
+}
+
+func BenchmarkKeysGlob(b *testing.B) {
+	s := benchStore(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Keys("b", "k1?3*")
+	}
+}

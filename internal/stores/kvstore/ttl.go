@@ -1,0 +1,166 @@
+package kvstore
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// This file adds Redis-style key expiry. Entries may carry a deadline;
+// expired entries are reaped lazily when touched by a read, which composes
+// with QUEPA's lazy index deletion: an expired discount disappears from the
+// A' index the first time an augmentation fails to fetch it.
+//
+// Commands:
+//
+//	SETEX <bucket> <key> <seconds> <value...>
+//	EXPIRE <bucket> <key> <seconds>
+//	TTL <bucket> <key>            -> seconds, -1 no expiry, -2 missing
+//
+// The clock is injectable for tests via SetClock.
+
+// SetClock replaces the store's time source (nil restores time.Now).
+func (s *Store) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now == nil {
+		now = time.Now
+	}
+	s.now = now
+}
+
+func (s *Store) clock() func() time.Time {
+	if s.now == nil {
+		return time.Now
+	}
+	return s.now
+}
+
+// SetWithTTL stores a value that expires after ttl.
+func (s *Store) SetWithTTL(bucketName, key, value string, ttl time.Duration) {
+	s.Set(bucketName, key, value)
+	s.Expire(bucketName, key, ttl)
+}
+
+// Expire sets the remaining lifetime of an existing key, reporting whether
+// the key exists. A non-positive ttl deletes the key immediately.
+func (s *Store) Expire(bucketName, key string, ttl time.Duration) bool {
+	s.mu.Lock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	if _, exists := b.data[key]; !exists {
+		s.mu.Unlock()
+		return false
+	}
+	if ttl <= 0 {
+		s.mu.Unlock()
+		s.Del(bucketName, key)
+		return true
+	}
+	if b.expiry == nil {
+		b.expiry = map[string]time.Time{}
+	}
+	b.expiry[key] = s.clock()().Add(ttl)
+	s.mu.Unlock()
+	return true
+}
+
+// TTL reports the remaining lifetime: (d, true) for expiring keys,
+// (0, true) with d == -1 marked by ok for persistent keys... Specifically:
+// ok is false when the key does not exist; expires is false when the key
+// has no deadline.
+func (s *Store) TTL(bucketName, key string) (remaining time.Duration, expires, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, found := s.buckets[bucketName]
+	if !found {
+		return 0, false, false
+	}
+	if s.expiredLocked(b, key) {
+		s.reapLocked(bucketName, b, key)
+		return 0, false, false
+	}
+	if _, exists := b.data[key]; !exists {
+		return 0, false, false
+	}
+	deadline, has := b.expiry[key]
+	if !has {
+		return 0, false, true
+	}
+	return deadline.Sub(s.clock()()), true, true
+}
+
+// expiredLocked reports whether key has passed its deadline.
+func (s *Store) expiredLocked(b *bucket, key string) bool {
+	deadline, has := b.expiry[key]
+	return has && !s.clock()().Before(deadline)
+}
+
+// reapLocked removes an expired key.
+func (s *Store) reapLocked(bucketName string, b *bucket, key string) {
+	delete(b.data, key)
+	delete(b.expiry, key)
+	kept := b.order[:0]
+	for _, k := range b.order {
+		if _, exists := b.data[k]; exists {
+			kept = append(kept, k)
+		}
+	}
+	b.order = kept
+}
+
+// doTTLCommand handles the expiry commands of the textual language.
+func (s *Store) doTTLCommand(op string, args []string) ([]Entry, error) {
+	switch op {
+	case "SETEX":
+		if len(args) < 4 {
+			return nil, fmt.Errorf("kvstore: SETEX requires bucket, key, seconds and value")
+		}
+		secs, err := strconv.Atoi(args[2])
+		if err != nil || secs <= 0 {
+			return nil, fmt.Errorf("kvstore: bad SETEX seconds %q", args[2])
+		}
+		value := joinFields(args[3:])
+		s.SetWithTTL(args[0], args[1], value, time.Duration(secs)*time.Second)
+		return []Entry{{Bucket: args[0], Key: args[1], Value: value}}, nil
+	case "EXPIRE":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("kvstore: EXPIRE requires bucket, key and seconds")
+		}
+		secs, err := strconv.Atoi(args[2])
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: bad EXPIRE seconds %q", args[2])
+		}
+		ok := s.Expire(args[0], args[1], time.Duration(secs)*time.Second)
+		return []Entry{{Bucket: args[0], Key: args[1], Value: strconv.FormatBool(ok)}}, nil
+	case "TTL":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("kvstore: TTL requires bucket and key")
+		}
+		remaining, expires, ok := s.TTL(args[0], args[1])
+		v := "-2" // missing, Redis convention
+		switch {
+		case ok && expires:
+			v = strconv.Itoa(int(remaining.Seconds()))
+		case ok:
+			v = "-1" // persistent
+		}
+		return []Entry{{Bucket: args[0], Key: args[1], Value: v}}, nil
+	default:
+		return nil, fmt.Errorf("kvstore: unknown command %q", op)
+	}
+}
+
+func joinFields(fields []string) string {
+	out := ""
+	for i, f := range fields {
+		if i > 0 {
+			out += " "
+		}
+		out += f
+	}
+	return out
+}

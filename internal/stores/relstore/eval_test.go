@@ -1,0 +1,126 @@
+package relstore
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareValues(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"1", "2", -1},
+		{"2", "1", 1},
+		{"2", "2", 0},
+		{"10", "9", 1},     // numeric, not lexicographic
+		{"1.5", "1.50", 0}, // numeric equality
+		{"abc", "abd", -1}, // string fallback
+		{"abc", "abc", 0},
+		{"1", "a", -1}, // mixed falls back to string: "1" < "a"
+		{"-3", "2", -1},
+		{"", "", 0},
+	}
+	for _, tt := range tests {
+		if got := compareValues(tt.a, tt.b); got != tt.want {
+			t.Errorf("compareValues(%q, %q) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestMatchLike(t *testing.T) {
+	tests := []struct {
+		value, pattern string
+		want           bool
+	}{
+		{"Wish", "%wish%", true},
+		{"Wish", "wish", true}, // case-insensitive
+		{"Wishbone", "%wish%", true},
+		{"A Wish Come True", "%wish%", true},
+		{"fish", "%wish%", false},
+		{"Dummy", "_ummy", true},
+		{"Dummy", "__mmy", true},
+		{"Dummy", "_mmy", false},
+		{"", "%", true},
+		{"", "", true},
+		{"x", "", false},
+		{"abc", "a%c", true},
+		{"ac", "a%c", true},
+		{"ab", "a%b%c", false},
+		{"abxbc", "a%b%c", true},
+		{"100%", "100%", true},
+		{"abc", "%%", true},
+	}
+	for _, tt := range tests {
+		if got := matchLike(tt.value, tt.pattern); got != tt.want {
+			t.Errorf("matchLike(%q, %q) = %v, want %v", tt.value, tt.pattern, got, tt.want)
+		}
+	}
+}
+
+func TestMatchLikeProperties(t *testing.T) {
+	// Property: a bare '%' pattern matches everything.
+	all := func(s string) bool { return matchLike(s, "%") }
+	if err := quick.Check(all, nil); err != nil {
+		t.Error(err)
+	}
+	// Property: a pattern equal to the lowercase value always matches
+	// (when the value contains no wildcard metacharacters).
+	self := func(s string) bool {
+		if strings.ContainsAny(s, "%_") {
+			return true
+		}
+		return matchLike(s, strings.ToLower(s))
+	}
+	if err := quick.Check(self, nil); err != nil {
+		t.Error(err)
+	}
+	// Property: %s% matches any string that contains s.
+	contains := func(prefix, s, suffix string) bool {
+		if strings.ContainsAny(s, "%_") || s == "" {
+			return true
+		}
+		return matchLike(prefix+s+suffix, "%"+strings.ToLower(s)+"%")
+	}
+	if err := quick.Check(contains, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalExprUnknownColumn(t *testing.T) {
+	lookup := func(string) (string, bool) { return "", false }
+	for _, e := range []expr{
+		&compareExpr{column: "ghost", op: "=", value: "1"},
+		&inExpr{column: "ghost", values: []string{"1"}},
+	} {
+		if _, err := evalExpr(e, lookup); err == nil {
+			t.Errorf("evalExpr(%T) with unknown column should fail", e)
+		}
+	}
+}
+
+func TestEvalExprShortCircuit(t *testing.T) {
+	// The right side references an unknown column; short-circuiting must
+	// prevent the error when the left side already decides the outcome.
+	lookup := func(col string) (string, bool) {
+		if col == "a" {
+			return "1", true
+		}
+		return "", false
+	}
+	andExpr := &binaryExpr{op: "AND",
+		left:  &compareExpr{column: "a", op: "=", value: "2"}, // false
+		right: &compareExpr{column: "ghost", op: "=", value: "1"},
+	}
+	if v, err := evalExpr(andExpr, lookup); err != nil || v {
+		t.Errorf("AND short-circuit: v=%v err=%v", v, err)
+	}
+	orExpr := &binaryExpr{op: "OR",
+		left:  &compareExpr{column: "a", op: "=", value: "1"}, // true
+		right: &compareExpr{column: "ghost", op: "=", value: "1"},
+	}
+	if v, err := evalExpr(orExpr, lookup); err != nil || !v {
+		t.Errorf("OR short-circuit: v=%v err=%v", v, err)
+	}
+}

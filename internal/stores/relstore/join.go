@@ -1,0 +1,189 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file executes INNER JOIN queries: FROM t1 JOIN t2 ON t1.a = t2.b.
+// Joined rows expose every column under its qualified name ("t1.a");
+// unqualified names resolve when they are unambiguous across the two tables.
+// Joins serve local querying only — the augmentation validator rejects them,
+// because a joined row is not a data object with a global key.
+
+// joined is one output row of the hash join before projection.
+type joined struct {
+	leftKey, rightKey string
+	values            map[string]string // qualified name -> value
+	lookup            func(string) (string, bool)
+}
+
+func (s *Store) runJoinSelect(sel *selectStmt) ([]Row, error) {
+	left, ok := s.tables[sel.table]
+	if !ok {
+		return nil, fmt.Errorf("relstore: unknown table %q", sel.table)
+	}
+	right, ok := s.tables[sel.join.table]
+	if !ok {
+		return nil, fmt.Errorf("relstore: unknown table %q", sel.join.table)
+	}
+	if sel.table == sel.join.table {
+		return nil, fmt.Errorf("relstore: self-joins are not supported")
+	}
+	if sel.hasAggregate() {
+		return nil, fmt.Errorf("relstore: aggregates over joins are not supported")
+	}
+	leftOn, err := resolveColumn(left, sel.table, sel.join.leftCol)
+	if err != nil {
+		return nil, err
+	}
+	rightOn, err := resolveColumn(right, sel.join.table, sel.join.rightCol)
+	if err != nil {
+		return nil, err
+	}
+
+	// Hash join: build on the right table, probe with the left.
+	build := map[string][]string{}
+	for _, rk := range right.order {
+		v := right.rows[rk][rightOn]
+		build[v] = append(build[v], rk)
+	}
+
+	// ambiguous tracks unqualified names present in both tables.
+	ambiguous := map[string]bool{}
+	for name := range left.colIdx {
+		if _, dup := right.colIdx[name]; dup {
+			ambiguous[name] = true
+		}
+	}
+	makeLookup := func(lv, rv []string) func(string) (string, bool) {
+		return func(ref string) (string, bool) {
+			if tbl, col, qualified := strings.Cut(ref, "."); qualified {
+				switch tbl {
+				case sel.table:
+					if ci, ok := left.colIdx[col]; ok {
+						return lv[ci], true
+					}
+				case sel.join.table:
+					if ci, ok := right.colIdx[col]; ok {
+						return rv[ci], true
+					}
+				}
+				return "", false
+			}
+			if ambiguous[ref] {
+				return "", false // force qualification
+			}
+			if ci, ok := left.colIdx[ref]; ok {
+				return lv[ci], true
+			}
+			if ci, ok := right.colIdx[ref]; ok {
+				return rv[ci], true
+			}
+			return "", false
+		}
+	}
+
+	var out []joined
+	for _, lk := range left.order {
+		lv := left.rows[lk]
+		for _, rk := range build[lv[leftOn]] {
+			rv := right.rows[rk]
+			lookup := makeLookup(lv, rv)
+			if sel.where != nil {
+				match, err := evalExpr(sel.where, lookup)
+				if err != nil {
+					return nil, err
+				}
+				if !match {
+					continue
+				}
+			}
+			out = append(out, joined{leftKey: lk, rightKey: rk, lookup: lookup})
+		}
+	}
+
+	if sel.orderBy != "" {
+		probeOK := false
+		if len(out) > 0 {
+			_, probeOK = out[0].lookup(sel.orderBy)
+		}
+		if len(out) > 0 && !probeOK {
+			return nil, fmt.Errorf("relstore: unknown or ambiguous ORDER BY column %q", sel.orderBy)
+		}
+		sort.SliceStable(out, func(i, j int) bool {
+			a, _ := out[i].lookup(sel.orderBy)
+			b, _ := out[j].lookup(sel.orderBy)
+			c := compareValues(a, b)
+			if sel.orderDir == "DESC" {
+				return c > 0
+			}
+			return c < 0
+		})
+	}
+	if sel.offset > 0 {
+		if sel.offset >= len(out) {
+			out = nil
+		} else {
+			out = out[sel.offset:]
+		}
+	}
+	if sel.limit >= 0 && len(out) > sel.limit {
+		out = out[:sel.limit]
+	}
+
+	// Projection: star expands to every qualified column of both tables.
+	rows := make([]Row, 0, len(out))
+	seen := map[string]bool{}
+	joinedName := sel.table + " JOIN " + sel.join.table
+	for _, j := range out {
+		values := map[string]string{}
+		for _, it := range sel.items {
+			if it.star {
+				lk := j.leftKey
+				rk := j.rightKey
+				lv := left.rows[lk]
+				rv := right.rows[rk]
+				for i, c := range left.cols {
+					values[sel.table+"."+c.name] = lv[i]
+				}
+				for i, c := range right.cols {
+					values[sel.join.table+"."+c.name] = rv[i]
+				}
+				continue
+			}
+			v, ok := j.lookup(it.column)
+			if !ok {
+				return nil, fmt.Errorf("relstore: unknown or ambiguous column %q in join projection", it.column)
+			}
+			values[it.column] = v
+		}
+		row := Row{Table: joinedName, Key: j.leftKey + "\x1f" + j.rightKey, Values: values}
+		if sel.distinct {
+			sig := rowSignature(row)
+			if seen[sig] {
+				continue
+			}
+			seen[sig] = true
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// resolveColumn resolves a possibly qualified column reference against one
+// table, returning the column index.
+func resolveColumn(t *table, tableName, ref string) (int, error) {
+	if tbl, col, qualified := strings.Cut(ref, "."); qualified {
+		if tbl != tableName {
+			return 0, fmt.Errorf("relstore: column %q does not belong to table %q", ref, tableName)
+		}
+		ref = col
+	}
+	ci, ok := t.colIdx[ref]
+	if !ok {
+		return 0, fmt.Errorf("relstore: unknown column %q in table %q", ref, tableName)
+	}
+	return ci, nil
+}

@@ -1,0 +1,139 @@
+package relstore
+
+import (
+	"strings"
+	"testing"
+)
+
+// newSalesDB builds inventory + sales tables for join testing.
+func newSalesDB(t *testing.T) *Store {
+	t.Helper()
+	s := newInventory(t)
+	mustExec(t, s, `CREATE TABLE sales (sid TEXT PRIMARY KEY, item TEXT, customer TEXT, total FLOAT)`)
+	mustExec(t, s, `INSERT INTO sales VALUES
+		('s1', 'a32', 'John', 20.0),
+		('s2', 'a32', 'Mary', 19.0),
+		('s3', 'a34', 'John', 22.0),
+		('s4', 'zzz', 'Ghost', 1.0)`)
+	return s
+}
+
+func TestInnerJoinBasic(t *testing.T) {
+	s := newSalesDB(t)
+	rows := mustSelect(t, s, `SELECT * FROM sales JOIN inventory ON sales.item = inventory.id`)
+	// s4 references a missing item: inner join drops it.
+	if len(rows) != 3 {
+		t.Fatalf("join returned %d rows, want 3", len(rows))
+	}
+	r := rows[0]
+	if r.Table != "sales JOIN inventory" {
+		t.Errorf("joined table name = %q", r.Table)
+	}
+	if r.Values["sales.customer"] != "John" || r.Values["inventory.name"] != "Wish" {
+		t.Errorf("joined row = %+v", r.Values)
+	}
+	// Star projection exposes every column of both tables, qualified.
+	if len(r.Values) != 8 {
+		t.Errorf("star join projected %d columns: %v", len(r.Values), r.Values)
+	}
+}
+
+func TestJoinProjectionAndWhere(t *testing.T) {
+	s := newSalesDB(t)
+	rows := mustSelect(t, s, `SELECT sales.customer, inventory.name FROM sales JOIN inventory ON sales.item = inventory.id WHERE inventory.artist = 'Cure' AND total > 19.5`)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Values["sales.customer"] != "John" || rows[0].Values["inventory.name"] != "Wish" {
+		t.Errorf("row = %+v", rows[0].Values)
+	}
+	// Unqualified unambiguous columns resolve ("total" only in sales).
+	rows = mustSelect(t, s, `SELECT customer FROM sales JOIN inventory ON item = id WHERE total < 19.5`)
+	if len(rows) != 1 || rows[0].Values["customer"] != "Mary" {
+		t.Errorf("unqualified join = %+v", rows)
+	}
+}
+
+func TestJoinOrderLimitDistinct(t *testing.T) {
+	s := newSalesDB(t)
+	rows := mustSelect(t, s, `SELECT customer, total FROM sales JOIN inventory ON item = id ORDER BY total DESC LIMIT 2`)
+	if len(rows) != 2 || rows[0].Values["total"] != "22.0" {
+		t.Fatalf("ordered join = %+v", rows)
+	}
+	rows = mustSelect(t, s, `SELECT DISTINCT customer FROM sales JOIN inventory ON item = id`)
+	if len(rows) != 2 { // John, Mary
+		t.Errorf("distinct join = %+v", rows)
+	}
+	rows = mustSelect(t, s, `SELECT customer FROM sales JOIN inventory ON item = id ORDER BY total ASC OFFSET 2`)
+	if len(rows) != 1 {
+		t.Errorf("offset join = %+v", rows)
+	}
+	rows = mustSelect(t, s, `SELECT customer FROM sales JOIN inventory ON item = id OFFSET 10`)
+	if len(rows) != 0 {
+		t.Errorf("past-end offset = %+v", rows)
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	s := newSalesDB(t)
+	// "artist" is unique but "name"... inventory.name vs sales has no name;
+	// create ambiguity with a column present in both tables.
+	mustExec(t, s, `CREATE TABLE promos (pid TEXT PRIMARY KEY, item TEXT, name TEXT)`)
+	mustExec(t, s, `INSERT INTO promos VALUES ('p1', 'a32', 'summer')`)
+
+	errCases := []string{
+		`SELECT * FROM ghost JOIN inventory ON a = b`,
+		`SELECT * FROM sales JOIN ghost ON a = b`,
+		`SELECT * FROM sales JOIN sales ON item = item`,
+		`SELECT * FROM sales JOIN inventory ON ghost = id`,
+		`SELECT * FROM sales JOIN inventory ON item = ghost`,
+		`SELECT * FROM sales JOIN inventory ON inventory.id = sales.item`, // left col qualified with wrong table
+		`SELECT COUNT(*) FROM sales JOIN inventory ON item = id`,
+		`SELECT name FROM promos JOIN inventory ON promos.item = inventory.id`, // ambiguous "name"
+		`SELECT ghost FROM sales JOIN inventory ON item = id`,
+		`SELECT customer FROM sales JOIN inventory ON item = id ORDER BY ghost`,
+		`SELECT * FROM sales JOIN inventory ON item = id WHERE ghost = '1'`,
+	}
+	for _, sql := range errCases {
+		if _, err := s.Select(sql); err == nil {
+			t.Errorf("%s: expected error", sql)
+		}
+	}
+	// Qualified disambiguation fixes the ambiguous case.
+	rows := mustSelect(t, s, `SELECT promos.name, inventory.name FROM promos JOIN inventory ON promos.item = inventory.id`)
+	if len(rows) != 1 || rows[0].Values["promos.name"] != "summer" || rows[0].Values["inventory.name"] != "Wish" {
+		t.Errorf("qualified projection = %+v", rows)
+	}
+}
+
+func TestJoinRowKeys(t *testing.T) {
+	s := newSalesDB(t)
+	rows := mustSelect(t, s, `SELECT customer FROM sales JOIN inventory ON item = id`)
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if !strings.Contains(r.Key, "\x1f") {
+			t.Errorf("join key %q lacks separator", r.Key)
+		}
+		if seen[r.Key] {
+			t.Errorf("duplicate join key %q", r.Key)
+		}
+		seen[r.Key] = true
+	}
+}
+
+func TestJoinStatementInspection(t *testing.T) {
+	st, err := Parse(`SELECT * FROM sales JOIN inventory ON item = id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.HasJoin() || !st.IsSelect() {
+		t.Error("join statement misinspected")
+	}
+	st, err = Parse(`SELECT * FROM sales`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HasJoin() {
+		t.Error("single-table select reported as join")
+	}
+}

@@ -1,0 +1,119 @@
+package relstore
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies SQL lexemes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokString // single-quoted literal, quotes stripped
+	tokNumber
+	tokSymbol // punctuation and operators: ( ) , * = != <> < > <= >=
+)
+
+// token is a single SQL lexeme with its position for error reporting.
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; identifiers keep original case
+	pos  int    // byte offset in the input
+}
+
+// keywords recognized by the dialect. Anything else alphabetic is an identifier.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "LIKE": true, "IN": true, "ORDER": true, "BY": true, "BETWEEN": true, "OFFSET": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "CREATE": true, "TABLE": true, "INDEX": true, "ON": true,
+	"PRIMARY": true, "KEY": true, "TEXT": true, "INT": true, "FLOAT": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"DELETE": true, "UPDATE": true, "SET": true, "DISTINCT": true,
+	"GROUP": true, "HAVING": true, "JOIN": true,
+}
+
+// lex tokenizes a SQL string. It returns a descriptive error on the first
+// malformed lexeme (currently only unterminated string literals).
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					// Doubled quote is an escaped quote inside the literal.
+					if i+1 < n && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("relstore: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		case c == '<' || c == '>' || c == '!':
+			start := i
+			op := string(c)
+			i++
+			if i < n && (input[i] == '=' || (c == '<' && input[i] == '>')) {
+				op += string(input[i])
+				i++
+			}
+			if op == "!" {
+				return nil, fmt.Errorf("relstore: stray '!' at offset %d", start)
+			}
+			toks = append(toks, token{kind: tokSymbol, text: op, pos: start})
+		case strings.ContainsRune("(),*=.;", rune(c)):
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		case c >= '0' && c <= '9' || c == '-' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9':
+			start := i
+			i++
+			for i < n && (input[i] >= '0' && input[i] <= '9' || input[i] == '.') {
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case isIdentRune(rune(c)):
+			start := i
+			for i < n && isIdentRune(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		default:
+			return nil, fmt.Errorf("relstore: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

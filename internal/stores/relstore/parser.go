@@ -1,0 +1,624 @@
+package relstore
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// parser is a recursive-descent parser over the token stream produced by lex.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// parse tokenizes and parses a single SQL statement.
+func parse(input string) (statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	// Allow a trailing semicolon.
+	if p.peek().kind == tokSymbol && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("relstore: trailing input at offset %d: %q", p.peek().pos, p.peek().text)
+	}
+	return st, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// expectKeyword consumes the next token, requiring it to be the given keyword.
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokKeyword || t.text != kw {
+		return fmt.Errorf("relstore: expected %s at offset %d, found %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+// expectSymbol consumes the next token, requiring it to be the given symbol.
+func (p *parser) expectSymbol(sym string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != sym {
+		return fmt.Errorf("relstore: expected %q at offset %d, found %q", sym, t.pos, t.text)
+	}
+	return nil
+}
+
+// expectIdent consumes the next token, requiring an identifier, and returns it.
+func (p *parser) expectIdent() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("relstore: expected identifier at offset %d, found %q", t.pos, t.text)
+	}
+	return t.text, nil
+}
+
+// acceptKeyword consumes the keyword if it is next and reports whether it did.
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peek().kind == tokKeyword && p.peek().text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// acceptSymbol consumes the symbol if it is next and reports whether it did.
+func (p *parser) acceptSymbol(sym string) bool {
+	if p.peek().kind == tokSymbol && p.peek().text == sym {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseStatement() (statement, error) {
+	t := p.peek()
+	if t.kind != tokKeyword {
+		return nil, fmt.Errorf("relstore: expected statement keyword at offset %d, found %q", t.pos, t.text)
+	}
+	switch t.text {
+	case "SELECT":
+		return p.parseSelect()
+	case "INSERT":
+		return p.parseInsert()
+	case "CREATE":
+		return p.parseCreate()
+	case "DELETE":
+		return p.parseDelete()
+	case "UPDATE":
+		return p.parseUpdate()
+	default:
+		return nil, fmt.Errorf("relstore: unsupported statement %q", t.text)
+	}
+}
+
+func (p *parser) parseCreate() (statement, error) {
+	p.next() // CREATE
+	if p.acceptKeyword("TABLE") {
+		return p.parseCreateTable()
+	}
+	if p.acceptKeyword("INDEX") {
+		return p.parseCreateIndex()
+	}
+	return nil, fmt.Errorf("relstore: expected TABLE or INDEX after CREATE")
+}
+
+func (p *parser) parseCreateTable() (statement, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	st := &createTableStmt{table: name}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		def := columnDef{name: col, typ: typeText}
+		switch {
+		case p.acceptKeyword("INT"):
+			def.typ = typeInt
+		case p.acceptKeyword("FLOAT"):
+			def.typ = typeFloat
+		case p.acceptKeyword("TEXT"):
+			def.typ = typeText
+		default:
+			return nil, fmt.Errorf("relstore: column %q missing type (TEXT, INT or FLOAT)", col)
+		}
+		if p.acceptKeyword("PRIMARY") {
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			def.primaryKey = true
+		}
+		st.columns = append(st.columns, def)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	return st, nil
+}
+
+func (p *parser) parseCreateIndex() (statement, error) {
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	col, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &createIndexStmt{table: table, column: col}, nil
+}
+
+func (p *parser) parseInsert() (statement, error) {
+	p.next() // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &insertStmt{table: table}
+	if p.acceptSymbol("(") {
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			st.columns = append(st.columns, col)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []string
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+		st.rows = append(st.rows, row)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseDelete() (statement, error) {
+	p.next() // DELETE
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &deleteStmt{table: table}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.where = w
+	}
+	return st, nil
+}
+
+func (p *parser) parseUpdate() (statement, error) {
+	p.next() // UPDATE
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	st := &updateStmt{table: table, set: map[string]string{}}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		st.set[col] = v
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.where = w
+	}
+	return st, nil
+}
+
+func (p *parser) parseSelect() (statement, error) {
+	p.next() // SELECT
+	st := &selectStmt{limit: -1}
+	st.distinct = p.acceptKeyword("DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		st.items = append(st.items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.table = table
+	if p.acceptKeyword("JOIN") {
+		join, err := p.parseJoin()
+		if err != nil {
+			return nil, err
+		}
+		st.join = join
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.where = w
+	}
+	if p.acceptKeyword("GROUP") {
+		return nil, fmt.Errorf("relstore: GROUP BY is not supported")
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		st.orderBy = col
+		st.orderDir = "ASC"
+		if p.acceptKeyword("DESC") {
+			st.orderDir = "DESC"
+		} else {
+			p.acceptKeyword("ASC")
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("relstore: expected number after LIMIT, found %q", t.text)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("relstore: invalid LIMIT %q", t.text)
+		}
+		st.limit = n
+	}
+	if p.acceptKeyword("OFFSET") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("relstore: expected number after OFFSET, found %q", t.text)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("relstore: invalid OFFSET %q", t.text)
+		}
+		st.offset = n
+	}
+	return st, nil
+}
+
+func (p *parser) parseSelectItem() (selectItem, error) {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == "*" {
+		p.next()
+		return selectItem{star: true}, nil
+	}
+	if t.kind == tokKeyword {
+		var agg aggFunc
+		switch t.text {
+		case "COUNT":
+			agg = aggCount
+		case "SUM":
+			agg = aggSum
+		case "AVG":
+			agg = aggAvg
+		case "MIN":
+			agg = aggMin
+		case "MAX":
+			agg = aggMax
+		default:
+			return selectItem{}, fmt.Errorf("relstore: unexpected keyword %q in select list", t.text)
+		}
+		p.next()
+		if err := p.expectSymbol("("); err != nil {
+			return selectItem{}, err
+		}
+		item := selectItem{agg: agg}
+		if p.acceptSymbol("*") {
+			if agg != aggCount {
+				return selectItem{}, fmt.Errorf("relstore: %s(*) is not allowed; only COUNT(*)", agg)
+			}
+			item.star = true
+		} else {
+			col, err := p.expectIdent()
+			if err != nil {
+				return selectItem{}, err
+			}
+			item.column = col
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return selectItem{}, err
+		}
+		return item, nil
+	}
+	col, err := p.parseColumnRef()
+	if err != nil {
+		return selectItem{}, err
+	}
+	return selectItem{column: col}, nil
+}
+
+// parseColumnRef parses a plain or table-qualified column name ("a" or
+// "t.a"), returning its textual form.
+func (p *parser) parseColumnRef() (string, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return "", err
+	}
+	if p.acceptSymbol(".") {
+		col, err := p.expectIdent()
+		if err != nil {
+			return "", err
+		}
+		return name + "." + col, nil
+	}
+	return name, nil
+}
+
+// parseJoin parses "t2 ON t1.a = t2.b" after the JOIN keyword.
+func (p *parser) parseJoin() (*joinClause, error) {
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	left, err := p.parseColumnRef()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return nil, err
+	}
+	right, err := p.parseColumnRef()
+	if err != nil {
+		return nil, err
+	}
+	return &joinClause{table: table, leftCol: left, rightCol: right}, nil
+}
+
+// parseExpr parses an OR-expression (lowest precedence).
+func (p *parser) parseExpr() (expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryExpr{op: "OR", left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryExpr{op: "AND", left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	if p.acceptKeyword("NOT") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &notExpr{inner: inner}, nil
+	}
+	if p.acceptSymbol("(") {
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (expr, error) {
+	col, err := p.parseColumnRef()
+	if err != nil {
+		return nil, err
+	}
+	t := p.next()
+	switch {
+	case t.kind == tokSymbol && isCompareOp(t.text):
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		op := t.text
+		if op == "<>" {
+			op = "!="
+		}
+		return &compareExpr{column: col, op: op, value: v}, nil
+	case t.kind == tokKeyword && t.text == "LIKE":
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return &compareExpr{column: col, op: "LIKE", value: v}, nil
+	case t.kind == tokKeyword && t.text == "NOT":
+		if p.acceptKeyword("BETWEEN") {
+			return p.parseBetween(col, true)
+		}
+		if err := p.expectKeyword("IN"); err != nil {
+			return nil, err
+		}
+		vals, err := p.parseLiteralList()
+		if err != nil {
+			return nil, err
+		}
+		return &inExpr{column: col, values: vals, negate: true}, nil
+	case t.kind == tokKeyword && t.text == "IN":
+		vals, err := p.parseLiteralList()
+		if err != nil {
+			return nil, err
+		}
+		return &inExpr{column: col, values: vals}, nil
+	case t.kind == tokKeyword && t.text == "BETWEEN":
+		return p.parseBetween(col, false)
+	default:
+		return nil, fmt.Errorf("relstore: expected comparison operator after %q at offset %d, found %q", col, t.pos, t.text)
+	}
+}
+
+func isCompareOp(s string) bool {
+	switch s {
+	case "=", "!=", "<>", "<", ">", "<=", ">=":
+		return true
+	}
+	return false
+}
+
+// parseBetween parses the "lo AND hi" tail of a BETWEEN predicate.
+func (p *parser) parseBetween(col string, negate bool) (expr, error) {
+	lo, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AND"); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return &betweenExpr{column: col, lo: lo, hi: hi, negate: negate}, nil
+}
+
+func (p *parser) parseLiteralList() ([]string, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var vals []string
+	for {
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return vals, nil
+	}
+}
+
+// parseLiteral accepts a string or number literal and returns its text value.
+func (p *parser) parseLiteral() (string, error) {
+	t := p.next()
+	switch t.kind {
+	case tokString, tokNumber:
+		return t.text, nil
+	default:
+		return "", fmt.Errorf("relstore: expected literal at offset %d, found %q", t.pos, t.text)
+	}
+}

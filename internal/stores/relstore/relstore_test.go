@@ -1,0 +1,433 @@
+package relstore
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// newInventory builds the running example's inventory table.
+func newInventory(t *testing.T) *Store {
+	t.Helper()
+	s := New("transactions")
+	mustExec(t, s, `CREATE TABLE inventory (id TEXT PRIMARY KEY, artist TEXT, name TEXT, price FLOAT)`)
+	mustExec(t, s, `INSERT INTO inventory VALUES
+		('a32', 'Cure', 'Wish', 18.5),
+		('a33', 'Cure', 'Disintegration', 17.0),
+		('a34', 'Radiohead', 'OK Computer', 21.0),
+		('a35', 'Portishead', 'Dummy', 15.5)`)
+	return s
+}
+
+func mustExec(t *testing.T, s *Store, sql string) int {
+	t.Helper()
+	n, err := s.Exec(sql)
+	if err != nil {
+		t.Fatalf("Exec(%s): %v", sql, err)
+	}
+	return n
+}
+
+func mustSelect(t *testing.T, s *Store, sql string) []Row {
+	t.Helper()
+	rows, err := s.Select(sql)
+	if err != nil {
+		t.Fatalf("Select(%s): %v", sql, err)
+	}
+	return rows
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	s := newInventory(t)
+	rows := mustSelect(t, s, `SELECT * FROM inventory WHERE name LIKE '%wish%'`)
+	if len(rows) != 1 {
+		t.Fatalf("LIKE query returned %d rows, want 1", len(rows))
+	}
+	if rows[0].Key != "a32" || rows[0].Values["artist"] != "Cure" {
+		t.Errorf("unexpected row %+v", rows[0])
+	}
+}
+
+func TestSelectComparisons(t *testing.T) {
+	s := newInventory(t)
+	tests := []struct {
+		where string
+		want  []string
+	}{
+		{`price > 17.0`, []string{"a32", "a34"}},
+		{`price >= 17.0`, []string{"a32", "a33", "a34"}},
+		{`price < 17.0`, []string{"a35"}},
+		{`price <= 15.5`, []string{"a35"}},
+		{`artist = 'Cure'`, []string{"a32", "a33"}},
+		{`artist != 'Cure'`, []string{"a34", "a35"}},
+		{`artist <> 'Cure'`, []string{"a34", "a35"}},
+		{`artist = 'Cure' AND price > 18`, []string{"a32"}},
+		{`artist = 'Radiohead' OR artist = 'Portishead'`, []string{"a34", "a35"}},
+		{`NOT artist = 'Cure'`, []string{"a34", "a35"}},
+		{`(artist = 'Cure' OR artist = 'Radiohead') AND price > 18`, []string{"a32", "a34"}},
+		{`id IN ('a32', 'a35', 'zzz')`, []string{"a32", "a35"}},
+		{`id NOT IN ('a32', 'a33', 'a34')`, []string{"a35"}},
+		{`name LIKE 'D%'`, []string{"a33", "a35"}},
+		{`name LIKE '_ummy'`, []string{"a35"}},
+	}
+	for _, tt := range tests {
+		rows := mustSelect(t, s, `SELECT id FROM inventory WHERE `+tt.where)
+		var got []string
+		for _, r := range rows {
+			got = append(got, r.Key)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(tt.want) {
+			t.Errorf("WHERE %s: got %v, want %v", tt.where, got, tt.want)
+		}
+	}
+}
+
+func TestOrderByLimit(t *testing.T) {
+	s := newInventory(t)
+	rows := mustSelect(t, s, `SELECT id FROM inventory ORDER BY price DESC LIMIT 2`)
+	if len(rows) != 2 || rows[0].Key != "a34" || rows[1].Key != "a32" {
+		t.Fatalf("ORDER BY price DESC LIMIT 2 = %+v", rows)
+	}
+	rows = mustSelect(t, s, `SELECT id FROM inventory ORDER BY price ASC`)
+	if rows[0].Key != "a35" {
+		t.Errorf("ORDER BY price ASC first row = %v", rows[0].Key)
+	}
+	rows = mustSelect(t, s, `SELECT id FROM inventory LIMIT 0`)
+	if len(rows) != 0 {
+		t.Errorf("LIMIT 0 returned %d rows", len(rows))
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	s := newInventory(t)
+	tests := []struct {
+		sql   string
+		label string
+		want  string
+	}{
+		{`SELECT COUNT(*) FROM inventory`, "COUNT(*)", "4"},
+		{`SELECT COUNT(*) FROM inventory WHERE artist = 'Cure'`, "COUNT(*)", "2"},
+		{`SELECT SUM(price) FROM inventory WHERE artist = 'Cure'`, "SUM(price)", "35.5"},
+		{`SELECT AVG(price) FROM inventory WHERE artist = 'Cure'`, "AVG(price)", "17.75"},
+		{`SELECT MIN(price) FROM inventory`, "MIN(price)", "15.5"},
+		{`SELECT MAX(price) FROM inventory`, "MAX(price)", "21"},
+	}
+	for _, tt := range tests {
+		rows := mustSelect(t, s, tt.sql)
+		if len(rows) != 1 {
+			t.Fatalf("%s returned %d rows", tt.sql, len(rows))
+		}
+		if got := rows[0].Values[tt.label]; got != tt.want {
+			t.Errorf("%s = %q, want %q", tt.sql, got, tt.want)
+		}
+	}
+	if _, err := s.Select(`SELECT id, COUNT(*) FROM inventory`); err == nil {
+		t.Error("mixing aggregate and plain column should fail")
+	}
+	if _, err := s.Select(`SELECT SUM(artist) FROM inventory`); err == nil {
+		t.Error("SUM over non-numeric column should fail")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	s := newInventory(t)
+	rows := mustSelect(t, s, `SELECT DISTINCT artist FROM inventory`)
+	if len(rows) != 3 {
+		t.Errorf("DISTINCT artist returned %d rows, want 3", len(rows))
+	}
+}
+
+func TestGetAndGetBatch(t *testing.T) {
+	s := newInventory(t)
+	row, ok, err := s.Get("inventory", "a33")
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if row.Values["name"] != "Disintegration" {
+		t.Errorf("Get returned %+v", row)
+	}
+	if _, ok, _ := s.Get("inventory", "missing"); ok {
+		t.Error("Get of missing key reported present")
+	}
+	if _, _, err := s.Get("nope", "a"); err == nil {
+		t.Error("Get on unknown table should fail")
+	}
+
+	rows, err := s.GetBatch("inventory", []string{"a35", "missing", "a32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Key != "a35" || rows[1].Key != "a32" {
+		t.Errorf("GetBatch = %+v", rows)
+	}
+}
+
+func TestDeleteAndUpdate(t *testing.T) {
+	s := newInventory(t)
+	if n := mustExec(t, s, `UPDATE inventory SET price = 19.0 WHERE id = 'a32'`); n != 1 {
+		t.Errorf("UPDATE affected %d rows", n)
+	}
+	row, _, _ := s.Get("inventory", "a32")
+	if row.Values["price"] != "19.0" {
+		t.Errorf("price after update = %q", row.Values["price"])
+	}
+	if n := mustExec(t, s, `DELETE FROM inventory WHERE artist = 'Cure'`); n != 2 {
+		t.Errorf("DELETE affected %d rows", n)
+	}
+	if s.Len("inventory") != 2 {
+		t.Errorf("rows after delete = %d", s.Len("inventory"))
+	}
+	if _, ok, _ := s.Get("inventory", "a32"); ok {
+		t.Error("deleted row still present")
+	}
+	if _, err := s.Exec(`UPDATE inventory SET id = 'x'`); err == nil {
+		t.Error("updating primary key should fail")
+	}
+}
+
+func TestSecondaryIndex(t *testing.T) {
+	s := newInventory(t)
+	mustExec(t, s, `CREATE INDEX ON inventory (artist)`)
+	rows := mustSelect(t, s, `SELECT id FROM inventory WHERE artist = 'Cure'`)
+	if len(rows) != 2 {
+		t.Fatalf("indexed lookup returned %d rows", len(rows))
+	}
+	// Index stays consistent under DML.
+	mustExec(t, s, `INSERT INTO inventory VALUES ('a40', 'Cure', 'Pornography', 16.0)`)
+	mustExec(t, s, `DELETE FROM inventory WHERE id = 'a32'`)
+	mustExec(t, s, `UPDATE inventory SET artist = 'The Cure' WHERE id = 'a33'`)
+	rows = mustSelect(t, s, `SELECT id FROM inventory WHERE artist = 'Cure'`)
+	if len(rows) != 1 || rows[0].Key != "a40" {
+		t.Errorf("index after DML: %+v", rows)
+	}
+	rows = mustSelect(t, s, `SELECT id FROM inventory WHERE artist = 'The Cure'`)
+	if len(rows) != 1 || rows[0].Key != "a33" {
+		t.Errorf("index after update: %+v", rows)
+	}
+	if _, err := s.Exec(`CREATE INDEX ON inventory (artist)`); err == nil {
+		t.Error("duplicate index should fail")
+	}
+	if _, err := s.Exec(`CREATE INDEX ON inventory (ghost)`); err == nil {
+		t.Error("index on unknown column should fail")
+	}
+}
+
+func TestPrimaryKeyFastPath(t *testing.T) {
+	s := newInventory(t)
+	rows := mustSelect(t, s, `SELECT * FROM inventory WHERE id = 'a34'`)
+	if len(rows) != 1 || rows[0].Values["artist"] != "Radiohead" {
+		t.Fatalf("pk fast path: %+v", rows)
+	}
+	rows = mustSelect(t, s, `SELECT * FROM inventory WHERE id = 'nope'`)
+	if len(rows) != 0 {
+		t.Errorf("pk fast path for missing key: %+v", rows)
+	}
+	rows = mustSelect(t, s, `SELECT * FROM inventory WHERE id IN ('a32', 'a34')`)
+	if len(rows) != 2 {
+		t.Errorf("pk IN fast path returned %d rows", len(rows))
+	}
+}
+
+func TestRowIDTables(t *testing.T) {
+	s := New("db")
+	mustExec(t, s, `CREATE TABLE logs (msg TEXT)`)
+	mustExec(t, s, `INSERT INTO logs VALUES ('one'), ('two')`)
+	rows := mustSelect(t, s, `SELECT * FROM logs`)
+	if len(rows) != 2 {
+		t.Fatalf("rowid table scan: %d rows", len(rows))
+	}
+	if !strings.HasPrefix(rows[0].Key, "rowid:") {
+		t.Errorf("synthetic key = %q", rows[0].Key)
+	}
+	pk, err := s.PrimaryKey("logs")
+	if err != nil || pk != "rowid" {
+		t.Errorf("PrimaryKey = %q, %v", pk, err)
+	}
+	rows = mustSelect(t, s, `SELECT * FROM logs WHERE rowid = 'rowid:1'`)
+	if len(rows) != 1 || rows[0].Values["msg"] != "one" {
+		t.Errorf("rowid lookup: %+v", rows)
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	s := newInventory(t)
+	errCases := []string{
+		`SELECT * FROM ghost`,
+		`SELECT ghost FROM inventory`,
+		`SELECT * FROM inventory WHERE ghost = '1'`,
+		`SELECT * FROM inventory ORDER BY ghost`,
+		`INSERT INTO ghost VALUES ('a')`,
+		`INSERT INTO inventory (id) VALUES ('a32')`, // duplicate pk
+		`INSERT INTO inventory (ghost) VALUES ('x')`,
+		`INSERT INTO inventory (id, artist) VALUES ('z')`, // arity mismatch
+		`DELETE FROM ghost`,
+		`UPDATE ghost SET a = '1'`,
+		`SELECT * FROM inventory WHERE`,
+		`SELECT`,
+		`FROM inventory`,
+		`SELECT * FROM inventory GROUP BY artist`,
+		`SELECT * FROM inventory LIMIT 'x'`,
+		`SELECT SUM(*) FROM inventory`,
+		`CREATE TABLE inventory (id TEXT PRIMARY KEY)`, // duplicate table
+		`CREATE TABLE bad ()`,
+		`CREATE TABLE bad (a TEXT, a INT)`,
+		`CREATE TABLE bad (a TEXT PRIMARY KEY, b INT PRIMARY KEY)`,
+	}
+	for _, sql := range errCases {
+		_, selErr := s.Select(sql)
+		_, execErr := s.Exec(sql)
+		if selErr == nil && execErr == nil {
+			t.Errorf("%s: expected an error from Select or Exec", sql)
+		}
+	}
+	if _, err := s.Exec(`SELECT * FROM inventory`); err == nil {
+		t.Error("Exec of SELECT should direct caller to Select")
+	}
+	if _, err := s.Select(`DELETE FROM inventory`); err == nil {
+		t.Error("Select of DELETE should fail")
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, sql := range []string{
+		`SELECT * FROM t WHERE a = 'unterminated`,
+		`SELECT * FROM t WHERE a ! b`,
+		"SELECT \x00 FROM t",
+	} {
+		if _, err := parse(sql); err == nil {
+			t.Errorf("parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestStatementInspection(t *testing.T) {
+	st, err := Parse(`SELECT COUNT(*) FROM inventory`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.IsSelect() || !st.HasAggregate() || st.Table() != "inventory" {
+		t.Errorf("inspection of aggregate select: %+v", st)
+	}
+	st, err = Parse(`SELECT * FROM inventory WHERE id = 'a1'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HasAggregate() || !st.SelectsStar() {
+		t.Error("star select misinspected")
+	}
+	st, err = Parse(`SELECT name FROM inventory`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SelectsStar() {
+		t.Error("column select reported as star")
+	}
+	st, err = Parse(`INSERT INTO x VALUES ('1')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IsSelect() || st.Table() != "x" {
+		t.Error("insert misinspected")
+	}
+}
+
+func TestRoundTripCounter(t *testing.T) {
+	s := newInventory(t) // 2 Execs
+	before := s.RoundTrips()
+	mustSelect(t, s, `SELECT * FROM inventory`)
+	s.Get("inventory", "a32")
+	s.GetBatch("inventory", []string{"a32"})
+	if got := s.RoundTrips() - before; got != 3 {
+		t.Errorf("round trips = %d, want 3", got)
+	}
+}
+
+func TestTablesAndColumns(t *testing.T) {
+	s := newInventory(t)
+	if got := s.Tables(); len(got) != 1 || got[0] != "inventory" {
+		t.Errorf("Tables() = %v", got)
+	}
+	cols, err := s.Columns("inventory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"id", "artist", "name", "price"}
+	if fmt.Sprint(cols) != fmt.Sprint(want) {
+		t.Errorf("Columns() = %v, want %v", cols, want)
+	}
+	if _, err := s.Columns("ghost"); err == nil {
+		t.Error("Columns on unknown table should fail")
+	}
+}
+
+func TestEscapedQuote(t *testing.T) {
+	s := New("db")
+	mustExec(t, s, `CREATE TABLE t (id TEXT PRIMARY KEY, v TEXT)`)
+	mustExec(t, s, `INSERT INTO t VALUES ('1', 'it''s here')`)
+	rows := mustSelect(t, s, `SELECT * FROM t WHERE v = 'it''s here'`)
+	if len(rows) != 1 {
+		t.Fatalf("escaped quote round trip failed: %+v", rows)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	s := newInventory(t)
+	tests := []struct {
+		where string
+		want  int
+	}{
+		{`price BETWEEN 16 AND 19`, 2},     // a32 (18.5), a33 (17.0)
+		{`price BETWEEN 15.5 AND 15.5`, 1}, // inclusive bounds
+		{`price NOT BETWEEN 16 AND 19`, 2}, // a34 (21.0), a35 (15.5)
+		{`price BETWEEN 100 AND 200`, 0},
+		{`artist BETWEEN 'C' AND 'D'`, 2}, // string range: Cure twice
+	}
+	for _, tt := range tests {
+		rows := mustSelect(t, s, `SELECT id FROM inventory WHERE `+tt.where)
+		if len(rows) != tt.want {
+			t.Errorf("WHERE %s: %d rows, want %d", tt.where, len(rows), tt.want)
+		}
+	}
+	if _, err := s.Select(`SELECT id FROM inventory WHERE price BETWEEN 16`); err == nil {
+		t.Error("BETWEEN without AND should fail")
+	}
+	if _, err := s.Select(`SELECT id FROM inventory WHERE ghost BETWEEN 1 AND 2`); err == nil {
+		t.Error("BETWEEN on unknown column should fail")
+	}
+}
+
+func TestLimitOffset(t *testing.T) {
+	s := newInventory(t)
+	rows := mustSelect(t, s, `SELECT id FROM inventory ORDER BY price ASC LIMIT 2 OFFSET 1`)
+	if len(rows) != 2 || rows[0].Key != "a33" || rows[1].Key != "a32" {
+		t.Fatalf("LIMIT 2 OFFSET 1 = %+v", rows)
+	}
+	rows = mustSelect(t, s, `SELECT id FROM inventory OFFSET 3`)
+	if len(rows) != 1 {
+		t.Errorf("OFFSET 3 = %d rows", len(rows))
+	}
+	rows = mustSelect(t, s, `SELECT id FROM inventory OFFSET 100`)
+	if len(rows) != 0 {
+		t.Errorf("past-end OFFSET = %d rows", len(rows))
+	}
+	if _, err := s.Select(`SELECT id FROM inventory OFFSET 'x'`); err == nil {
+		t.Error("non-numeric OFFSET should fail")
+	}
+}
+
+func TestBetweenRenderRoundTrip(t *testing.T) {
+	st, err := Parse(`SELECT name FROM inventory WHERE price BETWEEN 10 AND 20 OR name NOT BETWEEN 'A' AND 'B' LIMIT 3 OFFSET 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewritten, ok := st.EnsureKeyColumn("id")
+	if !ok {
+		t.Fatal("expected rewrite")
+	}
+	if _, err := Parse(rewritten); err != nil {
+		t.Fatalf("rendered SQL %q does not parse: %v", rewritten, err)
+	}
+	if !strings.Contains(rewritten, "BETWEEN 10 AND 20") || !strings.Contains(rewritten, "OFFSET 2") {
+		t.Errorf("rendered = %q", rewritten)
+	}
+}

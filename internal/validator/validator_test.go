@@ -1,0 +1,120 @@
+package validator
+
+import (
+	"errors"
+	"testing"
+
+	"quepa/internal/connector"
+	"quepa/internal/stores/docstore"
+	"quepa/internal/stores/graphstore"
+	"quepa/internal/stores/kvstore"
+	"quepa/internal/stores/relstore"
+)
+
+func newRelConnector(t *testing.T) *connector.Relational {
+	t.Helper()
+	db := relstore.New("transactions")
+	if _, err := db.Exec(`CREATE TABLE inventory (id TEXT PRIMARY KEY, name TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	return connector.NewRelational(db)
+}
+
+func TestRelationalValidation(t *testing.T) {
+	c := newRelConnector(t)
+
+	v, err := Validate(c, `SELECT name FROM inventory WHERE name LIKE '%wish%'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Rewritten || v.Query != `SELECT id, name FROM inventory WHERE name LIKE '%wish%'` {
+		t.Errorf("rewrite = %+v", v)
+	}
+
+	v, err = Validate(c, `SELECT * FROM inventory`)
+	if err != nil || v.Rewritten {
+		t.Errorf("star query should pass unchanged: %+v, %v", v, err)
+	}
+
+	var na *ErrNotAugmentable
+	if _, err := Validate(c, `SELECT COUNT(*) FROM inventory`); !errors.As(err, &na) {
+		t.Errorf("aggregate should be not-augmentable, got %v", err)
+	}
+	if _, err := Validate(c, `INSERT INTO inventory VALUES ('1', 'x')`); !errors.As(err, &na) {
+		t.Errorf("insert should be not-augmentable, got %v", err)
+	}
+	if _, err := Validate(c, `garbage sql`); err == nil {
+		t.Error("malformed SQL should fail")
+	}
+	if _, err := Validate(c, `SELECT name FROM ghost`); err == nil {
+		t.Error("unknown table should fail at key resolution")
+	}
+}
+
+func TestDocumentValidation(t *testing.T) {
+	c := connector.NewDocument(docstore.New("catalogue"))
+	v, err := Validate(c, `albums.find({"artist": "The Cure"})`)
+	if err != nil || v.Rewritten {
+		t.Errorf("find should pass unchanged: %+v, %v", v, err)
+	}
+	var na *ErrNotAugmentable
+	if _, err := Validate(c, `albums.count({})`); !errors.As(err, &na) {
+		t.Errorf("count should be not-augmentable, got %v", err)
+	}
+	if _, err := Validate(c, `albums.find`); err == nil {
+		t.Error("malformed query should fail")
+	}
+}
+
+func TestKeyValueValidation(t *testing.T) {
+	c := connector.NewKeyValue(kvstore.New("discount"))
+	for _, q := range []string{"GET drop k1", "MGET drop k1 k2", "KEYS drop *", "SCAN drop", "EXISTS drop k1", "get drop k1"} {
+		if v, err := Validate(c, q); err != nil || v.Query != q {
+			t.Errorf("Validate(%q) = %+v, %v", q, v, err)
+		}
+	}
+	var na *ErrNotAugmentable
+	for _, q := range []string{"SET drop k v", "DEL drop k", "LEN drop"} {
+		if _, err := Validate(c, q); !errors.As(err, &na) {
+			t.Errorf("Validate(%q) should be not-augmentable, got %v", q, err)
+		}
+	}
+	if _, err := Validate(c, "BOGUS x"); err == nil {
+		t.Error("unknown command should fail")
+	}
+	if _, err := Validate(c, "   "); err == nil {
+		t.Error("empty command should fail")
+	}
+}
+
+func TestGraphValidation(t *testing.T) {
+	c := connector.NewGraph(graphstore.New("similar-items"))
+	for _, q := range []string{
+		`MATCH (n:items) RETURN n`,
+		`MATCH (n:items) WHERE n.year > 1990 RETURN n`,
+		`NEIGHBORS n1`,
+		`NEIGHBORS n1 SIMILAR`,
+	} {
+		if v, err := Validate(c, q); err != nil || v.Query != q {
+			t.Errorf("Validate(%q) = %+v, %v", q, v, err)
+		}
+	}
+	if _, err := Validate(c, `DROP EVERYTHING`); err == nil {
+		t.Error("malformed graph query should fail")
+	}
+}
+
+func TestJoinNotAugmentable(t *testing.T) {
+	db := relstore.New("transactions")
+	if _, err := db.Exec(`CREATE TABLE a (id TEXT PRIMARY KEY, x TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE b (id TEXT PRIMARY KEY, y TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	c := connector.NewRelational(db)
+	var na *ErrNotAugmentable
+	if _, err := Validate(c, `SELECT * FROM a JOIN b ON a.x = b.id`); !errors.As(err, &na) {
+		t.Errorf("join should be not-augmentable, got %v", err)
+	}
+}

@@ -1,0 +1,165 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync/atomic"
+
+	"quepa/internal/core"
+)
+
+// Client is a core.Store backed by a remote wire server. It keeps a small
+// pool of TCP connections so that concurrent augmenter goroutines can issue
+// parallel round trips.
+type Client struct {
+	addr        string
+	pool        chan net.Conn
+	name        string
+	kind        core.StoreKind
+	collections []string
+	roundTrips  atomic.Uint64
+	closed      atomic.Bool
+}
+
+// DefaultPoolSize is the connection-pool capacity of Dial.
+const DefaultPoolSize = 16
+
+// Dial connects to a wire server and fetches the store's metadata.
+func Dial(addr string) (*Client, error) {
+	c := &Client{addr: addr, pool: make(chan net.Conn, DefaultPoolSize)}
+	resp, err := c.roundTrip(request{Op: opMeta})
+	if err != nil {
+		return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
+	}
+	c.name = resp.Name
+	c.kind = core.StoreKind(resp.Kind)
+	c.collections = resp.Collections
+	return c, nil
+}
+
+// Close drops the pooled connections. In-flight requests complete on their
+// own connections and are then discarded.
+func (c *Client) Close() {
+	c.closed.Store(true)
+	for {
+		select {
+		case conn := <-c.pool:
+			conn.Close()
+		default:
+			return
+		}
+	}
+}
+
+// Name returns the remote store's name.
+func (c *Client) Name() string { return c.name }
+
+// Kind returns the remote store's kind.
+func (c *Client) Kind() core.StoreKind { return c.kind }
+
+// Collections returns the remote store's collections as of Dial time.
+func (c *Client) Collections() []string { return c.collections }
+
+// RoundTrips returns the number of requests issued by this client.
+func (c *Client) RoundTrips() uint64 { return c.roundTrips.Load() }
+
+func (c *Client) getConn() (net.Conn, error) {
+	select {
+	case conn := <-c.pool:
+		return conn, nil
+	default:
+		return net.Dial("tcp", c.addr)
+	}
+}
+
+func (c *Client) putConn(conn net.Conn) {
+	if c.closed.Load() {
+		conn.Close()
+		return
+	}
+	select {
+	case c.pool <- conn:
+	default:
+		conn.Close()
+	}
+}
+
+func (c *Client) roundTrip(req request) (response, error) {
+	c.roundTrips.Add(1)
+	conn, err := c.getConn()
+	if err != nil {
+		return response{}, err
+	}
+	var resp response
+	if err := writeFrame(conn, req); err != nil {
+		conn.Close()
+		return response{}, err
+	}
+	if err := readFrame(conn, &resp); err != nil {
+		conn.Close()
+		return response{}, err
+	}
+	c.putConn(conn)
+	if resp.Error != "" {
+		return response{}, fmt.Errorf("wire: remote error: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Get retrieves one object from the remote store.
+func (c *Client) Get(ctx context.Context, collection, key string) (core.Object, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Object{}, err
+	}
+	resp, err := c.roundTrip(request{Op: opGet, Collection: collection, Key: key})
+	if err != nil {
+		return core.Object{}, err
+	}
+	if resp.NotFound || len(resp.Objects) == 0 {
+		return core.Object{}, fmt.Errorf("%s.%s.%s: %w", c.name, collection, key, core.ErrNotFound)
+	}
+	return fromWire(resp.Objects[0]), nil
+}
+
+// GetBatch retrieves many objects in one remote round trip.
+func (c *Client) GetBatch(ctx context.Context, collection string, keys []string) ([]core.Object, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(request{Op: opGetBatch, Collection: collection, Keys: keys})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Object, len(resp.Objects))
+	for i, w := range resp.Objects {
+		out[i] = fromWire(w)
+	}
+	return out, nil
+}
+
+// KeyField resolves the identifier field of a remote collection, so the
+// augmentation validator can rewrite queries against wire-backed stores.
+func (c *Client) KeyField(collection string) (string, error) {
+	resp, err := c.roundTrip(request{Op: opKeyField, Collection: collection})
+	if err != nil {
+		return "", err
+	}
+	return resp.KeyField, nil
+}
+
+// Query executes a native-language query on the remote store.
+func (c *Client) Query(ctx context.Context, query string) ([]core.Object, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(request{Op: opQuery, Query: query})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Object, len(resp.Objects))
+	for i, w := range resp.Objects {
+		out[i] = fromWire(w)
+	}
+	return out, nil
+}

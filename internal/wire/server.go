@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+
+	"quepa/internal/core"
+)
+
+// Server exposes one store over TCP. Create it with Serve and stop it with
+// Close; every accepted connection is handled in its own goroutine and may
+// carry any number of sequential requests.
+type Server struct {
+	store core.Store
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving the store on the given address ("127.0.0.1:0" picks a
+// free port; query it with Addr).
+func Serve(store core.Store, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{store: store, ln: ln, conns: map[net.Conn]struct{}{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting connections, closes the active ones and waits for
+// the handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	ctx := context.Background()
+	for {
+		var req request
+		if err := readFrame(conn, &req); err != nil {
+			return // connection closed or corrupted: drop it
+		}
+		resp := s.dispatch(ctx, req)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(ctx context.Context, req request) response {
+	switch req.Op {
+	case opMeta:
+		return response{
+			Name:        s.store.Name(),
+			Kind:        int(s.store.Kind()),
+			Collections: s.store.Collections(),
+		}
+	case opGet:
+		o, err := s.store.Get(ctx, req.Collection, req.Key)
+		if err != nil {
+			if errors.Is(err, core.ErrNotFound) {
+				return response{NotFound: true}
+			}
+			return response{Error: err.Error()}
+		}
+		return response{Objects: []wireObject{toWire(o)}}
+	case opGetBatch:
+		objs, err := s.store.GetBatch(ctx, req.Collection, req.Keys)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return objectsResponse(objs)
+	case opQuery:
+		objs, err := s.store.Query(ctx, req.Query)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return objectsResponse(objs)
+	case opKeyField:
+		type keyResolver interface{ KeyField(string) (string, error) }
+		kr, ok := s.store.(keyResolver)
+		if !ok {
+			return response{Error: "wire: store cannot resolve key fields"}
+		}
+		kf, err := kr.KeyField(req.Collection)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{KeyField: kf}
+	default:
+		return response{Error: "wire: unknown op " + req.Op}
+	}
+}
+
+func objectsResponse(objs []core.Object) response {
+	out := make([]wireObject, len(objs))
+	for i, o := range objs {
+		out[i] = toWire(o)
+	}
+	return response{Objects: out}
+}

@@ -1,0 +1,108 @@
+// Package wire exposes any core.Store over TCP so that a polystore can span
+// machines, the way the paper's distributed deployment spreads its stores
+// over EC2 regions. The protocol is deliberately simple: each request and
+// response is one length-prefixed JSON frame (4-byte big-endian length
+// followed by the JSON body).
+//
+// The Server wraps a store and serves any number of concurrent connections;
+// the Client implements core.Store over a small connection pool so the
+// concurrent augmenters can issue parallel round trips, just like native
+// database drivers do.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"quepa/internal/core"
+)
+
+// maxFrame bounds a single frame to guard against corrupted lengths.
+const maxFrame = 64 << 20 // 64 MiB
+
+// request ops.
+const (
+	opGet      = "get"
+	opGetBatch = "getbatch"
+	opQuery    = "query"
+	opMeta     = "meta"
+	opKeyField = "keyfield"
+)
+
+type request struct {
+	Op         string   `json:"op"`
+	Collection string   `json:"collection,omitempty"`
+	Key        string   `json:"key,omitempty"`
+	Keys       []string `json:"keys,omitempty"`
+	Query      string   `json:"query,omitempty"`
+}
+
+type wireObject struct {
+	Database   string            `json:"db"`
+	Collection string            `json:"coll"`
+	Key        string            `json:"key"`
+	Fields     map[string]string `json:"fields"`
+}
+
+type response struct {
+	Objects     []wireObject `json:"objects,omitempty"`
+	Error       string       `json:"error,omitempty"`
+	NotFound    bool         `json:"notFound,omitempty"`
+	Name        string       `json:"name,omitempty"`
+	Kind        int          `json:"kind,omitempty"`
+	Collections []string     `json:"collections,omitempty"`
+	KeyField    string       `json:"keyField,omitempty"`
+}
+
+func toWire(o core.Object) wireObject {
+	return wireObject{
+		Database:   o.GK.Database,
+		Collection: o.GK.Collection,
+		Key:        o.GK.Key,
+		Fields:     o.Fields,
+	}
+}
+
+func fromWire(w wireObject) core.Object {
+	return core.NewObject(core.NewGlobalKey(w.Database, w.Collection, w.Key), w.Fields)
+}
+
+// writeFrame sends one length-prefixed JSON frame.
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: encoding frame: %w", err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+	}
+	var head [4]byte
+	binary.BigEndian.PutUint32(head[:], uint32(len(body)))
+	if _, err := w.Write(head[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame receives one length-prefixed JSON frame into v.
+func readFrame(r io.Reader, v any) error {
+	var head [4]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(head[:])
+	if n > maxFrame {
+		return fmt.Errorf("wire: incoming frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("wire: decoding frame: %w", err)
+	}
+	return nil
+}

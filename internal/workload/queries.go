@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"quepa/internal/core"
+)
+
+// This file forms the test-bed queries of Section VII-A(b): for each
+// database, queries retrieving an exact number of objects, built on the
+// "seq" field every generated object carries.
+
+// Query returns a native-language query against the named database whose
+// result contains exactly size objects (capped by the data actually
+// present). The query targets the database's main collection: albums for
+// catalogues, inventory for transactions, items for graphs, the drop bucket
+// for the discount store.
+func (b *Built) Query(database string, size int) (string, error) {
+	if size <= 0 {
+		return "", fmt.Errorf("workload: query size must be positive, got %d", size)
+	}
+	if size > b.Spec.Albums() {
+		size = b.Spec.Albums()
+	}
+	s, err := b.Poly.Database(database)
+	if err != nil {
+		return "", err
+	}
+	switch s.Kind() {
+	case core.KindRelational:
+		return fmt.Sprintf("SELECT * FROM inventory WHERE seq < %d", size), nil
+	case core.KindDocument:
+		return fmt.Sprintf(`albums.find({"seq": {"$lt": %d}})`, size), nil
+	case core.KindGraph:
+		return fmt.Sprintf("MATCH (n:items) WHERE n.seq < %d RETURN n", size), nil
+	case core.KindKeyValue:
+		// The discount store has no range predicate: enumerate the first
+		// `size` existing discount keys with one MGET.
+		var keys []string
+		for _, k := range b.discountKeys {
+			if k == "" {
+				continue
+			}
+			keys = append(keys, k)
+			if len(keys) == size {
+				break
+			}
+		}
+		if len(keys) == 0 {
+			return "", fmt.Errorf("workload: no discount keys generated")
+		}
+		return "MGET drop " + strings.Join(keys, " "), nil
+	default:
+		return "", fmt.Errorf("workload: unknown store kind %v", s.Kind())
+	}
+}
+
+// QueryTargets returns the databases the test bed queries target: one per
+// base store kind, as in the paper ("for each of the four databases").
+func (b *Built) QueryTargets() []string {
+	return []string{"catalogue", "transactions", "similar-items", "discount"}
+}
