@@ -6,6 +6,11 @@
 //	quepa-bench -fig 9            # one figure (9, 10ab, 10cd, 11ab, 11cd, 11ef, 12, 13ab, 13cd)
 //	quepa-bench -fig all          # the full campaign
 //	quepa-bench -fig 13cd -quick  # tiny sizes, for smoke-testing the harness
+//	quepa-bench -json out.json    # also write the points as a RunRecord
+//
+// With -json, every measured point of the campaign is written to the named
+// file as an indented bench.RunRecord — the format of the per-PR
+// BENCH_<label>.json baselines at the repository root.
 package main
 
 import (
@@ -22,6 +27,8 @@ func main() {
 	quick := flag.Bool("quick", false, "tiny sizes (harness smoke test)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	budget := flag.Int64("budget", 0, "middleware memory budget in bytes (0 = default)")
+	jsonOut := flag.String("json", "", "also write the campaign to this file as JSON")
+	label := flag.String("label", "", "label recorded in the -json output (e.g. PR1)")
 	flag.Parse()
 
 	opts := bench.Options{Quick: *quick, Seed: *seed, BaselineBudget: *budget}
@@ -30,6 +37,7 @@ func main() {
 	if *fig == "all" {
 		ids = bench.FigureNames()
 	}
+	var all []bench.Point
 	for _, id := range ids {
 		start := time.Now()
 		points, err := bench.Run(id, opts)
@@ -39,5 +47,23 @@ func main() {
 		}
 		bench.Report(os.Stdout, points)
 		fmt.Printf("\n[figure %s regenerated in %v]\n", id, time.Since(start).Round(time.Millisecond))
+		all = append(all, points...)
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quepa-bench: %v\n", err)
+			os.Exit(1)
+		}
+		err = bench.WriteJSON(f, *label, opts, ids, all)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quepa-bench: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[campaign written to %s]\n", *jsonOut)
 	}
 }

@@ -11,12 +11,16 @@
 //	POST /explore?db=…&q=…                 start an exploration session -> {session}
 //	POST /explore/step?session=…&key=…     expand one object -> ranked links
 //	POST /explore/finish?session=…         end the session (may promote the path)
-//	GET /stats                             index/cache statistics
+//	GET /stats                             index/cache/telemetry statistics
+//	GET /metrics                           Prometheus text exposition
+//	GET /debug/traces                      recent slow queries as JSON span trees
+//	GET /debug/pprof/…                     net/http/pprof profiles (only with -debug)
 //
 // Example:
 //
 //	quepa-server -addr :8080 -replicas 1 &
 //	curl 'localhost:8080/search?db=transactions&q=SELECT+*+FROM+inventory+WHERE+seq+<+3'
+//	curl 'localhost:8080/metrics'
 package main
 
 import (
@@ -24,14 +28,18 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"sync"
+	"time"
 
 	"quepa/internal/aindex"
 	"quepa/internal/augment"
 	"quepa/internal/core"
+	"quepa/internal/telemetry"
 	"quepa/internal/workload"
 )
 
@@ -50,7 +58,10 @@ func main() {
 	replicas := flag.Int("replicas", 0, "replication rounds (0 -> 4 databases, 3 -> 13)")
 	scale := flag.Float64("scale", 1, "workload scale factor")
 	indexPath := flag.String("index", "", "load the A' index from this JSON-lines file (e.g. from quepa-collect -out) instead of the generated one")
+	debug := flag.Bool("debug", false, "expose net/http/pprof under /debug/pprof/")
+	slow := flag.Duration("slow", telemetry.DefaultSlowThreshold, "queries slower than this are kept in /debug/traces")
 	flag.Parse()
+	telemetry.DefaultTracer().SetSlowThreshold(*slow)
 
 	spec := workload.DefaultSpec().Scale(*scale)
 	spec.ReplicaRounds = *replicas
@@ -78,19 +89,101 @@ func main() {
 		tracker:  aindex.NewPathTracker(index, aindex.DefaultPromotionPolicy),
 		sessions: map[string]*augment.Exploration{},
 	}
+	s.registerMetrics()
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /databases", s.handleDatabases)
-	mux.HandleFunc("GET /search", s.handleSearch)
-	mux.HandleFunc("GET /object", s.handleObject)
-	mux.HandleFunc("POST /explore", s.handleExploreStart)
-	mux.HandleFunc("POST /explore/step", s.handleExploreStep)
-	mux.HandleFunc("POST /explore/finish", s.handleExploreFinish)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	mux := s.routes()
+	if *debug {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		log.Printf("quepa-server: pprof enabled under /debug/pprof/")
+	}
 
 	log.Printf("quepa-server: %d databases, index %d keys / %d p-relations, listening on %s",
 		built.Poly.Size(), built.Index.NodeCount(), built.Index.EdgeCount(), *addr)
 	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// routes assembles the mux with every handler wrapped in the telemetry
+// middleware (request counter, latency histogram, root span per request).
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /databases", s.instrument("/databases", s.handleDatabases))
+	mux.HandleFunc("GET /search", s.instrument("/search", s.handleSearch))
+	mux.HandleFunc("GET /object", s.instrument("/object", s.handleObject))
+	mux.HandleFunc("POST /explore", s.instrument("/explore", s.handleExploreStart))
+	mux.HandleFunc("POST /explore/step", s.instrument("/explore/step", s.handleExploreStep))
+	mux.HandleFunc("POST /explore/finish", s.instrument("/explore/finish", s.handleExploreFinish))
+	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	return mux
+}
+
+// registerMetrics exports the server's component state (cache, index,
+// sessions) on the default registry as function-backed series.
+func (s *server) registerMetrics() {
+	s.aug.Cache().RegisterMetrics(telemetry.Default())
+	reg := telemetry.Default()
+	reg.GaugeFunc("quepa_index_keys", "global keys in the A' index",
+		func() float64 { return float64(s.built.Index.NodeCount()) })
+	reg.GaugeFunc("quepa_index_edges", "p-relations in the A' index",
+		func() float64 { return float64(s.built.Index.EdgeCount()) })
+	reg.GaugeFunc("quepa_sessions_active", "open exploration sessions",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.sessions))
+		})
+}
+
+// statusWriter captures the response code for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with a per-route latency histogram, a per-route
+// and per-status request counter, and a root span that lands in the
+// slow-query log when the request crosses the threshold.
+func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := telemetry.NewHistogram("quepa_http_request_duration_seconds",
+		"latency of HTTP requests by route", nil, telemetry.L("route", route))
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, span := telemetry.StartSpan(r.Context(), "http "+route)
+		span.SetAttr("url", r.URL.String())
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := telemetry.Now()
+		h(sw, r.WithContext(ctx))
+		hist.Since(start)
+		span.SetAttr("status", strconv.Itoa(sw.code))
+		span.End()
+		telemetry.NewCounter("quepa_http_requests_total", "HTTP requests served by route and status",
+			telemetry.L("route", route), telemetry.L("code", strconv.Itoa(sw.code))).Inc()
+	}
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.Default().WritePrometheus(w)
+}
+
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	tracer := telemetry.DefaultTracer()
+	seen, kept := tracer.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"slow_threshold_ms": float64(tracer.SlowThreshold().Nanoseconds()) / 1e6,
+		"roots_seen":        seen,
+		"roots_kept":        kept,
+		"traces":            tracer.Snapshot(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -144,6 +237,37 @@ func (s *server) handleDatabases(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// intParam parses a non-negative integer query parameter, returning def when
+// the parameter is absent. Non-numeric or negative values are an error —
+// never silently defaulted — so a typo'd request fails loudly with a 400.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	vs, ok := r.URL.Query()[name]
+	if !ok {
+		return def, nil
+	}
+	v := vs[0]
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("parameter %s must be a non-negative integer, got %q", name, v)
+	}
+	return n, nil
+}
+
+// probParam parses a probability parameter in [0, 1], returning def when
+// absent. NaN and ±Inf parse as floats but are rejected explicitly.
+func probParam(r *http.Request, name string, def float64) (float64, error) {
+	vs, ok := r.URL.Query()[name]
+	if !ok {
+		return def, nil
+	}
+	v := vs[0]
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) || f < 0 || f > 1 {
+		return 0, fmt.Errorf("parameter %s must be a probability in [0, 1], got %q", name, v)
+	}
+	return f, nil
+}
+
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	db := r.URL.Query().Get("db")
 	q := r.URL.Query().Get("q")
@@ -151,31 +275,22 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("db and q parameters are required"))
 		return
 	}
-	level := 0
-	if l := r.URL.Query().Get("level"); l != "" {
-		var err error
-		if level, err = strconv.Atoi(l); err != nil || level < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad level %q", l))
-			return
-		}
+	level, err := intParam(r, "level", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
 	// Optional presentation controls (the paper's colors/rankings): minp
 	// filters by probability, topk truncates the ranking.
-	minProb := 0.0
-	if m := r.URL.Query().Get("minp"); m != "" {
-		var err error
-		if minProb, err = strconv.ParseFloat(m, 64); err != nil || minProb < 0 || minProb > 1 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad minp %q", m))
-			return
-		}
+	minProb, err := probParam(r, "minp", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
-	topK := 0
-	if k := r.URL.Query().Get("topk"); k != "" {
-		var err error
-		if topK, err = strconv.Atoi(k); err != nil || topK < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad topk %q", k))
-			return
-		}
+	topK, err := intParam(r, "topk", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
 	answer, err := s.aug.Search(r.Context(), db, q, level)
 	if err != nil {
@@ -288,6 +403,23 @@ func pathStrings(path []core.GlobalKey) []string {
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.aug.Cache().Stats()
+
+	// Per-strategy query counts and latency quantiles from the telemetry
+	// registry; only strategies that actually ran are listed.
+	strategies := map[string]any{}
+	for name, snap := range augment.StrategyStats() {
+		if snap.Count == 0 {
+			continue
+		}
+		strategies[name] = map[string]any{
+			"count":  snap.Count,
+			"p50_ms": roundMS(snap.P50),
+			"p95_ms": roundMS(snap.P95),
+			"p99_ms": roundMS(snap.P99),
+		}
+	}
+	seen, kept := telemetry.DefaultTracer().Stats()
+	reg := telemetry.Default()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"databases":   s.built.Poly.Size(),
 		"index_keys":  s.built.Index.NodeCount(),
@@ -296,5 +428,19 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"cache_hits":  hits,
 		"cache_miss":  misses,
 		"config":      s.aug.Config().String(),
+		"telemetry": map[string]any{
+			"cache_hit_ratio":   s.aug.Cache().HitRatio(),
+			"cache_evictions":   s.aug.Cache().Evictions(),
+			"strategies":        strategies,
+			"aindex_reach_keys": reg.CounterValue("quepa_aindex_reach_keys_total"),
+			"aindex_removals":   reg.CounterValue("quepa_aindex_removals_total"),
+			"aindex_promotions": reg.CounterValue("quepa_aindex_promotions_total"),
+			"slow_queries_seen": seen,
+			"slow_queries_kept": kept,
+		},
 	})
+}
+
+func roundMS(d time.Duration) float64 {
+	return math.Round(float64(d.Nanoseconds())/1e3) / 1e3
 }

@@ -22,12 +22,14 @@ func newTestServer(t *testing.T) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &server{
+	s := &server{
 		built:    built,
 		aug:      augment.New(built.Poly, built.Index, augment.Config{Strategy: augment.Batch, BatchSize: 32, CacheSize: 128}),
 		tracker:  aindex.NewPathTracker(built.Index, aindex.DefaultPromotionPolicy),
 		sessions: map[string]*augment.Exploration{},
 	}
+	s.registerMetrics()
+	return s
 }
 
 func do(t *testing.T, h http.HandlerFunc, method, target string) (int, map[string]any) {
@@ -191,6 +193,185 @@ func TestSearchRankingParams(t *testing.T) {
 	} {
 		if code, _ := do(t, s.handleSearch, "GET", target); code != http.StatusBadRequest {
 			t.Errorf("%s: status = %d, want 400", target, code)
+		}
+	}
+}
+
+// TestSearchParamValidation exhausts the hardened numeric-parameter parsing:
+// anything non-numeric, negative, out of range, or not finite must come back
+// as a 400 with a JSON error body instead of being silently defaulted.
+func TestSearchParamValidation(t *testing.T) {
+	s := newTestServer(t)
+	q := url.QueryEscape(`SELECT * FROM inventory WHERE seq < 2`)
+	base := "/search?db=transactions&q=" + q
+	tests := []struct {
+		name  string
+		extra string
+		code  int
+	}{
+		{"no optional params", "", http.StatusOK},
+		{"explicit defaults", "&level=0&minp=0&topk=0", http.StatusOK},
+		{"level numeric", "&level=1", http.StatusOK},
+		{"level negative", "&level=-1", http.StatusBadRequest},
+		{"level non-numeric", "&level=two", http.StatusBadRequest},
+		{"level float", "&level=1.5", http.StatusBadRequest},
+		{"level empty", "&level=", http.StatusBadRequest},
+		{"level overflow", "&level=99999999999999999999", http.StatusBadRequest},
+		{"minp boundary one", "&minp=1", http.StatusOK},
+		{"minp negative", "&minp=-0.1", http.StatusBadRequest},
+		{"minp above one", "&minp=1.01", http.StatusBadRequest},
+		{"minp non-numeric", "&minp=high", http.StatusBadRequest},
+		{"minp NaN", "&minp=NaN", http.StatusBadRequest},
+		{"minp Inf", "&minp=%2BInf", http.StatusBadRequest},
+		{"minp -Inf", "&minp=-Inf", http.StatusBadRequest},
+		{"topk numeric", "&topk=3", http.StatusOK},
+		{"topk negative", "&topk=-2", http.StatusBadRequest},
+		{"topk non-numeric", "&topk=all", http.StatusBadRequest},
+		{"topk float", "&topk=2.5", http.StatusBadRequest},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := do(t, s.handleSearch, "GET", base+tc.extra)
+			if code != tc.code {
+				t.Fatalf("status = %d, want %d (%v)", code, tc.code, body)
+			}
+			if tc.code == http.StatusBadRequest {
+				if msg, _ := body["error"].(string); msg == "" {
+					t.Errorf("400 response missing JSON error body: %v", body)
+				}
+			}
+		})
+	}
+}
+
+func TestHandleMetrics(t *testing.T) {
+	s := newTestServer(t)
+	// Drive a search through the augmenter twice so the cache records both a
+	// miss (first) and hits (second), and the strategy histogram is non-empty.
+	q := url.QueryEscape(`SELECT * FROM inventory WHERE seq < 2`)
+	for i := 0; i < 2; i++ {
+		if code, body := do(t, s.handleSearch, "GET", "/search?db=transactions&q="+q+"&level=1"); code != http.StatusOK {
+			t.Fatalf("search status = %d: %v", code, body)
+		}
+	}
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.handleMetrics(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	out := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE quepa_augment_duration_seconds histogram",
+		`quepa_augment_duration_seconds_bucket{strategy="BATCH",le="+Inf"}`,
+		`quepa_augment_duration_seconds_count{strategy="BATCH"}`,
+		"# TYPE quepa_cache_hits_total counter",
+		"quepa_cache_hits_total",
+		"quepa_cache_misses_total",
+		"quepa_store_op_duration_seconds_bucket",
+		"quepa_index_keys",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// The cache saw traffic: hits + misses > 0 must be visible in the text.
+	if hits, _ := s.aug.Cache().Stats(); hits == 0 {
+		t.Error("expected cache hits after repeated search")
+	}
+}
+
+func TestHandleTraces(t *testing.T) {
+	s := newTestServer(t)
+	// Everything below the slow threshold: the endpoint must still answer
+	// with a well-formed envelope.
+	code, body := do(t, s.handleTraces, "GET", "/debug/traces")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, key := range []string{"slow_threshold_ms", "roots_seen", "roots_kept", "traces"} {
+		if _, ok := body[key]; !ok {
+			t.Errorf("traces body missing %q: %v", key, body)
+		}
+	}
+}
+
+func TestStatsTelemetry(t *testing.T) {
+	s := newTestServer(t)
+	q := url.QueryEscape(`SELECT * FROM inventory WHERE seq < 2`)
+	for i := 0; i < 2; i++ {
+		if code, _ := do(t, s.handleSearch, "GET", "/search?db=transactions&q="+q+"&level=1"); code != http.StatusOK {
+			t.Fatalf("search failed")
+		}
+	}
+	code, body := do(t, s.handleStats, "GET", "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	tel, ok := body["telemetry"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing telemetry section: %v", body)
+	}
+	ratio, ok := tel["cache_hit_ratio"].(float64)
+	if !ok || ratio <= 0 {
+		t.Errorf("cache_hit_ratio = %v, want > 0 after repeated search", tel["cache_hit_ratio"])
+	}
+	strategies, ok := tel["strategies"].(map[string]any)
+	if !ok {
+		t.Fatalf("telemetry missing strategies: %v", tel)
+	}
+	batch, ok := strategies["BATCH"].(map[string]any)
+	if !ok {
+		t.Fatalf("strategies missing BATCH: %v", strategies)
+	}
+	if n, _ := batch["count"].(float64); n < 2 {
+		t.Errorf("BATCH count = %v, want >= 2", batch["count"])
+	}
+	if _, ok := batch["p50_ms"]; !ok {
+		t.Errorf("BATCH snapshot missing p50_ms: %v", batch)
+	}
+	for _, key := range []string{"slow_queries_seen", "slow_queries_kept"} {
+		if _, ok := tel[key]; !ok {
+			t.Errorf("telemetry missing %q", key)
+		}
+	}
+}
+
+// TestRoutesInstrumented exercises the full mux so the instrument middleware
+// (status capture, request counter, root span) runs over a real request.
+func TestRoutesInstrumented(t *testing.T) {
+	s := newTestServer(t)
+	mux := s.routes()
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/databases", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /databases via mux = %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/search?db=ghost&q=x", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("GET /search (bad) via mux = %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics via mux = %d", rec.Code)
+	}
+	out := rec.Body.String()
+	for _, want := range []string{
+		`quepa_http_requests_total{code="200",route="/databases"}`,
+		`quepa_http_requests_total{code="400",route="/search"}`,
+		`quepa_http_request_duration_seconds_bucket{route="/databases",le="+Inf"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
 		}
 	}
 }

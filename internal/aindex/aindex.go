@@ -24,6 +24,17 @@ import (
 	"sync"
 
 	"quepa/internal/core"
+	"quepa/internal/telemetry"
+)
+
+// Hot-path instrumentation handles, resolved once.
+var (
+	reachHist = telemetry.NewHistogram("quepa_aindex_reach_duration_seconds",
+		"latency of A' index reachability lookups (one per origin object)", nil)
+	reachHits = telemetry.NewCounter("quepa_aindex_reach_keys_total",
+		"global keys returned by A' index reachability lookups")
+	removals = telemetry.NewCounter("quepa_aindex_removals_total",
+		"objects lazily removed from the A' index after a fetch miss")
 )
 
 // edge is one stored p-relation endpoint.
@@ -232,6 +243,7 @@ func (ix *Index) RemoveObject(gk core.GlobalKey) bool {
 		ix.edges--
 	}
 	delete(ix.adj, gk)
+	removals.Inc()
 	return true
 }
 
@@ -254,6 +266,8 @@ func (ix *Index) Reach(gk core.GlobalKey, level int) []Hit {
 	if level < 0 {
 		return nil
 	}
+	start := telemetry.Now()
+	defer func() { reachHist.Since(start) }()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 
@@ -289,6 +303,7 @@ func (ix *Index) Reach(gk core.GlobalKey, level int) []Hit {
 		out = append(out, h)
 	}
 	SortHits(out)
+	reachHits.Add(uint64(len(out)))
 	return out
 }
 

@@ -5,6 +5,14 @@ import (
 	"sync"
 
 	"quepa/internal/core"
+	"quepa/internal/telemetry"
+)
+
+var (
+	pathsRecorded = telemetry.NewCounter("quepa_aindex_paths_recorded_total",
+		"full exploration paths registered in the D_P repository")
+	promotions = telemetry.NewCounter("quepa_aindex_promotions_total",
+		"exploration paths promoted to matching p-relations")
 )
 
 // This file implements the promotion of p-relations (Section III-D(a)): the
@@ -71,6 +79,7 @@ func (t *PathTracker) Record(path []core.GlobalKey) bool {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	pathsRecorded.Inc()
 	sig := pathSignature(path)
 	t.visits[sig]++
 	pathLen := len(path) - 1
@@ -94,6 +103,9 @@ func (t *PathTracker) Record(path []core.GlobalKey) bool {
 	}
 	avg := sum / float64(edges)
 	err := t.index.Insert(core.NewMatching(path[0], path[len(path)-1], avg))
+	if err == nil {
+		promotions.Inc()
+	}
 	return err == nil
 }
 

@@ -25,6 +25,7 @@ import (
 	"quepa/internal/aindex"
 	"quepa/internal/cache"
 	"quepa/internal/core"
+	"quepa/internal/telemetry"
 	"quepa/internal/validator"
 )
 
@@ -199,6 +200,10 @@ func (a *Augmenter) ClearCache() { a.cache.Clear() }
 // its database with the local language, and its result is augmented at the
 // given level.
 func (a *Augmenter) Search(ctx context.Context, database, query string, level int) (*Answer, error) {
+	ctx, span := telemetry.StartSpan(ctx, "augment.search")
+	defer span.End()
+	span.SetAttr("db", database)
+	span.SetAttr("level", itoa(level))
 	store, err := a.poly.Database(database)
 	if err != nil {
 		return nil, err
@@ -207,10 +212,13 @@ func (a *Augmenter) Search(ctx context.Context, database, query string, level in
 	if err != nil {
 		return nil, err
 	}
-	original, err := store.Query(ctx, v.Query)
+	qctx, qspan := telemetry.StartSpan(ctx, "store.query")
+	original, err := store.Query(qctx, v.Query)
+	qspan.End()
 	if err != nil {
 		return nil, err
 	}
+	qspan.SetAttr("objects", itoa(len(original)))
 	augmented, err := a.AugmentObjects(ctx, original, level)
 	if err != nil {
 		return nil, err
@@ -227,8 +235,16 @@ func (a *Augmenter) AugmentObjects(ctx context.Context, origins []core.Object, l
 	if level < 0 {
 		return nil, fmt.Errorf("augment: negative level %d", level)
 	}
+	strategy := a.cfg.Strategy
+	ctx, span := telemetry.StartSpan(ctx, "augment.objects")
+	defer span.End()
+	span.SetAttr("strategy", strategy.String())
+	start := telemetry.Now()
 	plan := a.buildPlan(origins, level)
+	span.SetAttr("origins", itoa(len(origins)))
+	span.SetAttr("keys", itoa(len(plan.order)))
 	if len(plan.order) == 0 {
+		strategyHist(strategy).Since(start)
 		return nil, nil
 	}
 	sink := newSink()
@@ -249,7 +265,11 @@ func (a *Augmenter) AugmentObjects(ctx context.Context, origins []core.Object, l
 	default:
 		err = fmt.Errorf("augment: unknown strategy %v", a.cfg.Strategy)
 	}
+	strategyHist(strategy).Since(start)
 	if err != nil {
+		if c := strategyErr(strategy); c != nil {
+			c.Inc()
+		}
 		return nil, err
 	}
 	return plan.answer(sink), nil

@@ -5,6 +5,7 @@ import (
 
 	"quepa/internal/aindex"
 	"quepa/internal/core"
+	"quepa/internal/telemetry"
 )
 
 // Benchmarks of the six strategies over an in-process polystore (no network
@@ -50,6 +51,37 @@ func BenchmarkSearchWithCache(b *testing.B) {
 		if _, err := aug.Search(ctx, db, query, 1); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTelemetryOverhead measures the cost of the telemetry layer on the
+// OUTER-BATCH augment hot path by flipping the global kill switch: the
+// "instrumented" and "uninstrumented" runs execute the identical search, so
+// their delta is exactly what the counters, histograms and spans cost. The
+// budget documented in DESIGN.md is <1%; compare with
+//
+//	go test ./internal/augment -bench TelemetryOverhead -count 10 | benchstat
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	poly, ix, db, query := syntheticPolystoreB(b, 6, 200, 13)
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{
+		{"instrumented", true},
+		{"uninstrumented", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			prev := telemetry.SetEnabled(mode.on)
+			defer telemetry.SetEnabled(prev)
+			aug := New(poly, ix, Config{Strategy: OuterBatch, BatchSize: 64, ThreadsSize: 4})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := aug.Search(ctx, db, query, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

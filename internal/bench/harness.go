@@ -24,13 +24,13 @@ import (
 
 // Point is one measured value of one series of one figure.
 type Point struct {
-	Figure string  // e.g. "9a"
-	Series string  // e.g. "BATCH"
-	XLabel string  // e.g. "BATCH_SIZE"
-	X      float64 // x coordinate
-	Millis float64 // measured end-to-end time
-	OOM    bool    // the run died out of memory (Fig. 13's red X)
-	Size   int     // objects in the augmented answer
+	Figure string  `json:"figure"`  // e.g. "9a"
+	Series string  `json:"series"`  // e.g. "BATCH"
+	XLabel string  `json:"x_label"` // e.g. "BATCH_SIZE"
+	X      float64 `json:"x"`       // x coordinate
+	Millis float64 `json:"millis"`  // measured end-to-end time
+	OOM    bool    `json:"oom"`     // the run died out of memory (Fig. 13's red X)
+	Size   int     `json:"size"`    // objects in the augmented answer
 }
 
 // Options scales the harness. The zero value is ready for full benchmark

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+)
+
+// RunRecord is the machine-readable form of a benchmark campaign, written by
+// quepa-bench -json. One file per PR (BENCH_<label>.json at the repo root)
+// gives the series a comparable baseline across the stacked PRs: same
+// schema, same figures, same seed — any drift between two files is a real
+// performance change, not a harness change.
+type RunRecord struct {
+	Schema    string    `json:"schema"` // bumped only on incompatible layout changes
+	Label     string    `json:"label"`  // e.g. "PR1"
+	GoVersion string    `json:"go_version"`
+	Timestamp time.Time `json:"timestamp"`
+	Seed      int64     `json:"seed"`
+	Quick     bool      `json:"quick"`
+	Figures   []string  `json:"figures"`
+	Points    []Point   `json:"points"`
+}
+
+// SchemaVersion identifies the RunRecord layout.
+const SchemaVersion = "quepa-bench/1"
+
+// WriteJSON renders a campaign as an indented RunRecord.
+func WriteJSON(w io.Writer, label string, opts Options, figures []string, points []Point) error {
+	rec := RunRecord{
+		Schema:    SchemaVersion,
+		Label:     label,
+		GoVersion: runtime.Version(),
+		Timestamp: time.Now().UTC().Truncate(time.Second),
+		Seed:      opts.withDefaults().Seed,
+		Quick:     opts.Quick,
+		Figures:   figures,
+		Points:    points,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}

@@ -10,18 +10,20 @@ import (
 	"sync"
 
 	"quepa/internal/core"
+	"quepa/internal/telemetry"
 )
 
 // LRU is a fixed-capacity least-recently-used object cache, safe for
 // concurrent use. A capacity of zero disables caching (every Get misses,
 // every Put is dropped): the cold-cache experiments rely on this.
 type LRU struct {
-	mu       sync.Mutex
-	capacity int
-	ll       *list.List // front = most recently used
-	items    map[core.GlobalKey]*list.Element
-	hits     uint64
-	misses   uint64
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	items     map[core.GlobalKey]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type lruEntry struct {
@@ -115,6 +117,7 @@ func (c *LRU) evictLocked() {
 		}
 		c.ll.Remove(back)
 		delete(c.items, back.Value.(*lruEntry).key)
+		c.evictions++
 	}
 }
 
@@ -137,4 +140,41 @@ func (c *LRU) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Evictions reports how many entries capacity pressure has pushed out.
+func (c *LRU) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any lookup.
+func (c *LRU) HitRatio() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// RegisterMetrics exports the cache on a telemetry registry as
+// function-backed series read at scrape time — the hot path keeps its single
+// mutex acquisition and pays nothing for the export. Re-registering (e.g. a
+// rebuilt server) points the series at the new instance.
+func (c *LRU) RegisterMetrics(r *telemetry.Registry) {
+	r.CounterFunc("quepa_cache_hits_total", "object cache lookups served from memory",
+		func() uint64 { h, _ := c.Stats(); return h })
+	r.CounterFunc("quepa_cache_misses_total", "object cache lookups that fell through to the polystore",
+		func() uint64 { _, m := c.Stats(); return m })
+	r.CounterFunc("quepa_cache_evictions_total", "cache entries evicted by capacity pressure",
+		func() uint64 { return c.Evictions() })
+	r.GaugeFunc("quepa_cache_objects", "objects currently cached",
+		func() float64 { return float64(c.Len()) })
+	r.GaugeFunc("quepa_cache_capacity", "configured cache capacity",
+		func() float64 { return float64(c.Capacity()) })
+	r.GaugeFunc("quepa_cache_hit_ratio", "hits / (hits + misses) since process start",
+		func() float64 { return c.HitRatio() })
 }

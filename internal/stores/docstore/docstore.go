@@ -24,6 +24,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"quepa/internal/telemetry"
 )
 
 // Document is a stored JSON object plus its identifier.
@@ -104,6 +106,7 @@ type Store struct {
 	collections map[string]*collection
 	roundTrips  atomic.Uint64
 	nextID      uint64
+	tel         telemetry.StoreOps
 }
 
 type collection struct {
@@ -113,7 +116,7 @@ type collection struct {
 
 // New creates an empty document database with the given name.
 func New(name string) *Store {
-	return &Store{name: name, collections: map[string]*collection{}}
+	return &Store{name: name, collections: map[string]*collection{}, tel: telemetry.NewStoreOps(name)}
 }
 
 // Name returns the database name.
@@ -188,6 +191,7 @@ func (s *Store) InsertMap(collectionName string, body map[string]any) (string, e
 // Get retrieves one document by id. The boolean reports presence.
 func (s *Store) Get(collectionName, id string) (*Document, bool) {
 	s.roundTrips.Add(1)
+	defer s.tel.Get.Since(telemetry.Now())
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	c, ok := s.collections[collectionName]
@@ -202,6 +206,7 @@ func (s *Store) Get(collectionName, id string) (*Document, bool) {
 // order of found ids and skipping missing ones.
 func (s *Store) GetBatch(collectionName string, ids []string) []*Document {
 	s.roundTrips.Add(1)
+	defer s.tel.GetBatch.Since(telemetry.Now())
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	c, ok := s.collections[collectionName]
@@ -293,6 +298,7 @@ func ParseQuery(q string) (collectionName, verb, filter string, err error) {
 // Query executes the textual query form. find returns the matching
 // documents; count returns a single synthetic document {"count": n}.
 func (s *Store) Query(q string) ([]*Document, error) {
+	defer s.tel.Query.Since(telemetry.Now())
 	collectionName, verb, filter, err := ParseQuery(q)
 	if err != nil {
 		return nil, err

@@ -26,6 +26,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"quepa/internal/telemetry"
 )
 
 // Node is a labelled vertex with string properties.
@@ -53,6 +55,7 @@ type Store struct {
 	in         map[string][]Edge
 	edgeCount  int
 	roundTrips atomic.Uint64
+	tel        telemetry.StoreOps
 }
 
 // New creates an empty graph database with the given name.
@@ -63,6 +66,7 @@ func New(name string) *Store {
 		byLabel: map[string][]string{},
 		out:     map[string][]Edge{},
 		in:      map[string][]Edge{},
+		tel:     telemetry.NewStoreOps(name),
 	}
 }
 
@@ -141,6 +145,7 @@ func (s *Store) AddEdge(from, to, edgeType string, props map[string]string) erro
 // GetNode retrieves one node by id. The boolean reports presence.
 func (s *Store) GetNode(id string) (*Node, bool) {
 	s.roundTrips.Add(1)
+	defer s.tel.Get.Since(telemetry.Now())
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	n, ok := s.nodes[id]
@@ -151,6 +156,7 @@ func (s *Store) GetNode(id string) (*Node, bool) {
 // order of found ids and skipping missing ones.
 func (s *Store) GetNodes(ids []string) []*Node {
 	s.roundTrips.Add(1)
+	defer s.tel.GetBatch.Since(telemetry.Now())
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]*Node, 0, len(ids))
@@ -258,6 +264,7 @@ var (
 
 // Query executes one statement of the pattern language.
 func (s *Store) Query(q string) ([]*Node, error) {
+	defer s.tel.Query.Since(telemetry.Now())
 	if m := neighborsRE.FindStringSubmatch(q); m != nil {
 		return s.Neighbors(m[1], m[2])
 	}

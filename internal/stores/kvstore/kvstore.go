@@ -29,6 +29,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"quepa/internal/telemetry"
 )
 
 // Entry is a single key/value pair returned by commands.
@@ -45,6 +47,7 @@ type Store struct {
 	buckets    map[string]*bucket
 	roundTrips atomic.Uint64
 	now        func() time.Time // injectable clock for expiry (nil = time.Now)
+	tel        telemetry.StoreOps
 }
 
 type bucket struct {
@@ -55,7 +58,7 @@ type bucket struct {
 
 // New creates an empty key-value database with the given name.
 func New(name string) *Store {
-	return &Store{name: name, buckets: map[string]*bucket{}}
+	return &Store{name: name, buckets: map[string]*bucket{}, tel: telemetry.NewStoreOps(name)}
 }
 
 // Name returns the database name.
@@ -97,6 +100,7 @@ func (s *Store) Set(bucketName, key, value string) {
 // reaped lazily and reported absent.
 func (s *Store) Get(bucketName, key string) (string, bool) {
 	s.roundTrips.Add(1)
+	defer s.tel.Get.Since(telemetry.Now())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b, ok := s.buckets[bucketName]
@@ -115,6 +119,7 @@ func (s *Store) Get(bucketName, key string) (string, bool) {
 // preserving the order of the found ones.
 func (s *Store) MGet(bucketName string, keys []string) []Entry {
 	s.roundTrips.Add(1)
+	defer s.tel.GetBatch.Since(telemetry.Now())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b, ok := s.buckets[bucketName]
@@ -197,6 +202,7 @@ func (s *Store) Len(bucketName string) int {
 
 // Do parses and executes one command of the textual language.
 func (s *Store) Do(command string) ([]Entry, error) {
+	defer s.tel.Query.Since(telemetry.Now())
 	fields := strings.Fields(command)
 	if len(fields) == 0 {
 		return nil, fmt.Errorf("kvstore: empty command")

@@ -27,6 +27,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"quepa/internal/telemetry"
 )
 
 // Row is a query result: the owning table, the row's primary key (or
@@ -43,6 +45,7 @@ type Store struct {
 	mu         sync.RWMutex
 	tables     map[string]*table
 	roundTrips atomic.Uint64
+	tel        telemetry.StoreOps
 }
 
 type table struct {
@@ -58,7 +61,7 @@ type table struct {
 
 // New creates an empty relational database with the given name.
 func New(name string) *Store {
-	return &Store{name: name, tables: map[string]*table{}}
+	return &Store{name: name, tables: map[string]*table{}, tel: telemetry.NewStoreOps(name)}
 }
 
 // Name returns the database name.
@@ -125,6 +128,7 @@ func (s *Store) Exec(sql string) (int, error) {
 // Select parses and executes a SELECT statement.
 func (s *Store) Select(sql string) ([]Row, error) {
 	s.roundTrips.Add(1)
+	defer s.tel.Query.Since(telemetry.Now())
 	st, err := parse(sql)
 	if err != nil {
 		return nil, err
@@ -210,6 +214,7 @@ func (st Statement) SelectsStar() bool {
 // Get retrieves one row by primary key. The boolean reports presence.
 func (s *Store) Get(tableName, key string) (Row, bool, error) {
 	s.roundTrips.Add(1)
+	defer s.tel.Get.Since(telemetry.Now())
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	t, ok := s.tables[tableName]
@@ -227,6 +232,7 @@ func (s *Store) Get(tableName, key string) (Row, bool, error) {
 // the order of found keys and skipping missing ones.
 func (s *Store) GetBatch(tableName string, keys []string) ([]Row, error) {
 	s.roundTrips.Add(1)
+	defer s.tel.GetBatch.Since(telemetry.Now())
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	t, ok := s.tables[tableName]

@@ -1,0 +1,24 @@
+package telemetry
+
+// StoreOps bundles the per-operation latency histograms of one database so a
+// store engine resolves its handles once at construction and pays only a
+// Now/Since pair per served operation. All stores share one family,
+// quepa_store_op_duration_seconds, labeled by database and operation.
+type StoreOps struct {
+	Get      *Histogram
+	GetBatch *Histogram
+	Query    *Histogram
+}
+
+const storeOpName = "quepa_store_op_duration_seconds"
+const storeOpHelp = "latency of store operations by database and operation"
+
+// NewStoreOps registers (or finds) the three operation histograms of the
+// named database on the default registry.
+func NewStoreOps(db string) StoreOps {
+	return StoreOps{
+		Get:      NewHistogram(storeOpName, storeOpHelp, nil, L("db", db), L("op", "get")),
+		GetBatch: NewHistogram(storeOpName, storeOpHelp, nil, L("db", db), L("op", "getbatch")),
+		Query:    NewHistogram(storeOpName, storeOpHelp, nil, L("db", db), L("op", "query")),
+	}
+}

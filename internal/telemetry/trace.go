@@ -1,0 +1,229 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed operation in a trace tree. Spans are created with
+// StartSpan, which threads them through the context so nested operations
+// attach as children automatically. A nil *Span is valid: every method is a
+// no-op, which is how disabled instrumentation propagates without branches at
+// the call sites.
+type Span struct {
+	name   string
+	start  time.Time
+	parent *Span
+	tracer *Tracer
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	attrs    []Label
+	children []*Span
+}
+
+// spanKey is the context key under which the active span travels.
+type spanKey struct{}
+
+// StartSpan opens a span named name under the span carried by ctx (if any)
+// and returns a derived context carrying the new span. When instrumentation
+// is disabled it returns ctx unchanged and a nil span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return DefaultTracer().StartSpan(ctx, name)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// SetAttr attaches a key/value annotation to the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Label{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// End closes the span, recording its duration. Ending a root span hands the
+// finished tree to the tracer, which keeps it when the total duration crosses
+// the slow threshold. End is idempotent; ending a child after its root was
+// ended is harmless (the late duration is recorded but the tree was already
+// snapshotted).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	d := s.dur
+	s.mu.Unlock()
+	if s.parent == nil && s.tracer != nil {
+		s.tracer.finishRoot(s, d)
+	}
+}
+
+// Duration returns the span's recorded duration (zero until End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dur
+}
+
+func (s *Span) addChild(c *Span) {
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// SpanJSON is the JSON rendering of a finished span tree, served by the
+// server's /debug/traces endpoint.
+type SpanJSON struct {
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationMS float64           `json:"duration_ms"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []SpanJSON        `json:"children,omitempty"`
+}
+
+// JSON renders the span tree rooted at s.
+func (s *Span) JSON() SpanJSON {
+	if s == nil {
+		return SpanJSON{}
+	}
+	s.mu.Lock()
+	out := SpanJSON{
+		Name:       s.name,
+		Start:      s.start,
+		DurationMS: float64(s.dur.Nanoseconds()) / 1e6,
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		out.Children = append(out.Children, c.JSON())
+	}
+	return out
+}
+
+// DefaultSlowThreshold is the initial slow-query threshold of a tracer.
+const DefaultSlowThreshold = 250 * time.Millisecond
+
+// DefaultTraceCapacity is the ring capacity of a tracer's slow-query log.
+const DefaultTraceCapacity = 128
+
+// Tracer owns the slow-query log: finished root spans whose duration crosses
+// the threshold are kept in a fixed-size ring buffer, newest evicting oldest.
+type Tracer struct {
+	slowNanos atomic.Int64
+
+	mu   sync.Mutex
+	ring []*Span
+	next int
+	seen uint64 // total roots observed (including fast ones)
+	kept uint64 // roots retained as slow
+}
+
+// NewTracer creates a tracer with the given ring capacity (<= 0 selects
+// DefaultTraceCapacity) and DefaultSlowThreshold.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	t := &Tracer{ring: make([]*Span, 0, capacity)}
+	t.slowNanos.Store(int64(DefaultSlowThreshold))
+	return t
+}
+
+var defaultTracer = NewTracer(DefaultTraceCapacity)
+
+// DefaultTracer returns the process-wide tracer used by StartSpan.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// SetSlowThreshold changes the duration above which a finished root span is
+// kept in the slow-query log. Zero or negative keeps every root span.
+func (t *Tracer) SetSlowThreshold(d time.Duration) { t.slowNanos.Store(int64(d)) }
+
+// SlowThreshold returns the current slow-query threshold.
+func (t *Tracer) SlowThreshold() time.Duration { return time.Duration(t.slowNanos.Load()) }
+
+// StartSpan opens a span on this tracer; see the package-level StartSpan.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if !enabled.Load() {
+		return ctx, nil
+	}
+	s := &Span{name: name, start: time.Now(), tracer: t}
+	if parent := SpanFromContext(ctx); parent != nil {
+		s.parent = parent
+		parent.addChild(s)
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+func (t *Tracer) finishRoot(s *Span, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seen++
+	if d < time.Duration(t.slowNanos.Load()) {
+		return
+	}
+	t.kept++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+		return
+	}
+	t.ring[t.next] = s
+	t.next = (t.next + 1) % cap(t.ring)
+}
+
+// Stats reports how many root spans the tracer has seen and how many were
+// retained as slow.
+func (t *Tracer) Stats() (seen, kept uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seen, t.kept
+}
+
+// Snapshot returns the retained slow traces, newest first.
+func (t *Tracer) Snapshot() []SpanJSON {
+	t.mu.Lock()
+	spans := make([]*Span, 0, len(t.ring))
+	// The ring's oldest entry sits at next once it has wrapped.
+	for i := 0; i < len(t.ring); i++ {
+		spans = append(spans, t.ring[(t.next+i)%len(t.ring)])
+	}
+	t.mu.Unlock()
+	out := make([]SpanJSON, 0, len(spans))
+	for i := len(spans) - 1; i >= 0; i-- {
+		out = append(out, spans[i].JSON())
+	}
+	return out
+}
+
+// Reset empties the slow-query log and zeroes the counters.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring = t.ring[:0]
+	t.next = 0
+	t.seen, t.kept = 0, 0
+}

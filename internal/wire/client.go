@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"quepa/internal/core"
+	"quepa/internal/telemetry"
 )
 
 // Client is a core.Store backed by a remote wire server. It keeps a small
@@ -87,6 +88,18 @@ func (c *Client) putConn(conn net.Conn) {
 
 func (c *Client) roundTrip(req request) (response, error) {
 	c.roundTrips.Add(1)
+	start := telemetry.Now()
+	resp, err := c.doRoundTrip(req)
+	clientHists[req.Op].Since(start)
+	if err != nil {
+		if ec := clientErrs[req.Op]; ec != nil {
+			ec.Inc()
+		}
+	}
+	return resp, err
+}
+
+func (c *Client) doRoundTrip(req request) (response, error) {
 	conn, err := c.getConn()
 	if err != nil {
 		return response{}, err

@@ -94,6 +94,11 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 func (s *Server) dispatch(ctx context.Context, req request) response {
+	if c, ok := serverReqs[req.Op]; ok {
+		c.Inc()
+	} else {
+		serverBadOps.Inc()
+	}
 	switch req.Op {
 	case opMeta:
 		return response{

@@ -17,6 +17,7 @@ import (
 	"io"
 
 	"quepa/internal/core"
+	"quepa/internal/telemetry"
 )
 
 // maxFrame bounds a single frame to guard against corrupted lengths.
@@ -30,6 +31,32 @@ const (
 	opMeta     = "meta"
 	opKeyField = "keyfield"
 )
+
+var wireOps = []string{opGet, opGetBatch, opQuery, opMeta, opKeyField}
+
+// Per-op client round-trip histograms and error counters, plus the server's
+// request tally, resolved once at init so the RPC path does a single
+// histogram observation per round trip.
+var (
+	clientHists  = map[string]*telemetry.Histogram{}
+	clientErrs   = map[string]*telemetry.Counter{}
+	serverReqs   = map[string]*telemetry.Counter{}
+	serverBadOps *telemetry.Counter
+)
+
+func init() {
+	for _, op := range wireOps {
+		label := telemetry.L("op", op)
+		clientHists[op] = telemetry.NewHistogram("quepa_wire_roundtrip_duration_seconds",
+			"client-observed latency of wire RPC round trips", nil, label)
+		clientErrs[op] = telemetry.NewCounter("quepa_wire_errors_total",
+			"wire RPC round trips that failed (transport or remote error)", label)
+		serverReqs[op] = telemetry.NewCounter("quepa_wire_server_requests_total",
+			"requests dispatched by wire servers", label)
+	}
+	serverBadOps = telemetry.NewCounter("quepa_wire_server_requests_total",
+		"requests dispatched by wire servers", telemetry.L("op", "unknown"))
+}
 
 type request struct {
 	Op         string   `json:"op"`
