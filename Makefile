@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz figures clean
+.PHONY: all build vet test race cover bench fuzz figures clean
 
 all: build vet test
 
@@ -17,6 +17,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Coverage over every package (cmd/ included — go vet/test ./... already
+# cover it); writes cover.out and prints the per-function summary.
+cover:
+	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
+	$(GO) tool cover -func=cover.out | tail -1
 
 # Regenerates every figure of the paper (Figs. 9-13 plus the extra cache
 # and ablation experiments). Takes a few minutes.
@@ -36,3 +42,4 @@ figures:
 
 clean:
 	$(GO) clean ./...
+	rm -f cover.out

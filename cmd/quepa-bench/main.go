@@ -10,7 +10,10 @@
 //
 // With -json, every measured point of the campaign is written to the named
 // file as an indented bench.RunRecord — the format of the per-PR
-// BENCH_<label>.json baselines at the repository root.
+// BENCH_<label>.json baselines at the repository root. Adding
+// -explain-sample=K attaches the EXPLAIN profile of every K-th measured
+// search to the record, so a campaign documents not just how long the
+// strategies took but what they actually did.
 package main
 
 import (
@@ -29,9 +32,11 @@ func main() {
 	budget := flag.Int64("budget", 0, "middleware memory budget in bytes (0 = default)")
 	jsonOut := flag.String("json", "", "also write the campaign to this file as JSON")
 	label := flag.String("label", "", "label recorded in the -json output (e.g. PR1)")
+	explainSample := flag.Int("explain-sample", 0, "attach the EXPLAIN profile of every K-th search to the -json record (0 disables)")
 	flag.Parse()
 
 	opts := bench.Options{Quick: *quick, Seed: *seed, BaselineBudget: *budget}
+	bench.SetExplainSampling(*explainSample)
 
 	ids := []string{*fig}
 	if *fig == "all" {

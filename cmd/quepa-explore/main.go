@@ -13,7 +13,9 @@
 //	...
 //	> finish
 //
-// Other commands: dbs, search <db> <level> <query>, path, help, quit.
+// Other commands: dbs, search <db> <level> <query>, path, explain, help,
+// quit. The explain verb prints the EXPLAIN profile of the last q, search,
+// or link-follow as an indented tree.
 package main
 
 import (
@@ -30,6 +32,7 @@ import (
 	"quepa/internal/aindex"
 	"quepa/internal/augment"
 	"quepa/internal/core"
+	"quepa/internal/explain"
 	"quepa/internal/workload"
 )
 
@@ -61,6 +64,10 @@ type shell struct {
 	links   []augment.AugmentedObject // numbered choices of the last step
 	started bool                      // session has begun but no Step yet
 	starts  []core.Object             // the starting query's objects
+
+	// lastProfile is the EXPLAIN profile of the most recent query-running
+	// command (q, search, or a link follow), shown by the explain verb.
+	lastProfile *explain.Profile
 }
 
 // repl drives the command loop; factored out of main for testing.
@@ -96,6 +103,7 @@ func (sh *shell) execute(line string) {
   <n>                          follow link number n of the last step
   search <db> <level> <query>  one-shot augmented search
   path                         show the objects visited so far
+  explain                      show the EXPLAIN profile of the last query
   finish                       end the session (may promote the path)
   quit`)
 	case "dbs":
@@ -113,7 +121,9 @@ func (sh *shell) execute(line string) {
 		}
 		db := fields[1]
 		query := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(line, "q"), " "+db))
+		ctx, rec := explain.WithRecorder(ctx, "explore")
 		sess, starts, err := sh.aug.Explore(ctx, db, query, sh.tracker)
+		sh.lastProfile = rec.Finish(len(starts))
 		if err != nil {
 			fmt.Fprintf(sh.out, "error: %v\n", err)
 			return
@@ -140,11 +150,14 @@ func (sh *shell) execute(line string) {
 			return
 		}
 		query := strings.Join(fields[3:], " ")
+		ctx, rec := explain.WithRecorder(ctx, "search")
 		answer, err := sh.aug.Search(ctx, fields[1], query, level)
 		if err != nil {
+			sh.lastProfile = rec.Finish(0)
 			fmt.Fprintf(sh.out, "error: %v\n", err)
 			return
 		}
+		sh.lastProfile = rec.Finish(len(answer.Original) + len(answer.Augmented))
 		fmt.Fprintf(sh.out, "  %d local, %d augmented\n", len(answer.Original), len(answer.Augmented))
 		for i, ao := range answer.Augmented {
 			if i == 10 {
@@ -161,6 +174,12 @@ func (sh *shell) execute(line string) {
 		for _, gk := range sh.session.Path() {
 			fmt.Fprintf(sh.out, "  %v\n", gk)
 		}
+	case "explain":
+		if sh.lastProfile == nil {
+			fmt.Fprintln(sh.out, "no profile yet; run q, search, or follow a link first")
+			return
+		}
+		sh.lastProfile.WriteTree(sh.out)
 	case "finish":
 		if sh.session == nil {
 			fmt.Fprintln(sh.out, "no session; start one with q")
@@ -203,7 +222,9 @@ func (sh *shell) follow(ctx context.Context, n int) {
 		}
 		target = sh.links[n].Object.GK
 	}
+	ctx, rec := explain.WithRecorder(ctx, "step")
 	links, err := sh.session.Step(ctx, target)
+	sh.lastProfile = rec.Finish(len(links))
 	if err != nil {
 		fmt.Fprintf(sh.out, "error: %v\n", err)
 		return

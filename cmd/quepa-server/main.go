@@ -6,21 +6,28 @@
 //
 //	GET /databases                         list the polystore's databases
 //	GET /search?db=…&q=…&level=N           augmented search (level defaults to 0);
-//	                                       optional minp=0.8 / topk=10 trim the ranking
+//	                                       optional minp=0.8 / topk=10 trim the ranking,
+//	                                       explain=1 attaches an EXPLAIN profile
 //	GET /object?key=D.C.K                  fetch one object with its p-relations
 //	POST /explore?db=…&q=…                 start an exploration session -> {session}
-//	POST /explore/step?session=…&key=…     expand one object -> ranked links
+//	POST /explore/step?session=…&key=…     expand one object -> ranked links;
+//	                                       explain=1 attaches an EXPLAIN profile
 //	POST /explore/finish?session=…         end the session (may promote the path)
-//	GET /stats                             index/cache/telemetry statistics
+//	GET /stats                             index/cache/telemetry/build statistics
 //	GET /metrics                           Prometheus text exposition
-//	GET /debug/traces                      recent slow queries as JSON span trees
+//	GET /debug/traces?route=…&min_ms=…     recent slow queries as JSON span trees
+//	GET /debug/explain?route=…             recent EXPLAIN profiles, slowest first
 //	GET /debug/pprof/…                     net/http/pprof profiles (only with -debug)
+//
+// Every search consults the adaptive optimizer (Section V) and logs the
+// completed run back into it, so the server's configuration converges as
+// traffic flows; explain=1 exposes each decision's provenance.
 //
 // Example:
 //
 //	quepa-server -addr :8080 -replicas 1 &
-//	curl 'localhost:8080/search?db=transactions&q=SELECT+*+FROM+inventory+WHERE+seq+<+3'
-//	curl 'localhost:8080/metrics'
+//	curl 'localhost:8080/search?db=transactions&q=SELECT+*+FROM+inventory+WHERE+seq+<+3&explain=1'
+//	curl 'localhost:8080/debug/explain'
 package main
 
 import (
@@ -32,13 +39,18 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"runtime"
+	rdebug "runtime/debug"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"quepa/internal/aindex"
 	"quepa/internal/augment"
 	"quepa/internal/core"
+	"quepa/internal/explain"
+	"quepa/internal/optimizer"
 	"quepa/internal/telemetry"
 	"quepa/internal/workload"
 )
@@ -48,9 +60,45 @@ type server struct {
 	aug     *augment.Augmenter
 	tracker *aindex.PathTracker
 
+	// Adaptive optimizer state: the optimizer itself, and the last observed
+	// result/augmentation sizes per query signature — a query's features are
+	// only known after it ran, so the previous run of the same query provides
+	// the feature vector for the next decision.
+	opt      *optimizer.Adaptive
+	optMu    sync.Mutex
+	lastSeen map[string]lastRun
+
+	// EXPLAIN profile ring plus the 1-in-K background sampler.
+	explainBuf   *explain.Buffer
+	explainEvery int
+	reqSeq       atomic.Uint64
+
 	mu       sync.Mutex
 	sessions map[string]*augment.Exploration
 	nextID   int
+}
+
+type lastRun struct {
+	result, augmented int
+}
+
+// newServer assembles a server around a built workload — shared between main
+// and the tests so both run the identical wiring.
+func newServer(built *workload.Built, cfg augment.Config, explainCap, explainEvery int) *server {
+	s := &server{
+		built:        built,
+		aug:          augment.New(built.Poly, built.Index, cfg),
+		tracker:      aindex.NewPathTracker(built.Index, aindex.DefaultPromotionPolicy),
+		opt:          optimizer.NewAdaptive(),
+		lastSeen:     map[string]lastRun{},
+		explainBuf:   explain.NewBuffer(explainCap),
+		explainEvery: explainEvery,
+		sessions:     map[string]*augment.Exploration{},
+	}
+	s.opt.RetrainEvery = 256
+	s.opt.MaxLogs = 4096
+	s.registerMetrics()
+	return s
 }
 
 func main() {
@@ -60,7 +108,20 @@ func main() {
 	indexPath := flag.String("index", "", "load the A' index from this JSON-lines file (e.g. from quepa-collect -out) instead of the generated one")
 	debug := flag.Bool("debug", false, "expose net/http/pprof under /debug/pprof/")
 	slow := flag.Duration("slow", telemetry.DefaultSlowThreshold, "queries slower than this are kept in /debug/traces")
+	version := flag.Bool("version", false, "print build information and exit")
+	explainCap := flag.Int("explain-cap", explain.DefaultBufferCapacity, "EXPLAIN profiles kept in the /debug/explain ring")
+	explainSample := flag.Int("explain-sample", 0, "profile every K-th request even without explain=1 (0 disables)")
+	logLevel := flag.String("log-level", "info", "minimum structured log level: debug, info, warn, error")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildVersion())
+		return
+	}
+	lvl, err := telemetry.ParseLogLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	telemetry.SetLogLevel(lvl)
 	telemetry.DefaultTracer().SetSlowThreshold(*slow)
 
 	spec := workload.DefaultSpec().Scale(*scale)
@@ -83,13 +144,8 @@ func main() {
 		built.Index = index
 		log.Printf("quepa-server: loaded A' index from %s", *indexPath)
 	}
-	s := &server{
-		built:    built,
-		aug:      augment.New(built.Poly, index, augment.Config{Strategy: augment.OuterBatch, BatchSize: 64, ThreadsSize: 8, CacheSize: 4096}),
-		tracker:  aindex.NewPathTracker(index, aindex.DefaultPromotionPolicy),
-		sessions: map[string]*augment.Exploration{},
-	}
-	s.registerMetrics()
+	s := newServer(built, augment.Config{Strategy: augment.OuterBatch, BatchSize: 64, ThreadsSize: 8, CacheSize: 4096},
+		*explainCap, *explainSample)
 
 	mux := s.routes()
 	if *debug {
@@ -119,6 +175,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/explain", s.handleExplain)
 	return mux
 }
 
@@ -137,6 +194,10 @@ func (s *server) registerMetrics() {
 			defer s.mu.Unlock()
 			return float64(len(s.sessions))
 		})
+	reg.GaugeFunc("quepa_optimizer_runs", "run logs recorded by the adaptive optimizer",
+		func() float64 { return float64(s.opt.LogCount()) })
+	reg.GaugeFunc("quepa_explain_profiles_seen", "EXPLAIN profiles recorded since start",
+		func() float64 { return float64(s.explainBuf.Seen()) })
 }
 
 // statusWriter captures the response code for the request metrics.
@@ -167,6 +228,15 @@ func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		span.End()
 		telemetry.NewCounter("quepa_http_requests_total", "HTTP requests served by route and status",
 			telemetry.L("route", route), telemetry.L("code", strconv.Itoa(sw.code))).Inc()
+		// start is the zero time when telemetry is off — no clock reads then.
+		if !start.IsZero() {
+			if d := time.Since(start); d >= telemetry.DefaultTracer().SlowThreshold() {
+				telemetry.Log(telemetry.LogWarn, "slow query",
+					telemetry.F("route", route),
+					telemetry.F("ms", math.Round(float64(d.Nanoseconds())/1e3)/1e3),
+					telemetry.F("status", sw.code))
+			}
+		}
 	}
 }
 
@@ -176,13 +246,42 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	minMS, err := floatParam(r, "min_ms", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	route := r.URL.Query().Get("route")
 	tracer := telemetry.DefaultTracer()
 	seen, kept := tracer.Stats()
+	all := tracer.Snapshot()
+	traces := make([]telemetry.SpanJSON, 0, len(all))
+	for _, t := range all {
+		// Root spans are named "http <route>"; accept both spellings so
+		// ?route=/search and ?route=http+/search find the same traces.
+		if route != "" && t.Name != route && t.Name != "http "+route {
+			continue
+		}
+		if t.DurationMS < minMS {
+			continue
+		}
+		traces = append(traces, t)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"slow_threshold_ms": float64(tracer.SlowThreshold().Nanoseconds()) / 1e6,
 		"roots_seen":        seen,
 		"roots_kept":        kept,
-		"traces":            tracer.Snapshot(),
+		"traces":            traces,
+	})
+}
+
+// handleExplain serves the EXPLAIN profile ring, slowest first, optionally
+// restricted to one route with ?route=/search.
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"capacity": s.explainBuf.Capacity(),
+		"seen":     s.explainBuf.Seen(),
+		"profiles": s.explainBuf.Snapshot(r.URL.Query().Get("route")),
 	})
 }
 
@@ -253,6 +352,36 @@ func intParam(r *http.Request, name string, def int) (int, error) {
 	return n, nil
 }
 
+// boolParam parses a boolean query parameter (1/0/true/false), returning
+// false when absent. Anything else is an error, in line with intParam.
+func boolParam(r *http.Request, name string) (bool, error) {
+	vs, ok := r.URL.Query()[name]
+	if !ok {
+		return false, nil
+	}
+	switch vs[0] {
+	case "1", "true":
+		return true, nil
+	case "0", "false":
+		return false, nil
+	}
+	return false, fmt.Errorf("parameter %s must be a boolean (1/0/true/false), got %q", name, vs[0])
+}
+
+// floatParam parses a non-negative finite float parameter, returning def
+// when absent.
+func floatParam(r *http.Request, name string, def float64) (float64, error) {
+	vs, ok := r.URL.Query()[name]
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(vs[0], 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+		return 0, fmt.Errorf("parameter %s must be a non-negative number, got %q", name, vs[0])
+	}
+	return f, nil
+}
+
 // probParam parses a probability parameter in [0, 1], returning def when
 // absent. NaN and ±Inf parse as floats but are rejected explicitly.
 func probParam(r *http.Request, name string, def float64) (float64, error) {
@@ -292,19 +421,88 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	answer, err := s.aug.Search(r.Context(), db, q, level)
+	explainOn, err := boolParam(r, "explain")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	ctx := r.Context()
+	var rec *explain.Recorder
+	if explainOn || s.sampled() {
+		ctx, rec = explain.WithRecorder(ctx, "/search")
+	}
+	rec.SetOptimizer(s.chooseConfig(db, q, level))
+	start := time.Now()
+	answer, err := s.aug.Search(ctx, db, q, level)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.observe(db, q, level, answer, time.Since(start))
 	original := make([]objectJSON, len(answer.Original))
 	for i, o := range answer.Original {
 		original[i] = toJSON(o)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	ranked := answer.Rank(minProb, topK)
+	rec.RankPruned(len(answer.Augmented) - len(ranked))
+	resp := map[string]any{
 		"original":  original,
-		"augmented": augmentedJSON(answer.Rank(minProb, topK)),
-	})
+		"augmented": augmentedJSON(ranked),
+	}
+	if p := rec.Finish(len(answer.Original) + len(ranked)); p != nil {
+		s.explainBuf.Add(p)
+		if explainOn {
+			resp["explain"] = p
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// sampled implements -explain-sample: profile every K-th request even when
+// the client did not ask for explain=1, feeding the /debug/explain ring.
+func (s *server) sampled() bool {
+	return s.explainEvery > 0 && s.reqSeq.Add(1)%uint64(s.explainEvery) == 0
+}
+
+// chooseConfig runs the adaptive optimizer for one query. Its features —
+// result and augmentation sizes — are only known once the query ran, so the
+// previous observation of the same query signature stands in (zeroes on
+// first sight). An untrained optimizer leaves the configuration untouched.
+func (s *server) chooseConfig(db, q string, level int) explain.Decision {
+	s.optMu.Lock()
+	defer s.optMu.Unlock()
+	last := s.lastSeen[querySignature(db, q, level)]
+	f := optimizer.QueryFeatures{
+		ResultSize:    last.result,
+		AugmentedSize: last.augmented,
+		Level:         level,
+		NumStores:     s.built.Poly.Size(),
+	}
+	cfg, dec := s.opt.ChooseExplained(f, s.aug.Config().CacheSize)
+	if dec.Trained {
+		s.aug.SetConfig(cfg)
+	}
+	return dec
+}
+
+// observe feeds a completed search back into the optimizer (Phase 1) and
+// remembers its observed sizes for the next decision on the same query.
+func (s *server) observe(db, q string, level int, answer *augment.Answer, elapsed time.Duration) {
+	f := optimizer.QueryFeatures{
+		ResultSize:    len(answer.Original),
+		AugmentedSize: len(answer.Augmented),
+		Level:         level,
+		NumStores:     s.built.Poly.Size(),
+	}
+	s.optMu.Lock()
+	s.lastSeen[querySignature(db, q, level)] = lastRun{result: f.ResultSize, augmented: f.AugmentedSize}
+	cfg := s.aug.Config()
+	s.optMu.Unlock()
+	s.opt.Log(optimizer.RunLog{Features: f, Config: cfg, Duration: elapsed})
+}
+
+func querySignature(db, q string, level int) string {
+	return db + "\x00" + q + "\x00" + strconv.Itoa(level)
 }
 
 func (s *server) handleObject(w http.ResponseWriter, r *http.Request) {
@@ -372,12 +570,29 @@ func (s *server) handleExploreStep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	links, err := sess.Step(r.Context(), gk)
+	explainOn, err := boolParam(r, "explain")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"links": augmentedJSON(links)})
+	ctx := r.Context()
+	var rec *explain.Recorder
+	if explainOn || s.sampled() {
+		ctx, rec = explain.WithRecorder(ctx, "/explore/step")
+	}
+	links, err := sess.Step(ctx, gk)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := map[string]any{"links": augmentedJSON(links)}
+	if p := rec.Finish(len(links)); p != nil {
+		s.explainBuf.Add(p)
+		if explainOn {
+			resp["explain"] = p
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleExploreFinish(w http.ResponseWriter, r *http.Request) {
@@ -420,6 +635,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	seen, kept := telemetry.DefaultTracer().Stats()
 	reg := telemetry.Default()
+	fallbacks := reg.CounterValue("quepa_optimizer_fallback_total", telemetry.L("reason", "untrained")) +
+		reg.CounterValue("quepa_optimizer_fallback_total", telemetry.L("reason", "parse_strategy"))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"databases":   s.built.Poly.Size(),
 		"index_keys":  s.built.Index.NodeCount(),
@@ -428,6 +645,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"cache_hits":  hits,
 		"cache_miss":  misses,
 		"config":      s.aug.Config().String(),
+		"build":       buildSection(),
+		"optimizer": map[string]any{
+			"name":      s.opt.Name(),
+			"trained":   s.opt.Trained(),
+			"runs":      s.opt.LogCount(),
+			"fallbacks": fallbacks,
+			"retrains":  reg.CounterValue("quepa_optimizer_retrain_total"),
+		},
 		"telemetry": map[string]any{
 			"cache_hit_ratio":   s.aug.Cache().HitRatio(),
 			"cache_evictions":   s.aug.Cache().Evictions(),
@@ -443,4 +668,38 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func roundMS(d time.Duration) float64 {
 	return math.Round(float64(d.Nanoseconds())/1e3) / 1e3
+}
+
+// buildSection reports how this binary was built — Go version, module, and
+// the VCS stamp when the toolchain embedded one — for /stats and -version.
+func buildSection() map[string]any {
+	out := map[string]any{"go": runtime.Version()}
+	bi, ok := rdebug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out["path"] = bi.Path
+	if bi.Main.Version != "" {
+		out["module_version"] = bi.Main.Version
+	}
+	for _, setting := range bi.Settings {
+		switch setting.Key {
+		case "vcs.revision":
+			out["revision"] = setting.Value
+		case "vcs.time":
+			out["vcs_time"] = setting.Value
+		case "vcs.modified":
+			out["modified"] = setting.Value == "true"
+		}
+	}
+	return out
+}
+
+func buildVersion() string {
+	b := buildSection()
+	rev, _ := b["revision"].(string)
+	if rev == "" {
+		rev = "devel"
+	}
+	return fmt.Sprintf("quepa-server %s (%s)", rev, b["go"])
 }

@@ -8,8 +8,8 @@ import (
 	"strings"
 	"testing"
 
-	"quepa/internal/aindex"
 	"quepa/internal/augment"
+	"quepa/internal/explain"
 	"quepa/internal/workload"
 )
 
@@ -22,14 +22,8 @@ func newTestServer(t *testing.T) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &server{
-		built:    built,
-		aug:      augment.New(built.Poly, built.Index, augment.Config{Strategy: augment.Batch, BatchSize: 32, CacheSize: 128}),
-		tracker:  aindex.NewPathTracker(built.Index, aindex.DefaultPromotionPolicy),
-		sessions: map[string]*augment.Exploration{},
-	}
-	s.registerMetrics()
-	return s
+	return newServer(built, augment.Config{Strategy: augment.Batch, BatchSize: 32, CacheSize: 128},
+		explain.DefaultBufferCapacity, 0)
 }
 
 func do(t *testing.T, h http.HandlerFunc, method, target string) (int, map[string]any) {

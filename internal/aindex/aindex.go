@@ -256,6 +256,14 @@ type Hit struct {
 	Dist int
 }
 
+// ReachStats summarizes the work of one reachability traversal: index nodes
+// expanded (frontier entries processed, including the start) and adjacency
+// edges scanned. The explain Recorder attributes them to the profiled query.
+type ReachStats struct {
+	Nodes int
+	Edges int
+}
+
 // Reach returns the global keys reachable from gk within level+1 hops — the
 // augmentation primitive α of Definition 2: level 0 reaches the direct
 // p-relations of gk, each further level expands one hop more. The starting
@@ -263,6 +271,18 @@ type Hit struct {
 // within the hop bound; results are ordered by decreasing probability (ties
 // broken by key order) as Definition 3 requires.
 func (ix *Index) Reach(gk core.GlobalKey, level int) []Hit {
+	return ix.reach(gk, level, nil)
+}
+
+// ReachWithStats is Reach plus a count of the traversal work performed —
+// the augmenter uses it when a query is being profiled.
+func (ix *Index) ReachWithStats(gk core.GlobalKey, level int) ([]Hit, ReachStats) {
+	var stats ReachStats
+	hits := ix.reach(gk, level, &stats)
+	return hits, stats
+}
+
+func (ix *Index) reach(gk core.GlobalKey, level int, stats *ReachStats) []Hit {
 	if level < 0 {
 		return nil
 	}
@@ -277,6 +297,10 @@ func (ix *Index) Reach(gk core.GlobalKey, level int) []Hit {
 	for hop := 1; hop <= maxHops && len(frontier) > 0; hop++ {
 		next := map[core.GlobalKey]float64{}
 		for cur, curProb := range frontier {
+			if stats != nil {
+				stats.Nodes++
+				stats.Edges += len(ix.adj[cur])
+			}
 			for nb, e := range ix.adj[cur] {
 				p := curProb * e.prob
 				old, seen := best[nb]

@@ -549,3 +549,39 @@ func TestClone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestReachWithStats verifies the instrumented traversal returns the same
+// hits as Reach plus a faithful account of the index work performed.
+func TestReachWithStats(t *testing.T) {
+	ix := New()
+	ix.Insert(core.NewIdentity(albumD1, discount1, 0.8))
+	ix.Insert(core.NewIdentity(albumD1, invA32, 0.9))
+	ix.Insert(core.NewMatching(invA32, detailI1, 0.75))
+
+	for _, level := range []int{0, 1, 2} {
+		plain := ix.Reach(albumD1, level)
+		hits, st := ix.ReachWithStats(albumD1, level)
+		if len(hits) != len(plain) {
+			t.Fatalf("level %d: %d hits with stats, %d without", level, len(hits), len(plain))
+		}
+		for i := range hits {
+			if hits[i] != plain[i] {
+				t.Errorf("level %d hit %d: %+v != %+v", level, i, hits[i], plain[i])
+			}
+		}
+		// The traversal expanded at least the origin, scanning an edge for
+		// every hit it produced; deeper levels expand the hits too.
+		if st.Nodes < 1 || st.Edges < len(hits) {
+			t.Errorf("level %d stats = %+v for %d hits", level, st, len(hits))
+		}
+		if level > 0 && st.Nodes < len(hits) {
+			t.Errorf("level %d: expanded %d nodes for %d hits", level, st.Nodes, len(hits))
+		}
+	}
+
+	// Unknown origin: the origin itself is expanded, nothing else.
+	hits, st := ix.ReachWithStats(gk("x.y.z"), 3)
+	if len(hits) != 0 || st.Nodes != 1 || st.Edges != 0 {
+		t.Errorf("unknown origin: hits=%v stats=%+v", hits, st)
+	}
+}

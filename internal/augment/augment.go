@@ -21,10 +21,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"quepa/internal/aindex"
 	"quepa/internal/cache"
 	"quepa/internal/core"
+	"quepa/internal/explain"
 	"quepa/internal/telemetry"
 	"quepa/internal/validator"
 )
@@ -204,6 +206,8 @@ func (a *Augmenter) Search(ctx context.Context, database, query string, level in
 	defer span.End()
 	span.SetAttr("db", database)
 	span.SetAttr("level", itoa(level))
+	rec := explain.FromContext(ctx)
+	rec.SetQuery(database, query, level)
 	store, err := a.poly.Database(database)
 	if err != nil {
 		return nil, err
@@ -213,8 +217,15 @@ func (a *Augmenter) Search(ctx context.Context, database, query string, level in
 		return nil, err
 	}
 	qctx, qspan := telemetry.StartSpan(ctx, "store.query")
+	var qstart time.Time
+	if rec != nil {
+		qstart = time.Now()
+	}
 	original, err := store.Query(qctx, v.Query)
 	qspan.End()
+	if rec != nil {
+		rec.LocalQuery(database, len(original), time.Since(qstart), err != nil)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -239,12 +250,21 @@ func (a *Augmenter) AugmentObjects(ctx context.Context, origins []core.Object, l
 	ctx, span := telemetry.StartSpan(ctx, "augment.objects")
 	defer span.End()
 	span.SetAttr("strategy", strategy.String())
+	rec := explain.FromContext(ctx)
+	var recStart time.Time
+	if rec != nil {
+		rec.BeginAugmentation(level, len(origins), strategy.String())
+		recStart = time.Now()
+	}
 	start := telemetry.Now()
-	plan := a.buildPlan(origins, level)
+	plan := a.buildPlan(rec, origins, level)
 	span.SetAttr("origins", itoa(len(origins)))
 	span.SetAttr("keys", itoa(len(plan.order)))
 	if len(plan.order) == 0 {
 		strategyHist(strategy).Since(start)
+		if rec != nil {
+			rec.EndAugmentation(0, time.Since(recStart), nil)
+		}
 		return nil, nil
 	}
 	sink := newSink()
@@ -270,9 +290,16 @@ func (a *Augmenter) AugmentObjects(ctx context.Context, origins []core.Object, l
 		if c := strategyErr(strategy); c != nil {
 			c.Inc()
 		}
+		if rec != nil {
+			rec.EndAugmentation(0, time.Since(recStart), err)
+		}
 		return nil, err
 	}
-	return plan.answer(sink), nil
+	out := plan.answer(sink)
+	if rec != nil {
+		rec.EndAugmentation(len(out), time.Since(recStart), nil)
+	}
+	return out, nil
 }
 
 // plan is the resolved fetch work of one augmentation: the unique global
@@ -288,16 +315,29 @@ type plan struct {
 // reachable keys, keeping the best probability. Each unique key is assigned
 // to the first origin that reaches it, which partitions the fetch work for
 // the per-result (outer) strategies. Origins themselves are never fetched.
-func (a *Augmenter) buildPlan(origins []core.Object, level int) *plan {
+// With a non-nil recorder, the index traversal work is counted and
+// attributed to the profiled query.
+func (a *Augmenter) buildPlan(rec *explain.Recorder, origins []core.Object, level int) *plan {
 	p := &plan{hits: map[core.GlobalKey]aindex.Hit{}}
 	originSet := make(map[core.GlobalKey]bool, len(origins))
 	for _, o := range origins {
 		originSet[o.GK] = true
 	}
+	var nodes, edges, skipped int
 	for _, o := range origins {
 		var mine []core.GlobalKey
-		for _, h := range a.index.Reach(o.GK, level) {
+		var hits []aindex.Hit
+		if rec == nil {
+			hits = a.index.Reach(o.GK, level)
+		} else {
+			var st aindex.ReachStats
+			hits, st = a.index.ReachWithStats(o.GK, level)
+			nodes += st.Nodes
+			edges += st.Edges
+		}
+		for _, h := range hits {
 			if originSet[h.Key] {
+				skipped++
 				continue
 			}
 			old, seen := p.hits[h.Key]
@@ -312,6 +352,9 @@ func (a *Augmenter) buildPlan(origins []core.Object, level int) *plan {
 			}
 		}
 		p.byOrigin = append(p.byOrigin, mine)
+	}
+	if rec != nil {
+		rec.PlanStats(len(p.order), nodes, edges, skipped)
 	}
 	return p
 }
@@ -354,17 +397,33 @@ func (s *sink) add(objs ...core.Object) {
 // applying lazy deletion on misses. The boolean reports whether the object
 // exists.
 func (a *Augmenter) fetchOne(ctx context.Context, gk core.GlobalKey) (core.Object, bool, error) {
+	rec := explain.FromContext(ctx)
 	if obj, ok := a.cache.Get(gk); ok {
+		rec.CacheHits(1)
 		return obj, true, nil
+	}
+	rec.CacheMisses(1)
+	var start time.Time
+	if rec != nil {
+		start = time.Now()
 	}
 	obj, err := a.poly.Fetch(ctx, gk)
 	if err != nil {
 		if errors.Is(err, core.ErrNotFound) {
+			if rec != nil {
+				rec.StoreOp(gk.Database, "get", 1, 0, time.Since(start), false)
+			}
 			a.index.RemoveObject(gk)
 			a.cache.Remove(gk)
 			return core.Object{}, false, nil
 		}
+		if rec != nil {
+			rec.StoreOp(gk.Database, "get", 1, 0, time.Since(start), true)
+		}
 		return core.Object{}, false, err
+	}
+	if rec != nil {
+		rec.StoreOp(gk.Database, "get", 1, 1, time.Since(start), false)
 	}
 	a.cache.Put(obj)
 	return obj, true, nil
@@ -374,19 +433,29 @@ func (a *Augmenter) fetchOne(ctx context.Context, gk core.GlobalKey) (core.Objec
 // collection with a single batched query, consulting the cache first and
 // lazily deleting keys the store no longer has.
 func (a *Augmenter) fetchGroup(ctx context.Context, database, collection string, keys []string, s *sink) error {
+	rec := explain.FromContext(ctx)
 	missing := keys[:0:0]
 	for _, k := range keys {
 		gk := core.NewGlobalKey(database, collection, k)
 		if obj, ok := a.cache.Get(gk); ok {
+			rec.CacheHits(1)
 			s.add(obj)
 			continue
 		}
+		rec.CacheMisses(1)
 		missing = append(missing, k)
 	}
 	if len(missing) == 0 {
 		return nil
 	}
+	var start time.Time
+	if rec != nil {
+		start = time.Now()
+	}
 	objs, err := a.poly.FetchBatch(ctx, database, collection, missing)
+	if rec != nil {
+		rec.StoreOp(database, "getbatch", len(missing), len(objs), time.Since(start), err != nil)
+	}
 	if err != nil {
 		return err
 	}

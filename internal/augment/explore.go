@@ -2,10 +2,13 @@ package augment
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"quepa/internal/aindex"
 	"quepa/internal/core"
+	"quepa/internal/explain"
 )
 
 // Exploration is an augmented-exploration session (Definition 4): starting
@@ -63,7 +66,20 @@ func (e *Exploration) Step(ctx context.Context, gk core.GlobalKey) ([]AugmentedO
 			return nil, fmt.Errorf("augment: %v was not among the objects of the previous step", gk)
 		}
 	}
+	rec := explain.FromContext(ctx)
+	var start time.Time
+	if rec != nil {
+		rec.SetQuery(gk.Database, "step "+gk.String(), 0)
+		start = time.Now()
+	}
 	origin, err := e.aug.Polystore().Fetch(ctx, gk)
+	if rec != nil {
+		objects := 1
+		if err != nil {
+			objects = 0
+		}
+		rec.StoreOp(gk.Database, "get", 1, objects, time.Since(start), err != nil && !errors.Is(err, core.ErrNotFound))
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"context"
+	"sync"
+
+	"quepa/internal/explain"
+)
+
+// Explain sampling: with SetExplainSampling(K), every K-th measured search
+// runs under an EXPLAIN recorder and its profile is kept, so a benchmark
+// campaign's RunRecord carries concrete evidence of what the strategies did
+// (fan-out, cache behaviour, wire bytes) alongside the timings.
+var (
+	explainMu       sync.Mutex
+	explainEvery    int
+	explainSeq      uint64
+	explainProfiles []*explain.Profile
+)
+
+// maxExplainProfiles bounds the memory a long campaign can pin.
+const maxExplainProfiles = 256
+
+// SetExplainSampling enables profiling of every K-th search (0 disables)
+// and resets previously collected profiles.
+func SetExplainSampling(every int) {
+	explainMu.Lock()
+	defer explainMu.Unlock()
+	explainEvery = every
+	explainSeq = 0
+	explainProfiles = nil
+}
+
+// ExplainProfiles returns the profiles collected since sampling was enabled.
+func ExplainProfiles() []*explain.Profile {
+	explainMu.Lock()
+	defer explainMu.Unlock()
+	out := make([]*explain.Profile, len(explainProfiles))
+	copy(out, explainProfiles)
+	return out
+}
+
+// explainCtx decides whether this search is sampled; the returned recorder
+// is nil (and the context untouched) when it is not.
+func explainCtx(ctx context.Context) (context.Context, *explain.Recorder) {
+	explainMu.Lock()
+	every := explainEvery
+	sampled := false
+	if every > 0 {
+		explainSeq++
+		sampled = explainSeq%uint64(every) == 0
+	}
+	explainMu.Unlock()
+	if !sampled {
+		return ctx, nil
+	}
+	return explain.WithRecorder(ctx, "bench/search")
+}
+
+// keepProfile stores a finished profile (nil profiles are ignored).
+func keepProfile(p *explain.Profile) {
+	if p == nil {
+		return
+	}
+	explainMu.Lock()
+	if len(explainProfiles) < maxExplainProfiles {
+		explainProfiles = append(explainProfiles, p)
+	}
+	explainMu.Unlock()
+}

@@ -124,13 +124,15 @@ func (o Options) build(rounds int, deploy workload.Deployment) (*workload.Built,
 
 // runSearch measures one augmented search end to end.
 func runSearch(aug *augment.Augmenter, db, query string, level int) (time.Duration, *augment.Answer, error) {
-	ctx := context.Background()
+	ctx, rec := explainCtx(context.Background())
 	start := time.Now()
 	answer, err := aug.Search(ctx, db, query, level)
 	elapsed := time.Since(start)
 	if err != nil {
+		keepProfile(rec.Finish(0))
 		return elapsed, nil, err
 	}
+	keepProfile(rec.Finish(answer.Size()))
 	return elapsed, answer, nil
 }
 

@@ -5,6 +5,8 @@ import (
 	"io"
 	"runtime"
 	"time"
+
+	"quepa/internal/explain"
 )
 
 // RunRecord is the machine-readable form of a benchmark campaign, written by
@@ -21,6 +23,9 @@ type RunRecord struct {
 	Quick     bool      `json:"quick"`
 	Figures   []string  `json:"figures"`
 	Points    []Point   `json:"points"`
+	// Profiles holds the EXPLAIN profiles sampled during the campaign when
+	// quepa-bench ran with -explain-sample (absent otherwise).
+	Profiles []*explain.Profile `json:"profiles,omitempty"`
 }
 
 // SchemaVersion identifies the RunRecord layout.
@@ -37,6 +42,7 @@ func WriteJSON(w io.Writer, label string, opts Options, figures []string, points
 		Quick:     opts.Quick,
 		Figures:   figures,
 		Points:    points,
+		Profiles:  ExplainProfiles(),
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

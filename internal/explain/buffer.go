@@ -1,0 +1,87 @@
+package explain
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultBufferCapacity is the profile ring capacity of NewBuffer(0).
+const DefaultBufferCapacity = 64
+
+// Buffer is a fixed-capacity ring of finished profiles, newest evicting
+// oldest, served by the server's /debug/explain endpoint. It is safe for
+// concurrent use.
+type Buffer struct {
+	mu   sync.Mutex
+	ring []*Profile
+	next int
+	seen uint64
+}
+
+// NewBuffer creates a buffer holding the last capacity profiles (<= 0
+// selects DefaultBufferCapacity).
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = DefaultBufferCapacity
+	}
+	return &Buffer{ring: make([]*Profile, 0, capacity)}
+}
+
+// Add retains a finished profile. Nil profiles (a Finish on a nil Recorder)
+// are ignored.
+func (b *Buffer) Add(p *Profile) {
+	if p == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.seen++
+	if len(b.ring) < cap(b.ring) {
+		b.ring = append(b.ring, p)
+		return
+	}
+	b.ring[b.next] = p
+	b.next = (b.next + 1) % cap(b.ring)
+}
+
+// Len returns the number of retained profiles.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.ring)
+}
+
+// Capacity returns the ring capacity.
+func (b *Buffer) Capacity() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return cap(b.ring)
+}
+
+// Seen returns how many profiles were ever added (including evicted ones).
+func (b *Buffer) Seen() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seen
+}
+
+// Snapshot returns the retained profiles slowest-first, optionally filtered
+// to one route ("" keeps everything). Ties break newest-first.
+func (b *Buffer) Snapshot(route string) []*Profile {
+	b.mu.Lock()
+	// Oldest-to-newest ring order, so the tie-break below can prefer newer.
+	ordered := make([]*Profile, 0, len(b.ring))
+	for i := 0; i < len(b.ring); i++ {
+		ordered = append(ordered, b.ring[(b.next+i)%len(b.ring)])
+	}
+	b.mu.Unlock()
+
+	out := make([]*Profile, 0, len(ordered))
+	for _, p := range ordered {
+		if route == "" || p.Route == route {
+			out = append(out, p)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].WallMS > out[j].WallMS })
+	return out
+}

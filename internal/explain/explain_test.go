@@ -1,0 +1,276 @@
+package explain
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"quepa/internal/telemetry"
+)
+
+func TestRecorderLifecycle(t *testing.T) {
+	ctx, rec := WithRecorder(context.Background(), "/search")
+	if rec == nil {
+		t.Fatal("WithRecorder returned nil with telemetry enabled")
+	}
+	if got := FromContext(ctx); got != rec {
+		t.Fatalf("FromContext = %p, want %p", got, rec)
+	}
+
+	rec.SetQuery("transactions", "SELECT * FROM sales", 2)
+	rec.SetQuery("other", "later writer", 9) // first writer wins
+	rec.SetOptimizer(Decision{Optimizer: "ADAPTIVE", Trained: true,
+		Trees: []TreeVote{{Tree: "T1", Consulted: true, Raw: "BATCH", Clamped: "BATCH"}}})
+	rec.LocalQuery("transactions", 5, 2*time.Millisecond, false)
+
+	rec.BeginAugmentation(2, 5, "OUTER-BATCH")
+	rec.PlanStats(12, 30, 44, 2)
+	rec.CacheHits(3)
+	rec.CacheMisses(9)
+	rec.StoreOp("catalogue", "getbatch", 6, 6, time.Millisecond, false)
+	rec.StoreOp("catalogue", "getbatch", 3, 2, time.Millisecond, false)
+	rec.StoreOp("social", "get", 1, 0, time.Millisecond, true)
+	rec.EndAugmentation(8, 4*time.Millisecond, nil)
+
+	rec.WireBytes(100, 2000)
+	rec.RankPruned(3)
+	p := rec.Finish(13)
+	if p == nil {
+		t.Fatal("Finish returned nil")
+	}
+
+	if p.Route != "/search" || p.Database != "transactions" || p.Query != "SELECT * FROM sales" || p.Level != 2 {
+		t.Errorf("identity = %q %q %q %d", p.Route, p.Database, p.Query, p.Level)
+	}
+	if p.Optimizer == nil || !p.Optimizer.Trained || len(p.Optimizer.Trees) != 1 {
+		t.Errorf("optimizer = %+v", p.Optimizer)
+	}
+	if p.LocalQuery == nil || p.LocalQuery.Calls != 1 || p.LocalQuery.Objects != 5 {
+		t.Errorf("local query = %+v", p.LocalQuery)
+	}
+	if len(p.Augmentations) != 1 {
+		t.Fatalf("augmentations = %d", len(p.Augmentations))
+	}
+	a := p.Augmentations[0]
+	if a.Level != 2 || a.Strategy != "OUTER-BATCH" || a.Origins != 5 {
+		t.Errorf("trace header = %+v", a)
+	}
+	if a.CandidateKeys != 12 || a.IndexNodes != 30 || a.IndexEdges != 44 || a.OriginsSkipped != 2 {
+		t.Errorf("plan stats = %+v", a)
+	}
+	if a.CacheHits != 3 || a.CacheMisses != 9 || a.Fetched != 8 {
+		t.Errorf("cache/fetch = %+v", a)
+	}
+	// Fan-out is merged per store+op and sorted by store name.
+	if len(a.Stores) != 2 {
+		t.Fatalf("stores = %+v", a.Stores)
+	}
+	if a.Stores[0].Store != "catalogue" || a.Stores[0].Calls != 2 || a.Stores[0].Keys != 9 ||
+		a.Stores[0].Objects != 8 || a.Stores[0].MaxBatch != 6 {
+		t.Errorf("catalogue fan-out = %+v", a.Stores[0])
+	}
+	if a.Stores[1].Store != "social" || a.Stores[1].Errors != 1 {
+		t.Errorf("social fan-out = %+v", a.Stores[1])
+	}
+
+	tot := p.Totals
+	if tot.Objects != 13 || tot.StoreCalls != 4 || tot.StoreErrors != 1 ||
+		tot.CacheHits != 3 || tot.CacheMisses != 9 || tot.RankPruned != 3 ||
+		tot.BytesSent != 100 || tot.BytesReceived != 2000 {
+		t.Errorf("totals = %+v", tot)
+	}
+	if p.WallMS <= 0 {
+		t.Errorf("wall = %v", p.WallMS)
+	}
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	_, rec := WithRecorder(context.Background(), "/search")
+	p1 := rec.Finish(7)
+	p2 := rec.Finish(99)
+	if p1 != p2 || p2.Totals.Objects != 7 {
+		t.Errorf("Finish not idempotent: %p/%p objects=%d", p1, p2, p2.Totals.Objects)
+	}
+}
+
+func TestStoreOpOutsideAugmentation(t *testing.T) {
+	_, rec := WithRecorder(context.Background(), "/explore/step")
+	rec.StoreOp("transactions", "get", 1, 1, time.Millisecond, false)
+	p := rec.Finish(1)
+	if len(p.Fetches) != 1 || p.Fetches[0].Op != "get" {
+		t.Errorf("fetches = %+v", p.Fetches)
+	}
+	if len(p.Augmentations) != 0 {
+		t.Errorf("unexpected augmentations: %+v", p.Augmentations)
+	}
+}
+
+func TestEndAugmentationError(t *testing.T) {
+	_, rec := WithRecorder(context.Background(), "/search")
+	rec.BeginAugmentation(1, 2, "INNER")
+	rec.EndAugmentation(0, time.Millisecond, errors.New("store down"))
+	p := rec.Finish(0)
+	if len(p.Augmentations) != 1 || p.Augmentations[0].Error != "store down" {
+		t.Errorf("augmentations = %+v", p.Augmentations)
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var rec *Recorder
+	rec.SetQuery("db", "q", 1)
+	rec.SetOptimizer(Decision{})
+	rec.LocalQuery("db", 1, 0, false)
+	rec.BeginAugmentation(0, 0, "BATCH")
+	rec.PlanStats(1, 2, 3, 4)
+	rec.CacheHits(1)
+	rec.CacheMisses(1)
+	rec.StoreOp("db", "get", 1, 1, 0, false)
+	rec.EndAugmentation(0, 0, nil)
+	rec.RankPruned(1)
+	rec.WireBytes(1, 1)
+	if p := rec.Finish(0); p != nil {
+		t.Errorf("nil Finish = %+v", p)
+	}
+}
+
+func TestWithRecorderDisabled(t *testing.T) {
+	prev := telemetry.SetEnabled(false)
+	defer telemetry.SetEnabled(prev)
+	ctx := context.Background()
+	got, rec := WithRecorder(ctx, "/search")
+	if rec != nil {
+		t.Fatal("recorder allocated with telemetry disabled")
+	}
+	if got != ctx {
+		t.Error("context was rebuilt with telemetry disabled")
+	}
+}
+
+// TestOffPathAllocations pins the zero-cost-when-off contract: a context miss
+// and every nil-receiver hook must not allocate.
+func TestOffPathAllocations(t *testing.T) {
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(100, func() {
+		if rec := FromContext(ctx); rec != nil {
+			t.Fatal("unexpected recorder")
+		}
+	}); n != 0 {
+		t.Errorf("FromContext miss allocates %v per run", n)
+	}
+	var rec *Recorder
+	if n := testing.AllocsPerRun(100, func() {
+		rec.CacheHits(1)
+		rec.StoreOp("db", "get", 1, 1, 0, false)
+		rec.WireBytes(4, 4)
+	}); n != 0 {
+		t.Errorf("nil recorder hooks allocate %v per run", n)
+	}
+	prev := telemetry.SetEnabled(false)
+	defer telemetry.SetEnabled(prev)
+	if n := testing.AllocsPerRun(100, func() {
+		if _, r := WithRecorder(ctx, "/search"); r != nil {
+			t.Fatal("unexpected recorder")
+		}
+	}); n != 0 {
+		t.Errorf("disabled WithRecorder allocates %v per run", n)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	_, rec := WithRecorder(context.Background(), "/search")
+	rec.BeginAugmentation(1, 8, "OUTER")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				rec.CacheMisses(1)
+				rec.StoreOp("catalogue", "get", 1, 1, time.Microsecond, false)
+			}
+		}()
+	}
+	wg.Wait()
+	rec.EndAugmentation(800, time.Millisecond, nil)
+	p := rec.Finish(800)
+	if p.Totals.StoreCalls != 800 || p.Totals.CacheMisses != 800 {
+		t.Errorf("totals = %+v", p.Totals)
+	}
+}
+
+func TestBufferEvictionAndOrdering(t *testing.T) {
+	b := NewBuffer(3)
+	add := func(route string, wall float64) {
+		b.Add(&Profile{Route: route, WallMS: wall})
+	}
+	b.Add(nil) // ignored
+	add("/search", 5)
+	add("/search", 1)
+	add("/explore/step", 9)
+	add("/search", 3) // evicts the oldest (wall=5)
+	if b.Len() != 3 || b.Capacity() != 3 || b.Seen() != 4 {
+		t.Fatalf("len=%d cap=%d seen=%d", b.Len(), b.Capacity(), b.Seen())
+	}
+	all := b.Snapshot("")
+	if len(all) != 3 || all[0].WallMS != 9 || all[1].WallMS != 3 || all[2].WallMS != 1 {
+		t.Errorf("snapshot order = %+v", all)
+	}
+	search := b.Snapshot("/search")
+	if len(search) != 2 || search[0].WallMS != 3 {
+		t.Errorf("route filter = %+v", search)
+	}
+	if got := b.Snapshot("/nope"); len(got) != 0 {
+		t.Errorf("unknown route = %+v", got)
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	_, rec := WithRecorder(context.Background(), "/search")
+	rec.SetQuery("transactions", "SELECT * FROM sales", 1)
+	rec.SetOptimizer(Decision{
+		Optimizer:    "ADAPTIVE",
+		Trained:      true,
+		FeatureNames: []string{"result_size"},
+		Features:     []float64{5},
+		Trees: []TreeVote{
+			{Tree: "T1", Consulted: true, Raw: "BATCH", Clamped: "BATCH"},
+			{Tree: "T3", Note: "strategy not concurrent"},
+		},
+		Chosen: ChosenConfig{Strategy: "BATCH", BatchSize: 64},
+	})
+	rec.LocalQuery("transactions", 5, time.Millisecond, false)
+	rec.BeginAugmentation(1, 5, "BATCH")
+	rec.PlanStats(7, 11, 13, 0)
+	rec.CacheMisses(7)
+	rec.StoreOp("catalogue", "getbatch", 7, 7, time.Millisecond, false)
+	rec.EndAugmentation(7, 2*time.Millisecond, nil)
+	rec.RankPruned(2)
+	p := rec.Finish(12)
+
+	var sb strings.Builder
+	p.WriteTree(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"/search", "db=transactions", "SELECT * FROM sales",
+		"optimizer ADAPTIVE", "result_size=5",
+		"T1 raw=BATCH", "T3 skipped (strategy not concurrent)",
+		"chosen BATCH",
+		"augment level=1 strategy=BATCH",
+		"candidates=7",
+		"catalogue getbatch",
+		"rank pruned 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree output missing %q:\n%s", want, out)
+		}
+	}
+
+	var nilSB strings.Builder
+	(*Profile)(nil).WriteTree(&nilSB)
+	if !strings.Contains(nilSB.String(), "no profile") {
+		t.Errorf("nil tree = %q", nilSB.String())
+	}
+}

@@ -1,0 +1,173 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"quepa/internal/augment"
+	"quepa/internal/telemetry"
+)
+
+func fallbackCount(reason string) uint64 {
+	return telemetry.Default().CounterValue("quepa_optimizer_fallback_total",
+		telemetry.L("reason", reason))
+}
+
+func TestUntrainedFallbackExplained(t *testing.T) {
+	a := NewAdaptive()
+	before := fallbackCount("untrained")
+	cfg, d := a.ChooseExplained(QueryFeatures{ResultSize: 100}, 500)
+	if cfg.Strategy != augment.OuterBatch || cfg.CacheSize != 500 {
+		t.Errorf("fallback config = %+v", cfg)
+	}
+	if d.Trained {
+		t.Error("untrained decision reports trained")
+	}
+	if d.FallbackReason == "" || !strings.Contains(d.FallbackReason, "not trained") {
+		t.Errorf("fallback reason = %q", d.FallbackReason)
+	}
+	if d.Chosen.Strategy != "OUTER-BATCH" {
+		t.Errorf("chosen = %+v", d.Chosen)
+	}
+	if got := fallbackCount("untrained"); got != before+1 {
+		t.Errorf("optimizer_fallback_total{untrained} = %d, want %d", got, before+1)
+	}
+}
+
+// TestParseStrategyFallbackExplained forces the T1 -> ParseStrategy error
+// path: a tree trained on a label that no strategy parses back from.
+// Strategy(99).String() produces exactly such a label.
+func TestParseStrategyFallbackExplained(t *testing.T) {
+	a := NewAdaptive()
+	bogus := augment.Strategy(99)
+	for i := 0; i < 4; i++ {
+		a.Log(RunLog{
+			Features: QueryFeatures{ResultSize: 10 * (i + 1), AugmentedSize: 40, NumStores: 4},
+			Config:   augment.Config{Strategy: bogus, CacheSize: 100},
+			Duration: time.Millisecond,
+		})
+	}
+	if err := a.Train(); err != nil {
+		t.Fatal(err)
+	}
+	before := fallbackCount("parse_strategy")
+	cfg, d := a.ChooseExplained(QueryFeatures{ResultSize: 10, AugmentedSize: 40, NumStores: 4}, 0)
+	if cfg.Strategy != augment.OuterBatch {
+		t.Errorf("strategy = %v, want forced OUTER-BATCH", cfg.Strategy)
+	}
+	if !d.Trained {
+		t.Error("trained decision reports untrained")
+	}
+	if !strings.Contains(d.FallbackReason, "Strategy(99)") {
+		t.Errorf("fallback reason = %q", d.FallbackReason)
+	}
+	if got := fallbackCount("parse_strategy"); got != before+1 {
+		t.Errorf("optimizer_fallback_total{parse_strategy} = %d, want %d", got, before+1)
+	}
+}
+
+func TestDecisionProvenance(t *testing.T) {
+	a := NewAdaptive()
+	trainOn(a)
+	if err := a.Train(); err != nil {
+		t.Fatal(err)
+	}
+	f := QueryFeatures{ResultSize: 1000, AugmentedSize: 4000, NumStores: 13, Distributed: true}
+	cfg, d := a.ChooseExplained(f, 200)
+
+	if d.Optimizer != "ADAPTIVE" || !d.Trained || d.FallbackReason != "" {
+		t.Errorf("decision header = %+v", d)
+	}
+	wantNames := []string{"result_size", "augmented_size", "level", "num_stores", "distributed"}
+	if len(d.FeatureNames) != len(wantNames) || d.FeatureNames[0] != "result_size" {
+		t.Errorf("feature names = %v", d.FeatureNames)
+	}
+	wantVec := []float64{1000, 4000, 0, 13, 1}
+	for i, v := range wantVec {
+		if d.Features[i] != v {
+			t.Errorf("features[%d] = %v, want %v", i, d.Features[i], v)
+		}
+	}
+	if len(d.Trees) != 4 {
+		t.Fatalf("trees = %+v", d.Trees)
+	}
+	t1 := d.Trees[0]
+	if t1.Tree != "T1" || !t1.Consulted || t1.Clamped != cfg.Strategy.String() {
+		t.Errorf("T1 vote = %+v vs strategy %v", t1, cfg.Strategy)
+	}
+	for _, tv := range d.Trees[1:] {
+		if tv.Consulted && tv.Raw == "" {
+			t.Errorf("%s consulted without raw prediction: %+v", tv.Tree, tv)
+		}
+		if !tv.Consulted && tv.Note == "" {
+			t.Errorf("%s skipped without note: %+v", tv.Tree, tv)
+		}
+	}
+	t4 := d.Trees[3]
+	if !t4.Consulted || !strings.Contains(t4.Note, "delta rule") {
+		t.Errorf("T4 vote = %+v", t4)
+	}
+	if d.Chosen.Strategy != cfg.Strategy.String() || d.Chosen.BatchSize != cfg.BatchSize ||
+		d.Chosen.ThreadsSize != cfg.ThreadsSize || d.Chosen.CacheSize != cfg.CacheSize {
+		t.Errorf("chosen %+v != config %+v", d.Chosen, cfg)
+	}
+}
+
+// TestChooseParity guarantees the provenance path is observational: Choose
+// and ChooseExplained return the identical configuration.
+func TestChooseParity(t *testing.T) {
+	a := NewAdaptive()
+	trainOn(a)
+	if err := a.Train(); err != nil {
+		t.Fatal(err)
+	}
+	features := []QueryFeatures{
+		{ResultSize: 10, AugmentedSize: 40, NumStores: 4},
+		{ResultSize: 1000, AugmentedSize: 4000, NumStores: 13, Distributed: true},
+		{ResultSize: 100, AugmentedSize: 400, Level: 1, NumStores: 7},
+	}
+	for _, f := range features {
+		got := a.Choose(f, 300)
+		want, _ := a.ChooseExplained(f, 300)
+		if got != want {
+			t.Errorf("Choose(%+v) = %+v, ChooseExplained = %+v", f, got, want)
+		}
+	}
+}
+
+func TestMaxLogsTrims(t *testing.T) {
+	a := NewAdaptive()
+	a.MaxLogs = 10
+	for i := 0; i < 35; i++ {
+		a.Log(RunLog{
+			Features: QueryFeatures{ResultSize: i},
+			Config:   augment.Config{Strategy: augment.Batch, BatchSize: 10},
+			Duration: time.Millisecond,
+		})
+	}
+	if n := a.LogCount(); n != 10 {
+		t.Fatalf("log count = %d, want 10", n)
+	}
+	// The newest runs are the ones kept.
+	a.mu.Lock()
+	first := a.logs[0].Features.ResultSize
+	last := a.logs[len(a.logs)-1].Features.ResultSize
+	a.mu.Unlock()
+	if first != 25 || last != 34 {
+		t.Errorf("kept runs %d..%d, want 25..34", first, last)
+	}
+}
+
+func TestRetrainCounter(t *testing.T) {
+	reg := telemetry.Default()
+	before := reg.CounterValue("quepa_optimizer_retrain_total")
+	a := NewAdaptive()
+	trainOn(a)
+	if err := a.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.CounterValue("quepa_optimizer_retrain_total"); got <= before {
+		t.Errorf("optimizer_retrain_total = %d, want > %d", got, before)
+	}
+}

@@ -21,12 +21,29 @@ package optimizer
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
 	"quepa/internal/augment"
+	"quepa/internal/explain"
 	"quepa/internal/ml/c45"
 	"quepa/internal/ml/reptree"
+	"quepa/internal/telemetry"
+)
+
+// Fallback decisions — an untrained optimizer, or a T1 prediction that does
+// not parse as a strategy — are no longer silent: they are counted here by
+// reason and surfaced in the explain.Decision of the query that hit them.
+var (
+	fallbackUntrained = telemetry.NewCounter("quepa_optimizer_fallback_total",
+		"adaptive optimizer decisions that fell back to the default OUTER-BATCH configuration",
+		telemetry.L("reason", "untrained"))
+	fallbackParse = telemetry.NewCounter("quepa_optimizer_fallback_total",
+		"adaptive optimizer decisions that fell back to the default OUTER-BATCH configuration",
+		telemetry.L("reason", "parse_strategy"))
+	retrains = telemetry.NewCounter("quepa_optimizer_retrain_total",
+		"successful Train calls on the adaptive optimizer")
 )
 
 // QueryFeatures are the query characteristics recorded in the run logs and
@@ -90,7 +107,10 @@ type Adaptive struct {
 	// RetrainEvery triggers automatic retraining after this many new logs
 	// (0 disables; Train can always be called explicitly).
 	RetrainEvery int
-	sinceTrain   int
+	// MaxLogs bounds the run-log ring (0 = unbounded). Long-running servers
+	// set it so training cost and memory stay flat; the newest runs win.
+	MaxLogs    int
+	sinceTrain int
 }
 
 // NewAdaptive creates an untrained adaptive optimizer.
@@ -104,11 +124,18 @@ func (a *Adaptive) Name() string { return "ADAPTIVE" }
 func (a *Adaptive) Log(r RunLog) {
 	a.mu.Lock()
 	a.logs = append(a.logs, r)
+	if a.MaxLogs > 0 && len(a.logs) > a.MaxLogs {
+		a.logs = append(a.logs[:0], a.logs[len(a.logs)-a.MaxLogs:]...)
+	}
 	a.sinceTrain++
 	retrain := a.RetrainEvery > 0 && a.sinceTrain >= a.RetrainEvery
 	a.mu.Unlock()
 	if retrain {
-		_ = a.Train() // best effort: keep the old models on failure
+		// Best effort: keep the old models on failure, but say so.
+		if err := a.Train(); err != nil {
+			telemetry.LogEvery(10, telemetry.LogWarn, "optimizer retrain failed",
+				telemetry.F("error", err.Error()))
+		}
 	}
 }
 
@@ -191,40 +218,120 @@ func (a *Adaptive) Train() error {
 	a.t1, a.t2, a.t3, a.t4 = t1, t2, t3, t4
 	a.sinceTrain = 0
 	a.mu.Unlock()
+	retrains.Inc()
+	telemetry.Log(telemetry.LogInfo, "optimizer retrain",
+		telemetry.F("runs", len(logs)),
+		telemetry.F("examples", len(t1Examples)))
 	return nil
 }
 
 // Choose implements Optimizer (Phase 3). An untrained optimizer falls back
 // to a safe default configuration.
 func (a *Adaptive) Choose(f QueryFeatures, currentCache int) augment.Config {
+	cfg, _ := a.ChooseExplained(f, currentCache)
+	return cfg
+}
+
+// ChooseExplained is Choose plus full decision provenance: the feature
+// vector handed to the trees, each tree's raw prediction and the clamping
+// applied to it, and — when the decision fell back to OUTER-BATCH — the
+// reason why. The config returned is identical to Choose's.
+func (a *Adaptive) ChooseExplained(f QueryFeatures, currentCache int) (augment.Config, explain.Decision) {
 	a.mu.Lock()
 	t1, t2, t3, t4 := a.t1, a.t2, a.t3, a.t4
 	a.mu.Unlock()
-	if t1 == nil {
-		return augment.Config{Strategy: augment.OuterBatch, CacheSize: currentCache}
+
+	d := explain.Decision{
+		Optimizer:    a.Name(),
+		FeatureNames: append([]string(nil), featureNames...),
+		Features:     f.vector(),
 	}
-	v := f.vector()
-	strategy, err := augment.ParseStrategy(t1.Predict(v))
+	if t1 == nil {
+		cfg := augment.Config{Strategy: augment.OuterBatch, CacheSize: currentCache}
+		d.FallbackReason = "optimizer not trained yet; using default OUTER-BATCH"
+		d.Chosen = chosen(cfg)
+		fallbackUntrained.Inc()
+		telemetry.LogEvery(100, telemetry.LogWarn, "optimizer fallback",
+			telemetry.F("reason", "untrained"))
+		return cfg, d
+	}
+	d.Trained = true
+	v := d.Features
+
+	label := t1.Predict(v)
+	strategy, err := augment.ParseStrategy(label)
+	t1Vote := explain.TreeVote{Tree: "T1", Consulted: true, Raw: label}
 	if err != nil {
 		strategy = augment.OuterBatch
+		d.FallbackReason = fmt.Sprintf("T1 predicted unknown strategy %q; forced OUTER-BATCH", label)
+		fallbackParse.Inc()
+		telemetry.LogEvery(100, telemetry.LogWarn, "optimizer fallback",
+			telemetry.F("reason", "parse_strategy"), telemetry.F("label", label))
 	}
+	t1Vote.Clamped = strategy.String()
+	d.Trees = append(d.Trees, t1Vote)
+
 	cfg := augment.Config{Strategy: strategy, CacheSize: currentCache}
-	if strategy.Batched() && t2 != nil {
-		cfg.BatchSize = clampInt(int(t2.Predict(v)+0.5), 1, 1<<20)
+	t2Vote := explain.TreeVote{Tree: "T2"}
+	switch {
+	case !strategy.Batched():
+		t2Vote.Note = "strategy not batched"
+	case t2 == nil:
+		t2Vote.Note = "not trained"
+	default:
+		raw := t2.Predict(v)
+		cfg.BatchSize = clampInt(int(raw+0.5), 1, 1<<20)
+		t2Vote.Consulted = true
+		t2Vote.Raw = strconv.FormatFloat(raw, 'g', -1, 64)
+		t2Vote.Clamped = strconv.Itoa(cfg.BatchSize)
 	}
-	if strategy.Concurrent() && t3 != nil {
-		cfg.ThreadsSize = clampInt(int(t3.Predict(v)+0.5), 1, 4096)
+	d.Trees = append(d.Trees, t2Vote)
+
+	t3Vote := explain.TreeVote{Tree: "T3"}
+	switch {
+	case !strategy.Concurrent():
+		t3Vote.Note = "strategy not concurrent"
+	case t3 == nil:
+		t3Vote.Note = "not trained"
+	default:
+		raw := t3.Predict(v)
+		cfg.ThreadsSize = clampInt(int(raw+0.5), 1, 4096)
+		t3Vote.Consulted = true
+		t3Vote.Raw = strconv.FormatFloat(raw, 'g', -1, 64)
+		t3Vote.Clamped = strconv.Itoa(cfg.ThreadsSize)
 	}
-	if t4 != nil {
-		predicted := int(t4.Predict(v) + 0.5)
+	d.Trees = append(d.Trees, t3Vote)
+
+	t4Vote := explain.TreeVote{Tree: "T4"}
+	if t4 == nil {
+		t4Vote.Note = "not trained"
+	} else {
+		raw := t4.Predict(v)
+		predicted := int(raw + 0.5)
 		// Move a tenth of the way toward the prediction (Section V): cache
 		// effects are spread over future queries, so no sudden jumps.
 		cfg.CacheSize = currentCache + (predicted-currentCache)/10
 		if cfg.CacheSize < 0 {
 			cfg.CacheSize = 0
 		}
+		t4Vote.Consulted = true
+		t4Vote.Raw = strconv.FormatFloat(raw, 'g', -1, 64)
+		t4Vote.Clamped = strconv.Itoa(cfg.CacheSize)
+		t4Vote.Note = "delta rule: current + (predicted-current)/10"
 	}
-	return cfg
+	d.Trees = append(d.Trees, t4Vote)
+
+	d.Chosen = chosen(cfg)
+	return cfg, d
+}
+
+func chosen(cfg augment.Config) explain.ChosenConfig {
+	return explain.ChosenConfig{
+		Strategy:    cfg.Strategy.String(),
+		BatchSize:   cfg.BatchSize,
+		ThreadsSize: cfg.ThreadsSize,
+		CacheSize:   cfg.CacheSize,
+	}
 }
 
 // TreeStrings renders the trained models for inspection (Fig. 8).

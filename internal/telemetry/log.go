@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LogLevel orders log severities. Messages below a logger's minimum level
+// are dropped before any formatting work.
+type LogLevel int32
+
+// The four levels, in increasing severity.
+const (
+	LogDebug LogLevel = iota
+	LogInfo
+	LogWarn
+	LogError
+)
+
+// String returns the lowercase level name used in the JSON output.
+func (l LogLevel) String() string {
+	switch l {
+	case LogDebug:
+		return "debug"
+	case LogInfo:
+		return "info"
+	case LogWarn:
+		return "warn"
+	case LogError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// ParseLogLevel resolves a level name ("debug", "info", "warn", "error").
+func ParseLogLevel(s string) (LogLevel, error) {
+	switch s {
+	case "debug":
+		return LogDebug, nil
+	case "info":
+		return LogInfo, nil
+	case "warn", "warning":
+		return LogWarn, nil
+	case "error":
+		return LogError, nil
+	default:
+		return 0, fmt.Errorf("telemetry: unknown log level %q", s)
+	}
+}
+
+// Field is one structured key/value pair of a log line.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F is shorthand for constructing a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Logger emits leveled, structured JSON log lines — one JSON object per
+// line, machine-parseable with nothing beyond the standard library:
+//
+//	{"ts":"2026-08-06T12:00:00.000Z","level":"warn","msg":"slow query","route":"/search","ms":412.7}
+//
+// It is safe for concurrent use. LogEvery rate-samples high-frequency
+// messages (per-query fallbacks, cache churn) so the hot path cannot flood
+// the output: suppressed occurrences are counted and reported on the next
+// emitted line.
+type Logger struct {
+	mu  sync.Mutex
+	out io.Writer
+	min atomic.Int32
+
+	samples sync.Map // msg -> *atomic.Uint64, occurrence counters for LogEvery
+}
+
+// NewLogger creates a logger writing to w at the given minimum level.
+func NewLogger(w io.Writer, min LogLevel) *Logger {
+	l := &Logger{out: w}
+	l.min.Store(int32(min))
+	return l
+}
+
+// SetOutput redirects the logger (tests capture output this way).
+func (l *Logger) SetOutput(w io.Writer) {
+	l.mu.Lock()
+	l.out = w
+	l.mu.Unlock()
+}
+
+// SetLevel changes the minimum emitted level.
+func (l *Logger) SetLevel(min LogLevel) { l.min.Store(int32(min)) }
+
+// Level returns the minimum emitted level.
+func (l *Logger) Level() LogLevel { return LogLevel(l.min.Load()) }
+
+// Log emits one line at the given level. Fields appear after "ts", "level"
+// and "msg", in argument order; field keys should be plain identifiers.
+func (l *Logger) Log(level LogLevel, msg string, fields ...Field) {
+	if int32(level) < l.min.Load() {
+		return
+	}
+	l.emit(level, msg, fields)
+}
+
+// LogEvery emits the first occurrence of msg and every n-th after that,
+// dropping the rest — per-message counting, so one chatty message cannot
+// starve another. An emitted line carries "sampled_every" and the count of
+// lines suppressed since the last emission. n <= 1 emits every occurrence.
+func (l *Logger) LogEvery(n uint64, level LogLevel, msg string, fields ...Field) {
+	if int32(level) < l.min.Load() {
+		return
+	}
+	if n <= 1 {
+		l.emit(level, msg, fields)
+		return
+	}
+	v, _ := l.samples.LoadOrStore(msg, new(atomic.Uint64))
+	c := v.(*atomic.Uint64).Add(1)
+	if (c-1)%n != 0 {
+		return
+	}
+	suppressed := n - 1
+	if c == 1 {
+		suppressed = 0
+	}
+	fields = append(fields, F("sampled_every", n), F("suppressed", suppressed))
+	l.emit(level, msg, fields)
+}
+
+func (l *Logger) emit(level LogLevel, msg string, fields []Field) {
+	var buf bytes.Buffer
+	buf.WriteString(`{"ts":"`)
+	buf.WriteString(time.Now().UTC().Format(time.RFC3339Nano))
+	buf.WriteString(`","level":"`)
+	buf.WriteString(level.String())
+	buf.WriteString(`","msg":`)
+	writeJSONValue(&buf, msg)
+	for _, f := range fields {
+		buf.WriteByte(',')
+		writeJSONValue(&buf, f.Key)
+		buf.WriteByte(':')
+		writeJSONValue(&buf, f.Value)
+	}
+	buf.WriteString("}\n")
+
+	l.mu.Lock()
+	if l.out != nil {
+		l.out.Write(buf.Bytes())
+	}
+	l.mu.Unlock()
+}
+
+// writeJSONValue marshals v; values that fail to marshal (channels, cycles)
+// degrade to their fmt rendering instead of breaking the line's JSON.
+func writeJSONValue(buf *bytes.Buffer, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprint(v))
+	}
+	buf.Write(b)
+}
+
+// stdLog is the process-wide logger, stderr at Info, mirroring the default
+// registry: the instrumented packages (server, optimizer) have no common
+// construction point to thread a logger through.
+var stdLog = NewLogger(os.Stderr, LogInfo)
+
+// DefaultLogger returns the process-wide logger.
+func DefaultLogger() *Logger { return stdLog }
+
+// Log emits on the process-wide logger.
+func Log(level LogLevel, msg string, fields ...Field) { stdLog.Log(level, msg, fields...) }
+
+// LogEvery rate-samples on the process-wide logger.
+func LogEvery(n uint64, level LogLevel, msg string, fields ...Field) {
+	stdLog.LogEvery(n, level, msg, fields...)
+}
+
+// SetLogOutput redirects the process-wide logger.
+func SetLogOutput(w io.Writer) { stdLog.SetOutput(w) }
+
+// SetLogLevel changes the process-wide logger's minimum level.
+func SetLogLevel(min LogLevel) { stdLog.SetLevel(min) }

@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// decodeLines parses every JSON log line in buf.
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q is not JSON: %v", sc.Text(), err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestLoggerJSONShape(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LogDebug)
+	l.Log(LogWarn, "slow query", F("route", "/search"), F("ms", 412.7), F("status", 200))
+
+	lines := decodeLines(t, &buf)
+	if len(lines) != 1 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	m := lines[0]
+	if m["level"] != "warn" || m["msg"] != "slow query" {
+		t.Errorf("line = %v", m)
+	}
+	if m["route"] != "/search" || m["ms"] != 412.7 || m["status"] != float64(200) {
+		t.Errorf("fields = %v", m)
+	}
+	ts, _ := m["ts"].(string)
+	if _, err := time.Parse(time.RFC3339Nano, ts); err != nil {
+		t.Errorf("ts %q: %v", ts, err)
+	}
+	// Field order is deterministic: ts, level, msg, then argument order.
+	line := strings.TrimSpace(buf.String())
+	if !strings.HasPrefix(line, `{"ts":"`) || strings.Index(line, `"route"`) > strings.Index(line, `"ms"`) {
+		t.Errorf("field order broken: %s", line)
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LogWarn)
+	l.Log(LogDebug, "dropped")
+	l.Log(LogInfo, "dropped")
+	l.Log(LogWarn, "kept")
+	l.Log(LogError, "kept")
+	if lines := decodeLines(t, &buf); len(lines) != 2 {
+		t.Errorf("lines = %d, want 2", len(lines))
+	}
+	l.SetLevel(LogDebug)
+	if l.Level() != LogDebug {
+		t.Errorf("level = %v", l.Level())
+	}
+	l.Log(LogDebug, "now kept")
+	if lines := decodeLines(t, &buf); len(lines) != 3 {
+		t.Errorf("lines after SetLevel = %d, want 3", len(lines))
+	}
+}
+
+func TestLogEverySampling(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LogInfo)
+	for i := 0; i < 7; i++ {
+		l.LogEvery(3, LogWarn, "optimizer fallback", F("reason", "untrained"))
+	}
+	// Occurrences 1, 4 and 7 are emitted.
+	lines := decodeLines(t, &buf)
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	if lines[0]["suppressed"] != float64(0) {
+		t.Errorf("first line suppressed = %v", lines[0]["suppressed"])
+	}
+	for _, m := range lines[1:] {
+		if m["suppressed"] != float64(2) || m["sampled_every"] != float64(3) {
+			t.Errorf("sampled line = %v", m)
+		}
+	}
+
+	// Messages sample independently.
+	buf.Reset()
+	l.LogEvery(1000, LogWarn, "another message")
+	if lines := decodeLines(t, &buf); len(lines) != 1 {
+		t.Errorf("independent message not emitted: %d lines", len(lines))
+	}
+
+	// n <= 1 emits everything.
+	buf.Reset()
+	for i := 0; i < 4; i++ {
+		l.LogEvery(1, LogWarn, "unsampled")
+	}
+	if lines := decodeLines(t, &buf); len(lines) != 4 {
+		t.Errorf("n=1 lines = %d, want 4", len(lines))
+	}
+}
+
+func TestLogEveryRespectsLevel(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LogError)
+	for i := 0; i < 5; i++ {
+		l.LogEvery(2, LogWarn, "below minimum")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("output = %q", buf.String())
+	}
+}
+
+func TestUnmarshalableFieldDegrades(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LogInfo)
+	l.Log(LogInfo, "weird", F("ch", make(chan int)))
+	lines := decodeLines(t, &buf)
+	if len(lines) != 1 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if _, ok := lines[0]["ch"].(string); !ok {
+		t.Errorf("channel field = %v", lines[0]["ch"])
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	for s, want := range map[string]LogLevel{
+		"debug": LogDebug, "info": LogInfo, "warn": LogWarn, "warning": LogWarn, "error": LogError,
+	} {
+		got, err := ParseLogLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Error("bad level accepted")
+	}
+	if got := LogLevel(42).String(); got != "level(42)" {
+		t.Errorf("unknown level = %q", got)
+	}
+}
+
+func TestDefaultLoggerRedirect(t *testing.T) {
+	var buf bytes.Buffer
+	SetLogOutput(&buf)
+	defer SetLogOutput(nil) // tests must not write to the real stderr afterwards
+	prev := DefaultLogger().Level()
+	SetLogLevel(LogInfo)
+	defer SetLogLevel(prev)
+
+	Log(LogInfo, "via package")
+	LogEvery(1, LogInfo, "sampled via package")
+	lines := decodeLines(t, &buf)
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0]["msg"] != "via package" {
+		t.Errorf("line = %v", lines[0])
+	}
+}

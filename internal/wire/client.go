@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"quepa/internal/core"
+	"quepa/internal/explain"
 	"quepa/internal/telemetry"
 )
 
@@ -29,7 +30,7 @@ const DefaultPoolSize = 16
 // Dial connects to a wire server and fetches the store's metadata.
 func Dial(addr string) (*Client, error) {
 	c := &Client{addr: addr, pool: make(chan net.Conn, DefaultPoolSize)}
-	resp, err := c.roundTrip(request{Op: opMeta})
+	resp, err := c.roundTrip(context.Background(), request{Op: opMeta})
 	if err != nil {
 		return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
 	}
@@ -86,38 +87,43 @@ func (c *Client) putConn(conn net.Conn) {
 	}
 }
 
-func (c *Client) roundTrip(req request) (response, error) {
+func (c *Client) roundTrip(ctx context.Context, req request) (response, error) {
 	c.roundTrips.Add(1)
 	start := telemetry.Now()
-	resp, err := c.doRoundTrip(req)
+	resp, sent, received, err := c.doRoundTrip(req)
 	clientHists[req.Op].Since(start)
 	if err != nil {
 		if ec := clientErrs[req.Op]; ec != nil {
 			ec.Inc()
 		}
 	}
+	if rec := explain.FromContext(ctx); rec != nil {
+		rec.WireBytes(sent, received)
+	}
 	return resp, err
 }
 
-func (c *Client) doRoundTrip(req request) (response, error) {
+func (c *Client) doRoundTrip(req request) (response, int, int, error) {
 	conn, err := c.getConn()
 	if err != nil {
-		return response{}, err
+		return response{}, 0, 0, err
 	}
 	var resp response
-	if err := writeFrame(conn, req); err != nil {
+	sent, err := writeFrame(conn, req)
+	if err != nil {
 		conn.Close()
-		return response{}, err
+		return response{}, sent, 0, err
 	}
-	if err := readFrame(conn, &resp); err != nil {
+	received, err := readFrame(conn, &resp)
+	if err != nil {
 		conn.Close()
-		return response{}, err
+		return response{}, sent, received, err
 	}
 	c.putConn(conn)
 	if resp.Error != "" {
-		return response{}, fmt.Errorf("wire: remote error: %s", resp.Error)
+		return response{}, sent, received, fmt.Errorf("wire: remote error: %s", resp.Error)
 	}
-	return resp, nil
+	return resp, sent, received, nil
 }
 
 // Get retrieves one object from the remote store.
@@ -125,7 +131,7 @@ func (c *Client) Get(ctx context.Context, collection, key string) (core.Object, 
 	if err := ctx.Err(); err != nil {
 		return core.Object{}, err
 	}
-	resp, err := c.roundTrip(request{Op: opGet, Collection: collection, Key: key})
+	resp, err := c.roundTrip(ctx, request{Op: opGet, Collection: collection, Key: key})
 	if err != nil {
 		return core.Object{}, err
 	}
@@ -140,7 +146,7 @@ func (c *Client) GetBatch(ctx context.Context, collection string, keys []string)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	resp, err := c.roundTrip(request{Op: opGetBatch, Collection: collection, Keys: keys})
+	resp, err := c.roundTrip(ctx, request{Op: opGetBatch, Collection: collection, Keys: keys})
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +160,7 @@ func (c *Client) GetBatch(ctx context.Context, collection string, keys []string)
 // KeyField resolves the identifier field of a remote collection, so the
 // augmentation validator can rewrite queries against wire-backed stores.
 func (c *Client) KeyField(collection string) (string, error) {
-	resp, err := c.roundTrip(request{Op: opKeyField, Collection: collection})
+	resp, err := c.roundTrip(context.Background(), request{Op: opKeyField, Collection: collection})
 	if err != nil {
 		return "", err
 	}
@@ -166,7 +172,7 @@ func (c *Client) Query(ctx context.Context, query string) ([]core.Object, error)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	resp, err := c.roundTrip(request{Op: opQuery, Query: query})
+	resp, err := c.roundTrip(ctx, request{Op: opQuery, Query: query})
 	if err != nil {
 		return nil, err
 	}

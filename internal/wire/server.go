@@ -83,11 +83,11 @@ func (s *Server) handle(conn net.Conn) {
 	ctx := context.Background()
 	for {
 		var req request
-		if err := readFrame(conn, &req); err != nil {
+		if _, err := readFrame(conn, &req); err != nil {
 			return // connection closed or corrupted: drop it
 		}
 		resp := s.dispatch(ctx, req)
-		if err := writeFrame(conn, resp); err != nil {
+		if _, err := writeFrame(conn, resp); err != nil {
 			return
 		}
 	}

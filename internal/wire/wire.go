@@ -96,40 +96,44 @@ func fromWire(w wireObject) core.Object {
 	return core.NewObject(core.NewGlobalKey(w.Database, w.Collection, w.Key), w.Fields)
 }
 
-// writeFrame sends one length-prefixed JSON frame.
-func writeFrame(w io.Writer, v any) error {
+// writeFrame sends one length-prefixed JSON frame, returning the bytes put
+// on the wire (header included) so the explain layer can account for them.
+func writeFrame(w io.Writer, v any) (int, error) {
 	body, err := json.Marshal(v)
 	if err != nil {
-		return fmt.Errorf("wire: encoding frame: %w", err)
+		return 0, fmt.Errorf("wire: encoding frame: %w", err)
 	}
 	if len(body) > maxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+		return 0, fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
 	}
 	var head [4]byte
 	binary.BigEndian.PutUint32(head[:], uint32(len(body)))
 	if _, err := w.Write(head[:]); err != nil {
-		return err
+		return 0, err
 	}
-	_, err = w.Write(body)
-	return err
+	if _, err := w.Write(body); err != nil {
+		return 0, err
+	}
+	return len(head) + len(body), nil
 }
 
-// readFrame receives one length-prefixed JSON frame into v.
-func readFrame(r io.Reader, v any) error {
+// readFrame receives one length-prefixed JSON frame into v, returning the
+// bytes consumed (header included).
+func readFrame(r io.Reader, v any) (int, error) {
 	var head [4]byte
 	if _, err := io.ReadFull(r, head[:]); err != nil {
-		return err
+		return 0, err
 	}
 	n := binary.BigEndian.Uint32(head[:])
 	if n > maxFrame {
-		return fmt.Errorf("wire: incoming frame of %d bytes exceeds limit", n)
+		return 0, fmt.Errorf("wire: incoming frame of %d bytes exceeds limit", n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return err
+		return 0, err
 	}
 	if err := json.Unmarshal(body, v); err != nil {
-		return fmt.Errorf("wire: decoding frame: %w", err)
+		return 0, fmt.Errorf("wire: decoding frame: %w", err)
 	}
-	return nil
+	return len(head) + len(body), nil
 }

@@ -10,6 +10,7 @@ import (
 
 	"quepa/internal/connector"
 	"quepa/internal/core"
+	"quepa/internal/explain"
 	"quepa/internal/stores/kvstore"
 	"quepa/internal/stores/relstore"
 )
@@ -162,12 +163,17 @@ func TestServerClose(t *testing.T) {
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	in := request{Op: opGetBatch, Collection: "c", Keys: []string{"a", "b"}}
-	if err := writeFrame(&buf, in); err != nil {
+	wrote, err := writeFrame(&buf, in)
+	if err != nil {
 		t.Fatal(err)
 	}
 	var out request
-	if err := readFrame(&buf, &out); err != nil {
+	read, err := readFrame(&buf, &out)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if wrote != read || wrote <= 4 {
+		t.Errorf("frame byte counts: wrote %d, read %d", wrote, read)
 	}
 	if out.Op != in.Op || out.Collection != in.Collection || len(out.Keys) != 2 {
 		t.Errorf("frame round trip = %+v", out)
@@ -179,7 +185,7 @@ func TestFrameLimit(t *testing.T) {
 	var buf bytes.Buffer
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
 	var out request
-	if err := readFrame(&buf, &out); err == nil {
+	if _, err := readFrame(&buf, &out); err == nil {
 		t.Error("oversized frame should fail")
 	}
 }
@@ -246,5 +252,36 @@ func TestServerToleratesGarbageFrames(t *testing.T) {
 	raw.Close()
 	if _, err := cli.Get(context.Background(), "drop", "k1"); err != nil {
 		t.Errorf("healthy client affected by garbage frames: %v", err)
+	}
+}
+
+// TestWireBytesRecorded verifies a client round trip attributes its frame
+// sizes to the explain recorder on the context.
+func TestWireBytesRecorded(t *testing.T) {
+	_, cli := newServedKV(t)
+	rctx, rec := explain.WithRecorder(context.Background(), "/search")
+	if rec == nil {
+		t.Fatal("no recorder (telemetry disabled?)")
+	}
+	if _, err := cli.Get(rctx, "drop", "k1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.GetBatch(rctx, "drop", []string{"k1", "k2", "k3"}); err != nil {
+		t.Fatal(err)
+	}
+	p := rec.Finish(4)
+	// Two round trips, each at least a 4-byte header + JSON body per
+	// direction.
+	if p.Totals.BytesSent <= 16 || p.Totals.BytesReceived <= 16 {
+		t.Errorf("wire bytes = %d sent / %d received", p.Totals.BytesSent, p.Totals.BytesReceived)
+	}
+	if p.Totals.BytesReceived <= p.Totals.BytesSent {
+		t.Errorf("responses (%dB) should outweigh requests (%dB) here",
+			p.Totals.BytesReceived, p.Totals.BytesSent)
+	}
+
+	// Without a recorder nothing panics and nothing is recorded anywhere.
+	if _, err := cli.Get(context.Background(), "drop", "k1"); err != nil {
+		t.Fatal(err)
 	}
 }
