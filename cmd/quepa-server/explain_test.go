@@ -245,6 +245,30 @@ func TestExplainSampling(t *testing.T) {
 	}
 }
 
+// TestExplainSamplingCountsExplainRequests: explicit explain=1 requests
+// advance the sampler too, so -explain-sample=K means every K-th request of
+// any kind — not every K-th non-explain request.
+func TestExplainSamplingCountsExplainRequests(t *testing.T) {
+	s := newTestServer(t)
+	s.explainEvery = 2
+	q := url.QueryEscape(searchQuery)
+	for i := 0; i < 4; i++ {
+		target := "/search?db=transactions&q=" + q
+		if i%2 == 1 {
+			target += "&explain=1"
+		}
+		if code, _ := do(t, s.handleSearch, "GET", target); code != http.StatusOK {
+			t.Fatalf("search %d failed", i)
+		}
+	}
+	// Requests 2 and 4 are both explain=1 AND the sampled ones; the plain
+	// requests 1 and 3 fall between the sampling points. If explain requests
+	// skipped the counter, request 3 would be sampled and Seen would be 3.
+	if seen := s.explainBuf.Seen(); seen != 2 {
+		t.Errorf("profiles seen = %d, want 2 of 4", seen)
+	}
+}
+
 // TestHandleTracesFilters is the table-driven coverage of the ?route= and
 // ?min_ms= filters, including their rejection paths.
 func TestHandleTracesFilters(t *testing.T) {

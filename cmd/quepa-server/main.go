@@ -63,10 +63,14 @@ type server struct {
 	// Adaptive optimizer state: the optimizer itself, and the last observed
 	// result/augmentation sizes per query signature — a query's features are
 	// only known after it ran, so the previous run of the same query provides
-	// the feature vector for the next decision.
-	opt      *optimizer.Adaptive
-	optMu    sync.Mutex
-	lastSeen map[string]lastRun
+	// the feature vector for the next decision. The map is bounded at
+	// maxLastSeen signatures (first-seen order eviction, lastSeenOrder) so
+	// high-cardinality query traffic cannot grow it for the life of the
+	// server; an evicted signature simply decides from zero features again.
+	opt           *optimizer.Adaptive
+	optMu         sync.Mutex
+	lastSeen      map[string]lastRun
+	lastSeenOrder []string
 
 	// EXPLAIN profile ring plus the 1-in-K background sampler.
 	explainBuf   *explain.Buffer
@@ -81,6 +85,10 @@ type server struct {
 type lastRun struct {
 	result, augmented int
 }
+
+// maxLastSeen bounds the per-signature feature memory, mirroring the
+// optimizer's MaxLogs bound on its run log.
+const maxLastSeen = 4096
 
 // newServer assembles a server around a built workload — shared between main
 // and the tests so both run the identical wiring.
@@ -428,7 +436,9 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx := r.Context()
 	var rec *explain.Recorder
-	if explainOn || s.sampled() {
+	// sampled() must run unconditionally so explain=1 requests advance the
+	// sampler too: -explain-sample profiles every K-th request, full stop.
+	if sampled := s.sampled(); explainOn || sampled {
 		ctx, rec = explain.WithRecorder(ctx, "/search")
 	}
 	rec.SetOptimizer(s.chooseConfig(db, q, level))
@@ -494,8 +504,17 @@ func (s *server) observe(db, q string, level int, answer *augment.Answer, elapse
 		Level:         level,
 		NumStores:     s.built.Poly.Size(),
 	}
+	sig := querySignature(db, q, level)
 	s.optMu.Lock()
-	s.lastSeen[querySignature(db, q, level)] = lastRun{result: f.ResultSize, augmented: f.AugmentedSize}
+	if _, known := s.lastSeen[sig]; !known {
+		if len(s.lastSeenOrder) >= maxLastSeen {
+			oldest := s.lastSeenOrder[0]
+			s.lastSeenOrder = s.lastSeenOrder[1:]
+			delete(s.lastSeen, oldest)
+		}
+		s.lastSeenOrder = append(s.lastSeenOrder, sig)
+	}
+	s.lastSeen[sig] = lastRun{result: f.ResultSize, augmented: f.AugmentedSize}
 	cfg := s.aug.Config()
 	s.optMu.Unlock()
 	s.opt.Log(optimizer.RunLog{Features: f, Config: cfg, Duration: elapsed})
@@ -577,7 +596,9 @@ func (s *server) handleExploreStep(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx := r.Context()
 	var rec *explain.Recorder
-	if explainOn || s.sampled() {
+	// As in handleSearch: evaluate sampled() before the short-circuit so
+	// every request advances the -explain-sample counter.
+	if sampled := s.sampled(); explainOn || sampled {
 		ctx, rec = explain.WithRecorder(ctx, "/explore/step")
 	}
 	links, err := sess.Step(ctx, gk)

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -367,5 +368,31 @@ func TestRoutesInstrumented(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics output missing %q", want)
 		}
+	}
+}
+
+// TestLastSeenBounded: the per-signature feature memory must not grow past
+// maxLastSeen under high-cardinality query traffic; the oldest (first-seen)
+// signatures are evicted, updates to known signatures don't consume slots.
+func TestLastSeenBounded(t *testing.T) {
+	s := newTestServer(t)
+	s.opt.RetrainEvery = 1 << 30 // keep observe() cheap for this loop
+	answer := &augment.Answer{}
+	for i := 0; i < maxLastSeen+10; i++ {
+		s.observe("transactions", "SELECT "+strconv.Itoa(i), 0, answer, 0)
+	}
+	// Re-observing a known signature must not evict anything further.
+	s.observe("transactions", "SELECT "+strconv.Itoa(maxLastSeen), 0, answer, 0)
+
+	s.optMu.Lock()
+	defer s.optMu.Unlock()
+	if len(s.lastSeen) != maxLastSeen || len(s.lastSeenOrder) != maxLastSeen {
+		t.Fatalf("lastSeen size = %d (order %d), want %d", len(s.lastSeen), len(s.lastSeenOrder), maxLastSeen)
+	}
+	if _, ok := s.lastSeen[querySignature("transactions", "SELECT 0", 0)]; ok {
+		t.Error("oldest signature survived past the bound")
+	}
+	if _, ok := s.lastSeen[querySignature("transactions", "SELECT "+strconv.Itoa(maxLastSeen), 0)]; !ok {
+		t.Error("newest signature missing")
 	}
 }

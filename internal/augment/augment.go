@@ -158,8 +158,14 @@ func (a *Answer) Size() int { return len(a.Original) + len(a.Augmented) }
 type Augmenter struct {
 	poly  *core.Polystore
 	index *aindex.Index
-	cfg   Config
 	cache *cache.LRU
+
+	// cfgMu guards cfg: the adaptive optimizer swaps configurations via
+	// SetConfig while request goroutines are inside Search/AugmentObjects.
+	// Readers snapshot the whole Config once (Config()) and work off the
+	// copy, so a query runs one coherent configuration end to end.
+	cfgMu sync.RWMutex
+	cfg   Config
 }
 
 // New creates an augmenter with the given configuration.
@@ -174,14 +180,21 @@ func New(poly *core.Polystore, index *aindex.Index, cfg Config) *Augmenter {
 }
 
 // Config returns the augmenter's current configuration.
-func (a *Augmenter) Config() Config { return a.cfg }
+func (a *Augmenter) Config() Config {
+	a.cfgMu.RLock()
+	defer a.cfgMu.RUnlock()
+	return a.cfg
+}
 
 // SetConfig swaps strategy and parameters. The cache is resized, not
 // dropped: the adaptive optimizer adjusts CACHE_SIZE in small increments
-// precisely to keep its content useful (Section V, Phase 3).
+// precisely to keep its content useful (Section V, Phase 3). In-flight
+// queries keep the configuration they snapshotted at entry.
 func (a *Augmenter) SetConfig(cfg Config) {
 	cfg = cfg.withDefaults()
+	a.cfgMu.Lock()
 	a.cfg = cfg
+	a.cfgMu.Unlock()
 	a.cache.Resize(cfg.CacheSize)
 }
 
@@ -246,7 +259,8 @@ func (a *Augmenter) AugmentObjects(ctx context.Context, origins []core.Object, l
 	if level < 0 {
 		return nil, fmt.Errorf("augment: negative level %d", level)
 	}
-	strategy := a.cfg.Strategy
+	cfg := a.Config() // one coherent snapshot for the whole augmentation
+	strategy := cfg.Strategy
 	ctx, span := telemetry.StartSpan(ctx, "augment.objects")
 	defer span.End()
 	span.SetAttr("strategy", strategy.String())
@@ -269,21 +283,21 @@ func (a *Augmenter) AugmentObjects(ctx context.Context, origins []core.Object, l
 	}
 	sink := newSink()
 	var err error
-	switch a.cfg.Strategy {
+	switch cfg.Strategy {
 	case Sequential:
 		err = a.runSequential(ctx, plan, sink)
 	case Batch:
-		err = a.runBatch(ctx, plan, sink)
+		err = a.runBatch(ctx, cfg, plan, sink)
 	case Inner:
-		err = a.runInner(ctx, plan, sink)
+		err = a.runInner(ctx, cfg, plan, sink)
 	case Outer:
-		err = a.runOuter(ctx, plan, sink)
+		err = a.runOuter(ctx, cfg, plan, sink)
 	case OuterBatch:
-		err = a.runOuterBatch(ctx, plan, sink)
+		err = a.runOuterBatch(ctx, cfg, plan, sink)
 	case OuterInner:
-		err = a.runOuterInner(ctx, plan, sink)
+		err = a.runOuterInner(ctx, cfg, plan, sink)
 	default:
-		err = fmt.Errorf("augment: unknown strategy %v", a.cfg.Strategy)
+		err = fmt.Errorf("augment: unknown strategy %v", cfg.Strategy)
 	}
 	strategyHist(strategy).Since(start)
 	if err != nil {

@@ -56,6 +56,70 @@ func TestMultipleInstancesInParallel(t *testing.T) {
 	}
 }
 
+// TestSetConfigDuringSearch pins down the optimizer/request interleaving of
+// the server: the adaptive optimizer swaps configurations (SetConfig) while
+// request goroutines are mid-Search on the SAME augmenter. Run under -race
+// this catches unsynchronized cfg access; functionally, every answer must
+// still match the sequential reference because each query snapshots one
+// coherent configuration at entry and all strategies agree.
+func TestSetConfigDuringSearch(t *testing.T) {
+	poly, ix, db, query := syntheticPolystore(t, 4, 60, 7)
+	want := answerSignature(t, New(poly, ix, Config{Strategy: Sequential}), db, query)
+	aug := New(poly, ix, Config{Strategy: Sequential, CacheSize: 64})
+
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			aug.SetConfig(Config{
+				Strategy:    Strategies[i%len(Strategies)],
+				BatchSize:   1 + i%16,
+				ThreadsSize: 1 + i%8,
+				CacheSize:   64 + i%32,
+			})
+		}
+	}()
+
+	const readers = 4
+	var wg sync.WaitGroup
+	errs := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 25; rep++ {
+				answer, err := aug.Search(ctx, db, query, 1)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				got := ""
+				for _, ao := range answer.Augmented {
+					got += fmt.Sprintf("%s:%.6f;", ao.Object.GK, ao.Prob)
+				}
+				if got != want {
+					errs <- "answer diverged under concurrent SetConfig"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	writer.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
 // TestStrategiesAgreeQuick drives the strategy-equivalence property over
 // random polystores (testing/quick generates the seeds).
 func TestStrategiesAgreeQuick(t *testing.T) {

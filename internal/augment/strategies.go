@@ -9,7 +9,9 @@ import (
 
 // This file contains the six execution strategies of Section IV. They all
 // consume a plan (the deduplicated fetch work) and fill a sink; they differ
-// only in scheduling:
+// only in scheduling. Each runner receives the Config snapshot taken at
+// AugmentObjects entry rather than reading a.cfg, so a concurrent SetConfig
+// from the optimizer cannot change parameters mid-run:
 //
 //	SEQUENTIAL   one direct-access query per key, in order (Fig. 6(a))
 //	BATCH        keys grouped per store, flushed at BATCH_SIZE (Fig. 6(b))
@@ -37,12 +39,12 @@ type group struct {
 	collection string
 }
 
-func (a *Augmenter) runBatch(ctx context.Context, p *plan, s *sink) error {
+func (a *Augmenter) runBatch(ctx context.Context, cfg Config, p *plan, s *sink) error {
 	groups := map[group][]string{}
 	for _, gk := range p.order {
 		g := group{database: gk.Database, collection: gk.Collection}
 		groups[g] = append(groups[g], gk.Key)
-		if len(groups[g]) >= a.cfg.BatchSize {
+		if len(groups[g]) >= cfg.BatchSize {
 			if err := a.fetchGroup(ctx, g.database, g.collection, groups[g], s); err != nil {
 				return err
 			}
@@ -67,9 +69,9 @@ func (a *Augmenter) runBatch(ctx context.Context, p *plan, s *sink) error {
 
 // runInner iterates over the origins in the main goroutine; the keys of each
 // origin are fetched by a pool of THREADS_SIZE workers before moving on.
-func (a *Augmenter) runInner(ctx context.Context, p *plan, s *sink) error {
+func (a *Augmenter) runInner(ctx context.Context, cfg Config, p *plan, s *sink) error {
 	for _, keys := range p.byOrigin {
-		if err := a.parallelFetch(ctx, keys, a.cfg.ThreadsSize, s); err != nil {
+		if err := a.parallelFetch(ctx, keys, cfg.ThreadsSize, s); err != nil {
 			return err
 		}
 	}
@@ -78,8 +80,8 @@ func (a *Augmenter) runInner(ctx context.Context, p *plan, s *sink) error {
 
 // runOuter launches a goroutine per origin (bounded by THREADS_SIZE); each
 // fetches its keys sequentially.
-func (a *Augmenter) runOuter(ctx context.Context, p *plan, s *sink) error {
-	return a.forEachOrigin(ctx, p, a.cfg.ThreadsSize, func(ctx context.Context, keys []core.GlobalKey) error {
+func (a *Augmenter) runOuter(ctx context.Context, cfg Config, p *plan, s *sink) error {
+	return a.forEachOrigin(ctx, p, cfg.ThreadsSize, func(ctx context.Context, keys []core.GlobalKey) error {
 		for _, gk := range keys {
 			obj, ok, err := a.fetchOne(ctx, gk)
 			if err != nil {
@@ -95,7 +97,7 @@ func (a *Augmenter) runOuter(ctx context.Context, p *plan, s *sink) error {
 
 // runOuterBatch has the main goroutine fill per-store groups while
 // THREADS_SIZE workers flush full groups concurrently.
-func (a *Augmenter) runOuterBatch(ctx context.Context, p *plan, s *sink) error {
+func (a *Augmenter) runOuterBatch(ctx context.Context, cfg Config, p *plan, s *sink) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -106,7 +108,7 @@ func (a *Augmenter) runOuterBatch(ctx context.Context, p *plan, s *sink) error {
 	jobs := make(chan job)
 	var wg sync.WaitGroup
 	errOnce := newErrOnce(cancel)
-	for w := 0; w < a.cfg.ThreadsSize; w++ {
+	for w := 0; w < cfg.ThreadsSize; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -132,7 +134,7 @@ produce:
 	for _, gk := range p.order {
 		g := group{database: gk.Database, collection: gk.Collection}
 		groups[g] = append(groups[g], gk.Key)
-		if len(groups[g]) >= a.cfg.BatchSize {
+		if len(groups[g]) >= cfg.BatchSize {
 			keys := groups[g]
 			delete(groups, g)
 			if !submit(g, keys) {
@@ -162,12 +164,12 @@ produce:
 // runOuterInner splits THREADS_SIZE between the two levels of parallelism:
 // half the threads process origins concurrently, and each of those uses the
 // other half as inner fetch parallelism for its keys.
-func (a *Augmenter) runOuterInner(ctx context.Context, p *plan, s *sink) error {
-	outer := a.cfg.ThreadsSize / 2
+func (a *Augmenter) runOuterInner(ctx context.Context, cfg Config, p *plan, s *sink) error {
+	outer := cfg.ThreadsSize / 2
 	if outer < 1 {
 		outer = 1
 	}
-	inner := a.cfg.ThreadsSize - outer
+	inner := cfg.ThreadsSize - outer
 	if inner < 1 {
 		inner = 1
 	}

@@ -69,9 +69,10 @@ func (b *Buffer) Seen() uint64 {
 // to one route ("" keeps everything). Ties break newest-first.
 func (b *Buffer) Snapshot(route string) []*Profile {
 	b.mu.Lock()
-	// Oldest-to-newest ring order, so the tie-break below can prefer newer.
+	// Newest-to-oldest ring order: the stable sort below then keeps newer
+	// profiles ahead of older ones with equal wall times.
 	ordered := make([]*Profile, 0, len(b.ring))
-	for i := 0; i < len(b.ring); i++ {
+	for i := len(b.ring) - 1; i >= 0; i-- {
 		ordered = append(ordered, b.ring[(b.next+i)%len(b.ring)])
 	}
 	b.mu.Unlock()

@@ -227,6 +227,34 @@ func TestBufferEvictionAndOrdering(t *testing.T) {
 	}
 }
 
+// TestSnapshotTieBreakNewestFirst: equal wall times order newest-first, as
+// Snapshot documents, including across a ring eviction.
+func TestSnapshotTieBreakNewestFirst(t *testing.T) {
+	b := NewBuffer(4)
+	for _, p := range []struct {
+		query string
+		wall  float64
+	}{{"old", 5}, {"mid", 5}, {"top", 7}, {"new", 5}} {
+		b.Add(&Profile{Route: "/search", Query: p.query, WallMS: p.wall})
+	}
+	want := []string{"top", "new", "mid", "old"}
+	got := b.Snapshot("")
+	for i, p := range got {
+		if p.Query != want[i] {
+			t.Fatalf("snapshot[%d] = %q, want %q", i, p.Query, want[i])
+		}
+	}
+	// Evict "old" (oldest); the remaining ties still order newest-first.
+	b.Add(&Profile{Route: "/search", Query: "newest", WallMS: 5})
+	want = []string{"top", "newest", "new", "mid"}
+	got = b.Snapshot("")
+	for i, p := range got {
+		if p.Query != want[i] {
+			t.Fatalf("after eviction snapshot[%d] = %q, want %q", i, p.Query, want[i])
+		}
+	}
+}
+
 func TestWriteTree(t *testing.T) {
 	_, rec := WithRecorder(context.Background(), "/search")
 	rec.SetQuery("transactions", "SELECT * FROM sales", 1)
