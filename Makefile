@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz figures clean
+.PHONY: all build vet test race cover bench bench-compare chaos fuzz figures clean
 
 all: build vet test
 
@@ -28,6 +28,18 @@ cover:
 # and ablation experiments). Takes a few minutes.
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Fault-injection suite under the race detector: every chaos, fault, breaker
+# and retry test across the tree (the CI chaos job runs exactly this).
+chaos:
+	$(GO) test -race -run 'Chaos|Fault|Breaker|Retry' ./internal/... ./cmd/...
+
+# Bench-regression guard: rerun figure 9 (best of 3) and fail on any point
+# more than 30% slower than the committed baseline.
+BASELINE ?= BENCH_PR1.json
+bench-compare:
+	$(GO) run ./cmd/quepa-bench -fig 9 -best-of 3 -json bench_ci.json -label ci > /dev/null
+	$(GO) run ./cmd/quepa-bench -compare $(BASELINE) -tolerance 0.30 bench_ci.json
 
 # Short fuzzing pass over the parsers.
 fuzz:

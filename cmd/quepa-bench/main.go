@@ -8,6 +8,12 @@
 //	quepa-bench -fig 13cd -quick  # tiny sizes, for smoke-testing the harness
 //	quepa-bench -json out.json    # also write the points as a RunRecord
 //
+//	quepa-bench -compare BENCH_PR1.json -tolerance 0.30 new.json
+//	                              # diff a new RunRecord against a baseline:
+//	                              # prints a markdown delta table and exits 1
+//	                              # when any matched point slowed down by more
+//	                              # than the tolerance (the CI bench guard)
+//
 // With -json, every measured point of the campaign is written to the named
 // file as an indented bench.RunRecord — the format of the per-PR
 // BENCH_<label>.json baselines at the repository root. Adding
@@ -33,7 +39,14 @@ func main() {
 	jsonOut := flag.String("json", "", "also write the campaign to this file as JSON")
 	label := flag.String("label", "", "label recorded in the -json output (e.g. PR1)")
 	explainSample := flag.Int("explain-sample", 0, "attach the EXPLAIN profile of every K-th search to the -json record (0 disables)")
+	compare := flag.String("compare", "", "baseline RunRecord to diff against; the new record is the positional argument")
+	tolerance := flag.Float64("tolerance", 0.30, "with -compare: allowed slowdown fraction before a point fails")
+	bestOf := flag.Int("best-of", 1, "run each figure N times and keep every point's fastest measurement (steadies the -compare guard)")
 	flag.Parse()
+
+	if *compare != "" {
+		os.Exit(runCompare(*compare, *tolerance, flag.Args()))
+	}
 
 	opts := bench.Options{Quick: *quick, Seed: *seed, BaselineBudget: *budget}
 	bench.SetExplainSampling(*explainSample)
@@ -49,6 +62,14 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "quepa-bench: figure %s: %v\n", id, err)
 			os.Exit(1)
+		}
+		for rep := 1; rep < *bestOf; rep++ {
+			again, err := bench.Run(id, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "quepa-bench: figure %s (repeat %d): %v\n", id, rep, err)
+				os.Exit(1)
+			}
+			points = bench.BestOf(points, again)
 		}
 		bench.Report(os.Stdout, points)
 		fmt.Printf("\n[figure %s regenerated in %v]\n", id, time.Since(start).Round(time.Millisecond))
@@ -71,4 +92,35 @@ func main() {
 		}
 		fmt.Printf("[campaign written to %s]\n", *jsonOut)
 	}
+}
+
+// runCompare implements -compare: diff a new RunRecord against a baseline,
+// print the delta table as markdown (CI appends it to the step summary), and
+// return 1 when any matched point regressed past the tolerance.
+func runCompare(baselinePath string, tolerance float64, args []string) int {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: quepa-bench -compare <baseline.json> [-tolerance 0.30] <new.json>")
+		return 2
+	}
+	old, err := bench.ReadRecordFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quepa-bench: %v\n", err)
+		return 2
+	}
+	cur, err := bench.ReadRecordFile(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quepa-bench: %v\n", err)
+		return 2
+	}
+	cmp := bench.Compare(old, cur, tolerance)
+	if err := cmp.WriteMarkdown(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "quepa-bench: %v\n", err)
+		return 2
+	}
+	if regs := cmp.Regressions(); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "quepa-bench: %d point(s) regressed beyond +%.0f%% vs %s\n",
+			len(regs), tolerance*100, baselinePath)
+		return 1
+	}
+	return 0
 }

@@ -7,6 +7,14 @@
 //
 //	quepa-loadgen -replicas 2 -scale 1          # print dataset statistics
 //	quepa-loadgen -serve 127.0.0.1:0            # serve all stores over TCP
+//
+// The -fault-* flags wrap every served store in a deterministic chaos layer
+// (internal/netsim): seeded random errors, down windows, and stall windows,
+// keyed off each store's request sequence. Serving a faulty polystore is how
+// the retry/breaker/degradation stack is exercised against a "real" remote:
+//
+//	quepa-loadgen -serve 127.0.0.1:0 -fault-rate 0.2 -fault-seed 7
+//	quepa-loadgen -serve 127.0.0.1:0 -fault-down 100:200 -fault-stall 50ms -fault-stall-in 1:50
 package main
 
 import (
@@ -16,8 +24,11 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
+	"quepa/internal/core"
 	"quepa/internal/middleware"
+	"quepa/internal/netsim"
 	"quepa/internal/wire"
 	"quepa/internal/workload"
 )
@@ -27,7 +38,28 @@ func main() {
 	scale := flag.Float64("scale", 1, "workload scale factor")
 	seed := flag.Int64("seed", 1, "generation seed")
 	serve := flag.String("serve", "", "serve every database over TCP from this base address (e.g. 127.0.0.1:0)")
+	faultRate := flag.Float64("fault-rate", 0, "probability that any served request fails (deterministic by -fault-seed)")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault draws")
+	faultDown := flag.String("fault-down", "", "down windows as request ranges from:to[,from:to...] (to exclusive, empty to = forever)")
+	faultStallIn := flag.String("fault-stall-in", "", "stall windows as request ranges from:to[,from:to...]")
+	faultStall := flag.Duration("fault-stall", 0, "added latency inside -fault-stall-in windows")
 	flag.Parse()
+
+	down, err := netsim.ParseWindows(*faultDown)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stallIn, err := netsim.ParseWindows(*faultStallIn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := netsim.FaultPlan{
+		Seed:      *faultSeed,
+		ErrorRate: *faultRate,
+		Down:      down,
+		StallIn:   stallIn,
+		Stall:     *faultStall,
+	}
 
 	spec := workload.DefaultSpec().Scale(*scale)
 	spec.ReplicaRounds = *replicas
@@ -56,13 +88,22 @@ func main() {
 		return
 	}
 
+	if plan.Active() {
+		fmt.Printf("serving with injected faults: %s\n", plan)
+	}
 	var servers []*wire.Server
 	for _, name := range built.Databases() {
 		s, err := built.Poly.Database(name)
 		if err != nil {
 			log.Fatal(err)
 		}
-		srv, err := wire.Serve(s, *serve)
+		var store core.Store = s
+		if plan.Active() {
+			// Each store gets its own chaos wrapper (its own request
+			// sequence), all driven by the same plan and seed.
+			store = netsim.NewChaos(s, plan, time.Sleep)
+		}
+		srv, err := wire.Serve(store, *serve)
 		if err != nil {
 			log.Fatal(err)
 		}

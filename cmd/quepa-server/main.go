@@ -7,13 +7,16 @@
 //	GET /databases                         list the polystore's databases
 //	GET /search?db=…&q=…&level=N           augmented search (level defaults to 0);
 //	                                       optional minp=0.8 / topk=10 trim the ranking,
-//	                                       explain=1 attaches an EXPLAIN profile
+//	                                       explain=1 attaches an EXPLAIN profile;
+//	                                       store failures yield a partial answer
+//	                                       with a "degraded" section, not a 500
 //	GET /object?key=D.C.K                  fetch one object with its p-relations
 //	POST /explore?db=…&q=…                 start an exploration session -> {session}
 //	POST /explore/step?session=…&key=…     expand one object -> ranked links;
 //	                                       explain=1 attaches an EXPLAIN profile
 //	POST /explore/finish?session=…         end the session (may promote the path)
-//	GET /stats                             index/cache/telemetry/build statistics
+//	GET /stats                             index/cache/telemetry/resilience/build statistics
+//	GET /healthz                           200 ok / 503 degraded with breaker snapshots
 //	GET /metrics                           Prometheus text exposition
 //	GET /debug/traces?route=…&min_ms=…     recent slow queries as JSON span trees
 //	GET /debug/explain?route=…             recent EXPLAIN profiles, slowest first
@@ -51,6 +54,7 @@ import (
 	"quepa/internal/core"
 	"quepa/internal/explain"
 	"quepa/internal/optimizer"
+	"quepa/internal/resilience"
 	"quepa/internal/telemetry"
 	"quepa/internal/workload"
 )
@@ -59,6 +63,11 @@ type server struct {
 	built   *workload.Built
 	aug     *augment.Augmenter
 	tracker *aindex.PathTracker
+
+	// Per-store circuit breakers: every database of the polystore is wrapped
+	// in a resilience.GuardedStore drawing its breaker from this set, which
+	// /healthz and /stats expose.
+	res *resilience.Set
 
 	// Adaptive optimizer state: the optimizer itself, and the last observed
 	// result/augmentation sizes per query signature — a query's features are
@@ -91,12 +100,20 @@ type lastRun struct {
 const maxLastSeen = 4096
 
 // newServer assembles a server around a built workload — shared between main
-// and the tests so both run the identical wiring.
-func newServer(built *workload.Built, cfg augment.Config, explainCap, explainEvery int) *server {
+// and the tests so both run the identical wiring. Every store of the
+// polystore is re-registered behind a circuit breaker before the augmenter
+// captures it, so a store that keeps failing costs one fast rejection per
+// query instead of a doomed round trip per fetch.
+func newServer(built *workload.Built, cfg augment.Config, explainCap, explainEvery int, bcfg resilience.BreakerConfig) (*server, error) {
+	res := resilience.NewSet(bcfg)
+	if err := resilience.GuardPolystore(built.Poly, res); err != nil {
+		return nil, err
+	}
 	s := &server{
 		built:        built,
 		aug:          augment.New(built.Poly, built.Index, cfg),
 		tracker:      aindex.NewPathTracker(built.Index, aindex.DefaultPromotionPolicy),
+		res:          res,
 		opt:          optimizer.NewAdaptive(),
 		lastSeen:     map[string]lastRun{},
 		explainBuf:   explain.NewBuffer(explainCap),
@@ -106,7 +123,7 @@ func newServer(built *workload.Built, cfg augment.Config, explainCap, explainEve
 	s.opt.RetrainEvery = 256
 	s.opt.MaxLogs = 4096
 	s.registerMetrics()
-	return s
+	return s, nil
 }
 
 func main() {
@@ -120,6 +137,10 @@ func main() {
 	explainCap := flag.Int("explain-cap", explain.DefaultBufferCapacity, "EXPLAIN profiles kept in the /debug/explain ring")
 	explainSample := flag.Int("explain-sample", 0, "profile every K-th request even without explain=1 (0 disables)")
 	logLevel := flag.String("log-level", "info", "minimum structured log level: debug, info, warn, error")
+	breakerFailures := flag.Int("breaker-failures", resilience.DefaultFailureThreshold,
+		"consecutive store failures that open its circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", resilience.DefaultCooldown,
+		"how long an open breaker rejects before a half-open probe")
 	flag.Parse()
 	if *version {
 		fmt.Println(buildVersion())
@@ -152,8 +173,12 @@ func main() {
 		built.Index = index
 		log.Printf("quepa-server: loaded A' index from %s", *indexPath)
 	}
-	s := newServer(built, augment.Config{Strategy: augment.OuterBatch, BatchSize: 64, ThreadsSize: 8, CacheSize: 4096},
-		*explainCap, *explainSample)
+	s, err := newServer(built, augment.Config{Strategy: augment.OuterBatch, BatchSize: 64, ThreadsSize: 8, CacheSize: 4096},
+		*explainCap, *explainSample,
+		resilience.BreakerConfig{FailureThreshold: *breakerFailures, Cooldown: *breakerCooldown})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	mux := s.routes()
 	if *debug {
@@ -181,6 +206,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /explore/step", s.instrument("/explore/step", s.handleExploreStep))
 	mux.HandleFunc("POST /explore/finish", s.instrument("/explore/finish", s.handleExploreFinish))
 	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /debug/explain", s.handleExplain)
@@ -206,6 +232,16 @@ func (s *server) registerMetrics() {
 		func() float64 { return float64(s.opt.LogCount()) })
 	reg.GaugeFunc("quepa_explain_profiles_seen", "EXPLAIN profiles recorded since start",
 		func() float64 { return float64(s.explainBuf.Seen()) })
+	reg.GaugeFunc("quepa_breakers_open", "stores whose circuit breaker is currently open",
+		func() float64 {
+			var open float64
+			for _, b := range s.res.Snapshot() {
+				if b.State == resilience.Open.String() {
+					open++
+				}
+			}
+			return open
+		})
 }
 
 // statusWriter captures the response code for the request metrics.
@@ -246,6 +282,19 @@ func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			}
 		}
 	}
+}
+
+// handleHealthz is the load-balancer probe: 200 while every store's breaker
+// admits calls, 503 as soon as one is open. The body carries the per-store
+// breaker snapshots either way, so a failing probe is self-explaining. Like
+// /metrics it skips the instrument middleware — probes fire too often to be
+// worth tracing.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.res.AnyOpen() {
+		status, code = "degraded", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{"status": status, "breakers": s.res.Snapshot()})
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -459,6 +508,9 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		"original":  original,
 		"augmented": augmentedJSON(ranked),
 	}
+	if answer.Partial() {
+		resp["degraded"] = answer.Degraded
+	}
 	if p := rec.Finish(len(answer.Original) + len(ranked)); p != nil {
 		s.explainBuf.Add(p)
 		if explainOn {
@@ -607,6 +659,9 @@ func (s *server) handleExploreStep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := map[string]any{"links": augmentedJSON(links)}
+	if degraded := sess.Degraded(); len(degraded) > 0 {
+		resp["degraded"] = degraded
+	}
 	if p := rec.Finish(len(links)); p != nil {
 		s.explainBuf.Add(p)
 		if explainOn {
@@ -667,6 +722,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"cache_miss":  misses,
 		"config":      s.aug.Config().String(),
 		"build":       buildSection(),
+		"resilience": map[string]any{
+			"breakers":         s.res.Snapshot(),
+			"any_open":         s.res.AnyOpen(),
+			"degraded_answers": reg.CounterValue("quepa_augment_degraded_total"),
+		},
 		"optimizer": map[string]any{
 			"name":      s.opt.Name(),
 			"trained":   s.opt.Trained(),

@@ -11,6 +11,7 @@ import (
 
 	"quepa/internal/augment"
 	"quepa/internal/explain"
+	"quepa/internal/resilience"
 	"quepa/internal/workload"
 )
 
@@ -23,8 +24,12 @@ func newTestServer(t *testing.T) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(built, augment.Config{Strategy: augment.Batch, BatchSize: 32, CacheSize: 128},
-		explain.DefaultBufferCapacity, 0)
+	s, err := newServer(built, augment.Config{Strategy: augment.Batch, BatchSize: 32, CacheSize: 128},
+		explain.DefaultBufferCapacity, 0, resilience.BreakerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 func do(t *testing.T, h http.HandlerFunc, method, target string) (int, map[string]any) {

@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"sort"
 	"strings"
 	"sync"
@@ -27,6 +28,7 @@ import (
 	"quepa/internal/cache"
 	"quepa/internal/core"
 	"quepa/internal/explain"
+	"quepa/internal/resilience"
 	"quepa/internal/telemetry"
 	"quepa/internal/validator"
 )
@@ -143,14 +145,42 @@ type AugmentedObject struct {
 }
 
 // Answer is the result of an augmented search: the local query's own result
-// plus the augmentation, ordered by decreasing probability.
+// plus the augmentation, ordered by decreasing probability. Degraded lists
+// the stores whose contribution was dropped — augmentation is best-effort,
+// so a failing store yields a partial answer rather than an error.
 type Answer struct {
 	Original  []core.Object
 	Augmented []AugmentedObject
+	Degraded  []Degradation
 }
 
 // Size returns the total number of data objects in the answer.
 func (a *Answer) Size() int { return len(a.Original) + len(a.Augmented) }
+
+// Partial reports whether any store's contribution was dropped.
+func (a *Answer) Partial() bool { return len(a.Degraded) > 0 }
+
+// Degradation records one store dropped from an answer: which store, why
+// ("breaker_open", "timeout", or the store's error), and the augmentation
+// level at which it failed.
+type Degradation struct {
+	Store  string `json:"store"`
+	Reason string `json:"reason"`
+	Level  int    `json:"level"`
+}
+
+// degradeReason classifies a store failure for the degraded section.
+func degradeReason(err error) string {
+	var ne net.Error
+	switch {
+	case errors.Is(err, resilience.ErrOpen):
+		return "breaker_open"
+	case errors.Is(err, context.DeadlineExceeded), errors.As(err, &ne) && ne.Timeout():
+		return "timeout"
+	default:
+		return err.Error()
+	}
+}
 
 // Augmenter orchestrates augmented query answering over a polystore and an
 // A' index (the Augmenter component of Fig. 2). It is safe for concurrent
@@ -243,11 +273,11 @@ func (a *Augmenter) Search(ctx context.Context, database, query string, level in
 		return nil, err
 	}
 	qspan.SetAttr("objects", itoa(len(original)))
-	augmented, err := a.AugmentObjects(ctx, original, level)
+	augmented, degraded, err := a.AugmentObjects(ctx, original, level)
 	if err != nil {
 		return nil, err
 	}
-	return &Answer{Original: original, Augmented: augmented}, nil
+	return &Answer{Original: original, Augmented: augmented, Degraded: degraded}, nil
 }
 
 // AugmentObjects applies the augmentation construct of level n to a set of
@@ -255,9 +285,14 @@ func (a *Augmenter) Search(ctx context.Context, database, query string, level in
 // retrieved objects ordered by decreasing probability. Objects that are in
 // the A' index but no longer in the polystore are dropped and lazily removed
 // from the index.
-func (a *Augmenter) AugmentObjects(ctx context.Context, origins []core.Object, level int) ([]AugmentedObject, error) {
+//
+// Augmentation is best-effort: a store that errors (or whose circuit breaker
+// is open) has its contribution dropped and reported in the returned
+// Degradation list while the healthy stores' results come back intact. Only
+// context cancellation and deadline expiry abort the whole call.
+func (a *Augmenter) AugmentObjects(ctx context.Context, origins []core.Object, level int) ([]AugmentedObject, []Degradation, error) {
 	if level < 0 {
-		return nil, fmt.Errorf("augment: negative level %d", level)
+		return nil, nil, fmt.Errorf("augment: negative level %d", level)
 	}
 	cfg := a.Config() // one coherent snapshot for the whole augmentation
 	strategy := cfg.Strategy
@@ -279,7 +314,7 @@ func (a *Augmenter) AugmentObjects(ctx context.Context, origins []core.Object, l
 		if rec != nil {
 			rec.EndAugmentation(0, time.Since(recStart), nil)
 		}
-		return nil, nil
+		return nil, nil, nil
 	}
 	sink := newSink()
 	var err error
@@ -307,13 +342,13 @@ func (a *Augmenter) AugmentObjects(ctx context.Context, origins []core.Object, l
 		if rec != nil {
 			rec.EndAugmentation(0, time.Since(recStart), err)
 		}
-		return nil, err
+		return nil, nil, err
 	}
 	out := plan.answer(sink)
 	if rec != nil {
 		rec.EndAugmentation(len(out), time.Since(recStart), nil)
 	}
-	return out, nil
+	return out, sink.degradations(), nil
 }
 
 // plan is the resolved fetch work of one augmentation: the unique global
@@ -389,10 +424,30 @@ func (p *plan) answer(s *sink) []AugmentedObject {
 	return out
 }
 
-// sink collects fetched objects from concurrent workers.
+// dist returns the hop distance at which the plan reached gk (0 if unknown).
+func (p *plan) dist(gk core.GlobalKey) int { return p.hits[gk].Dist }
+
+// groupDist returns the smallest hop distance across a batch group, the
+// level attributed to a degradation that drops the whole group.
+func (p *plan) groupDist(g group, keys []string) int {
+	min := -1
+	for _, k := range keys {
+		if h, ok := p.hits[core.NewGlobalKey(g.database, g.collection, k)]; ok && (min < 0 || h.Dist < min) {
+			min = h.Dist
+		}
+	}
+	if min < 0 {
+		min = 0
+	}
+	return min
+}
+
+// sink collects fetched objects from concurrent workers, plus the stores
+// whose contribution had to be dropped.
 type sink struct {
-	mu      sync.Mutex
-	objects map[core.GlobalKey]core.Object
+	mu       sync.Mutex
+	objects  map[core.GlobalKey]core.Object
+	degraded map[string]Degradation // lazily allocated; keyed by store
 }
 
 func newSink() *sink {
@@ -405,6 +460,58 @@ func (s *sink) add(objs ...core.Object) {
 	for _, o := range objs {
 		s.objects[o.GK] = o
 	}
+}
+
+// isDegraded reports whether a store already dropped out, so runners skip
+// its remaining keys instead of hammering a failing backend.
+func (s *sink) isDegraded(store string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.degraded[store]
+	return ok
+}
+
+// absorb classifies a fetch failure. If the caller's context is dead the
+// error propagates and aborts the augmentation; any other store failure
+// marks the store degraded (first reason wins) and returns nil so the
+// augmentation continues without it.
+func (s *sink) absorb(ctx context.Context, store string, level int, err error) error {
+	if err == nil {
+		return nil
+	}
+	if ctx.Err() != nil {
+		return err
+	}
+	d := Degradation{Store: store, Reason: degradeReason(err), Level: level}
+	s.mu.Lock()
+	_, seen := s.degraded[store]
+	if !seen {
+		if s.degraded == nil {
+			s.degraded = map[string]Degradation{}
+		}
+		s.degraded[store] = d
+	}
+	s.mu.Unlock()
+	if !seen {
+		degradedTotal.Inc()
+		explain.FromContext(ctx).Degraded(store, d.Reason, level)
+	}
+	return nil
+}
+
+// degradations returns the dropped stores in deterministic order.
+func (s *sink) degradations() []Degradation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.degraded) == 0 {
+		return nil
+	}
+	out := make([]Degradation, 0, len(s.degraded))
+	for _, d := range s.degraded {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Store < out[j].Store })
+	return out
 }
 
 // fetchOne retrieves a single object, consulting the cache first and

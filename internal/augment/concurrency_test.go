@@ -237,16 +237,19 @@ func TestAugmentObjectsDirect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := aug.AugmentObjects(ctx, []core.Object{origin}, 0)
+	out, degraded, err := aug.AugmentObjects(ctx, []core.Object{origin}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(out) == 0 {
 		t.Fatal("empty augmentation of a linked object")
 	}
+	if degraded != nil {
+		t.Errorf("healthy run degraded: %v", degraded)
+	}
 	// Empty input is fine.
-	out, err = aug.AugmentObjects(ctx, nil, 3)
-	if err != nil || out != nil {
-		t.Errorf("nil input: %v, %v", out, err)
+	out, degraded, err = aug.AugmentObjects(ctx, nil, 3)
+	if err != nil || out != nil || degraded != nil {
+		t.Errorf("nil input: %v, %v, %v", out, degraded, err)
 	}
 }

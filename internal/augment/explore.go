@@ -24,11 +24,12 @@ import (
 // interactive session. Run independent sessions on separate Explorations —
 // the underlying Augmenter is safe to share.
 type Exploration struct {
-	aug     *Augmenter
-	tracker *aindex.PathTracker // may be nil: no promotion
-	path    []core.GlobalKey
-	current []AugmentedObject
-	done    bool
+	aug      *Augmenter
+	tracker  *aindex.PathTracker // may be nil: no promotion
+	path     []core.GlobalKey
+	current  []AugmentedObject
+	degraded []Degradation // stores dropped by the last Step
+	done     bool
 }
 
 // Explore starts an exploration session from a local query: the query is
@@ -83,14 +84,19 @@ func (e *Exploration) Step(ctx context.Context, gk core.GlobalKey) ([]AugmentedO
 	if err != nil {
 		return nil, err
 	}
-	expansion, err := e.aug.AugmentObjects(ctx, []core.Object{origin}, 0)
+	expansion, degraded, err := e.aug.AugmentObjects(ctx, []core.Object{origin}, 0)
 	if err != nil {
 		return nil, err
 	}
 	e.path = append(e.path, gk)
 	e.current = expansion
+	e.degraded = degraded
 	return expansion, nil
 }
+
+// Degraded returns the stores whose contribution the last Step dropped — a
+// partial expansion the UI should flag rather than fail.
+func (e *Exploration) Degraded() []Degradation { return e.degraded }
 
 // Path returns the objects selected so far, in order.
 func (e *Exploration) Path() []core.GlobalKey {

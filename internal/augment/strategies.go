@@ -20,11 +20,22 @@ import (
 //	OUTER-BATCH  main fills groups, workers flush them (Fig. 7(b))
 //	OUTER-INNER  THREADS_SIZE/2 outer workers × THREADS_SIZE/2 inner workers (Fig. 7(c))
 
+// Store failures degrade rather than abort: every runner funnels fetch
+// errors through sink.absorb, which drops the failing store's contribution
+// and lets the healthy stores complete. Only a dead caller context still
+// propagates (absorb returns it), which is what errOnce now carries.
+
 func (a *Augmenter) runSequential(ctx context.Context, p *plan, s *sink) error {
 	for _, gk := range p.order {
+		if s.isDegraded(gk.Database) {
+			continue
+		}
 		obj, ok, err := a.fetchOne(ctx, gk)
 		if err != nil {
-			return err
+			if err := s.absorb(ctx, gk.Database, p.dist(gk), err); err != nil {
+				return err
+			}
+			continue
 		}
 		if ok {
 			s.add(obj)
@@ -40,15 +51,25 @@ type group struct {
 }
 
 func (a *Augmenter) runBatch(ctx context.Context, cfg Config, p *plan, s *sink) error {
+	flush := func(g group, keys []string) error {
+		if s.isDegraded(g.database) {
+			return nil
+		}
+		if err := a.fetchGroup(ctx, g.database, g.collection, keys, s); err != nil {
+			return s.absorb(ctx, g.database, p.groupDist(g, keys), err)
+		}
+		return nil
+	}
 	groups := map[group][]string{}
 	for _, gk := range p.order {
 		g := group{database: gk.Database, collection: gk.Collection}
 		groups[g] = append(groups[g], gk.Key)
 		if len(groups[g]) >= cfg.BatchSize {
-			if err := a.fetchGroup(ctx, g.database, g.collection, groups[g], s); err != nil {
+			keys := groups[g]
+			delete(groups, g)
+			if err := flush(g, keys); err != nil {
 				return err
 			}
-			delete(groups, g)
 		}
 	}
 	// Flush the incomplete groups at process end, iterating in the
@@ -60,7 +81,7 @@ func (a *Augmenter) runBatch(ctx context.Context, cfg Config, p *plan, s *sink) 
 			continue
 		}
 		delete(groups, g)
-		if err := a.fetchGroup(ctx, g.database, g.collection, keys, s); err != nil {
+		if err := flush(g, keys); err != nil {
 			return err
 		}
 	}
@@ -71,7 +92,7 @@ func (a *Augmenter) runBatch(ctx context.Context, cfg Config, p *plan, s *sink) 
 // origin are fetched by a pool of THREADS_SIZE workers before moving on.
 func (a *Augmenter) runInner(ctx context.Context, cfg Config, p *plan, s *sink) error {
 	for _, keys := range p.byOrigin {
-		if err := a.parallelFetch(ctx, keys, cfg.ThreadsSize, s); err != nil {
+		if err := a.parallelFetch(ctx, p, keys, cfg.ThreadsSize, s); err != nil {
 			return err
 		}
 	}
@@ -83,9 +104,15 @@ func (a *Augmenter) runInner(ctx context.Context, cfg Config, p *plan, s *sink) 
 func (a *Augmenter) runOuter(ctx context.Context, cfg Config, p *plan, s *sink) error {
 	return a.forEachOrigin(ctx, p, cfg.ThreadsSize, func(ctx context.Context, keys []core.GlobalKey) error {
 		for _, gk := range keys {
+			if s.isDegraded(gk.Database) {
+				continue
+			}
 			obj, ok, err := a.fetchOne(ctx, gk)
 			if err != nil {
-				return err
+				if err := s.absorb(ctx, gk.Database, p.dist(gk), err); err != nil {
+					return err
+				}
+				continue
 			}
 			if ok {
 				s.add(obj)
@@ -113,8 +140,13 @@ func (a *Augmenter) runOuterBatch(ctx context.Context, cfg Config, p *plan, s *s
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				if s.isDegraded(j.g.database) {
+					continue
+				}
 				if err := a.fetchGroup(ctx, j.g.database, j.g.collection, j.keys, s); err != nil {
-					errOnce.set(err)
+					if err := s.absorb(ctx, j.g.database, p.groupDist(j.g, j.keys), err); err != nil {
+						errOnce.set(err)
+					}
 					// Keep draining so the producer never blocks.
 				}
 			}
@@ -174,7 +206,7 @@ func (a *Augmenter) runOuterInner(ctx context.Context, cfg Config, p *plan, s *s
 		inner = 1
 	}
 	return a.forEachOrigin(ctx, p, outer, func(ctx context.Context, keys []core.GlobalKey) error {
-		return a.parallelFetch(ctx, keys, inner, s)
+		return a.parallelFetch(ctx, p, keys, inner, s)
 	})
 }
 
@@ -216,7 +248,7 @@ func (a *Augmenter) forEachOrigin(ctx context.Context, p *plan, workers int, fn 
 }
 
 // parallelFetch retrieves a key list with a pool of `workers` goroutines.
-func (a *Augmenter) parallelFetch(ctx context.Context, keys []core.GlobalKey, workers int, s *sink) error {
+func (a *Augmenter) parallelFetch(ctx context.Context, p *plan, keys []core.GlobalKey, workers int, s *sink) error {
 	if len(keys) == 0 {
 		return nil
 	}
@@ -233,9 +265,14 @@ func (a *Augmenter) parallelFetch(ctx context.Context, keys []core.GlobalKey, wo
 		go func() {
 			defer wg.Done()
 			for gk := range work {
+				if s.isDegraded(gk.Database) {
+					continue
+				}
 				obj, ok, err := a.fetchOne(ctx, gk)
 				if err != nil {
-					errOnce.set(err)
+					if err := s.absorb(ctx, gk.Database, p.dist(gk), err); err != nil {
+						errOnce.set(err)
+					}
 					continue // drain
 				}
 				if ok {

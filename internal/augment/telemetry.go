@@ -22,6 +22,10 @@ const numStrategies = 6
 var (
 	strategyHists [numStrategies]*telemetry.Histogram
 	strategyErrs  [numStrategies]*telemetry.Counter
+
+	// degradedTotal counts stores dropped from answers (partial results).
+	degradedTotal = telemetry.NewCounter("quepa_augment_degraded_total",
+		"stores whose contribution was dropped from an augmented answer")
 )
 
 func init() {

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func record(label string, points ...Point) *RunRecord {
+	return &RunRecord{Schema: SchemaVersion, Label: label, Points: points}
+}
+
+func pt(figure, series string, x, millis float64) Point {
+	return Point{Figure: figure, Series: series, XLabel: "N", X: x, Millis: millis}
+}
+
+func TestCompareFlagsRealRegressions(t *testing.T) {
+	old := record("PR1",
+		pt("9", "SEQUENTIAL", 1, 100),
+		pt("9", "SEQUENTIAL", 2, 50),
+		pt("9", "BATCH", 1, 10),
+	)
+	cur := record("ci",
+		pt("9", "SEQUENTIAL", 1, 150), // +50%: regressed
+		pt("9", "SEQUENTIAL", 2, 55),  // +10%: within tolerance
+		pt("9", "BATCH", 1, 9),        // faster
+	)
+	c := Compare(old, cur, 0.30)
+	if len(c.Deltas) != 3 {
+		t.Fatalf("deltas = %d, want 3", len(c.Deltas))
+	}
+	regs := c.Regressions()
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the +50%% point", regs)
+	}
+	if regs[0].Series != "SEQUENTIAL" || regs[0].X != 1 {
+		t.Errorf("wrong point flagged: %+v", regs[0])
+	}
+}
+
+func TestCompareNoiseFloorAbsorbsTinyPoints(t *testing.T) {
+	// +300% but only +1.5ms: below the noise floor, not a regression.
+	old := record("PR1", pt("9", "BATCH", 1, 0.5))
+	cur := record("ci", pt("9", "BATCH", 1, 2.0))
+	if regs := Compare(old, cur, 0.30).Regressions(); len(regs) != 0 {
+		t.Errorf("sub-noise-floor slowdown flagged: %+v", regs)
+	}
+	// Same ratio with real magnitude is flagged.
+	old = record("PR1", pt("9", "BATCH", 1, 50))
+	cur = record("ci", pt("9", "BATCH", 1, 200))
+	if regs := Compare(old, cur, 0.30).Regressions(); len(regs) != 1 {
+		t.Errorf("real slowdown not flagged: %+v", regs)
+	}
+}
+
+func TestCompareMatchingAndCoverage(t *testing.T) {
+	oom := pt("13ab", "ARANGO", 4, 0)
+	oom.OOM = true
+	old := record("PR1",
+		pt("9", "BATCH", 1, 10),
+		pt("9", "BATCH", 2, 10), // missing from the new run
+		oom,
+	)
+	oomNew := oom
+	oomNew.Millis = 999 // irrelevant: OOM pairs are skipped
+	cur := record("ci",
+		pt("9", "BATCH", 1, 10),
+		pt("10ab", "INNER", 1, 5), // not in the baseline
+		oomNew,
+	)
+	c := Compare(old, cur, 0.30)
+	if len(c.Deltas) != 1 {
+		t.Fatalf("deltas = %+v, want only the matched live pair", c.Deltas)
+	}
+	if c.OnlyOld != 1 || c.OnlyNew != 1 || c.SkippedOOM != 1 {
+		t.Errorf("coverage = old-only %d, new-only %d, oom %d; want 1,1,1", c.OnlyOld, c.OnlyNew, c.SkippedOOM)
+	}
+}
+
+func TestCompareMarkdownTable(t *testing.T) {
+	old := record("PR1", pt("9", "SEQUENTIAL", 1, 100), pt("9", "BATCH", 1, 10))
+	cur := record("ci", pt("9", "SEQUENTIAL", 1, 150), pt("9", "BATCH", 1, 10))
+	c := Compare(old, cur, 0.30)
+	var sb strings.Builder
+	if err := c.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"ci vs PR1",
+		"1 point(s) regressed",
+		"| figure | series | x |",
+		"| 9 | SEQUENTIAL | N=1 | 100.000 | 150.000 | +50.0% | ❌ |",
+		"| 9 | BATCH | N=1 | 10.000 | 10.000 | +0.0% |  |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareBestOfKeepsFastest(t *testing.T) {
+	oom := pt("13ab", "ARANGO", 4, 0)
+	oom.OOM = true
+	run1 := []Point{pt("9", "BATCH", 1, 30), pt("9", "BATCH", 2, 10), oom}
+	healed := pt("13ab", "ARANGO", 4, 100)
+	run2 := []Point{pt("9", "BATCH", 1, 12), pt("9", "BATCH", 2, 25), healed, pt("9", "INNER", 1, 7)}
+	got := BestOf(run1, run2)
+	if len(got) != 4 {
+		t.Fatalf("merged points = %+v", got)
+	}
+	if got[0].Millis != 12 || got[1].Millis != 10 {
+		t.Errorf("minimum not kept: %+v", got[:2])
+	}
+	if got[2].OOM || got[2].Millis != 100 {
+		t.Errorf("live repeat did not replace the OOM point: %+v", got[2])
+	}
+	if got[3].Series != "INNER" {
+		t.Errorf("point unique to a repeat lost: %+v", got[3])
+	}
+	if out := BestOf(); out != nil {
+		t.Errorf("BestOf() = %v", out)
+	}
+}
+
+func TestCompareRoundTripThroughJSON(t *testing.T) {
+	// A record written by WriteJSON must read back and compare clean against
+	// itself — the exact loop the CI job runs.
+	rec := record("PR1", pt("9", "BATCH", 1, 10), pt("9", "BATCH", 2, 20))
+	var sb strings.Builder
+	if err := WriteJSON(&sb, "PR1", Options{}, []string{"9"}, rec.Points); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRecord(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Compare(back, back, 0.30)
+	if len(c.Regressions()) != 0 || len(c.Deltas) != 2 || c.OnlyOld != 0 || c.OnlyNew != 0 {
+		t.Errorf("self-comparison not clean: %+v", c)
+	}
+	if _, err := ReadRecord(strings.NewReader(`{"schema":"other/9"}`)); err == nil {
+		t.Error("foreign schema accepted")
+	}
+}

@@ -216,6 +216,46 @@ func (r *Recorder) RankPruned(n int) {
 	r.mu.Unlock()
 }
 
+// maxRetryTraces caps the per-profile retry trace list; the totals keep
+// counting past it.
+const maxRetryTraces = 32
+
+// WireRetry records one retried wire round trip: the attempt that failed,
+// why, and the backoff chosen before the next try.
+func (r *Recorder) WireRetry(store, op string, attempt int, backoff time.Duration, err error) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.p.Totals.WireRetries++
+	if len(r.p.Retries) < maxRetryTraces {
+		t := RetryTrace{Store: store, Op: op, Attempt: attempt, BackoffMS: durMS(backoff)}
+		if err != nil {
+			t.Error = err.Error()
+		}
+		r.p.Retries = append(r.p.Retries, t)
+	}
+	r.mu.Unlock()
+}
+
+// Degraded records one store dropped from the result: the augmenter kept
+// going without it. Inside an open augmentation the entry lands on its trace;
+// outside it lands on the profile.
+func (r *Recorder) Degraded(store, reason string, level int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	d := DegradedStore{Store: store, Reason: reason, Level: level}
+	if r.cur != nil {
+		r.cur.Degraded = append(r.cur.Degraded, d)
+	} else {
+		r.p.Degraded = append(r.p.Degraded, d)
+	}
+	r.p.Totals.Degraded++
+	r.mu.Unlock()
+}
+
 // WireBytes adds one wire round trip's frame sizes to the totals.
 func (r *Recorder) WireBytes(sent, received int) {
 	if r == nil {

@@ -24,8 +24,31 @@ type Profile struct {
 	// Fetches are store ops outside any augmentation (e.g. an exploration
 	// step fetching its selected origin object).
 	Fetches []StoreFanout `json:"fetches,omitempty"`
+	// Retries lists the wire round trips that had to be retried, in order
+	// (capped; Totals.WireRetries keeps the full count).
+	Retries []RetryTrace `json:"retries,omitempty"`
+	// Degraded lists stores dropped outside any augmentation.
+	Degraded []DegradedStore `json:"degraded,omitempty"`
 
 	Totals Totals `json:"totals"`
+}
+
+// RetryTrace is one retried wire attempt: what failed and the backoff chosen
+// before the next try.
+type RetryTrace struct {
+	Store     string  `json:"store"`
+	Op        string  `json:"op"`
+	Attempt   int     `json:"attempt"` // the attempt that failed, 1-based
+	BackoffMS float64 `json:"backoff_ms"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// DegradedStore is one store whose contribution was dropped from a partial
+// result: which store, why, and at which augmentation level.
+type DegradedStore struct {
+	Store  string `json:"store"`
+	Reason string `json:"reason"`
+	Level  int    `json:"level"`
 }
 
 // Decision is the optimizer's provenance for one query: the feature vector
@@ -80,6 +103,9 @@ type AugmentationTrace struct {
 	Error          string  `json:"error,omitempty"`
 
 	Stores []StoreFanout `json:"stores,omitempty"`
+	// Degraded lists stores whose contribution this augmentation dropped
+	// (store error or open breaker) instead of aborting the query.
+	Degraded []DegradedStore `json:"degraded,omitempty"`
 }
 
 // StoreFanout aggregates this query's round trips to one store for one op.
@@ -104,4 +130,6 @@ type Totals struct {
 	RankPruned    int   `json:"rank_pruned"`
 	BytesSent     int64 `json:"wire_bytes_sent"`
 	BytesReceived int64 `json:"wire_bytes_received"`
+	WireRetries   int   `json:"wire_retries"`
+	Degraded      int   `json:"degraded_stores"`
 }

@@ -130,9 +130,10 @@ func TestValidatorRewriteOverWire(t *testing.T) {
 	}
 }
 
-// TestServerShutdownSurfacesErrors: killing a store's server mid-flight
-// makes augmented searches fail with an error rather than hang or lie.
-func TestServerShutdownSurfacesErrors(t *testing.T) {
+// TestServerShutdownDegradesGracefully: killing a store's server mid-flight
+// turns augmented searches into partial answers — the dead store is reported
+// in the degraded section while the rest of the polystore keeps answering.
+func TestServerShutdownDegradesGracefully(t *testing.T) {
 	remote, index, built, shutdown := remotePolystore(t, netsim.Profile{})
 	defer shutdown()
 
@@ -180,8 +181,15 @@ func TestServerShutdownSurfacesErrors(t *testing.T) {
 		}
 	}
 	aug = augment.New(broken, index, augment.Config{Strategy: augment.OuterBatch, BatchSize: 8, ThreadsSize: 4})
-	if _, err := aug.Search(ctx, "transactions", query, 0); err == nil {
-		t.Error("search over a dead store succeeded")
+	answer, err := aug.Search(ctx, "transactions", query, 0)
+	if err != nil {
+		t.Fatalf("search over a dead store aborted instead of degrading: %v", err)
+	}
+	if len(answer.Degraded) != 1 || answer.Degraded[0].Store != "catalogue" {
+		t.Errorf("degraded = %v, want the catalogue store", answer.Degraded)
+	}
+	if len(answer.Original) == 0 {
+		t.Error("original results lost in the partial answer")
 	}
 }
 

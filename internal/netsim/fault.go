@@ -1,0 +1,218 @@
+package netsim
+
+// Fault injection: the same philosophy as the latency model — the paper's
+// distributed deployment is reproduced deterministically, so here partial
+// failure is too. A Chaos store decorates any core.Store with a FaultPlan:
+// a seeded random error rate, hard "down" windows (flap schedules) and stall
+// windows, all keyed off the store's own request sequence number so a test
+// run replays bit-for-bit regardless of scheduling. The chaos CI job drives
+// the whole stack (wire client retries, circuit breakers, augmenter
+// degradation) through these wrappers without a real network.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"quepa/internal/core"
+)
+
+// ErrInjected marks a fault manufactured by a Chaos store. Tests and the
+// degradation layer match it with errors.Is.
+var ErrInjected = errors.New("netsim: injected fault")
+
+// Window brackets request sequence numbers [From, To) — 1-based, To
+// exclusive — during which a fault applies. A zero To means "forever".
+type Window struct {
+	From uint64 `json:"from"`
+	To   uint64 `json:"to"`
+}
+
+func (w Window) contains(n uint64) bool {
+	return n >= w.From && (w.To == 0 || n < w.To)
+}
+
+// ParseWindows parses a flag-friendly window list: "from:to[,from:to...]",
+// e.g. "1:50,200:250". An empty string is an empty schedule; "from:" leaves
+// the window open-ended.
+func ParseWindows(s string) ([]Window, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []Window
+	for _, part := range strings.Split(s, ",") {
+		from, to, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("netsim: window %q must be from:to", part)
+		}
+		f, err := strconv.ParseUint(from, 10, 64)
+		if err != nil || f == 0 {
+			return nil, fmt.Errorf("netsim: window %q: from must be a positive request index", part)
+		}
+		w := Window{From: f}
+		if to != "" {
+			t, err := strconv.ParseUint(to, 10, 64)
+			if err != nil || t <= f {
+				return nil, fmt.Errorf("netsim: window %q: to must exceed from", part)
+			}
+			w.To = t
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// FaultPlan describes the failure behaviour of one store. The zero value
+// injects nothing.
+type FaultPlan struct {
+	// Seed drives the error-rate draws; same seed, same faults.
+	Seed uint64
+	// ErrorRate is the probability that any one request fails.
+	ErrorRate float64
+	// Down lists request windows during which every request fails — a
+	// deterministic flap schedule.
+	Down []Window
+	// StallIn lists request windows during which requests stall for Stall
+	// before being served (slow-store mode; combine with client deadlines).
+	StallIn []Window
+	// Stall is the added latency inside StallIn windows.
+	Stall time.Duration
+}
+
+// Active reports whether the plan injects anything at all.
+func (p FaultPlan) Active() bool {
+	return p.ErrorRate > 0 || len(p.Down) > 0 || (len(p.StallIn) > 0 && p.Stall > 0)
+}
+
+// String renders the plan compactly for logs.
+func (p FaultPlan) String() string {
+	return fmt.Sprintf("faults(seed=%d,rate=%g,down=%d,stall=%v×%d)",
+		p.Seed, p.ErrorRate, len(p.Down), p.Stall, len(p.StallIn))
+}
+
+// Chaos wraps a core.Store with a FaultPlan. It is safe for concurrent use;
+// the request sequence number advances atomically (under concurrency the
+// assignment of faults to callers follows arrival order, but the set of
+// faulted sequence numbers is fixed by the plan).
+type Chaos struct {
+	inner    core.Store
+	plan     FaultPlan
+	sleep    func(time.Duration)
+	seq      atomic.Uint64
+	injected atomic.Uint64
+	stalled  atomic.Uint64
+}
+
+// NewChaos decorates a store with a fault plan. A nil sleep uses time.Sleep.
+func NewChaos(inner core.Store, plan FaultPlan, sleep func(time.Duration)) *Chaos {
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	return &Chaos{inner: inner, plan: plan, sleep: sleep}
+}
+
+// Name returns the wrapped store's name.
+func (c *Chaos) Name() string { return c.inner.Name() }
+
+// Kind returns the wrapped store's kind.
+func (c *Chaos) Kind() core.StoreKind { return c.inner.Kind() }
+
+// Collections lists the wrapped store's collections.
+func (c *Chaos) Collections() []string { return c.inner.Collections() }
+
+// Unwrap returns the underlying store.
+func (c *Chaos) Unwrap() core.Store { return c.inner }
+
+// Requests returns how many data requests reached the chaos layer.
+func (c *Chaos) Requests() uint64 { return c.seq.Load() }
+
+// Injected returns how many requests were failed by the plan.
+func (c *Chaos) Injected() uint64 { return c.injected.Load() }
+
+// Stalled returns how many requests were delayed by the plan.
+func (c *Chaos) Stalled() uint64 { return c.stalled.Load() }
+
+// fault charges one request against the plan: an injected error, a stall,
+// or nothing.
+func (c *Chaos) fault() error {
+	n := c.seq.Add(1)
+	for _, w := range c.plan.Down {
+		if w.contains(n) {
+			c.injected.Add(1)
+			return fmt.Errorf("netsim: %s request %d in down window: %w", c.inner.Name(), n, ErrInjected)
+		}
+	}
+	if c.plan.ErrorRate > 0 && unit(c.plan.Seed, n) < c.plan.ErrorRate {
+		c.injected.Add(1)
+		return fmt.Errorf("netsim: %s request %d drawn to fail: %w", c.inner.Name(), n, ErrInjected)
+	}
+	if c.plan.Stall > 0 {
+		for _, w := range c.plan.StallIn {
+			if w.contains(n) {
+				c.stalled.Add(1)
+				c.sleep(c.plan.Stall)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Get retrieves one object unless the plan faults the request.
+func (c *Chaos) Get(ctx context.Context, collection, key string) (core.Object, error) {
+	if err := c.fault(); err != nil {
+		return core.Object{}, err
+	}
+	return c.inner.Get(ctx, collection, key)
+}
+
+// GetBatch retrieves many objects unless the plan faults the request.
+func (c *Chaos) GetBatch(ctx context.Context, collection string, keys []string) ([]core.Object, error) {
+	if err := c.fault(); err != nil {
+		return nil, err
+	}
+	return c.inner.GetBatch(ctx, collection, keys)
+}
+
+// Query executes a native query unless the plan faults the request.
+func (c *Chaos) Query(ctx context.Context, query string) ([]core.Object, error) {
+	if err := c.fault(); err != nil {
+		return nil, err
+	}
+	return c.inner.Query(ctx, query)
+}
+
+// KeyField forwards to the wrapped store (metadata is not faulted: the
+// validator resolves it at query-rewrite time, not on the data path).
+func (c *Chaos) KeyField(collection string) (string, error) {
+	type keyResolver interface{ KeyField(string) (string, error) }
+	if kr, ok := c.inner.(keyResolver); ok {
+		return kr.KeyField(collection)
+	}
+	return "", core.ErrUnsupportedQuery
+}
+
+// RoundTrips forwards the round-trip count when the wrapped store tracks it.
+func (c *Chaos) RoundTrips() uint64 {
+	if ctr, ok := c.inner.(core.Counter); ok {
+		return ctr.RoundTrips()
+	}
+	return 0
+}
+
+// unit maps (seed, n) to a uniform float64 in [0, 1) via splitmix64 — the
+// same stateless construction the resilience retrier uses for jitter, so
+// fault draws replay from the seed alone.
+func unit(seed, n uint64) float64 {
+	x := seed + n*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}

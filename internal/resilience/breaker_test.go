@@ -1,0 +1,192 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"quepa/internal/core"
+)
+
+// fakeClock is a hand-advanced clock for deterministic breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(k int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	return NewBreaker("remote", BreakerConfig{FailureThreshold: k, Cooldown: cooldown, Now: clock.Now}), clock
+}
+
+// TestBreakerOpensAfterK: exactly K consecutive failures trip the breaker;
+// a success in between resets the streak.
+func TestBreakerOpensAfterK(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.RecordFailure()
+	b.RecordFailure()
+	b.RecordSuccess() // streak broken
+	b.RecordFailure()
+	b.RecordFailure()
+	if b.State() != Closed {
+		t.Fatalf("state after 2 failures = %v, want closed", b.State())
+	}
+	b.RecordFailure()
+	if b.State() != Open {
+		t.Fatalf("state after 3 consecutive failures = %v, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Errorf("open breaker allowed a call: %v", err)
+	}
+}
+
+// TestBreakerHalfOpenProbe: after the cooldown one probe is admitted; its
+// success closes the breaker, and concurrent calls during the probe are
+// still rejected.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clock := newTestBreaker(2, time.Second)
+	b.RecordFailure()
+	b.RecordFailure()
+	if b.State() != Open {
+		t.Fatal("breaker should be open")
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("cooldown not elapsed, call should be rejected")
+	}
+	clock.Advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected after cooldown: %v", err)
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", b.State())
+	}
+	// A second caller during the probe is rejected.
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Error("second call admitted during half-open probe")
+	}
+	b.RecordSuccess()
+	if b.State() != Closed {
+		t.Fatalf("state after probe success = %v, want closed", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Errorf("closed breaker rejected a call: %v", err)
+	}
+}
+
+// TestBreakerReopensOnProbeFailure: a failed probe restarts the cooldown.
+func TestBreakerReopensOnProbeFailure(t *testing.T) {
+	b, clock := newTestBreaker(1, time.Second)
+	b.RecordFailure()
+	clock.Advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	b.RecordFailure()
+	if b.State() != Open {
+		t.Fatalf("state after probe failure = %v, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Error("breaker admitted a call right after a failed probe")
+	}
+	// The next cooldown admits a fresh probe.
+	clock.Advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Errorf("second probe rejected: %v", err)
+	}
+	snap := b.Snapshot()
+	if snap.Opens != 2 || snap.Probes != 2 {
+		t.Errorf("snapshot opens=%d probes=%d, want 2/2", snap.Opens, snap.Probes)
+	}
+}
+
+// TestBreakerRecordClassification: not-found is success, cancellation is
+// neutral, other errors are failures.
+func TestBreakerRecordClassification(t *testing.T) {
+	b, _ := newTestBreaker(1, time.Second)
+	b.Record(core.ErrNotFound)
+	if b.State() != Closed {
+		t.Error("ErrNotFound tripped the breaker")
+	}
+	b.Record(context.Canceled)
+	if b.State() != Closed {
+		t.Error("context.Canceled tripped the breaker")
+	}
+	b.Record(errBoom)
+	if b.State() != Open {
+		t.Error("a store error did not trip a K=1 breaker")
+	}
+}
+
+// TestBreakerCanceledProbeUnwedges: a probe abandoned by cancellation frees
+// the half-open slot for the next caller.
+func TestBreakerCanceledProbeUnwedges(t *testing.T) {
+	b, clock := newTestBreaker(1, time.Second)
+	b.RecordFailure()
+	clock.Advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	b.Record(context.Canceled)
+	if err := b.Allow(); err != nil {
+		t.Errorf("half-open slot wedged after canceled probe: %v", err)
+	}
+}
+
+// TestBreakerZeroAllocs pins the closed-path cost: Allow + Record on a
+// healthy store never allocate.
+func TestBreakerZeroAllocs(t *testing.T) {
+	b, _ := newTestBreaker(5, time.Second)
+	if n := testing.AllocsPerRun(200, func() {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Record(nil)
+	}); n != 0 {
+		t.Errorf("closed-path Allow+Record allocates %v per run, want 0", n)
+	}
+}
+
+// TestBreakerConcurrentLifecycle hammers one breaker from many goroutines
+// under -race: the invariants (at most one probe, monotonic counters) hold.
+func TestBreakerConcurrentLifecycle(t *testing.T) {
+	b, clock := newTestBreaker(3, time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if b.Allow() != nil {
+					continue
+				}
+				if (g+i)%3 == 0 {
+					b.RecordFailure()
+				} else {
+					b.RecordSuccess()
+				}
+				if i%50 == 0 {
+					clock.Advance(time.Millisecond)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := b.Snapshot()
+	if snap.State == "unknown" {
+		t.Errorf("breaker in unknown state: %+v", snap)
+	}
+}

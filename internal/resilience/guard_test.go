@@ -1,0 +1,168 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"quepa/internal/core"
+)
+
+// stubStore is a minimal core.Store whose failure mode tests flip at will.
+type stubStore struct {
+	name string
+	fail bool
+	obj  core.Object
+}
+
+func newStubStore(name string) *stubStore {
+	return &stubStore{name: name, obj: core.NewObject(core.NewGlobalKey(name, "c", "k"), map[string]string{"v": "1"})}
+}
+
+func (s *stubStore) Name() string          { return s.name }
+func (s *stubStore) Kind() core.StoreKind  { return core.KindKeyValue }
+func (s *stubStore) Collections() []string { return []string{"c"} }
+
+func (s *stubStore) Get(ctx context.Context, collection, key string) (core.Object, error) {
+	if s.fail {
+		return core.Object{}, errBoom
+	}
+	return s.obj, nil
+}
+
+func (s *stubStore) GetBatch(ctx context.Context, collection string, keys []string) ([]core.Object, error) {
+	if s.fail {
+		return nil, errBoom
+	}
+	return []core.Object{s.obj}, nil
+}
+
+func (s *stubStore) Query(ctx context.Context, q string) ([]core.Object, error) {
+	if s.fail {
+		return nil, errBoom
+	}
+	return []core.Object{s.obj}, nil
+}
+
+func (s *stubStore) KeyField(string) (string, error) { return "id", nil }
+
+// TestGuardBreakerTrips: a guarded store rejects fast once K failures
+// accumulated, and the rejection carries both the store name and ErrOpen.
+func TestGuardBreakerTrips(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	st := newStubStore("remote")
+	g := Guard(st, NewBreaker("remote", BreakerConfig{FailureThreshold: 2, Cooldown: time.Minute, Now: clock.Now}))
+	ctx := context.Background()
+
+	st.fail = true
+	for i := 0; i < 2; i++ {
+		if _, err := g.Get(ctx, "c", "k"); !errors.Is(err, errBoom) {
+			t.Fatalf("failure %d = %v", i, err)
+		}
+	}
+	// Third call is rejected by the breaker without reaching the store.
+	st.fail = false
+	if _, err := g.Get(ctx, "c", "k"); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker let the call through: %v", err)
+	}
+	if _, err := g.GetBatch(ctx, "c", []string{"k"}); !errors.Is(err, ErrOpen) {
+		t.Errorf("GetBatch not guarded: %v", err)
+	}
+	if _, err := g.Query(ctx, "SCAN c"); !errors.Is(err, ErrOpen) {
+		t.Errorf("Query not guarded: %v", err)
+	}
+	// Metadata still flows while open.
+	if kf, err := g.KeyField("c"); err != nil || kf != "id" {
+		t.Errorf("KeyField = %q, %v", kf, err)
+	}
+	// After the cooldown a probe closes the circuit again.
+	clock.Advance(time.Minute)
+	if _, err := g.Get(ctx, "c", "k"); err != nil {
+		t.Fatalf("probe failed: %v", err)
+	}
+	if g.Breaker().State() != Closed {
+		t.Errorf("state after recovery = %v", g.Breaker().State())
+	}
+}
+
+// TestGuardPolystoreFaultIsolation: guarding a polystore wraps every store
+// once (idempotent) and keeps healthy stores reachable while one is open.
+func TestGuardPolystoreFaultIsolation(t *testing.T) {
+	poly := core.NewPolystore()
+	bad, good := newStubStore("bad"), newStubStore("good")
+	bad.fail = true
+	for _, s := range []core.Store{bad, good} {
+		if err := poly.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	set := NewSet(BreakerConfig{FailureThreshold: 1, Cooldown: time.Minute})
+	if err := GuardPolystore(poly, set); err != nil {
+		t.Fatal(err)
+	}
+	if err := GuardPolystore(poly, set); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	st, _ := poly.Database("bad")
+	if _, ok := st.(*GuardedStore); !ok {
+		t.Fatalf("store not guarded: %T", st)
+	}
+	if _, ok := st.(*GuardedStore).Unwrap().(*stubStore); !ok {
+		t.Fatal("double-guarded store")
+	}
+
+	ctx := context.Background()
+	if _, err := poly.Fetch(ctx, core.NewGlobalKey("bad", "c", "k")); err == nil {
+		t.Fatal("bad store should fail")
+	}
+	if _, err := poly.Fetch(ctx, core.NewGlobalKey("bad", "c", "k")); !errors.Is(err, ErrOpen) {
+		t.Errorf("K=1 breaker did not open: %v", err)
+	}
+	if _, err := poly.Fetch(ctx, core.NewGlobalKey("good", "c", "k")); err != nil {
+		t.Errorf("healthy store affected: %v", err)
+	}
+	if !set.AnyOpen() {
+		t.Error("AnyOpen = false with an open breaker")
+	}
+	snaps := set.Snapshot()
+	if len(snaps) != 2 || snaps[0].Store != "bad" || snaps[0].State != "open" || snaps[1].State != "closed" {
+		t.Errorf("snapshot = %+v", snaps)
+	}
+}
+
+// TestGuardNotFoundIsHealthy: misses (the augmenter's lazy-deletion signal)
+// never count toward the failure streak.
+func TestGuardNotFoundIsHealthy(t *testing.T) {
+	st := newStubStore("remote")
+	miss := &notFoundStore{stubStore: st}
+	g := Guard(miss, NewBreaker("remote", BreakerConfig{FailureThreshold: 1}))
+	for i := 0; i < 5; i++ {
+		if _, err := g.Get(context.Background(), "c", "k"); !errors.Is(err, core.ErrNotFound) {
+			t.Fatalf("want ErrNotFound, got %v", err)
+		}
+	}
+	if g.Breaker().State() != Closed {
+		t.Error("not-found responses tripped the breaker")
+	}
+}
+
+type notFoundStore struct{ *stubStore }
+
+func (s *notFoundStore) Get(ctx context.Context, collection, key string) (core.Object, error) {
+	return core.Object{}, core.ErrNotFound
+}
+
+// TestGuardZeroAllocsFaultFree: the guard adds no allocations around a
+// healthy store call.
+func TestGuardZeroAllocsFaultFree(t *testing.T) {
+	g := Guard(newStubStore("remote"), NewBreaker("remote", BreakerConfig{}))
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := g.Get(ctx, "c", "k"); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("guarded Get allocates %v per run, want 0", n)
+	}
+}

@@ -1,0 +1,154 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// RetryPolicy configures a Retrier. The zero value selects the defaults; a
+// MaxAttempts of 1 disables retries entirely.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, the first one included.
+	MaxAttempts int
+	// BaseBackoff is the nominal sleep before the first retry; each further
+	// retry doubles it, capped at MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff time.Duration
+	// Jitter is the fraction of each backoff that is randomized: a backoff b
+	// becomes b*(1-Jitter) + u*b*Jitter with u drawn from the seeded stream.
+	// 0 keeps backoffs exact; negative values select the default.
+	Jitter float64
+	// Seed drives the jitter stream. Two Retriers with the same policy
+	// produce the same backoff sequence — chaos tests rely on this.
+	Seed uint64
+	// AttemptTimeout bounds one attempt (the wire client maps it onto the
+	// connection deadline). 0 disables per-attempt deadlines.
+	AttemptTimeout time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = DefaultBaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = DefaultMaxBackoff
+	}
+	if p.Jitter < 0 {
+		p.Jitter = DefaultJitter
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// DefaultRetryPolicy is the policy wire.Dial applies when none is given.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Jitter: DefaultJitter, Seed: 1, AttemptTimeout: 2 * time.Second}.withDefaults()
+}
+
+// Retrier executes operations under a RetryPolicy. It is safe for concurrent
+// use; the jitter stream advances atomically, so a single-goroutine caller
+// observes a fully deterministic backoff sequence.
+type Retrier struct {
+	policy RetryPolicy
+	draws  atomic.Uint64
+	sleep  func(time.Duration) // injectable for tests; nil means time.Sleep
+}
+
+// NewRetrier builds a Retrier, filling policy defaults.
+func NewRetrier(p RetryPolicy) *Retrier {
+	return &Retrier{policy: p.withDefaults()}
+}
+
+// Policy returns the retrier's (default-filled) policy.
+func (r *Retrier) Policy() RetryPolicy { return r.policy }
+
+// SetSleep overrides the sleeper used between attempts (tests inject a
+// recorder). A nil fn restores time.Sleep.
+func (r *Retrier) SetSleep(fn func(time.Duration)) { r.sleep = fn }
+
+// Sleep waits for d through the configured sleeper, for callers (the wire
+// client) that inline their own retry loop to stay allocation-free.
+func (r *Retrier) Sleep(d time.Duration) {
+	if r.sleep != nil {
+		r.sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// Backoff returns the sleep before retry `attempt` (1 = the first retry):
+// min(Base<<(attempt-1), Max) with the policy's share of seeded jitter. Each
+// call advances the jitter stream.
+func (r *Retrier) Backoff(attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	b := r.policy.BaseBackoff
+	// Shift with an overflow guard: past ~32 doublings we are long over cap.
+	if attempt-1 < 32 {
+		b <<= uint(attempt - 1)
+	} else {
+		b = r.policy.MaxBackoff
+	}
+	if b > r.policy.MaxBackoff || b <= 0 {
+		b = r.policy.MaxBackoff
+	}
+	if r.policy.Jitter == 0 {
+		return b
+	}
+	u := unit(r.policy.Seed, r.draws.Add(1))
+	return time.Duration(float64(b) * (1 - r.policy.Jitter + u*r.policy.Jitter))
+}
+
+// Do runs op, retrying retryable errors up to MaxAttempts with Backoff
+// sleeps in between. A first-attempt success does not allocate. op receives
+// the caller's context unchanged; per-attempt deadlines are the operation's
+// concern (the wire client maps them to connection deadlines) because
+// wrapping the context would allocate on every call.
+func (r *Retrier) Do(ctx context.Context, op func(context.Context) error) error {
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = op(ctx)
+		if err == nil || attempt >= r.policy.MaxAttempts || !Retryable(err) {
+			return err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		d := r.Backoff(attempt)
+		if r.sleep != nil {
+			r.sleep(d)
+		} else {
+			time.Sleep(d)
+		}
+	}
+}
+
+// Retryable reports whether an error is worth another attempt. Context
+// cancellation means the caller gave up; an open breaker will keep rejecting
+// until its cooldown, far longer than any backoff here.
+func Retryable(err error) bool {
+	return err != nil &&
+		!errors.Is(err, context.Canceled) &&
+		!errors.Is(err, ErrOpen)
+}
+
+// unit maps (seed, n) to a uniform float64 in [0, 1) via splitmix64 — a
+// stateless hash, so jitter is reproducible from the seed alone.
+func unit(seed, n uint64) float64 {
+	x := seed + n*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}

@@ -1,0 +1,119 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+// TestRetryBackoffDeterministic: two retriers with the same policy produce
+// the identical jittered backoff sequence — chaos tests depend on replay.
+func TestRetryBackoffDeterministic(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, Jitter: 0.5, Seed: 42}
+	a, b := NewRetrier(p), NewRetrier(p)
+	for i := 1; i <= 6; i++ {
+		da, db := a.Backoff(i), b.Backoff(i)
+		if da != db {
+			t.Fatalf("attempt %d: %v != %v", i, da, db)
+		}
+		if da <= 0 || da > 80*time.Millisecond {
+			t.Errorf("attempt %d: backoff %v outside (0, max]", i, da)
+		}
+	}
+	// A different seed must shift the jitter.
+	p.Seed = 43
+	c := NewRetrier(p)
+	same := 0
+	a2 := NewRetrier(RetryPolicy{MaxAttempts: 5, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, Jitter: 0.5, Seed: 42})
+	for i := 1; i <= 6; i++ {
+		if a2.Backoff(i) == c.Backoff(i) {
+			same++
+		}
+	}
+	if same == 6 {
+		t.Error("seeds 42 and 43 produced identical jitter streams")
+	}
+}
+
+// TestRetryBackoffCapped: the exponential growth stops at MaxBackoff even
+// for absurd attempt numbers (overflow guard).
+func TestRetryBackoffCapped(t *testing.T) {
+	r := NewRetrier(RetryPolicy{BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond, Jitter: 0})
+	for _, attempt := range []int{1, 2, 3, 4, 10, 64, 1000} {
+		if d := r.Backoff(attempt); d > 8*time.Millisecond || d <= 0 {
+			t.Errorf("attempt %d: backoff %v outside (0, 8ms]", attempt, d)
+		}
+	}
+	if d := r.Backoff(1); d != time.Millisecond {
+		t.Errorf("jitter-free first backoff = %v, want 1ms", d)
+	}
+}
+
+// TestRetryDoRecovers: a transient fault is retried within the budget.
+func TestRetryDoRecovers(t *testing.T) {
+	r := NewRetrier(RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Microsecond, Jitter: 0})
+	var slept []time.Duration
+	r.SetSleep(func(d time.Duration) { slept = append(slept, d) })
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errBoom
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls", err, calls)
+	}
+	if len(slept) != 2 {
+		t.Errorf("slept %d times, want 2", len(slept))
+	}
+}
+
+// TestRetryDoExhausts: the budget bounds the attempts and the last error
+// surfaces.
+func TestRetryDoExhausts(t *testing.T) {
+	r := NewRetrier(RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Microsecond, Jitter: 0})
+	r.SetSleep(func(time.Duration) {})
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error { calls++; return errBoom })
+	if !errors.Is(err, errBoom) || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want errBoom after 3", err, calls)
+	}
+}
+
+// TestRetryDoStopsOnCancel: context cancellation and open breakers are not
+// retried.
+func TestRetryDoStopsOnCancel(t *testing.T) {
+	r := NewRetrier(RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Microsecond, Jitter: 0})
+	r.SetSleep(func(time.Duration) {})
+	for _, permanent := range []error{context.Canceled, ErrOpen} {
+		calls := 0
+		err := r.Do(context.Background(), func(context.Context) error { calls++; return permanent })
+		if !errors.Is(err, permanent) || calls != 1 {
+			t.Errorf("Do(%v) = %v after %d calls, want no retries", permanent, err, calls)
+		}
+	}
+}
+
+// TestRetryNoFaultZeroAllocs pins the acceptance criterion: on the no-fault
+// hot path the retry machinery adds zero allocations — kill-switch style,
+// like internal/explain's off path.
+func TestRetryNoFaultZeroAllocs(t *testing.T) {
+	r := NewRetrier(DefaultRetryPolicy())
+	ctx := context.Background()
+	op := func(context.Context) error { return nil }
+	if n := testing.AllocsPerRun(200, func() {
+		if err := r.Do(ctx, op); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("Retrier.Do allocates %v per no-fault run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { _ = r.Backoff(1) }); n != 0 {
+		t.Errorf("Retrier.Backoff allocates %v per run, want 0", n)
+	}
+}

@@ -2,18 +2,31 @@ package wire
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync/atomic"
+	"time"
 
 	"quepa/internal/core"
 	"quepa/internal/explain"
+	"quepa/internal/resilience"
 	"quepa/internal/telemetry"
 )
 
+// ErrClosed is returned by requests issued after Close.
+var ErrClosed = errors.New("wire: client closed")
+
+// remoteError is a reply the server produced deliberately: the round trip
+// itself succeeded, so retrying would just replay the same failure.
+type remoteError struct{ msg string }
+
+func (e *remoteError) Error() string { return "wire: remote error: " + e.msg }
+
 // Client is a core.Store backed by a remote wire server. It keeps a small
 // pool of TCP connections so that concurrent augmenter goroutines can issue
-// parallel round trips.
+// parallel round trips, and retries transport failures of idempotent ops
+// under its RetryPolicy with a deadline on every attempt.
 type Client struct {
 	addr        string
 	pool        chan net.Conn
@@ -21,15 +34,33 @@ type Client struct {
 	kind        core.StoreKind
 	collections []string
 	roundTrips  atomic.Uint64
+	retries     atomic.Uint64
 	closed      atomic.Bool
+	retrier     *resilience.Retrier
 }
 
 // DefaultPoolSize is the connection-pool capacity of Dial.
 const DefaultPoolSize = 16
 
-// Dial connects to a wire server and fetches the store's metadata.
+// ClientConfig tunes a Client's resilience behaviour.
+type ClientConfig struct {
+	// Retry governs transport-failure retries and per-attempt deadlines. The
+	// zero value selects resilience defaults; MaxAttempts 1 disables retries.
+	Retry resilience.RetryPolicy
+}
+
+// Dial connects to a wire server with the default retry policy.
 func Dial(addr string) (*Client, error) {
-	c := &Client{addr: addr, pool: make(chan net.Conn, DefaultPoolSize)}
+	return DialConfig(addr, ClientConfig{Retry: resilience.DefaultRetryPolicy()})
+}
+
+// DialConfig connects to a wire server and fetches the store's metadata.
+func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
+	c := &Client{
+		addr:    addr,
+		pool:    make(chan net.Conn, DefaultPoolSize),
+		retrier: resilience.NewRetrier(cfg.Retry),
+	}
 	resp, err := c.roundTrip(context.Background(), request{Op: opMeta})
 	if err != nil {
 		return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
@@ -40,10 +71,19 @@ func Dial(addr string) (*Client, error) {
 	return c, nil
 }
 
-// Close drops the pooled connections. In-flight requests complete on their
-// own connections and are then discarded.
+// SetSleep overrides the backoff sleeper (tests inject a recorder).
+func (c *Client) SetSleep(fn func(time.Duration)) { c.retrier.SetSleep(fn) }
+
+// Close drops the pooled connections and fails further requests fast with
+// ErrClosed. In-flight requests complete on their own connections, which are
+// then discarded (putConn re-checks closed after depositing, so a connection
+// racing Close never lingers in the pool).
 func (c *Client) Close() {
 	c.closed.Store(true)
+	c.drainPool()
+}
+
+func (c *Client) drainPool() {
 	for {
 		select {
 		case conn := <-c.pool:
@@ -66,7 +106,14 @@ func (c *Client) Collections() []string { return c.collections }
 // RoundTrips returns the number of requests issued by this client.
 func (c *Client) RoundTrips() uint64 { return c.roundTrips.Load() }
 
+// Retries returns the number of attempts beyond the first across all
+// requests.
+func (c *Client) Retries() uint64 { return c.retries.Load() }
+
 func (c *Client) getConn() (net.Conn, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
 	select {
 	case conn := <-c.pool:
 		return conn, nil
@@ -82,19 +129,63 @@ func (c *Client) putConn(conn net.Conn) {
 	}
 	select {
 	case c.pool <- conn:
+		// Close may have drained the pool between the check above and the
+		// deposit; re-check and drain so the connection cannot leak.
+		if c.closed.Load() {
+			c.drainPool()
+		}
 	default:
 		conn.Close()
 	}
+}
+
+// retryableOp marks the idempotent ops: a replayed read returns the same
+// answer, so a transport failure is safe to retry.
+func retryableOp(op string) bool {
+	switch op {
+	case opMeta, opGet, opGetBatch, opQuery:
+		return true
+	}
+	return false
+}
+
+// transient reports whether a round-trip failure may clear on a fresh
+// connection. Remote errors are deliberate replies; a closed client stays
+// closed.
+func transient(err error) bool {
+	var re *remoteError
+	return err != nil && !errors.As(err, &re) && !errors.Is(err, ErrClosed)
 }
 
 func (c *Client) roundTrip(ctx context.Context, req request) (response, error) {
 	c.roundTrips.Add(1)
 	start := telemetry.Now()
 	resp, sent, received, err := c.doRoundTrip(req)
+	if err != nil && retryableOp(req.Op) {
+		// Inlined retry loop (rather than Retrier.Do) so the no-fault path
+		// above stays allocation-free: no closure, no context wrapping.
+		for attempt := 1; attempt < c.retrier.Policy().MaxAttempts && transient(err) && ctx.Err() == nil; attempt++ {
+			d := c.retrier.Backoff(attempt)
+			if rec := explain.FromContext(ctx); rec != nil {
+				rec.WireRetry(c.name, req.Op, attempt, d, err)
+			}
+			c.retries.Add(1)
+			clientRetries[req.Op].Inc()
+			c.retrier.Sleep(d)
+			var s, r int
+			resp, s, r, err = c.doRoundTrip(req)
+			sent += s
+			received += r
+		}
+	}
 	clientHists[req.Op].Since(start)
 	if err != nil {
 		if ec := clientErrs[req.Op]; ec != nil {
 			ec.Inc()
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			clientTimeouts[req.Op].Inc()
 		}
 	}
 	if rec := explain.FromContext(ctx); rec != nil {
@@ -108,6 +199,9 @@ func (c *Client) doRoundTrip(req request) (response, int, int, error) {
 	if err != nil {
 		return response{}, 0, 0, err
 	}
+	if t := c.retrier.Policy().AttemptTimeout; t > 0 {
+		conn.SetDeadline(time.Now().Add(t))
+	}
 	var resp response
 	sent, err := writeFrame(conn, req)
 	if err != nil {
@@ -119,9 +213,12 @@ func (c *Client) doRoundTrip(req request) (response, int, int, error) {
 		conn.Close()
 		return response{}, sent, received, err
 	}
+	if c.retrier.Policy().AttemptTimeout > 0 {
+		conn.SetDeadline(time.Time{})
+	}
 	c.putConn(conn)
 	if resp.Error != "" {
-		return response{}, sent, received, fmt.Errorf("wire: remote error: %s", resp.Error)
+		return response{}, sent, received, &remoteError{msg: resp.Error}
 	}
 	return resp, sent, received, nil
 }

@@ -38,10 +38,12 @@ var wireOps = []string{opGet, opGetBatch, opQuery, opMeta, opKeyField}
 // request tally, resolved once at init so the RPC path does a single
 // histogram observation per round trip.
 var (
-	clientHists  = map[string]*telemetry.Histogram{}
-	clientErrs   = map[string]*telemetry.Counter{}
-	serverReqs   = map[string]*telemetry.Counter{}
-	serverBadOps *telemetry.Counter
+	clientHists    = map[string]*telemetry.Histogram{}
+	clientErrs     = map[string]*telemetry.Counter{}
+	clientRetries  = map[string]*telemetry.Counter{}
+	clientTimeouts = map[string]*telemetry.Counter{}
+	serverReqs     = map[string]*telemetry.Counter{}
+	serverBadOps   *telemetry.Counter
 )
 
 func init() {
@@ -51,6 +53,10 @@ func init() {
 			"client-observed latency of wire RPC round trips", nil, label)
 		clientErrs[op] = telemetry.NewCounter("quepa_wire_errors_total",
 			"wire RPC round trips that failed (transport or remote error)", label)
+		clientRetries[op] = telemetry.NewCounter("quepa_wire_retries_total",
+			"wire RPC attempts beyond the first (transport failures retried)", label)
+		clientTimeouts[op] = telemetry.NewCounter("quepa_wire_timeouts_total",
+			"wire RPC round trips that exhausted the per-attempt deadline", label)
 		serverReqs[op] = telemetry.NewCounter("quepa_wire_server_requests_total",
 			"requests dispatched by wire servers", label)
 	}
