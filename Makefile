@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-compare chaos fuzz figures clean
+.PHONY: all build vet test race cover bench bench-hotpath bench-compare chaos fuzz figures clean
 
 all: build vet test
 
@@ -29,6 +29,13 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem
 
+# Concurrency microbenchmarks of the fetch hot path (sharded cache,
+# coalescing, wire mux) with allocation counts — the numbers the PR 4
+# overhaul moves.
+bench-hotpath:
+	$(GO) test -bench='CacheGet|Follower|Mux|HotPath' -benchmem -run='^$$' \
+		./internal/cache/ ./internal/coalesce/ ./internal/wire/ ./internal/augment/
+
 # Fault-injection suite under the race detector: every chaos, fault, breaker
 # and retry test across the tree (the CI chaos job runs exactly this).
 chaos:
@@ -36,7 +43,7 @@ chaos:
 
 # Bench-regression guard: rerun figure 9 (best of 3) and fail on any point
 # more than 30% slower than the committed baseline.
-BASELINE ?= BENCH_PR1.json
+BASELINE ?= BENCH_PR4.json
 bench-compare:
 	$(GO) run ./cmd/quepa-bench -fig 9 -best-of 3 -json bench_ci.json -label ci > /dev/null
 	$(GO) run ./cmd/quepa-bench -compare $(BASELINE) -tolerance 0.30 bench_ci.json

@@ -7,6 +7,9 @@
 //	quepa-bench -fig all          # the full campaign
 //	quepa-bench -fig 13cd -quick  # tiny sizes, for smoke-testing the harness
 //	quepa-bench -json out.json    # also write the points as a RunRecord
+//	quepa-bench -fig 11ab -mutexprofile mutex.pb.gz -blockprofile block.pb.gz
+//	                              # also write pprof contention profiles of the
+//	                              # campaign (go tool pprof mutex.pb.gz)
 //
 //	quepa-bench -compare BENCH_PR1.json -tolerance 0.30 new.json
 //	                              # diff a new RunRecord against a baseline:
@@ -26,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"quepa/internal/bench"
@@ -42,10 +47,23 @@ func main() {
 	compare := flag.String("compare", "", "baseline RunRecord to diff against; the new record is the positional argument")
 	tolerance := flag.Float64("tolerance", 0.30, "with -compare: allowed slowdown fraction before a point fails")
 	bestOf := flag.Int("best-of", 1, "run each figure N times and keep every point's fastest measurement (steadies the -compare guard)")
+	mutexProfile := flag.String("mutexprofile", "", "write a pprof mutex-contention profile of the campaign to this file")
+	blockProfile := flag.String("blockprofile", "", "write a pprof blocking profile of the campaign to this file")
 	flag.Parse()
 
 	if *compare != "" {
 		os.Exit(runCompare(*compare, *tolerance, flag.Args()))
+	}
+
+	// Arm the contention profilers before any benchmark work runs; the
+	// profiles are flushed after the campaign so they cover every figure.
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeProfile("mutex", *mutexProfile)
+	}
+	if *blockProfile != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeProfile("block", *blockProfile)
 	}
 
 	opts := bench.Options{Quick: *quick, Seed: *seed, BaselineBudget: *budget}
@@ -92,6 +110,26 @@ func main() {
 		}
 		fmt.Printf("[campaign written to %s]\n", *jsonOut)
 	}
+}
+
+// writeProfile flushes one of the runtime's pprof profiles to a file; the
+// resulting files feed `go tool pprof` to localize lock convoys on the fetch
+// hot path.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quepa-bench: %v\n", err)
+		return
+	}
+	err = pprof.Lookup(name).WriteTo(f, 0)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quepa-bench: writing %s profile: %v\n", name, err)
+		return
+	}
+	fmt.Printf("[%s profile written to %s]\n", name, path)
 }
 
 // runCompare implements -compare: diff a new RunRecord against a baseline,

@@ -56,6 +56,7 @@ import (
 	"quepa/internal/optimizer"
 	"quepa/internal/resilience"
 	"quepa/internal/telemetry"
+	"quepa/internal/wire"
 	"quepa/internal/workload"
 )
 
@@ -141,6 +142,10 @@ func main() {
 		"consecutive store failures that open its circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", resilience.DefaultCooldown,
 		"how long an open breaker rejects before a half-open probe")
+	wireMode := flag.Bool("wire", false,
+		"serve every database over a loopback TCP wire server and augment through multiplexed wire clients (exercises the full remote fetch path)")
+	pool := flag.Int("pool", wire.DefaultPoolSize,
+		"multiplexed connections per wire client (with -wire)")
 	flag.Parse()
 	if *version {
 		fmt.Println(buildVersion())
@@ -172,6 +177,34 @@ func main() {
 		}
 		built.Index = index
 		log.Printf("quepa-server: loaded A' index from %s", *indexPath)
+	}
+	if *wireMode {
+		// Re-home every store behind a loopback TCP wire server and dial it
+		// back with a multiplexed client, so the augmenter pays the real
+		// remote fetch path (frames, demux, retries) instead of in-process
+		// calls. The servers live for the process; no teardown needed.
+		poly := core.NewPolystore()
+		for _, name := range built.Poly.Databases() {
+			st, err := built.Poly.Database(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			srv, err := wire.Serve(st, "127.0.0.1:0")
+			if err != nil {
+				log.Fatal(err)
+			}
+			cli, err := wire.DialConfig(srv.Addr(), wire.ClientConfig{
+				Retry: resilience.DefaultRetryPolicy(), PoolSize: *pool,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := poly.Register(cli); err != nil {
+				log.Fatal(err)
+			}
+		}
+		built.Poly = poly
+		log.Printf("quepa-server: wire loopback enabled, %d multiplexed connections per store", *pool)
 	}
 	s, err := newServer(built, augment.Config{Strategy: augment.OuterBatch, BatchSize: 64, ThreadsSize: 8, CacheSize: 4096},
 		*explainCap, *explainSample,

@@ -22,10 +22,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"quepa/internal/aindex"
 	"quepa/internal/cache"
+	"quepa/internal/coalesce"
 	"quepa/internal/core"
 	"quepa/internal/explain"
 	"quepa/internal/resilience"
@@ -109,6 +111,12 @@ type Config struct {
 	BatchSize   int // max global keys per batched query (BATCH, OUTER-BATCH)
 	ThreadsSize int // max simultaneous fetch goroutines (concurrent strategies)
 	CacheSize   int // LRU capacity; 0 disables caching
+
+	// DisableCoalesce turns off in-flight request coalescing, making every
+	// cache miss pay its own store round trip. The zero value (coalescing
+	// on) is right for production; the equivalence tests sweep both settings
+	// and the ablation benchmarks measure the difference.
+	DisableCoalesce bool
 }
 
 // Defaults used when Config fields are left zero or negative.
@@ -190,6 +198,16 @@ type Augmenter struct {
 	index *aindex.Index
 	cache *cache.LRU
 
+	// flight coalesces concurrent fetches of the same global key: N
+	// in-flight queries augmenting one hot object cost one store round trip.
+	flight *coalesce.Group
+	// fetchFn is fetchStore bound once at construction, so joining or
+	// leading a flight never allocates a per-call closure.
+	fetchFn coalesce.Fetch
+	// neg remembers keys recently confirmed missing, so lazy-deletion
+	// misses don't stampede the stores while the A' index catches up.
+	neg *coalesce.NegativeCache
+
 	// cfgMu guards cfg: the adaptive optimizer swaps configurations via
 	// SetConfig while request goroutines are inside Search/AugmentObjects.
 	// Readers snapshot the whole Config once (Config()) and work off the
@@ -201,12 +219,16 @@ type Augmenter struct {
 // New creates an augmenter with the given configuration.
 func New(poly *core.Polystore, index *aindex.Index, cfg Config) *Augmenter {
 	cfg = cfg.withDefaults()
-	return &Augmenter{
-		poly:  poly,
-		index: index,
-		cfg:   cfg,
-		cache: cache.NewLRU(cfg.CacheSize),
+	a := &Augmenter{
+		poly:   poly,
+		index:  index,
+		cfg:    cfg,
+		cache:  cache.NewLRU(cfg.CacheSize),
+		flight: coalesce.NewGroup(),
+		neg:    coalesce.NewNegativeCache(0, 0), // package defaults
 	}
+	a.fetchFn = a.fetchStore
+	return a
 }
 
 // Config returns the augmenter's current configuration.
@@ -255,7 +277,7 @@ func (a *Augmenter) Search(ctx context.Context, database, query string, level in
 	if err != nil {
 		return nil, err
 	}
-	v, err := validator.Validate(store, query)
+	v, err := validator.Validate(ctx, store, query)
 	if err != nil {
 		return nil, err
 	}
@@ -320,7 +342,7 @@ func (a *Augmenter) AugmentObjects(ctx context.Context, origins []core.Object, l
 	var err error
 	switch cfg.Strategy {
 	case Sequential:
-		err = a.runSequential(ctx, plan, sink)
+		err = a.runSequential(ctx, cfg, plan, sink)
 	case Batch:
 		err = a.runBatch(ctx, cfg, plan, sink)
 	case Inner:
@@ -445,9 +467,13 @@ func (p *plan) groupDist(g group, keys []string) int {
 // sink collects fetched objects from concurrent workers, plus the stores
 // whose contribution had to be dropped.
 type sink struct {
-	mu       sync.Mutex
-	objects  map[core.GlobalKey]core.Object
-	degraded map[string]Degradation // lazily allocated; keyed by store
+	mu      sync.Mutex
+	objects map[core.GlobalKey]core.Object
+	// nDegraded counts degraded stores so the per-key isDegraded probe on
+	// the healthy path (the overwhelmingly common one) is a single atomic
+	// load instead of a mutex acquisition.
+	nDegraded atomic.Int32
+	degraded  map[string]Degradation // lazily allocated; keyed by store
 }
 
 func newSink() *sink {
@@ -462,9 +488,22 @@ func (s *sink) add(objs ...core.Object) {
 	}
 }
 
+// addAll bulk-inserts a batch of objects under one lock acquisition (the
+// cache-sweep fast path).
+func (s *sink) addAll(objs []core.Object) {
+	s.mu.Lock()
+	for _, o := range objs {
+		s.objects[o.GK] = o
+	}
+	s.mu.Unlock()
+}
+
 // isDegraded reports whether a store already dropped out, so runners skip
 // its remaining keys instead of hammering a failing backend.
 func (s *sink) isDegraded(store string) bool {
+	if s.nDegraded.Load() == 0 {
+		return false
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	_, ok := s.degraded[store]
@@ -490,6 +529,7 @@ func (s *sink) absorb(ctx context.Context, store string, level int, err error) e
 			s.degraded = map[string]Degradation{}
 		}
 		s.degraded[store] = d
+		s.nDegraded.Add(1)
 	}
 	s.mu.Unlock()
 	if !seen {
@@ -514,16 +554,44 @@ func (s *sink) degradations() []Degradation {
 	return out
 }
 
-// fetchOne retrieves a single object, consulting the cache first and
-// applying lazy deletion on misses. The boolean reports whether the object
-// exists.
-func (a *Augmenter) fetchOne(ctx context.Context, gk core.GlobalKey) (core.Object, bool, error) {
-	rec := explain.FromContext(ctx)
+// lookup is THE single-key read path every strategy funnels through: object
+// cache, then the miss pipeline (negative cache, coalesced store fetch). The
+// boolean reports whether the object exists.
+func (a *Augmenter) lookup(ctx context.Context, cfg Config, gk core.GlobalKey) (core.Object, bool, error) {
 	if obj, ok := a.cache.Get(gk); ok {
-		rec.CacheHits(1)
+		explain.FromContext(ctx).CacheHits(1)
 		return obj, true, nil
 	}
-	rec.CacheMisses(1)
+	explain.FromContext(ctx).CacheMisses(1)
+	return a.fetchMiss(ctx, cfg, gk)
+}
+
+// fetchMiss resolves a key the cache does not hold. The negative cache
+// answers recently-confirmed-missing keys without a round trip; everything
+// else goes to the store under the key's flight, so concurrent misses of one
+// hot key cost one round trip. Callers have already accounted the cache miss.
+func (a *Augmenter) fetchMiss(ctx context.Context, cfg Config, gk core.GlobalKey) (core.Object, bool, error) {
+	if a.neg.Has(gk) {
+		explain.FromContext(ctx).NegativeHits(1)
+		negativeHitCounter(gk.Database).Inc()
+		return core.Object{}, false, nil
+	}
+	if cfg.DisableCoalesce {
+		return a.fetchStore(ctx, gk)
+	}
+	obj, ok, shared, err := a.flight.Do(ctx, gk, a.fetchFn)
+	if shared {
+		explain.FromContext(ctx).CoalescedHits(1)
+		coalescedHitCounter(gk.Database).Inc()
+	}
+	return obj, ok, err
+}
+
+// fetchStore pays one store round trip for gk, applying lazy deletion on
+// authoritative misses and feeding both caches. With coalescing on it is the
+// flight body — exactly one caller per in-flight key runs it.
+func (a *Augmenter) fetchStore(ctx context.Context, gk core.GlobalKey) (core.Object, bool, error) {
+	rec := explain.FromContext(ctx)
 	var start time.Time
 	if rec != nil {
 		start = time.Now()
@@ -536,6 +604,7 @@ func (a *Augmenter) fetchOne(ctx context.Context, gk core.GlobalKey) (core.Objec
 			}
 			a.index.RemoveObject(gk)
 			a.cache.Remove(gk)
+			a.neg.Put(gk)
 			return core.Object{}, false, nil
 		}
 		if rec != nil {
@@ -547,24 +616,83 @@ func (a *Augmenter) fetchOne(ctx context.Context, gk core.GlobalKey) (core.Objec
 		rec.StoreOp(gk.Database, "get", 1, 1, time.Since(start), false)
 	}
 	a.cache.Put(obj)
+	a.neg.Forget(gk)
 	return obj, true, nil
 }
 
+// sweepBuf bounds the stack buffer one cache sweep flushes hits from.
+const sweepBuf = 32
+
+// sweepCache probes the cache for every key up front, bulk-adding hits to the
+// sink and returning the keys that missed (in input order). On a warm cache
+// an entire key list resolves here: no worker goroutines are ever spawned,
+// no per-key sink locking happens, and the returned slice is nil.
+func (a *Augmenter) sweepCache(ctx context.Context, keys []core.GlobalKey, s *sink) []core.GlobalKey {
+	var buf [sweepBuf]core.Object
+	n, hits := 0, 0
+	var misses []core.GlobalKey
+	for i, gk := range keys {
+		if obj, ok := a.cache.Get(gk); ok {
+			buf[n] = obj
+			n++
+			hits++
+			if n == sweepBuf {
+				s.addAll(buf[:n])
+				n = 0
+			}
+			continue
+		}
+		if misses == nil {
+			misses = make([]core.GlobalKey, 0, len(keys)-i)
+		}
+		misses = append(misses, gk)
+	}
+	if n > 0 {
+		s.addAll(buf[:n])
+	}
+	rec := explain.FromContext(ctx)
+	rec.CacheHits(hits)
+	rec.CacheMisses(len(misses))
+	return misses
+}
+
 // fetchGroup retrieves a group of keys belonging to one database and
-// collection with a single batched query, consulting the cache first and
-// lazily deleting keys the store no longer has.
+// collection with a single batched query, consulting the object and negative
+// caches first and lazily deleting keys the store no longer has. Batched
+// round trips are not coalesced — two concurrent groups rarely carry the
+// same key set — but their per-key misses still feed the negative cache, so
+// single-key strategies and later batches benefit.
 func (a *Augmenter) fetchGroup(ctx context.Context, database, collection string, keys []string, s *sink) error {
 	rec := explain.FromContext(ctx)
+	var buf [sweepBuf]core.Object
+	n, hits, negHits := 0, 0, 0
 	missing := keys[:0:0]
 	for _, k := range keys {
 		gk := core.NewGlobalKey(database, collection, k)
 		if obj, ok := a.cache.Get(gk); ok {
-			rec.CacheHits(1)
-			s.add(obj)
+			buf[n] = obj
+			n++
+			hits++
+			if n == sweepBuf {
+				s.addAll(buf[:n])
+				n = 0
+			}
 			continue
 		}
-		rec.CacheMisses(1)
+		if a.neg.Has(gk) {
+			negHits++
+			continue
+		}
 		missing = append(missing, k)
+	}
+	if n > 0 {
+		s.addAll(buf[:n])
+	}
+	rec.CacheHits(hits)
+	rec.CacheMisses(len(keys) - hits)
+	if negHits > 0 {
+		rec.NegativeHits(negHits)
+		negativeHitCounter(database).Add(uint64(negHits))
 	}
 	if len(missing) == 0 {
 		return nil
@@ -584,6 +712,7 @@ func (a *Augmenter) fetchGroup(ctx context.Context, database, collection string,
 	for _, o := range objs {
 		found[o.GK.Key] = true
 		a.cache.Put(o)
+		a.neg.Forget(o.GK)
 	}
 	s.add(objs...)
 	for _, k := range missing {
@@ -591,6 +720,7 @@ func (a *Augmenter) fetchGroup(ctx context.Context, database, collection string,
 			gk := core.NewGlobalKey(database, collection, k)
 			a.index.RemoveObject(gk)
 			a.cache.Remove(gk)
+			a.neg.Put(gk)
 		}
 	}
 	return nil

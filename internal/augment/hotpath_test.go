@@ -1,0 +1,173 @@
+package augment
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"quepa/internal/aindex"
+	"quepa/internal/connector"
+	"quepa/internal/core"
+	"quepa/internal/stores/kvstore"
+)
+
+// TestStrategyEquivalenceCoalescing extends the Section IV equivalence
+// property across the PR 4 hot-path machinery: every strategy, with
+// coalescing on and off and the cache large enough to shard (>= 256 keys
+// splits the LRU 16 ways), must produce the SEQUENTIAL answer — cold and
+// again through the warm cache. Run under -race by `make race`.
+func TestStrategyEquivalenceCoalescing(t *testing.T) {
+	poly, ix, queryDB, query := syntheticPolystore(t, 5, 40, 321)
+	reference := answerSignature(t, New(poly, ix, Config{Strategy: Sequential}), queryDB, query)
+
+	for _, disable := range []bool{false, true} {
+		for _, s := range Strategies {
+			cfg := Config{
+				Strategy:        s,
+				BatchSize:       16,
+				ThreadsSize:     8,
+				CacheSize:       1024, // past the shard threshold: 16-way LRU
+				DisableCoalesce: disable,
+			}
+			aug := New(poly, ix, cfg)
+			if got := answerSignature(t, aug, queryDB, query); got != reference {
+				t.Errorf("%v (coalesce=%v, cold): answer differs\n got  %s\n want %s", cfg, !disable, got, reference)
+			}
+			if got := answerSignature(t, aug, queryDB, query); got != reference {
+				t.Errorf("%v (coalesce=%v, warm): answer differs\n got  %s\n want %s", cfg, !disable, got, reference)
+			}
+		}
+	}
+}
+
+// blockingStore wraps a store and parks every Get until released, counting
+// the round trips that actually reached it.
+type blockingStore struct {
+	core.Store
+	release chan struct{}
+	calls   atomic.Int64
+}
+
+func (b *blockingStore) Get(ctx context.Context, collection, key string) (core.Object, error) {
+	b.calls.Add(1)
+	<-b.release
+	return b.Store.Get(ctx, collection, key)
+}
+
+// TestStampedeSingleRoundTrip is the coalescing acceptance criterion at the
+// augmenter level: 100 goroutines missing on the same hot key (cache
+// disabled, so every one of them takes the miss path) cost exactly one store
+// round trip, and all 100 receive the object.
+func TestStampedeSingleRoundTrip(t *testing.T) {
+	kv := kvstore.New("blk")
+	kv.Set("main", "hot", "payload")
+	bs := &blockingStore{Store: connector.NewKeyValue(kv), release: make(chan struct{})}
+	poly := core.NewPolystore()
+	if err := poly.Register(bs); err != nil {
+		t.Fatal(err)
+	}
+	aug := New(poly, aindex.New(), Config{CacheSize: 0})
+	cfg := aug.Config()
+	gk := core.NewGlobalKey("blk", "main", "hot")
+
+	const stampede = 100
+	var wg sync.WaitGroup
+	errs := make(chan error, stampede)
+	for i := 0; i < stampede; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			obj, ok, err := aug.lookup(ctx, cfg, gk)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !ok || obj.Fields[core.ValueField] != "payload" {
+				t.Errorf("stampede lookup = %v, %v", obj, ok)
+			}
+		}()
+	}
+	// Wait until the flight has one leader in the store and everyone else
+	// parked behind it, then release the store.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		followers, inFlight := aug.flight.Waiters(gk)
+		if inFlight && bs.calls.Load() == 1 && followers == stampede-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stampede never converged: calls=%d followers=%d inFlight=%v",
+				bs.calls.Load(), followers, inFlight)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(bs.release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := bs.calls.Load(); n != 1 {
+		t.Fatalf("%d concurrent identical fetches cost %d store round trips, want 1", stampede, n)
+	}
+}
+
+// TestCacheHitPathZeroAllocs pins the warm read path — the one every warm
+// benchmark point lives on — at zero heap allocations, mirroring the
+// coalesce package's follower-path guarantee.
+func TestCacheHitPathZeroAllocs(t *testing.T) {
+	poly, ix := polyphony(t)
+	aug := New(poly, ix, Config{CacheSize: 1024})
+	cfg := aug.Config()
+	gk := core.NewGlobalKey("discount", "drop", "k1:cure:wish")
+	if _, ok, err := aug.lookup(ctx, cfg, gk); err != nil || !ok {
+		t.Fatalf("warming lookup = %v, %v", ok, err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok, _ := aug.lookup(ctx, cfg, gk); !ok {
+			t.Fatal("warm lookup missed")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cache-hit lookup allocates %v per run, want 0", allocs)
+	}
+}
+
+// BenchmarkHotPathWarmLookup measures the contended warm read path: all
+// worker goroutines hammering cache hits across many keys, the lock convoy
+// the sharded LRU exists to break. Run via `make bench-hotpath`.
+func BenchmarkHotPathWarmLookup(b *testing.B) {
+	kv := kvstore.New("hot")
+	const nkeys = 1024
+	keys := make([]core.GlobalKey, nkeys)
+	for i := 0; i < nkeys; i++ {
+		k := "k" + itoa(i)
+		kv.Set("main", k, "v")
+		keys[i] = core.NewGlobalKey("hot", "main", k)
+	}
+	poly := core.NewPolystore()
+	if err := poly.Register(connector.NewKeyValue(kv)); err != nil {
+		b.Fatal(err)
+	}
+	aug := New(poly, aindex.New(), Config{CacheSize: nkeys * 2})
+	cfg := aug.Config()
+	bctx := context.Background()
+	for _, gk := range keys {
+		if _, ok, err := aug.lookup(bctx, cfg, gk); err != nil || !ok {
+			b.Fatalf("warming %v = %v, %v", gk, ok, err)
+		}
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			gk := keys[i%nkeys]
+			i++
+			if _, ok, _ := aug.lookup(bctx, cfg, gk); !ok {
+				b.Fatal("warm lookup missed")
+			}
+		}
+	})
+}

@@ -3,6 +3,7 @@ package augment
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"quepa/internal/core"
 )
@@ -25,12 +26,21 @@ import (
 // and lets the healthy stores complete. Only a dead caller context still
 // propagates (absorb returns it), which is what errOnce now carries.
 
-func (a *Augmenter) runSequential(ctx context.Context, p *plan, s *sink) error {
-	for _, gk := range p.order {
+func (a *Augmenter) runSequential(ctx context.Context, cfg Config, p *plan, s *sink) error {
+	return a.fetchMissesInto(ctx, cfg, p, s, a.sweepCache(ctx, p.order, s))
+}
+
+// fetchMissesInto resolves cache-missed keys in order — one (coalesced) store
+// round trip each — degrading failing stores instead of aborting. It is the
+// shared tail of every single-key strategy: the sweep already served the
+// hits, so only the misses reach here. A non-nil return means the caller's
+// context died.
+func (a *Augmenter) fetchMissesInto(ctx context.Context, cfg Config, p *plan, s *sink, misses []core.GlobalKey) error {
+	for _, gk := range misses {
 		if s.isDegraded(gk.Database) {
 			continue
 		}
-		obj, ok, err := a.fetchOne(ctx, gk)
+		obj, ok, err := a.fetchMiss(ctx, cfg, gk)
 		if err != nil {
 			if err := s.absorb(ctx, gk.Database, p.dist(gk), err); err != nil {
 				return err
@@ -92,7 +102,7 @@ func (a *Augmenter) runBatch(ctx context.Context, cfg Config, p *plan, s *sink) 
 // origin are fetched by a pool of THREADS_SIZE workers before moving on.
 func (a *Augmenter) runInner(ctx context.Context, cfg Config, p *plan, s *sink) error {
 	for _, keys := range p.byOrigin {
-		if err := a.parallelFetch(ctx, p, keys, cfg.ThreadsSize, s); err != nil {
+		if err := a.parallelFetch(ctx, cfg, p, keys, cfg.ThreadsSize, s); err != nil {
 			return err
 		}
 	}
@@ -100,25 +110,10 @@ func (a *Augmenter) runInner(ctx context.Context, cfg Config, p *plan, s *sink) 
 }
 
 // runOuter launches a goroutine per origin (bounded by THREADS_SIZE); each
-// fetches its keys sequentially.
+// sweeps its keys through the cache, then fetches the misses sequentially.
 func (a *Augmenter) runOuter(ctx context.Context, cfg Config, p *plan, s *sink) error {
 	return a.forEachOrigin(ctx, p, cfg.ThreadsSize, func(ctx context.Context, keys []core.GlobalKey) error {
-		for _, gk := range keys {
-			if s.isDegraded(gk.Database) {
-				continue
-			}
-			obj, ok, err := a.fetchOne(ctx, gk)
-			if err != nil {
-				if err := s.absorb(ctx, gk.Database, p.dist(gk), err); err != nil {
-					return err
-				}
-				continue
-			}
-			if ok {
-				s.add(obj)
-			}
-		}
-		return nil
+		return a.fetchMissesInto(ctx, cfg, p, s, a.sweepCache(ctx, keys, s))
 	})
 }
 
@@ -206,7 +201,7 @@ func (a *Augmenter) runOuterInner(ctx context.Context, cfg Config, p *plan, s *s
 		inner = 1
 	}
 	return a.forEachOrigin(ctx, p, outer, func(ctx context.Context, keys []core.GlobalKey) error {
-		return a.parallelFetch(ctx, p, keys, inner, s)
+		return a.parallelFetch(ctx, cfg, p, keys, inner, s)
 	})
 }
 
@@ -248,32 +243,52 @@ func (a *Augmenter) forEachOrigin(ctx context.Context, p *plan, workers int, fn 
 }
 
 // parallelFetch retrieves a key list with a pool of `workers` goroutines.
-func (a *Augmenter) parallelFetch(ctx context.Context, p *plan, keys []core.GlobalKey, workers int, s *sink) error {
+// The cache is swept up front in the calling goroutine: on a warm cache the
+// whole list resolves without spawning anything, and only the misses are
+// handed to workers. Workers claim misses by bumping a shared atomic index —
+// no feed channel, no per-key channel handoff.
+func (a *Augmenter) parallelFetch(ctx context.Context, cfg Config, p *plan, keys []core.GlobalKey, workers int, s *sink) error {
 	if len(keys) == 0 {
 		return nil
 	}
-	if workers > len(keys) {
-		workers = len(keys)
+	misses := a.sweepCache(ctx, keys, s)
+	if len(misses) == 0 {
+		return ctx.Err()
+	}
+	if workers > len(misses) {
+		workers = len(misses)
+	}
+	if workers <= 1 {
+		if err := a.fetchMissesInto(ctx, cfg, p, s, misses); err != nil {
+			return err
+		}
+		return ctx.Err()
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	work := make(chan core.GlobalKey)
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	errOnce := newErrOnce(cancel)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for gk := range work {
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= len(misses) {
+					return
+				}
+				gk := misses[i]
 				if s.isDegraded(gk.Database) {
 					continue
 				}
-				obj, ok, err := a.fetchOne(ctx, gk)
+				obj, ok, err := a.fetchMiss(ctx, cfg, gk)
 				if err != nil {
 					if err := s.absorb(ctx, gk.Database, p.dist(gk), err); err != nil {
 						errOnce.set(err)
+						return
 					}
-					continue // drain
+					continue
 				}
 				if ok {
 					s.add(obj)
@@ -281,15 +296,6 @@ func (a *Augmenter) parallelFetch(ctx context.Context, p *plan, keys []core.Glob
 			}
 		}()
 	}
-feed:
-	for _, gk := range keys {
-		select {
-		case work <- gk:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(work)
 	wg.Wait()
 	if err := errOnce.get(); err != nil {
 		return err

@@ -1,0 +1,112 @@
+package coalesce
+
+import (
+	"sync"
+	"time"
+
+	"quepa/internal/core"
+)
+
+// NegativeCache remembers keys the polystore recently confirmed missing, so
+// that lazy-deletion misses do not stampede: without it, a key that is still
+// in the A' index but gone from its store costs one (coalesced) round trip
+// per query until the index catches up. Entries expire after a TTL — an
+// object re-created under the same key becomes visible again within one TTL,
+// which bounds the staleness this cache can introduce.
+//
+// The cache is bounded by a FIFO ring: inserting over capacity overwrites
+// the oldest remembered miss. It is safe for concurrent use; it sits on the
+// fetch-miss path, where a mutex is noise next to the store round trip just
+// avoided or about to be paid.
+type NegativeCache struct {
+	mu     sync.Mutex
+	ttl    time.Duration
+	expiry map[core.GlobalKey]time.Time
+	ring   []core.GlobalKey
+	next   int
+	hits   uint64
+	now    func() time.Time // injectable clock for tests
+}
+
+// Defaults used by NewNegativeCache when given zero values.
+const (
+	DefaultNegativeTTL      = time.Second
+	DefaultNegativeCapacity = 1024
+)
+
+// NewNegativeCache builds a negative-result cache holding at most capacity
+// missing keys for ttl each. Zero or negative arguments select the defaults;
+// to disable negative caching entirely, don't consult one.
+func NewNegativeCache(capacity int, ttl time.Duration) *NegativeCache {
+	if capacity <= 0 {
+		capacity = DefaultNegativeCapacity
+	}
+	if ttl <= 0 {
+		ttl = DefaultNegativeTTL
+	}
+	return &NegativeCache{
+		ttl:    ttl,
+		expiry: make(map[core.GlobalKey]time.Time, capacity),
+		ring:   make([]core.GlobalKey, capacity),
+		now:    time.Now,
+	}
+}
+
+// SetClock overrides the cache's clock (tests drive expiry deterministically).
+func (n *NegativeCache) SetClock(now func() time.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.now = now
+}
+
+// Put remembers that gk was just confirmed missing.
+func (n *NegativeCache) Put(gk core.GlobalKey) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.expiry[gk]; !dup {
+		// Claim a ring slot, forgetting whatever miss occupied it.
+		if old := n.ring[n.next]; old != (core.GlobalKey{}) {
+			delete(n.expiry, old)
+		}
+		n.ring[n.next] = gk
+		n.next = (n.next + 1) % len(n.ring)
+	}
+	n.expiry[gk] = n.now().Add(n.ttl)
+}
+
+// Has reports whether gk is remembered missing and not yet expired.
+func (n *NegativeCache) Has(gk core.GlobalKey) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	exp, ok := n.expiry[gk]
+	if !ok {
+		return false
+	}
+	if n.now().After(exp) {
+		delete(n.expiry, gk) // lazily expire; its ring slot ages out on its own
+		return false
+	}
+	n.hits++
+	return true
+}
+
+// Forget drops gk immediately (an explicit re-insert observed by the caller).
+func (n *NegativeCache) Forget(gk core.GlobalKey) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.expiry, gk)
+}
+
+// Hits reports how many store round trips the cache has absorbed.
+func (n *NegativeCache) Hits() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hits
+}
+
+// Len reports the number of remembered (possibly expired) keys.
+func (n *NegativeCache) Len() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.expiry)
+}

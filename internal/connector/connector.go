@@ -20,9 +20,11 @@ import (
 
 // KeyResolver is implemented by connectors that can report the name of the
 // column/field acting as object identifier for a collection. The validator
-// uses it to rewrite queries so identifiers appear in the result.
+// uses it to rewrite queries so identifiers appear in the result. The context
+// matters for remote resolvers (a wire client pays a round trip); local
+// connectors only honor cancellation.
 type KeyResolver interface {
-	KeyField(collection string) (string, error)
+	KeyField(ctx context.Context, collection string) (string, error)
 }
 
 // Relational adapts a relstore database.
@@ -44,7 +46,10 @@ func (c *Relational) Collections() []string { return c.db.Tables() }
 func (c *Relational) RoundTrips() uint64 { return c.db.RoundTrips() }
 
 // KeyField returns the primary-key column of a table.
-func (c *Relational) KeyField(collection string) (string, error) {
+func (c *Relational) KeyField(ctx context.Context, collection string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	return c.db.PrimaryKey(collection)
 }
 
@@ -118,7 +123,7 @@ func (c *Document) Collections() []string { return c.db.Collections() }
 func (c *Document) RoundTrips() uint64 { return c.db.RoundTrips() }
 
 // KeyField returns the identifier field of documents.
-func (c *Document) KeyField(string) (string, error) { return "_id", nil }
+func (c *Document) KeyField(context.Context, string) (string, error) { return "_id", nil }
 
 // Get retrieves one document as a data object.
 func (c *Document) Get(ctx context.Context, collection, key string) (core.Object, error) {

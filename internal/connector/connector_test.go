@@ -66,7 +66,7 @@ func TestRelationalConnector(t *testing.T) {
 	if err != nil || len(objs) != 1 || objs[0].GK.Key != "a32" {
 		t.Errorf("Query = %v, %v", objs, err)
 	}
-	if kf, err := c.KeyField("inventory"); err != nil || kf != "id" {
+	if kf, err := c.KeyField(ctx, "inventory"); err != nil || kf != "id" {
 		t.Errorf("KeyField = %q, %v", kf, err)
 	}
 }
@@ -97,7 +97,7 @@ func TestDocumentConnector(t *testing.T) {
 	if _, err := c.Query(ctx, `bogus`); err == nil {
 		t.Error("bad query should fail")
 	}
-	if kf, _ := c.KeyField("albums"); kf != "_id" {
+	if kf, _ := c.KeyField(ctx, "albums"); kf != "_id" {
 		t.Errorf("KeyField = %q", kf)
 	}
 	objs, err = c.GetBatch(ctx, "albums", []string{"d1", "ghost"})

@@ -166,6 +166,35 @@ func (r *Recorder) CacheMisses(n int) {
 	r.mu.Unlock()
 }
 
+// CoalescedHits attributes n coalesced fetches to this query: lookups that
+// joined another request's in-flight store round trip instead of paying
+// their own.
+func (r *Recorder) CoalescedHits(n int) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.mu.Lock()
+	if r.cur != nil {
+		r.cur.CoalescedHits += n
+	}
+	r.p.Totals.CoalescedHits += n
+	r.mu.Unlock()
+}
+
+// NegativeHits attributes n negative-cache hits to this query: lookups
+// answered "missing" from the recent-miss memory without a store round trip.
+func (r *Recorder) NegativeHits(n int) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.mu.Lock()
+	if r.cur != nil {
+		r.cur.NegativeHits += n
+	}
+	r.p.Totals.NegativeHits += n
+	r.mu.Unlock()
+}
+
 // StoreOp records one round trip to a store: keys requested, objects that
 // came back, latency, and whether the call failed. Ops inside an open
 // augmentation land in its per-store fan-out; ops outside (an exploration

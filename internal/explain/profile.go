@@ -98,6 +98,8 @@ type AugmentationTrace struct {
 	OriginsSkipped int     `json:"origins_skipped"`
 	CacheHits      int     `json:"cache_hits"`
 	CacheMisses    int     `json:"cache_misses"`
+	CoalescedHits  int     `json:"coalesced_hits,omitempty"`
+	NegativeHits   int     `json:"negative_hits,omitempty"`
 	Fetched        int     `json:"fetched"`
 	WallMS         float64 `json:"wall_ms"`
 	Error          string  `json:"error,omitempty"`
@@ -127,6 +129,8 @@ type Totals struct {
 	StoreErrors   int   `json:"store_errors"`
 	CacheHits     int   `json:"cache_hits"`
 	CacheMisses   int   `json:"cache_misses"`
+	CoalescedHits int   `json:"coalesced_hits"`
+	NegativeHits  int   `json:"negative_hits"`
 	RankPruned    int   `json:"rank_pruned"`
 	BytesSent     int64 `json:"wire_bytes_sent"`
 	BytesReceived int64 `json:"wire_bytes_received"`

@@ -180,7 +180,7 @@ func (a *Arango) Augment(ctx context.Context, database, query string, level int)
 	if err := a.ensureImported(ctx); err != nil {
 		return nil, err
 	}
-	v, err := validator.Validate(store, query)
+	v, err := validator.Validate(ctx, store, query)
 	if err != nil {
 		return nil, err
 	}

@@ -111,7 +111,7 @@ func (m *Metamodel) Augment(ctx context.Context, database, query string, level i
 	if m.unsupported[store.Kind()] {
 		return nil, fmt.Errorf("metamodel: engine kind %v is not supported", store.Kind())
 	}
-	v, err := validator.Validate(store, query)
+	v, err := validator.Validate(ctx, store, query)
 	if err != nil {
 		return nil, err
 	}

@@ -107,7 +107,7 @@ func (t *Talend) Augment(ctx context.Context, database, query string, level int)
 	if t.unsupported[store.Kind()] {
 		return nil, fmt.Errorf("talend: engine kind %v is not supported", store.Kind())
 	}
-	v, err := validator.Validate(store, query)
+	v, err := validator.Validate(ctx, store, query)
 	if err != nil {
 		return nil, err
 	}

@@ -188,10 +188,12 @@ func (c *Chaos) Query(ctx context.Context, query string) ([]core.Object, error) 
 
 // KeyField forwards to the wrapped store (metadata is not faulted: the
 // validator resolves it at query-rewrite time, not on the data path).
-func (c *Chaos) KeyField(collection string) (string, error) {
-	type keyResolver interface{ KeyField(string) (string, error) }
+func (c *Chaos) KeyField(ctx context.Context, collection string) (string, error) {
+	type keyResolver interface {
+		KeyField(context.Context, string) (string, error)
+	}
 	if kr, ok := c.inner.(keyResolver); ok {
-		return kr.KeyField(collection)
+		return kr.KeyField(ctx, collection)
 	}
 	return "", core.ErrUnsupportedQuery
 }

@@ -117,10 +117,12 @@ func (s *Store) Query(ctx context.Context, query string) ([]core.Object, error) 
 
 // KeyField forwards to the wrapped store when it can resolve key fields,
 // so that wrapping does not hide validator support.
-func (s *Store) KeyField(collection string) (string, error) {
-	type keyResolver interface{ KeyField(string) (string, error) }
+func (s *Store) KeyField(ctx context.Context, collection string) (string, error) {
+	type keyResolver interface {
+		KeyField(context.Context, string) (string, error)
+	}
 	if kr, ok := s.inner.(keyResolver); ok {
-		return kr.KeyField(collection)
+		return kr.KeyField(ctx, collection)
 	}
 	return "", core.ErrUnsupportedQuery
 }

@@ -139,7 +139,7 @@ func TestForwardingAndUnwrap(t *testing.T) {
 		t.Error("Unwrap returned nil")
 	}
 	// kv connector has no KeyField; wrapper reports unsupported.
-	if _, err := s.KeyField("drop"); err == nil {
+	if _, err := s.KeyField(context.Background(), "drop"); err == nil {
 		t.Error("KeyField on kv should be unsupported")
 	}
 }

@@ -76,10 +76,12 @@ func (g *GuardedStore) Query(ctx context.Context, query string) ([]core.Object, 
 
 // KeyField forwards to the wrapped store when it can resolve key fields, so
 // guarding does not hide validator support.
-func (g *GuardedStore) KeyField(collection string) (string, error) {
-	type keyResolver interface{ KeyField(string) (string, error) }
+func (g *GuardedStore) KeyField(ctx context.Context, collection string) (string, error) {
+	type keyResolver interface {
+		KeyField(context.Context, string) (string, error)
+	}
 	if kr, ok := g.inner.(keyResolver); ok {
-		return kr.KeyField(collection)
+		return kr.KeyField(ctx, collection)
 	}
 	return "", core.ErrUnsupportedQuery
 }

@@ -45,7 +45,7 @@ func (s *stubStore) Query(ctx context.Context, q string) ([]core.Object, error) 
 	return []core.Object{s.obj}, nil
 }
 
-func (s *stubStore) KeyField(string) (string, error) { return "id", nil }
+func (s *stubStore) KeyField(context.Context, string) (string, error) { return "id", nil }
 
 // TestGuardBreakerTrips: a guarded store rejects fast once K failures
 // accumulated, and the rejection carries both the store name and ErrOpen.
@@ -73,7 +73,7 @@ func TestGuardBreakerTrips(t *testing.T) {
 		t.Errorf("Query not guarded: %v", err)
 	}
 	// Metadata still flows while open.
-	if kf, err := g.KeyField("c"); err != nil || kf != "id" {
+	if kf, err := g.KeyField(context.Background(), "c"); err != nil || kf != "id" {
 		t.Errorf("KeyField = %q, %v", kf, err)
 	}
 	// After the cooldown a probe closes the circuit again.

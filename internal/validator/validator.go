@@ -7,6 +7,7 @@
 package validator
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -37,15 +38,17 @@ type Validation struct {
 // collection (connector.KeyResolver, matched structurally to avoid a
 // dependency cycle).
 type keyResolver interface {
-	KeyField(collection string) (string, error)
+	KeyField(ctx context.Context, collection string) (string, error)
 }
 
 // Validate checks that the query can be executed in augmented mode against
-// the given store and returns the (possibly rewritten) query to run.
-func Validate(s core.Store, query string) (Validation, error) {
+// the given store and returns the (possibly rewritten) query to run. The
+// context bounds key-field resolution, which is a remote round trip for
+// wire-backed stores.
+func Validate(ctx context.Context, s core.Store, query string) (Validation, error) {
 	switch s.Kind() {
 	case core.KindRelational:
-		return validateRelational(s, query)
+		return validateRelational(ctx, s, query)
 	case core.KindDocument:
 		return validateDocument(query)
 	case core.KindKeyValue:
@@ -57,7 +60,7 @@ func Validate(s core.Store, query string) (Validation, error) {
 	}
 }
 
-func validateRelational(s core.Store, query string) (Validation, error) {
+func validateRelational(ctx context.Context, s core.Store, query string) (Validation, error) {
 	st, err := relstore.Parse(query)
 	if err != nil {
 		return Validation{}, err
@@ -75,7 +78,7 @@ func validateRelational(s core.Store, query string) (Validation, error) {
 	// step 3). The engine reports row keys regardless, but the rewrite makes
 	// identifiers visible in the user-facing result, as the paper requires.
 	if kr, ok := s.(keyResolver); ok {
-		keyField, err := kr.KeyField(st.Table())
+		keyField, err := kr.KeyField(ctx, st.Table())
 		if err != nil {
 			return Validation{}, fmt.Errorf("validator: resolving key column of %q: %w", st.Table(), err)
 		}

@@ -1,6 +1,7 @@
 package validator
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -10,6 +11,8 @@ import (
 	"quepa/internal/stores/kvstore"
 	"quepa/internal/stores/relstore"
 )
+
+var ctx = context.Background()
 
 func newRelConnector(t *testing.T) *connector.Relational {
 	t.Helper()
@@ -23,7 +26,7 @@ func newRelConnector(t *testing.T) *connector.Relational {
 func TestRelationalValidation(t *testing.T) {
 	c := newRelConnector(t)
 
-	v, err := Validate(c, `SELECT name FROM inventory WHERE name LIKE '%wish%'`)
+	v, err := Validate(ctx, c, `SELECT name FROM inventory WHERE name LIKE '%wish%'`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,37 +34,37 @@ func TestRelationalValidation(t *testing.T) {
 		t.Errorf("rewrite = %+v", v)
 	}
 
-	v, err = Validate(c, `SELECT * FROM inventory`)
+	v, err = Validate(ctx, c, `SELECT * FROM inventory`)
 	if err != nil || v.Rewritten {
 		t.Errorf("star query should pass unchanged: %+v, %v", v, err)
 	}
 
 	var na *ErrNotAugmentable
-	if _, err := Validate(c, `SELECT COUNT(*) FROM inventory`); !errors.As(err, &na) {
+	if _, err := Validate(ctx, c, `SELECT COUNT(*) FROM inventory`); !errors.As(err, &na) {
 		t.Errorf("aggregate should be not-augmentable, got %v", err)
 	}
-	if _, err := Validate(c, `INSERT INTO inventory VALUES ('1', 'x')`); !errors.As(err, &na) {
+	if _, err := Validate(ctx, c, `INSERT INTO inventory VALUES ('1', 'x')`); !errors.As(err, &na) {
 		t.Errorf("insert should be not-augmentable, got %v", err)
 	}
-	if _, err := Validate(c, `garbage sql`); err == nil {
+	if _, err := Validate(ctx, c, `garbage sql`); err == nil {
 		t.Error("malformed SQL should fail")
 	}
-	if _, err := Validate(c, `SELECT name FROM ghost`); err == nil {
+	if _, err := Validate(ctx, c, `SELECT name FROM ghost`); err == nil {
 		t.Error("unknown table should fail at key resolution")
 	}
 }
 
 func TestDocumentValidation(t *testing.T) {
 	c := connector.NewDocument(docstore.New("catalogue"))
-	v, err := Validate(c, `albums.find({"artist": "The Cure"})`)
+	v, err := Validate(ctx, c, `albums.find({"artist": "The Cure"})`)
 	if err != nil || v.Rewritten {
 		t.Errorf("find should pass unchanged: %+v, %v", v, err)
 	}
 	var na *ErrNotAugmentable
-	if _, err := Validate(c, `albums.count({})`); !errors.As(err, &na) {
+	if _, err := Validate(ctx, c, `albums.count({})`); !errors.As(err, &na) {
 		t.Errorf("count should be not-augmentable, got %v", err)
 	}
-	if _, err := Validate(c, `albums.find`); err == nil {
+	if _, err := Validate(ctx, c, `albums.find`); err == nil {
 		t.Error("malformed query should fail")
 	}
 }
@@ -69,20 +72,20 @@ func TestDocumentValidation(t *testing.T) {
 func TestKeyValueValidation(t *testing.T) {
 	c := connector.NewKeyValue(kvstore.New("discount"))
 	for _, q := range []string{"GET drop k1", "MGET drop k1 k2", "KEYS drop *", "SCAN drop", "EXISTS drop k1", "get drop k1"} {
-		if v, err := Validate(c, q); err != nil || v.Query != q {
+		if v, err := Validate(ctx, c, q); err != nil || v.Query != q {
 			t.Errorf("Validate(%q) = %+v, %v", q, v, err)
 		}
 	}
 	var na *ErrNotAugmentable
 	for _, q := range []string{"SET drop k v", "DEL drop k", "LEN drop"} {
-		if _, err := Validate(c, q); !errors.As(err, &na) {
+		if _, err := Validate(ctx, c, q); !errors.As(err, &na) {
 			t.Errorf("Validate(%q) should be not-augmentable, got %v", q, err)
 		}
 	}
-	if _, err := Validate(c, "BOGUS x"); err == nil {
+	if _, err := Validate(ctx, c, "BOGUS x"); err == nil {
 		t.Error("unknown command should fail")
 	}
-	if _, err := Validate(c, "   "); err == nil {
+	if _, err := Validate(ctx, c, "   "); err == nil {
 		t.Error("empty command should fail")
 	}
 }
@@ -95,11 +98,11 @@ func TestGraphValidation(t *testing.T) {
 		`NEIGHBORS n1`,
 		`NEIGHBORS n1 SIMILAR`,
 	} {
-		if v, err := Validate(c, q); err != nil || v.Query != q {
+		if v, err := Validate(ctx, c, q); err != nil || v.Query != q {
 			t.Errorf("Validate(%q) = %+v, %v", q, v, err)
 		}
 	}
-	if _, err := Validate(c, `DROP EVERYTHING`); err == nil {
+	if _, err := Validate(ctx, c, `DROP EVERYTHING`); err == nil {
 		t.Error("malformed graph query should fail")
 	}
 }
@@ -114,7 +117,7 @@ func TestJoinNotAugmentable(t *testing.T) {
 	}
 	c := connector.NewRelational(db)
 	var na *ErrNotAugmentable
-	if _, err := Validate(c, `SELECT * FROM a JOIN b ON a.x = b.id`); !errors.As(err, &na) {
+	if _, err := Validate(ctx, c, `SELECT * FROM a JOIN b ON a.x = b.id`); !errors.As(err, &na) {
 		t.Errorf("join should be not-augmentable, got %v", err)
 	}
 }

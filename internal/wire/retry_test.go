@@ -111,30 +111,29 @@ func TestClientRetriesTransportFault(t *testing.T) {
 // store, op, attempt and backoff.
 func TestClientRetryTraceRecorded(t *testing.T) {
 	srv := servedBackend(t)
-	cli, err := Dial(srv.Addr())
+	cli, err := DialConfig(srv.Addr(), ClientConfig{Retry: resilience.DefaultRetryPolicy(), PoolSize: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cli.Close()
 	cli.SetSleep(func(time.Duration) {})
 
-	// Poison the pool: drop the healthy connection Dial parked there and
-	// deposit a dead one, so the next request must fail once and retry.
-	for {
-		select {
-		case conn := <-cli.pool:
-			conn.Close()
-			continue
-		default:
-		}
-		break
-	}
+	// Poison the single connection slot: kill whatever Dial left there and
+	// install a mux conn whose socket is already closed (and that never
+	// started a reader), so the next request's frame write fails once and
+	// must retry on a fresh connection.
 	dead, err := net.Dial("tcp", srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	dead.Close()
-	cli.pool <- dead
+	cli.connMu.Lock()
+	old := cli.conns[0]
+	cli.conns[0] = &muxConn{c: dead, pending: map[uint64]chan wireResult{}}
+	cli.connMu.Unlock()
+	if old != nil {
+		old.kill(errConnBroken)
+	}
 
 	rctx, rec := explain.WithRecorder(context.Background(), "/search")
 	if rec == nil {
@@ -207,8 +206,8 @@ func TestClientRetryAttemptDeadline(t *testing.T) {
 }
 
 // TestClientCloseRaceWithRetries hammers Close against in-flight requests
-// under -race: no connection may survive in the pool once both sides settle,
-// and post-Close requests fail fast with ErrClosed.
+// under -race: no connection may survive in the slot table once both sides
+// settle, and post-Close requests fail fast with ErrClosed.
 func TestClientCloseRaceWithRetries(t *testing.T) {
 	for round := 0; round < 20; round++ {
 		srv := servedBackend(t)
@@ -230,11 +229,15 @@ func TestClientCloseRaceWithRetries(t *testing.T) {
 		}
 		cli.Close()
 		wg.Wait()
-		// Every in-flight putConn has completed; the re-check in putConn must
-		// have left the pool empty.
-		if n := len(cli.pool); n != 0 {
-			t.Fatalf("round %d: %d connections leaked in the pool after Close", round, n)
+		// Close nils every slot and the closed flag blocks re-installs, so no
+		// connection may be left behind.
+		cli.connMu.Lock()
+		for i, mc := range cli.conns {
+			if mc != nil {
+				t.Fatalf("round %d: connection slot %d still populated after Close", round, i)
+			}
 		}
+		cli.connMu.Unlock()
 		if _, err := cli.Get(context.Background(), "drop", "k1"); !errors.Is(err, ErrClosed) {
 			t.Fatalf("round %d: Get after Close = %v, want ErrClosed", round, err)
 		}

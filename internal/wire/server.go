@@ -72,9 +72,19 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// handle serves one connection. Frames with a non-zero ID are dispatched
+// concurrently — each in its own goroutine, responses serialized by a write
+// mutex and tagged with the request's ID so the client can demux them out of
+// order. ID-0 frames keep the legacy in-order exchange: the read loop blocks
+// on the dispatch, so an old sequential client never sees a reordered reply.
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
+	var (
+		wmu   sync.Mutex
+		reqWG sync.WaitGroup
+	)
 	defer func() {
+		reqWG.Wait() // let in-flight dispatches drain before the conn dies
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -86,10 +96,22 @@ func (s *Server) handle(conn net.Conn) {
 		if _, err := readFrame(conn, &req); err != nil {
 			return // connection closed or corrupted: drop it
 		}
-		resp := s.dispatch(ctx, req)
-		if _, err := writeFrame(conn, resp); err != nil {
-			return
+		if req.ID == 0 {
+			resp := s.dispatch(ctx, req)
+			if _, err := writeFrame(conn, resp); err != nil {
+				return
+			}
+			continue
 		}
+		reqWG.Add(1)
+		go func(req request) {
+			defer reqWG.Done()
+			resp := s.dispatch(ctx, req)
+			resp.ID = req.ID
+			wmu.Lock()
+			writeFrame(conn, resp) //nolint:errcheck // a dead conn fails the read loop too
+			wmu.Unlock()
+		}(req)
 	}
 }
 
@@ -128,12 +150,14 @@ func (s *Server) dispatch(ctx context.Context, req request) response {
 		}
 		return objectsResponse(objs)
 	case opKeyField:
-		type keyResolver interface{ KeyField(string) (string, error) }
+		type keyResolver interface {
+			KeyField(context.Context, string) (string, error)
+		}
 		kr, ok := s.store.(keyResolver)
 		if !ok {
 			return response{Error: "wire: store cannot resolve key fields"}
 		}
-		kf, err := kr.KeyField(req.Collection)
+		kf, err := kr.KeyField(ctx, req.Collection)
 		if err != nil {
 			return response{Error: err.Error()}
 		}

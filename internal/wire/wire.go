@@ -64,7 +64,20 @@ func init() {
 		"requests dispatched by wire servers", telemetry.L("op", "unknown"))
 }
 
+// clientFrames counts the frames clients actually put on the wire. With
+// multiplexing and get-batching, this runs well below the logical request
+// count (Client.RoundTrips); the gap is the traffic the overhaul saved.
+var clientFrames = telemetry.NewCounter("quepa_wire_client_frames_total",
+	"request frames written by wire clients (physical attempts, not logical requests)")
+
 type request struct {
+	// ID tags the frame for multiplexing: a non-zero ID tells the server it
+	// may dispatch concurrently and reply out of order, echoing the ID on the
+	// response. ID 0 selects the legacy one-at-a-time exchange, so old
+	// clients keep working against new servers and vice versa (a server that
+	// ignores IDs echoes ID 0, which a mux client treats as a broken conn and
+	// retries sequentially-compatible ops on a fresh one).
+	ID         uint64   `json:"id,omitempty"`
 	Op         string   `json:"op"`
 	Collection string   `json:"collection,omitempty"`
 	Key        string   `json:"key,omitempty"`
@@ -80,6 +93,8 @@ type wireObject struct {
 }
 
 type response struct {
+	// ID echoes the request's frame ID (0 on the legacy sequential path).
+	ID          uint64       `json:"id,omitempty"`
 	Objects     []wireObject `json:"objects,omitempty"`
 	Error       string       `json:"error,omitempty"`
 	NotFound    bool         `json:"notFound,omitempty"`
