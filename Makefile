@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-hotpath bench-compare chaos fuzz figures clean
+.PHONY: all build vet test race cover bench bench-hotpath bench-build bench-compare chaos fuzz figures clean
 
 all: build vet test
 
@@ -40,6 +40,14 @@ bench-hotpath:
 # and retry test across the tree (the CI chaos job runs exactly this).
 chaos:
 	$(GO) test -race -run 'Chaos|Fault|Breaker|Retry' ./internal/... ./cmd/...
+
+# A' construction sweep: the full collector pipeline + bulk load, swept over
+# object count × scoring workers, plus the Reach fast-path microbenchmarks.
+# The sweep itself fails if any worker count changes the discovered
+# relations, so it doubles as a determinism check.
+bench-build:
+	$(GO) run ./cmd/quepa-bench -fig build
+	$(GO) test -bench='ReachSnapshot|ReachLockedFallback|BulkLoad' -benchmem -run='^$$' ./internal/aindex/
 
 # Bench-regression guard: rerun figure 9 (best of 3) and fail on any point
 # more than 30% slower than the committed baseline.

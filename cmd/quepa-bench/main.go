@@ -5,6 +5,7 @@
 //
 //	quepa-bench -fig 9            # one figure (9, 10ab, 10cd, 11ab, 11cd, 11ef, 12, 13ab, 13cd)
 //	quepa-bench -fig all          # the full campaign
+//	quepa-bench -fig build        # A' construction sweep: object count × workers
 //	quepa-bench -fig 13cd -quick  # tiny sizes, for smoke-testing the harness
 //	quepa-bench -json out.json    # also write the points as a RunRecord
 //	quepa-bench -fig 11ab -mutexprofile mutex.pb.gz -blockprofile block.pb.gz

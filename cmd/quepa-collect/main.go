@@ -6,6 +6,7 @@
 // Usage:
 //
 //	quepa-collect -scale 0.2 -identity 0.55 -matching 0.3
+//	quepa-collect -workers 8 -v   # parallel scoring with progress deciles
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"quepa/internal/collector"
 	"quepa/internal/core"
@@ -27,6 +29,7 @@ func main() {
 	identity := flag.Float64("identity", 0.55, "identity threshold")
 	matching := flag.Float64("matching", 0.30, "matching threshold")
 	maxBlock := flag.Int("maxblock", 64, "max block size (frequency stop tokens)")
+	workers := flag.Int("workers", 0, "scoring goroutines (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print every discovered p-relation")
 	out := flag.String("out", "", "write the built A' index as JSON lines to this file")
 	flag.Parse()
@@ -57,16 +60,23 @@ func main() {
 	cfg.IdentityThreshold = *identity
 	cfg.MatchingThreshold = *matching
 	cfg.MaxBlockSize = *maxBlock
+	cfg.Workers = *workers
+	cfg.Progress = func(done, total int) {
+		log.Printf("scored %d/%d blocks (%d%%)", done, total, done*100/total)
+	}
 	coll, err := collector.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	index, rels, err := coll.BuildIndex(ctx, objects)
+	index, rels, stats, err := coll.BuildIndexWithStats(ctx, objects)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("discovered %d p-relations -> index with %d keys, %d edges\n",
 		len(rels), index.NodeCount(), index.EdgeCount())
+	fmt.Printf("build: %d blocks (%d oversized dropped), %d pairs scored, %d identities + %d matchings, %d workers, %v\n",
+		stats.Blocks, stats.DroppedBlocks, stats.PairsScored, stats.Identities, stats.Matchings,
+		stats.Workers, stats.Elapsed.Round(time.Millisecond))
 	if *verbose {
 		for _, r := range rels {
 			fmt.Printf("    %v\n", r)

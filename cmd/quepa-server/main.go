@@ -755,6 +755,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"cache_miss":  misses,
 		"config":      s.aug.Config().String(),
 		"build":       buildSection(),
+		"aindex": map[string]any{
+			"snapshot":        s.built.Index.SnapshotInfo(),
+			"reach_snapshot":  reg.CounterValue("quepa_aindex_reach_snapshot_total"),
+			"reach_fallback":  reg.CounterValue("quepa_aindex_reach_fallback_total"),
+			"collector_pairs": reg.CounterValue("quepa_collector_pairs_scored_total"),
+			"collector_drops": reg.CounterValue("quepa_collector_blocks_dropped_total"),
+		},
 		"resilience": map[string]any{
 			"breakers":         s.res.Snapshot(),
 			"any_open":         s.res.AnyOpen(),

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"quepa/internal/core"
 	"quepa/internal/telemetry"
@@ -48,11 +49,26 @@ type Index struct {
 	mu    sync.RWMutex
 	adj   map[core.GlobalKey]map[core.GlobalKey]edge
 	edges int
+
+	// Read-optimized snapshot machinery (snapshot.go). epoch counts
+	// mutations and is bumped inside the write critical section; snap holds
+	// the latest frozen CSR view, stamped with the epoch it was built at.
+	// The rebuild fields coordinate the single background rebuild goroutine.
+	epoch          atomic.Uint64
+	snap           atomic.Pointer[snapshot]
+	rebuilds       atomic.Uint64
+	debounce       atomic.Int64 // rebuild debounce override, nanoseconds
+	rebuildMu      sync.Mutex
+	rebuildRunning bool
+	rebuildPending bool
 }
 
-// New returns an empty index.
+// New returns an empty index with a fresh (empty) snapshot installed, so
+// reads on an unmutated index take the lock-free path from the start.
 func New() *Index {
-	return &Index{adj: map[core.GlobalKey]map[core.GlobalKey]edge{}}
+	ix := &Index{adj: map[core.GlobalKey]map[core.GlobalKey]edge{}}
+	ix.snap.Store(buildSnapshot(ix.adj, 0, 0))
+	return ix
 }
 
 // NodeCount returns the number of global keys present in the index.
@@ -79,8 +95,17 @@ func (ix *Index) Insert(r core.PRelation) error {
 		return err
 	}
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.insertLocked(r)
+	ix.epoch.Add(1)
+	ix.mu.Unlock()
+	ix.scheduleRebuild()
+	return nil
+}
 
+// insertLocked materializes r and its consistency-condition closure. The
+// caller holds the write lock — or owns the index exclusively, as the bulk
+// loader's per-component shards do — and is responsible for the epoch bump.
+func (ix *Index) insertLocked(r core.PRelation) {
 	if r.Type == core.Matching {
 		// Matching propagates across the identity classes of both endpoints.
 		clsFrom := ix.identityClassLocked(r.From) // includes r.From with prob 1
@@ -93,7 +118,7 @@ func (ix *Index) Insert(r core.PRelation) error {
 				ix.setEdgeLocked(x, y, core.Matching, px*r.Prob*py)
 			}
 		}
-		return nil
+		return
 	}
 
 	// Identity: merge the two classes into one clique (paper Fig. 4), then
@@ -139,7 +164,6 @@ func (ix *Index) Insert(r core.PRelation) error {
 			ix.setEdgeLocked(member, m.partner, core.Matching, link.prob*m.prob)
 		}
 	}
-	return nil
 }
 
 // identityClassLocked returns the identity class of gk as a map from member
@@ -147,22 +171,31 @@ func (ix *Index) Insert(r core.PRelation) error {
 // classes are maintained as cliques, so direct neighbors suffice; the
 // traversal is still transitive for robustness against partially built
 // indexes (e.g. bulk loads that bypass materialization).
+//
+// The traversal is hop-synchronous with frozen frontier values and requeues
+// a node whenever its probability improves, running to the fixed point: the
+// result is the true maximum product over all connecting paths, independent
+// of map iteration order. (An earlier version read the live probability of
+// a frontier node and never requeued improved nodes, which made closure
+// probabilities depend on iteration order — and insertion nondeterministic.)
+// Termination: probabilities only increase strictly, and the achievable
+// values are products over simple paths, a finite set.
 func (ix *Index) identityClassLocked(gk core.GlobalKey) map[core.GlobalKey]float64 {
 	cls := map[core.GlobalKey]float64{gk: 1}
-	frontier := []core.GlobalKey{gk}
+	frontier := map[core.GlobalKey]float64{gk: 1}
 	for len(frontier) > 0 {
-		var next []core.GlobalKey
-		for _, cur := range frontier {
+		next := map[core.GlobalKey]float64{}
+		for cur, curProb := range frontier {
 			for nb, e := range ix.adj[cur] {
 				if e.typ != core.Identity {
 					continue
 				}
-				p := cls[cur] * e.prob
+				p := curProb * e.prob
 				if old, seen := cls[nb]; !seen || p > old {
-					if !seen {
-						next = append(next, nb)
-					}
 					cls[nb] = p
+					if p > next[nb] {
+						next[nb] = p
+					}
 				}
 			}
 		}
@@ -233,9 +266,9 @@ func (ix *Index) Contains(gk core.GlobalKey) bool {
 // object no longer exists. Inferred edges between the remaining nodes stay.
 func (ix *Index) RemoveObject(gk core.GlobalKey) bool {
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	nbs, ok := ix.adj[gk]
 	if !ok {
+		ix.mu.Unlock()
 		return false
 	}
 	for nb := range nbs {
@@ -243,7 +276,10 @@ func (ix *Index) RemoveObject(gk core.GlobalKey) bool {
 		ix.edges--
 	}
 	delete(ix.adj, gk)
+	ix.epoch.Add(1)
+	ix.mu.Unlock()
 	removals.Inc()
+	ix.scheduleRebuild()
 	return true
 }
 
@@ -262,6 +298,9 @@ type Hit struct {
 type ReachStats struct {
 	Nodes int
 	Edges int
+	// Snapshot reports whether the traversal was served lock-free from the
+	// CSR snapshot rather than the locked adjacency maps.
+	Snapshot bool
 }
 
 // Reach returns the global keys reachable from gk within level+1 hops — the
@@ -287,7 +326,35 @@ func (ix *Index) reach(gk core.GlobalKey, level int, stats *ReachStats) []Hit {
 		return nil
 	}
 	start := telemetry.Now()
-	defer func() { reachHist.Since(start) }()
+	// Fast path: a snapshot stamped with the current mutation epoch serves
+	// the traversal lock-free. The snapshot pointer is loaded before the
+	// epoch, so a mutation between the two loads can only make the check
+	// fail, never pass with stale data.
+	if s := ix.snap.Load(); s != nil && s.epoch == ix.epoch.Load() {
+		hits := s.reach(gk, level, stats)
+		if stats != nil {
+			stats.Snapshot = true
+		}
+		reachSnapshot.Inc()
+		reachHits.Add(uint64(len(hits)))
+		reachHist.Since(start)
+		return hits
+	}
+	// The snapshot is behind the adjacency (a mutation's debounced rebuild
+	// has not landed yet). Serve from the locked traversal so lazy deletions
+	// take effect immediately, and make sure a rebuild is on its way.
+	reachFallback.Inc()
+	ix.scheduleRebuild()
+	hits := ix.reachLocked(gk, level, stats)
+	reachHits.Add(uint64(len(hits)))
+	reachHist.Since(start)
+	return hits
+}
+
+// reachLocked is the reference traversal over the mutable adjacency maps.
+// The snapshot fast path (snapshot.go) replicates it operation for
+// operation; TestSnapshotReachMatchesLocked pins the equivalence.
+func (ix *Index) reachLocked(gk core.GlobalKey, level int, stats *ReachStats) []Hit {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 
@@ -327,7 +394,6 @@ func (ix *Index) reach(gk core.GlobalKey, level int, stats *ReachStats) []Hit {
 		out = append(out, h)
 	}
 	SortHits(out)
-	reachHits.Add(uint64(len(out)))
 	return out
 }
 
@@ -352,13 +418,50 @@ func (ix *Index) Neighbors(gk core.GlobalKey) []core.PRelation {
 }
 
 // SortHits orders hits by decreasing probability, breaking ties by key.
-func SortHits(hits []Hit) {
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Prob != hits[j].Prob {
-			return hits[i].Prob > hits[j].Prob
+// Keys within a reach result are unique, so the comparison is a strict
+// total order and every correct sort yields the same permutation; the
+// hand-rolled quicksort keeps the snapshot Reach fast path free of
+// sort.Slice's reflection and closure allocations.
+func SortHits(hits []Hit) { sortHits(hits) }
+
+func hitLess(a, b Hit) bool {
+	if a.Prob != b.Prob {
+		return a.Prob > b.Prob
+	}
+	return a.Key.Compare(b.Key) < 0
+}
+
+func sortHits(h []Hit) {
+	for len(h) > 12 {
+		p := partitionHits(h)
+		if p < len(h)-p-1 {
+			sortHits(h[:p])
+			h = h[p+1:]
+		} else {
+			sortHits(h[p+1:])
+			h = h[:p]
 		}
-		return hits[i].Key.Compare(hits[j].Key) < 0
-	})
+	}
+	for i := 1; i < len(h); i++ {
+		for j := i; j > 0 && hitLess(h[j], h[j-1]); j-- {
+			h[j], h[j-1] = h[j-1], h[j]
+		}
+	}
+}
+
+func partitionHits(h []Hit) int {
+	mid, last := len(h)/2, len(h)-1
+	h[mid], h[last] = h[last], h[mid]
+	pivot := h[last]
+	i := 0
+	for j := 0; j < last; j++ {
+		if hitLess(h[j], pivot) {
+			h[i], h[j] = h[j], h[i]
+			i++
+		}
+	}
+	h[i], h[last] = h[last], h[i]
+	return i
 }
 
 // Keys returns every global key in the index, sorted. Intended for tools and
@@ -448,8 +551,10 @@ func (ix *Index) InsertRaw(r core.PRelation) error {
 		return err
 	}
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	ix.setEdgeLocked(r.From, r.To, r.Type, r.Prob)
+	ix.epoch.Add(1)
+	ix.mu.Unlock()
+	ix.scheduleRebuild()
 	return nil
 }
 
@@ -458,7 +563,6 @@ func (ix *Index) InsertRaw(r core.PRelation) error {
 // from a master index built once (by the collector or a ReadIndex load).
 func (ix *Index) Clone() *Index {
 	ix.mu.RLock()
-	defer ix.mu.RUnlock()
 	out := New()
 	out.edges = ix.edges
 	for a, nbs := range ix.adj {
@@ -468,5 +572,9 @@ func (ix *Index) Clone() *Index {
 		}
 		out.adj[a] = m
 	}
+	ix.mu.RUnlock()
+	// The empty snapshot New installed does not describe the copied
+	// adjacency; freeze a real one so the replica reads lock-free at once.
+	out.RefreshSnapshot()
 	return out
 }

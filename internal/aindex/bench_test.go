@@ -66,6 +66,85 @@ func BenchmarkReach(b *testing.B) {
 	}
 }
 
+// BenchmarkReachSnapshot isolates the lock-free CSR fast path: the snapshot
+// is frozen up front, so every iteration is a pooled-scratch traversal.
+func BenchmarkReachSnapshot(b *testing.B) {
+	ix, keys := buildRandomIndex(5000, 1)
+	ix.RefreshSnapshot()
+	for _, level := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("level%d", level), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ix.Reach(keys[i%len(keys)], level)
+			}
+		})
+	}
+}
+
+// BenchmarkReachLockedFallback measures the pre-snapshot reference
+// traversal the fallback path still uses — the baseline BenchmarkReachSnapshot
+// is compared against.
+func BenchmarkReachLockedFallback(b *testing.B) {
+	ix, keys := buildRandomIndex(5000, 1)
+	for _, level := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("level%d", level), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ix.reachLocked(keys[i%len(keys)], level, nil)
+			}
+		})
+	}
+}
+
+// randomRelsBench produces the relation list buildRandomIndex would insert,
+// for loading benchmarks that need the relations themselves.
+func randomRelsBench(n int, seed int64) []core.PRelation {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]core.GlobalKey, n)
+	for i := range keys {
+		keys[i] = core.NewGlobalKey(fmt.Sprintf("db%d", i%7), "c", fmt.Sprintf("k%d", i))
+	}
+	var rels []core.PRelation
+	for i := 0; i < 2*n; i++ {
+		a := keys[rng.Intn(n)]
+		b := keys[rng.Intn(n)]
+		if a == b {
+			continue
+		}
+		typ := core.Matching
+		if rng.Intn(5) == 0 {
+			typ = core.Identity
+		}
+		rels = append(rels, core.PRelation{From: a, To: b, Type: typ, Prob: 0.6 + 0.4*rng.Float64()})
+	}
+	return rels
+}
+
+// BenchmarkBulkLoad compares the offline component-parallel load against the
+// sequential Insert loop it replaces.
+func BenchmarkBulkLoad(b *testing.B) {
+	rels := randomRelsBench(2000, 6)
+	b.Run("insert-loop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix := New()
+			for _, r := range rels {
+				if err := ix.Insert(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("bulkload", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := BulkLoad(rels); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkEdgesExport(b *testing.B) {
 	ix, _ := buildRandomIndex(5000, 2)
 	b.ReportAllocs()

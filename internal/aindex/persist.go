@@ -91,5 +91,8 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if err := scanner.Err(); err != nil {
 		return nil, err
 	}
+	// The loader bypassed Insert, so no mutation epochs advanced; freeze the
+	// snapshot once over the finished adjacency before handing the index out.
+	ix.RefreshSnapshot()
 	return ix, nil
 }

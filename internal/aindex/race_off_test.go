@@ -1,0 +1,5 @@
+//go:build !race
+
+package aindex
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package aindex
+
+// raceEnabled reports that this test binary was built with -race, which
+// instruments sync.Pool and skews allocation counts.
+const raceEnabled = true

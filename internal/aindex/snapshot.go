@@ -1,0 +1,383 @@
+// Read-optimized reachability snapshots.
+//
+// The mutable Index guards a map-of-maps adjacency with an RWMutex, and the
+// original Reach retook that lock and allocated per-hop maps on every call.
+// This file freezes the adjacency into a compressed-sparse-row (CSR) view —
+// dense int32 node ids, one offsets slice, neighbor/probability columns
+// sorted within each row — stamped with the mutation epoch it was built
+// from. Readers load the snapshot through an atomic pointer and traverse it
+// lock-free with a pooled, stamp-cleared visited table; the only allocation
+// on the fast path is the result slice.
+//
+// Mutations (Insert, InsertRaw, RemoveObject) bump the epoch inside their
+// critical section, which makes the current snapshot stale: Reach then falls
+// back to the locked map traversal — so lazy deletions take effect
+// immediately — and a single background goroutine rebuilds the snapshot
+// after a bounded debounce, coalescing mutation bursts into one rebuild.
+package aindex
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"quepa/internal/core"
+	"quepa/internal/telemetry"
+)
+
+// Snapshot-path instrumentation handles, resolved once.
+var (
+	snapshotRebuilds = telemetry.NewCounter("quepa_aindex_snapshot_rebuilds_total",
+		"CSR reachability snapshots rebuilt after index mutations")
+	reachSnapshot = telemetry.NewCounter("quepa_aindex_reach_snapshot_total",
+		"reachability lookups served lock-free from the CSR snapshot")
+	reachFallback = telemetry.NewCounter("quepa_aindex_reach_fallback_total",
+		"reachability lookups served by the locked traversal (snapshot stale)")
+)
+
+// defaultRebuildDebounce bounds how long a mutated index keeps serving
+// fallback traversals before the asynchronous rebuild freezes a fresh
+// snapshot. Long enough to coalesce a burst of inserts or lazy deletions
+// into one rebuild, short enough that read traffic is back on the lock-free
+// path almost immediately.
+const defaultRebuildDebounce = 2 * time.Millisecond
+
+// snapshot is a frozen CSR view of the adjacency at one mutation epoch.
+// Every field is immutable after construction; readers share the snapshot
+// through Index.snap with no synchronization beyond the atomic load.
+type snapshot struct {
+	epoch uint64
+	ids   map[core.GlobalKey]int32 // key -> dense node id
+	keys  []core.GlobalKey         // id -> key, sorted by key
+	off   []int32                  // CSR row offsets, len(keys)+1
+	nbr   []int32                  // neighbor ids, sorted within each row
+	prob  []float64                // edge probabilities, parallel to nbr
+	pool  sync.Pool                // *reachScratch sized for this snapshot
+}
+
+// buildSnapshot freezes the adjacency into CSR form. The caller must hold at
+// least the index read lock so the map and the epoch are a consistent pair.
+func buildSnapshot(adj map[core.GlobalKey]map[core.GlobalKey]edge, edges int, epoch uint64) *snapshot {
+	n := len(adj)
+	s := &snapshot{
+		epoch: epoch,
+		ids:   make(map[core.GlobalKey]int32, n),
+		keys:  make([]core.GlobalKey, 0, n),
+		off:   make([]int32, n+1),
+		nbr:   make([]int32, 0, 2*edges),
+		prob:  make([]float64, 0, 2*edges),
+	}
+	for k := range adj {
+		s.keys = append(s.keys, k)
+	}
+	sortKeys(s.keys)
+	for i, k := range s.keys {
+		s.ids[k] = int32(i)
+	}
+	for i, k := range s.keys {
+		row := len(s.nbr)
+		for b, e := range adj[k] {
+			s.nbr = append(s.nbr, s.ids[b])
+			s.prob = append(s.prob, e.prob)
+		}
+		sortRow(s.nbr[row:], s.prob[row:])
+		s.off[i+1] = int32(len(s.nbr))
+	}
+	return s
+}
+
+func sortKeys(keys []core.GlobalKey) {
+	// Insertion-based quicksort over the key order; rows reference ids, so
+	// the id assignment must be the sorted key order (deterministic layout).
+	for len(keys) > 16 {
+		mid, last := len(keys)/2, len(keys)-1
+		keys[mid], keys[last] = keys[last], keys[mid]
+		pivot := keys[last]
+		i := 0
+		for j := 0; j < last; j++ {
+			if keys[j].Compare(pivot) < 0 {
+				keys[i], keys[j] = keys[j], keys[i]
+				i++
+			}
+		}
+		keys[i], keys[last] = keys[last], keys[i]
+		if i < len(keys)-i-1 {
+			sortKeys(keys[:i])
+			keys = keys[i+1:]
+		} else {
+			sortKeys(keys[i+1:])
+			keys = keys[:i]
+		}
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j].Compare(keys[j-1]) < 0; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+}
+
+// sortRow co-sorts one CSR row by neighbor id. Rows are node degrees —
+// short in practice — so insertion sort handles the common case and a
+// quicksort pass splits larger rows first. Neighbor ids within a row are
+// distinct, so no equal-pivot pathology exists.
+func sortRow(ids []int32, probs []float64) {
+	for len(ids) > 24 {
+		p := partitionRow(ids, probs)
+		if p < len(ids)-p-1 {
+			sortRow(ids[:p], probs[:p])
+			ids, probs = ids[p+1:], probs[p+1:]
+		} else {
+			sortRow(ids[p+1:], probs[p+1:])
+			ids, probs = ids[:p], probs[:p]
+		}
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+			probs[j], probs[j-1] = probs[j-1], probs[j]
+		}
+	}
+}
+
+func partitionRow(ids []int32, probs []float64) int {
+	mid, last := len(ids)/2, len(ids)-1
+	ids[mid], ids[last] = ids[last], ids[mid]
+	probs[mid], probs[last] = probs[last], probs[mid]
+	pivot := ids[last]
+	i := 0
+	for j := 0; j < last; j++ {
+		if ids[j] < pivot {
+			ids[i], ids[j] = ids[j], ids[i]
+			probs[i], probs[j] = probs[j], probs[i]
+			i++
+		}
+	}
+	ids[i], ids[last] = ids[last], ids[i]
+	probs[i], probs[last] = probs[last], probs[i]
+	return i
+}
+
+// reachScratch is the reusable visited table of one snapshot traversal.
+// Stamps make clearing O(1): an entry of mark/nmark is live only while it
+// equals the current stamp, so consecutive traversals reuse the dense
+// arrays without zeroing them.
+type reachScratch struct {
+	prob     []float64 // best path probability per node
+	dist     []int32   // hop at which the node was first reached
+	mark     []uint32  // visited stamp
+	nmark    []uint32  // next-frontier membership stamp
+	npos     []int32   // position in the next frontier, valid under nmark
+	frontier []int32
+	fprob    []float64
+	next     []int32
+	nprob    []float64
+	seen     []int32 // visited nodes in discovery order (excludes the start)
+	stamp    uint32
+	nstamp   uint32
+}
+
+func (s *snapshot) getScratch() *reachScratch {
+	if sc, ok := s.pool.Get().(*reachScratch); ok {
+		return sc
+	}
+	n := len(s.keys)
+	// frontier/next/seen never exceed n entries (frontier membership is
+	// deduplicated per hop), so capacity n means no append ever grows them.
+	return &reachScratch{
+		prob:     make([]float64, n),
+		dist:     make([]int32, n),
+		mark:     make([]uint32, n),
+		nmark:    make([]uint32, n),
+		npos:     make([]int32, n),
+		frontier: make([]int32, 0, n),
+		fprob:    make([]float64, 0, n),
+		next:     make([]int32, 0, n),
+		nprob:    make([]float64, 0, n),
+		seen:     make([]int32, 0, n),
+	}
+}
+
+// reach runs the hop-synchronous best-path traversal over the frozen CSR
+// rows. It mirrors Index.reachLocked operation for operation — same hop
+// bound, same strict-improvement rule, same first-hop distance — so a query
+// answered from the snapshot is indistinguishable from one answered under
+// the lock. The caller guarantees level >= 0.
+func (s *snapshot) reach(gk core.GlobalKey, level int, stats *ReachStats) []Hit {
+	start, ok := s.ids[gk]
+	if !ok {
+		// The locked traversal still expands the unknown origin (one node,
+		// zero edges); keep the accounting identical.
+		if stats != nil {
+			stats.Nodes++
+		}
+		return nil
+	}
+	sc := s.getScratch()
+
+	if sc.stamp == math.MaxUint32 {
+		for i := range sc.mark {
+			sc.mark[i] = 0
+		}
+		sc.stamp = 0
+	}
+	sc.stamp++
+	sc.seen = sc.seen[:0]
+	sc.prob[start] = 1
+	sc.dist[start] = 0
+	sc.mark[start] = sc.stamp
+
+	frontier, fprob := sc.frontier[:0], sc.fprob[:0]
+	next, nprob := sc.next[:0], sc.nprob[:0]
+	frontier = append(frontier, start)
+	fprob = append(fprob, 1)
+
+	maxHops := level + 1
+	for hop := 1; hop <= maxHops && len(frontier) > 0; hop++ {
+		if sc.nstamp == math.MaxUint32 {
+			for i := range sc.nmark {
+				sc.nmark[i] = 0
+			}
+			sc.nstamp = 0
+		}
+		sc.nstamp++
+		next, nprob = next[:0], nprob[:0]
+		for k, cur := range frontier {
+			curProb := fprob[k]
+			lo, hi := s.off[cur], s.off[cur+1]
+			if stats != nil {
+				stats.Nodes++
+				stats.Edges += int(hi - lo)
+			}
+			for e := lo; e < hi; e++ {
+				nb := s.nbr[e]
+				p := curProb * s.prob[e]
+				if sc.mark[nb] != sc.stamp {
+					sc.mark[nb] = sc.stamp
+					sc.prob[nb] = p
+					sc.dist[nb] = int32(hop)
+					sc.seen = append(sc.seen, nb)
+				} else if p > sc.prob[nb] {
+					sc.prob[nb] = p
+					// dist keeps the first hop the node was seen at.
+				} else {
+					continue
+				}
+				// The node's best probability improved this hop: (re)join
+				// the next frontier carrying the current best.
+				if sc.nmark[nb] == sc.nstamp {
+					nprob[sc.npos[nb]] = sc.prob[nb]
+				} else {
+					sc.nmark[nb] = sc.nstamp
+					sc.npos[nb] = int32(len(next))
+					next = append(next, nb)
+					nprob = append(nprob, sc.prob[nb])
+				}
+			}
+		}
+		frontier, next = next, frontier
+		fprob, nprob = nprob, fprob
+	}
+	sc.frontier, sc.fprob, sc.next, sc.nprob = frontier, fprob, next, nprob
+
+	out := make([]Hit, 0, len(sc.seen))
+	for _, id := range sc.seen {
+		out = append(out, Hit{Key: s.keys[id], Prob: sc.prob[id], Dist: int(sc.dist[id])})
+	}
+	s.pool.Put(sc)
+	sortHits(out)
+	return out
+}
+
+// SnapshotInfo reports the state of the read-optimized snapshot for
+// diagnostics (GET /stats): whether it is current with the mutation epoch,
+// its size, and how many rebuilds this index has performed.
+type SnapshotInfo struct {
+	Fresh    bool   `json:"fresh"`
+	Epoch    uint64 `json:"epoch"`
+	Nodes    int    `json:"nodes"`
+	Edges    int    `json:"edges"`
+	Rebuilds uint64 `json:"rebuilds"`
+}
+
+// SnapshotInfo returns the current snapshot diagnostics.
+func (ix *Index) SnapshotInfo() SnapshotInfo {
+	info := SnapshotInfo{Rebuilds: ix.rebuilds.Load()}
+	if s := ix.snap.Load(); s != nil {
+		info.Epoch = s.epoch
+		info.Nodes = len(s.keys)
+		info.Edges = len(s.nbr) / 2
+		info.Fresh = s.epoch == ix.epoch.Load()
+	}
+	return info
+}
+
+// RefreshSnapshot synchronously freezes a fresh CSR snapshot from the
+// current adjacency. Bulk loaders call it once after installing everything;
+// the asynchronous rebuild loop calls it after the debounce. Concurrent
+// readers keep using the previous snapshot (or the locked fallback) until
+// the atomic store lands.
+func (ix *Index) RefreshSnapshot() {
+	ix.mu.RLock()
+	epoch := ix.epoch.Load() // under the lock: no mutator between this and the map read
+	s := buildSnapshot(ix.adj, ix.edges, epoch)
+	ix.mu.RUnlock()
+	ix.snap.Store(s)
+	ix.rebuilds.Add(1)
+	snapshotRebuilds.Inc()
+}
+
+// SetRebuildDebounce overrides the delay between a mutation and the
+// asynchronous snapshot rebuild. d <= 0 restores the default. Tests use
+// tiny values to force rebuild churn under load.
+func (ix *Index) SetRebuildDebounce(d time.Duration) {
+	ix.debounce.Store(int64(d))
+}
+
+func (ix *Index) rebuildDebounce() time.Duration {
+	if d := ix.debounce.Load(); d > 0 {
+		return time.Duration(d)
+	}
+	return defaultRebuildDebounce
+}
+
+// scheduleRebuild makes sure an asynchronous rebuild is on its way: it
+// starts the single rebuild goroutine, or flags a re-run if one is already
+// working. Mutators call it after releasing the write lock.
+func (ix *Index) scheduleRebuild() {
+	ix.rebuildMu.Lock()
+	if ix.rebuildRunning {
+		ix.rebuildPending = true
+		ix.rebuildMu.Unlock()
+		return
+	}
+	ix.rebuildRunning = true
+	ix.rebuildMu.Unlock()
+	go ix.rebuildLoop()
+}
+
+// rebuildLoop sleeps out the debounce (coalescing a burst of mutations into
+// one rebuild), freezes a fresh snapshot, and exits once the snapshot has
+// caught up with the mutation epoch and nobody re-scheduled meanwhile. A
+// mutator that slips in after the staleness check below either sees
+// rebuildRunning still true (and sets rebuildPending before we re-check) or
+// finds rebuildRunning false and starts a new loop — no wakeup is lost.
+func (ix *Index) rebuildLoop() {
+	for {
+		time.Sleep(ix.rebuildDebounce())
+		ix.RefreshSnapshot()
+		ix.rebuildMu.Lock()
+		pending := ix.rebuildPending
+		ix.rebuildPending = false
+		if !pending && !ix.snapshotStale() {
+			ix.rebuildRunning = false
+			ix.rebuildMu.Unlock()
+			return
+		}
+		ix.rebuildMu.Unlock()
+	}
+}
+
+func (ix *Index) snapshotStale() bool {
+	s := ix.snap.Load()
+	return s == nil || s.epoch != ix.epoch.Load()
+}

@@ -1,0 +1,299 @@
+package aindex
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"quepa/internal/core"
+	"quepa/internal/telemetry"
+)
+
+// waitFresh blocks until the asynchronous rebuild catches the snapshot up
+// with the mutation epoch (or the deadline passes).
+func waitFresh(t *testing.T, ix *Index) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if ix.SnapshotInfo().Fresh {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("snapshot never caught up with the mutation epoch")
+}
+
+// TestSnapshotReachMatchesLocked pins the tentpole read-path invariant: the
+// lock-free CSR traversal returns exactly the hits and work stats of the
+// locked reference traversal, for every origin and level, across seeds.
+func TestSnapshotReachMatchesLocked(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		ix, keys := buildRandomIndexT(t, 150, seed)
+		ix.RefreshSnapshot()
+		s := ix.snap.Load()
+		if s == nil || s.epoch != ix.epoch.Load() {
+			t.Fatal("refreshed snapshot not fresh")
+		}
+		for _, level := range []int{0, 1, 2, 3} {
+			for _, k := range keys {
+				var ls, ss ReachStats
+				locked := ix.reachLocked(k, level, &ls)
+				snap := s.reach(k, level, &ss)
+				if len(locked) != len(snap) {
+					t.Fatalf("seed %d key %v level %d: %d snapshot hits, %d locked",
+						seed, k, level, len(snap), len(locked))
+				}
+				for i := range locked {
+					if locked[i] != snap[i] {
+						t.Fatalf("seed %d key %v level %d hit %d: snapshot %+v, locked %+v",
+							seed, k, level, i, snap[i], locked[i])
+					}
+				}
+				if ss.Nodes != ls.Nodes || ss.Edges != ls.Edges {
+					t.Fatalf("seed %d key %v level %d: snapshot stats %+v, locked %+v",
+						seed, k, level, ss, ls)
+				}
+			}
+		}
+		// Unknown origin: same accounting as the locked traversal.
+		var ss ReachStats
+		if hits := s.reach(core.NewGlobalKey("no", "such", "key"), 2, &ss); len(hits) != 0 || ss.Nodes != 1 || ss.Edges != 0 {
+			t.Errorf("seed %d unknown origin: hits=%v stats=%+v", seed, hits, ss)
+		}
+	}
+}
+
+// TestSnapshotStalenessAndFallback walks the freshness state machine: a
+// mutation makes the snapshot stale (Reach falls back to the locked path and
+// sees the mutation immediately), a refresh puts reads back on the lock-free
+// path with identical results.
+func TestSnapshotStalenessAndFallback(t *testing.T) {
+	ix := New()
+	// Park the async rebuild so this test controls freshness on its own.
+	ix.SetRebuildDebounce(time.Hour)
+	a := core.NewGlobalKey("db1", "c", "a")
+	b := core.NewGlobalKey("db2", "c", "b")
+	c := core.NewGlobalKey("db3", "c", "c")
+	if err := ix.Insert(core.NewIdentity(a, b, 0.9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(core.NewMatching(b, c, 0.7)); err != nil {
+		t.Fatal(err)
+	}
+
+	if ix.SnapshotInfo().Fresh {
+		t.Fatal("snapshot fresh right after mutations with rebuild parked")
+	}
+	hits, st := ix.ReachWithStats(a, 1)
+	if st.Snapshot {
+		t.Error("stale snapshot served a traversal")
+	}
+	if len(hits) != 2 {
+		t.Fatalf("fallback reach = %v, want 2 hits", hits)
+	}
+
+	ix.RefreshSnapshot()
+	if !ix.SnapshotInfo().Fresh {
+		t.Fatal("snapshot stale right after RefreshSnapshot")
+	}
+	hits2, st2 := ix.ReachWithStats(a, 1)
+	if !st2.Snapshot {
+		t.Error("fresh snapshot not used")
+	}
+	if len(hits2) != len(hits) {
+		t.Fatalf("snapshot reach = %v, fallback was %v", hits2, hits)
+	}
+	for i := range hits {
+		if hits[i] != hits2[i] {
+			t.Errorf("hit %d: snapshot %+v, fallback %+v", i, hits2[i], hits[i])
+		}
+	}
+
+	// Lazy deletion must take effect immediately, before any rebuild.
+	if !ix.RemoveObject(b) {
+		t.Fatal("RemoveObject(b) = false")
+	}
+	hits3, st3 := ix.ReachWithStats(a, 1)
+	if st3.Snapshot {
+		t.Error("stale snapshot served a traversal after removal")
+	}
+	for _, h := range hits3 {
+		if h.Key == b {
+			t.Errorf("removed object still reachable: %v", hits3)
+		}
+	}
+}
+
+// TestSnapshotRebuildAsync verifies the debounced background rebuild lands on
+// its own after mutations, without any explicit RefreshSnapshot call.
+func TestSnapshotRebuildAsync(t *testing.T) {
+	ix := New()
+	a := core.NewGlobalKey("db1", "c", "a")
+	b := core.NewGlobalKey("db2", "c", "b")
+	if err := ix.Insert(core.NewMatching(a, b, 0.8)); err != nil {
+		t.Fatal(err)
+	}
+	waitFresh(t, ix)
+	if _, st := ix.ReachWithStats(a, 0); !st.Snapshot {
+		t.Error("reach not on the snapshot path after the async rebuild")
+	}
+	info := ix.SnapshotInfo()
+	if info.Nodes != 2 || info.Edges != 1 || info.Rebuilds == 0 {
+		t.Errorf("snapshot info = %+v", info)
+	}
+}
+
+// TestReachDuringRebuildChurn hammers lock-free readers against concurrent
+// mutators and snapshot rebuilds (run under -race). A nanosecond debounce
+// forces a rebuild after virtually every mutation.
+func TestReachDuringRebuildChurn(t *testing.T) {
+	ix := New()
+	ix.SetRebuildDebounce(time.Nanosecond)
+	keys := make([]core.GlobalKey, 64)
+	for i := range keys {
+		keys[i] = core.NewGlobalKey(fmt.Sprintf("db%d", i%5), "c", fmt.Sprintf("k%d", i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 300; i++ {
+				if rng.Intn(10) == 0 {
+					ix.RemoveObject(keys[rng.Intn(len(keys))])
+					continue
+				}
+				a, b := keys[rng.Intn(len(keys))], keys[rng.Intn(len(keys))]
+				if a == b {
+					continue
+				}
+				typ := core.Matching
+				if rng.Intn(3) == 0 {
+					typ = core.Identity
+				}
+				ix.Insert(core.PRelation{From: a, To: b, Type: typ, Prob: 0.5 + rng.Float64()/2})
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for i := 0; i < 500; i++ {
+				k := keys[rng.Intn(len(keys))]
+				level := rng.Intn(3)
+				if rng.Intn(2) == 0 {
+					ix.Reach(k, level)
+				} else {
+					hits, _ := ix.ReachWithStats(k, level)
+					for j := 1; j < len(hits); j++ {
+						if hitLess(hits[j], hits[j-1]) {
+							t.Errorf("unsorted hits under churn: %+v", hits)
+						}
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// After the dust settles the snapshot must converge and agree with the
+	// locked traversal.
+	ix.RefreshSnapshot()
+	s := ix.snap.Load()
+	for _, k := range keys {
+		var ls, ss ReachStats
+		locked := ix.reachLocked(k, 2, &ls)
+		snap := s.reach(k, 2, &ss)
+		if len(locked) != len(snap) {
+			t.Fatalf("post-churn divergence at %v: %d vs %d hits", k, len(snap), len(locked))
+		}
+		for i := range locked {
+			if locked[i] != snap[i] {
+				t.Fatalf("post-churn hit %d at %v: %+v vs %+v", i, k, snap[i], locked[i])
+			}
+		}
+	}
+}
+
+// TestSnapshotReachAllocs is the kill switch for the lock-free fast path:
+// a snapshot Reach must allocate nothing beyond the result slice. A
+// regression (lost pooling, map rebuilds, sort.Slice creeping back in) fails
+// this immediately.
+func TestSnapshotReachAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instruments sync.Pool and skews allocation counts")
+	}
+	prev := telemetry.SetEnabled(false)
+	defer telemetry.SetEnabled(prev)
+
+	ix, keys := buildRandomIndexT(t, 500, 9)
+	// Let pending debounced rebuilds drain, then freeze the final snapshot:
+	// AllocsPerRun reads the global allocation counter, so no background
+	// rebuild may run while it measures.
+	waitFresh(t, ix)
+	time.Sleep(20 * time.Millisecond)
+	ix.RefreshSnapshot()
+	k := keys[3]
+	if _, st := ix.ReachWithStats(k, 1); !st.Snapshot {
+		t.Fatal("fast path not active")
+	}
+	ix.Reach(k, 1) // warm the scratch pool
+
+	for _, level := range []int{0, 1, 2} {
+		avg := testing.AllocsPerRun(100, func() {
+			ix.Reach(k, level)
+		})
+		// One alloc for the result slice; header-growth slack only.
+		if avg > 2 {
+			t.Errorf("level %d: snapshot Reach allocates %.1f/op, want <= 2", level, avg)
+		}
+	}
+}
+
+// TestScratchStampWraparound drives the visited stamps across the uint32
+// wraparound boundary: traversals must stay correct when the stamp resets
+// and the mark arrays are re-zeroed.
+func TestScratchStampWraparound(t *testing.T) {
+	ix, keys := buildRandomIndexT(t, 40, 4)
+	ix.RefreshSnapshot()
+	s := ix.snap.Load()
+
+	want := s.reach(keys[0], 2, nil)
+	sc := s.getScratch()
+	sc.stamp = math.MaxUint32 - 1
+	sc.nstamp = math.MaxUint32 - 1
+	// Poison the mark arrays with values a lapsed stamp could collide with.
+	for i := range sc.mark {
+		sc.mark[i] = 1
+		sc.nmark[i] = 1
+	}
+	s.pool.Put(sc)
+
+	for round := 0; round < 4; round++ { // crosses MaxUint32 on round 2
+		got := s.reach(keys[0], 2, nil)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d hits, want %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d hit %d: %+v, want %+v", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestReachNegativeLevel pins the guard shared by both paths.
+func TestReachNegativeLevel(t *testing.T) {
+	ix, keys := buildRandomIndexT(t, 10, 2)
+	if hits := ix.Reach(keys[0], -1); hits != nil {
+		t.Errorf("Reach(level -1) = %v, want nil", hits)
+	}
+}

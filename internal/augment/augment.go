@@ -394,7 +394,7 @@ func (a *Augmenter) buildPlan(rec *explain.Recorder, origins []core.Object, leve
 	for _, o := range origins {
 		originSet[o.GK] = true
 	}
-	var nodes, edges, skipped int
+	var nodes, edges, skipped, snapshots int
 	for _, o := range origins {
 		var mine []core.GlobalKey
 		var hits []aindex.Hit
@@ -405,6 +405,9 @@ func (a *Augmenter) buildPlan(rec *explain.Recorder, origins []core.Object, leve
 			hits, st = a.index.ReachWithStats(o.GK, level)
 			nodes += st.Nodes
 			edges += st.Edges
+			if st.Snapshot {
+				snapshots++
+			}
 		}
 		for _, h := range hits {
 			if originSet[h.Key] {
@@ -426,6 +429,7 @@ func (a *Augmenter) buildPlan(rec *explain.Recorder, origins []core.Object, leve
 	}
 	if rec != nil {
 		rec.PlanStats(len(p.order), nodes, edges, skipped)
+		rec.SnapshotReaches(snapshots)
 	}
 	return p
 }

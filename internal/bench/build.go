@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"quepa/internal/collector"
+	"quepa/internal/core"
+	"quepa/internal/middleware"
+	"quepa/internal/workload"
+)
+
+// This file measures A' construction (the paper's Section VII cost
+// discussion): the collector pipeline — blocking, pairwise scoring,
+// thresholding, dedupe — plus the bulk load into the index, swept over
+// object count × scoring workers. It is the build-time companion of the
+// query-time figures: the "build" id is not a paper figure but the
+// construction experiment EXPERIMENTS.md tracks across PRs.
+
+// buildScales are the workload scale factors swept by FigBuild, chosen so
+// the largest run scores a few hundred thousand pairs in seconds.
+func (o Options) buildScales() []float64 {
+	if o.Quick {
+		return []float64{0.05}
+	}
+	return []float64{0.05, 0.1, 0.2}
+}
+
+// buildWorkers is the scoring-worker sweep. Worker counts beyond the
+// machine's cores still run (goroutines timeshare), making the series
+// comparable across hosts.
+func (o Options) buildWorkers() []int {
+	if o.Quick {
+		return []int{1, 2}
+	}
+	return []int{1, 2, 4, 8}
+}
+
+// FigBuild regenerates the construction-time sweep: for each polystore
+// size, the full BuildIndex wall time per worker count. Series are
+// "workers=N", X is the scanned object count, Size is the number of
+// p-relations discovered (identical across worker counts by construction —
+// the run fails if not).
+func FigBuild(o Options) ([]Point, error) {
+	o = o.withDefaults()
+	ctx := context.Background()
+	var points []Point
+	for _, scale := range o.buildScales() {
+		spec := workload.DefaultSpec().Scale(scale)
+		spec.Seed = o.Seed
+		built, err := workload.Build(spec, workload.Colocated())
+		if err != nil {
+			return nil, err
+		}
+		var objects []core.Object
+		for _, name := range built.Databases() {
+			s, err := built.Poly.Database(name)
+			if err != nil {
+				return nil, err
+			}
+			objs, err := middleware.ScanAll(ctx, s)
+			if err != nil {
+				return nil, err
+			}
+			objects = append(objects, objs...)
+		}
+
+		var reference []core.PRelation
+		for _, workers := range o.buildWorkers() {
+			cfg := collector.DefaultConfig()
+			cfg.IdentityThreshold, cfg.MatchingThreshold = 0.55, 0.30
+			cfg.Workers = workers
+			coll, err := collector.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			_, rels, stats, err := coll.BuildIndexWithStats(ctx, objects)
+			elapsed := time.Since(start)
+			if err != nil {
+				return nil, err
+			}
+			// Guard the tentpole invariant inside the benchmark itself: the
+			// worker count must not change the discovered relations.
+			if reference == nil {
+				reference = rels
+			} else if !equalRels(reference, rels) {
+				return nil, fmt.Errorf("bench build: %d workers changed the output (%d rels vs %d)",
+					workers, len(rels), len(reference))
+			}
+			points = append(points, Point{
+				Figure: "build",
+				Series: fmt.Sprintf("workers=%d", workers),
+				XLabel: "objects",
+				X:      float64(len(objects)),
+				Millis: ms(elapsed),
+				Size:   stats.Relations(),
+			})
+		}
+	}
+	return points, nil
+}
+
+func equalRels(a, b []core.PRelation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

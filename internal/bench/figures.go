@@ -248,12 +248,13 @@ func Fig11ef(o Options) ([]Point, error) {
 	return points, nil
 }
 
-// FigureNames lists the figure ids the harness can regenerate. "cache" and
-// "ablation" are experiments beyond the paper's plotted figures: the
-// memory-based study Section VII-B(c) describes without a plot, and the
-// consistency-materialization ablation.
+// FigureNames lists the figure ids the harness can regenerate. "cache",
+// "ablation" and "build" are experiments beyond the paper's plotted
+// figures: the memory-based study Section VII-B(c) describes without a
+// plot, the consistency-materialization ablation, and the A' construction
+// sweep (object count × collector workers).
 func FigureNames() []string {
-	return []string{"9", "10ab", "10cd", "11ab", "11cd", "11ef", "12", "13ab", "13cd", "cache", "ablation"}
+	return []string{"9", "10ab", "10cd", "11ab", "11cd", "11ef", "12", "13ab", "13cd", "cache", "ablation", "build"}
 }
 
 // Run executes one figure by id.
@@ -281,6 +282,8 @@ func Run(id string, o Options) ([]Point, error) {
 		return ExtraCache(o)
 	case "ablation":
 		return ExtraAblation(o)
+	case "build":
+		return FigBuild(o)
 	default:
 		return nil, fmt.Errorf("bench: unknown figure %q (known: %v)", id, FigureNames())
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"quepa/internal/aindex"
 	"quepa/internal/core"
@@ -24,6 +25,15 @@ type Config struct {
 	// default ensemble with uniform weights.
 	Comparators []Comparator
 	Weights     []float64
+	// Workers is the number of goroutines scoring candidate pairs (0 selects
+	// GOMAXPROCS, 1 forces a sequential run). The worker count never changes
+	// the output — only the wall time.
+	Workers int
+	// Progress, when non-nil, is called as scored blocks complete, at most
+	// once per decile of the total pair count, with the number of blocks
+	// fully scored so far and the total. Calls are serialized but may come
+	// from scoring goroutines.
+	Progress func(done, total int)
 }
 
 // DefaultConfig mirrors the paper's thresholds.
@@ -92,6 +102,14 @@ func (c *Collector) Score(a, b core.Object) float64 {
 // non-discriminating (frequency-based stop tokens). The result maps each
 // blocking token to the indexes of its objects, in deterministic order.
 func (c *Collector) Blocks(objects []core.Object) map[string][]int {
+	blocks, _ := c.blocks(objects)
+	return blocks
+}
+
+// blocks is Blocks plus a count of the oversized blocks dropped (the
+// telemetry and build stats distinguish them from the sub-2-member blocks,
+// which carry no candidate pairs to lose).
+func (c *Collector) blocks(objects []core.Object) (map[string][]int, int) {
 	byToken := map[string][]int{}
 	for i, o := range objects {
 		seen := map[string]bool{}
@@ -102,67 +120,30 @@ func (c *Collector) Blocks(objects []core.Object) map[string][]int {
 			}
 		}
 	}
+	dropped := 0
 	for tok, members := range byToken {
-		if len(members) < 2 || len(members) > c.cfg.MaxBlockSize {
+		if len(members) > c.cfg.MaxBlockSize {
+			dropped++
+			delete(byToken, tok)
+			continue
+		}
+		if len(members) < 2 {
 			delete(byToken, tok)
 			continue
 		}
 		sort.Ints(members)
 	}
-	return byToken
+	return byToken, dropped
 }
 
 // Run executes the full pipeline — blocking, pairwise matching,
 // thresholding and local deduplication — and returns the discovered
-// p-relations, deterministically ordered.
+// p-relations, deterministically ordered. Scoring is spread over
+// Config.Workers goroutines; the output is identical for every worker
+// count.
 func (c *Collector) Run(ctx context.Context, objects []core.Object) ([]core.PRelation, error) {
-	blocks := c.Blocks(objects)
-
-	type pair struct{ i, j int }
-	scored := map[pair]float64{}
-	tokens := make([]string, 0, len(blocks))
-	for tok := range blocks {
-		tokens = append(tokens, tok)
-	}
-	sort.Strings(tokens)
-	for _, tok := range tokens {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		members := blocks[tok]
-		for x := 0; x < len(members); x++ {
-			for y := x + 1; y < len(members); y++ {
-				p := pair{members[x], members[y]}
-				if _, done := scored[p]; done {
-					continue
-				}
-				a, b := objects[p.i], objects[p.j]
-				if a.GK == b.GK {
-					continue
-				}
-				scored[p] = c.Score(a, b)
-			}
-		}
-	}
-
-	var rels []core.PRelation
-	for p, score := range scored {
-		a, b := objects[p.i], objects[p.j]
-		switch {
-		case score >= c.cfg.IdentityThreshold:
-			rels = append(rels, core.NewIdentity(a.GK, b.GK, clampProb(score)))
-		case score >= c.cfg.MatchingThreshold:
-			rels = append(rels, core.NewMatching(a.GK, b.GK, clampProb(score)))
-		}
-	}
-	rels = c.dedupeIdentities(rels)
-	sort.Slice(rels, func(i, j int) bool {
-		if c := rels[i].From.Compare(rels[j].From); c != 0 {
-			return c < 0
-		}
-		return rels[i].To.Compare(rels[j].To) < 0
-	})
-	return rels, nil
+	rels, _, err := c.RunWithStats(ctx, objects)
+	return rels, err
 }
 
 func clampProb(p float64) float64 {
@@ -229,16 +210,26 @@ func (c *Collector) dedupeIdentities(rels []core.PRelation) []core.PRelation {
 }
 
 // BuildIndex runs the pipeline and loads the result into a fresh A' index.
+// Loading goes through aindex.BulkLoad: the consistency-condition closure is
+// computed offline per connected component and the adjacency installed in
+// one locked swap, instead of one locked Insert per relation.
 func (c *Collector) BuildIndex(ctx context.Context, objects []core.Object) (*aindex.Index, []core.PRelation, error) {
-	rels, err := c.Run(ctx, objects)
+	ix, rels, _, err := c.BuildIndexWithStats(ctx, objects)
+	return ix, rels, err
+}
+
+// BuildIndexWithStats is BuildIndex plus a summary of the build work.
+// Elapsed covers the whole build, bulk load included.
+func (c *Collector) BuildIndexWithStats(ctx context.Context, objects []core.Object) (*aindex.Index, []core.PRelation, BuildStats, error) {
+	start := time.Now()
+	rels, stats, err := c.RunWithStats(ctx, objects)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, stats, err
 	}
-	ix := aindex.New()
-	for _, r := range rels {
-		if err := ix.Insert(r); err != nil {
-			return nil, nil, fmt.Errorf("collector: inserting %v: %w", r, err)
-		}
+	ix, err := aindex.BulkLoadWorkers(rels, c.cfg.Workers)
+	if err != nil {
+		return nil, nil, stats, fmt.Errorf("collector: bulk load: %w", err)
 	}
-	return ix, rels, nil
+	stats.Elapsed = time.Since(start)
+	return ix, rels, stats, nil
 }

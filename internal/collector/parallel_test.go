@@ -1,0 +1,209 @@
+package collector
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"quepa/internal/core"
+)
+
+// randomObjects generates n objects across three databases with overlapping
+// token vocabularies, so blocking produces shared blocks, pairs duplicated
+// across blocks, and near-identical objects for the dedupe rule to rank.
+func randomObjects(n int, seed int64) []core.Object {
+	rng := rand.New(rand.NewSource(seed))
+	words := []string{"cure", "wish", "radiohead", "computer", "dummy",
+		"portishead", "parade", "mirror", "garden", "echo", "horizon", "velvet"}
+	datasets := []string{"transactions.inventory", "catalogue.albums", "discount.drop"}
+	out := make([]core.Object, 0, n)
+	for i := 0; i < n; i++ {
+		gk := core.MustParseGlobalKey(fmt.Sprintf("%s.o%d", datasets[i%len(datasets)], i))
+		out = append(out, core.NewObject(gk, map[string]string{
+			"title":  words[rng.Intn(len(words))] + " " + words[rng.Intn(len(words))],
+			"artist": words[rng.Intn(len(words))],
+			"price":  fmt.Sprintf("%d.5", rng.Intn(30)),
+		}))
+	}
+	return out
+}
+
+// referenceRun is an independent transliteration of the sequential pipeline:
+// sorted blocking tokens, block-position pair order, first occurrence wins,
+// threshold in enumeration order, then dedupe and the final sort. The
+// chunked parallel pipeline must reproduce its output byte for byte.
+func referenceRun(c *Collector, objects []core.Object) []core.PRelation {
+	blocks := c.Blocks(objects)
+	tokens := make([]string, 0, len(blocks))
+	for tok := range blocks {
+		tokens = append(tokens, tok)
+	}
+	sort.Strings(tokens)
+	type pair struct{ i, j int }
+	seen := map[pair]bool{}
+	var rels []core.PRelation
+	for _, tok := range tokens {
+		members := blocks[tok]
+		for x := 0; x < len(members); x++ {
+			for y := x + 1; y < len(members); y++ {
+				p := pair{members[x], members[y]}
+				if seen[p] {
+					continue
+				}
+				seen[p] = true
+				a, b := objects[p.i], objects[p.j]
+				if a.GK == b.GK {
+					continue
+				}
+				score := c.Score(a, b)
+				switch {
+				case score >= c.cfg.IdentityThreshold:
+					rels = append(rels, core.NewIdentity(a.GK, b.GK, clampProb(score)))
+				case score >= c.cfg.MatchingThreshold:
+					rels = append(rels, core.NewMatching(a.GK, b.GK, clampProb(score)))
+				}
+			}
+		}
+	}
+	rels = c.dedupeIdentities(rels)
+	sort.Slice(rels, func(i, j int) bool {
+		if cmp := rels[i].From.Compare(rels[j].From); cmp != 0 {
+			return cmp < 0
+		}
+		return rels[i].To.Compare(rels[j].To) < 0
+	})
+	return rels
+}
+
+// TestParallelRunMatchesSequential pins the tentpole invariant: the chunked
+// parallel pipeline produces relations byte-identical (keys, types and
+// float64 probabilities compared exactly) to the sequential reference, for
+// every worker count, across seeds.
+func TestParallelRunMatchesSequential(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 7, 42} {
+		objects := randomObjects(120, seed)
+		for _, workers := range []int{1, 2, 5, 9} {
+			cfg := DefaultConfig()
+			cfg.IdentityThreshold = 0.5
+			cfg.MatchingThreshold = 0.2
+			cfg.Workers = workers
+			c, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := referenceRun(c, objects)
+			got, stats, err := c.RunWithStats(ctx, objects)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed %d workers %d: %d rels, want %d", seed, workers, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d workers %d: rel %d = %+v, want %+v", seed, workers, i, got[i], want[i])
+				}
+			}
+			if stats.Relations() != len(got) {
+				t.Errorf("stats count %d relations, got %d", stats.Relations(), len(got))
+			}
+		}
+	}
+}
+
+func TestRunWithStats(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IdentityThreshold = 0.5
+	cfg.MatchingThreshold = 0.2
+	cfg.Workers = 3
+	c, _ := New(cfg)
+	rels, stats, err := c.RunWithStats(ctx, fixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Objects != len(fixture()) {
+		t.Errorf("Objects = %d, want %d", stats.Objects, len(fixture()))
+	}
+	if stats.Blocks == 0 || stats.PairsScored == 0 {
+		t.Errorf("empty work summary: %+v", stats)
+	}
+	if stats.Workers < 1 || stats.Workers > 3 {
+		t.Errorf("Workers = %d outside [1, 3]", stats.Workers)
+	}
+	if stats.Relations() != len(rels) {
+		t.Errorf("Relations() = %d for %d rels", stats.Relations(), len(rels))
+	}
+	if stats.Elapsed <= 0 {
+		t.Errorf("Elapsed = %v", stats.Elapsed)
+	}
+}
+
+func TestBlocksDroppedCount(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxBlockSize = 2
+	c, _ := New(cfg)
+	_, dropped := c.blocks(fixture())
+	if dropped == 0 {
+		t.Error("fixture has a 3-member 'cure' block; MaxBlockSize 2 should drop it")
+	}
+}
+
+// TestProgressDeciles verifies the progress callback fires at most once per
+// decile, with monotonically increasing completed-block counts, ending at
+// the full block count.
+func TestProgressDeciles(t *testing.T) {
+	var mu sync.Mutex
+	var calls [][2]int
+	cfg := DefaultConfig()
+	cfg.IdentityThreshold = 0.5
+	cfg.MatchingThreshold = 0.2
+	cfg.Workers = 1
+	cfg.Progress = func(done, total int) {
+		mu.Lock()
+		calls = append(calls, [2]int{done, total})
+		mu.Unlock()
+	}
+	c, _ := New(cfg)
+	objects := randomObjects(120, 5)
+	if _, _, err := c.RunWithStats(ctx, objects); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) == 0 || len(calls) > 10 {
+		t.Fatalf("%d progress calls, want 1..10", len(calls))
+	}
+	total := calls[0][1]
+	prev := -1
+	for _, call := range calls {
+		if call[1] != total {
+			t.Errorf("total changed mid-run: %v", calls)
+		}
+		if call[0] < prev {
+			t.Errorf("done went backwards: %v", calls)
+		}
+		prev = call[0]
+	}
+	if last := calls[len(calls)-1]; last[0] != last[1] {
+		t.Errorf("final progress %d/%d, want completion", last[0], last[1])
+	}
+}
+
+// TestCancellationMidScoring cancels the context from the first progress
+// callback — i.e. while workers are mid-pipeline — and expects the error to
+// propagate out of every worker within a chunk's worth of pairs.
+func TestCancellationMidScoring(t *testing.T) {
+	cctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := DefaultConfig()
+	cfg.IdentityThreshold = 0.5
+	cfg.MatchingThreshold = 0.2
+	cfg.Workers = 2
+	cfg.Progress = func(done, total int) { cancel() }
+	c, _ := New(cfg)
+	objects := randomObjects(200, 11)
+	if _, _, err := c.RunWithStats(cctx, objects); err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}

@@ -140,6 +140,19 @@ func (r *Recorder) PlanStats(candidates, nodes, edges, skipped int) {
 	r.mu.Unlock()
 }
 
+// SnapshotReaches records how many of the plan's reachability lookups were
+// served from the A' index's read-optimized snapshot.
+func (r *Recorder) SnapshotReaches(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.cur != nil {
+		r.cur.SnapshotReaches += n
+	}
+	r.mu.Unlock()
+}
+
 // CacheHits attributes n object-cache hits to this query.
 func (r *Recorder) CacheHits(n int) {
 	if r == nil || n == 0 {

@@ -89,20 +89,24 @@ type ChosenConfig struct {
 // AugmentationTrace is the record of one α^n application: the index work
 // that planned it, the cache traffic and per-store fan-out that executed it.
 type AugmentationTrace struct {
-	Level          int     `json:"level"`
-	Strategy       string  `json:"strategy"`
-	Origins        int     `json:"origins"`
-	CandidateKeys  int     `json:"candidate_keys"`
-	IndexNodes     int     `json:"index_nodes"`
-	IndexEdges     int     `json:"index_edges"`
-	OriginsSkipped int     `json:"origins_skipped"`
-	CacheHits      int     `json:"cache_hits"`
-	CacheMisses    int     `json:"cache_misses"`
-	CoalescedHits  int     `json:"coalesced_hits,omitempty"`
-	NegativeHits   int     `json:"negative_hits,omitempty"`
-	Fetched        int     `json:"fetched"`
-	WallMS         float64 `json:"wall_ms"`
-	Error          string  `json:"error,omitempty"`
+	Level          int    `json:"level"`
+	Strategy       string `json:"strategy"`
+	Origins        int    `json:"origins"`
+	CandidateKeys  int    `json:"candidate_keys"`
+	IndexNodes     int    `json:"index_nodes"`
+	IndexEdges     int    `json:"index_edges"`
+	OriginsSkipped int    `json:"origins_skipped"`
+	// SnapshotReaches counts the reachability lookups of this augmentation
+	// that were served lock-free from the A' index's CSR snapshot (the rest
+	// fell back to the locked traversal because a mutation was in flight).
+	SnapshotReaches int     `json:"snapshot_reaches,omitempty"`
+	CacheHits       int     `json:"cache_hits"`
+	CacheMisses     int     `json:"cache_misses"`
+	CoalescedHits   int     `json:"coalesced_hits,omitempty"`
+	NegativeHits    int     `json:"negative_hits,omitempty"`
+	Fetched         int     `json:"fetched"`
+	WallMS          float64 `json:"wall_ms"`
+	Error           string  `json:"error,omitempty"`
 
 	Stores []StoreFanout `json:"stores,omitempty"`
 	// Degraded lists stores whose contribution this augmentation dropped

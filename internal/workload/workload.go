@@ -159,6 +159,10 @@ func Build(spec Spec, deploy Deployment) (*Built, error) {
 			return nil, err
 		}
 	}
+	// Freeze the reachability snapshot over the finished index so the first
+	// queries (and the benchmarks) read lock-free instead of waiting out the
+	// debounced rebuild the generation inserts scheduled.
+	b.Index.RefreshSnapshot()
 	return b, nil
 }
 
