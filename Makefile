@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-hotpath bench-build bench-compare chaos fuzz figures clean
+.PHONY: all build vet test race cover bench bench-hotpath bench-build bench-compare bench-recovery chaos crashtest fuzz figures clean
 
 all: build vet test
 
@@ -56,11 +56,27 @@ bench-compare:
 	$(GO) run ./cmd/quepa-bench -fig 9 -best-of 3 -json bench_ci.json -label ci > /dev/null
 	$(GO) run ./cmd/quepa-bench -compare $(BASELINE) -tolerance 0.30 bench_ci.json
 
-# Short fuzzing pass over the parsers.
+# Crash-recovery suite: SIGKILL a re-exec'd process mid-write (both the raw
+# WAL writer and a live quepa-server under load) and verify the reopened data
+# dir holds exactly a committed prefix — at least everything acknowledged
+# under fsync=always. Repeated runs catch timing-dependent torn tails.
+crashtest:
+	$(GO) test -run 'TestCrashRecovery|TestServerCrashRecovery' -count=3 ./internal/wal/ ./cmd/quepa-server/
+	$(GO) test -run 'TestTorn' ./internal/wal/
+
+# Recovery-vs-recollection sweep: checkpoint load + log-tail replay must beat
+# re-running the collector by a wide margin at every scale, and the recovered
+# index must be byte-identical to the pre-crash one (the figure fails if not).
+bench-recovery:
+	$(GO) run ./cmd/quepa-bench -fig recovery
+
+# Short fuzzing pass over the parsers and the index persistence formats.
 fuzz:
 	$(GO) test ./internal/core -fuzz=FuzzParseGlobalKey -fuzztime=15s -run='^$$'
 	$(GO) test ./internal/stores/relstore -fuzz=FuzzParse -fuzztime=15s -run='^$$'
 	$(GO) test ./internal/stores/docstore -fuzz=FuzzParseFilter -fuzztime=15s -run='^$$'
+	$(GO) test ./internal/aindex -fuzz=FuzzJSONRoundTrip -fuzztime=15s -run='^$$'
+	$(GO) test ./internal/aindex -fuzz=FuzzReadSnapshot -fuzztime=15s -run='^$$'
 
 # One figure: make figures FIG=11ab
 FIG ?= all

@@ -7,6 +7,7 @@
 //
 //	quepa-collect -scale 0.2 -identity 0.55 -matching 0.3
 //	quepa-collect -workers 8 -v   # parallel scoring with progress deciles
+//	quepa-collect -data-dir /var/lib/quepa   # seed a durable dir for quepa-server
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"quepa/internal/collector"
 	"quepa/internal/core"
 	"quepa/internal/middleware"
+	"quepa/internal/wal"
 	"quepa/internal/workload"
 )
 
@@ -32,6 +34,8 @@ func main() {
 	workers := flag.Int("workers", 0, "scoring goroutines (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print every discovered p-relation")
 	out := flag.String("out", "", "write the built A' index as JSON lines to this file")
+	dataDir := flag.String("data-dir", "",
+		"seed a durable data directory with the built index (checkpoint + WAL, as quepa-server -data-dir expects); must be fresh")
 	flag.Parse()
 
 	spec := workload.DefaultSpec().Scale(*scale)
@@ -94,6 +98,26 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("index written to %s\n", *out)
+	}
+	if *dataDir != "" {
+		m, err := wal.Open(*dataDir, wal.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if m.Recovered() {
+			log.Fatalf("quepa-collect: %s already holds durable state; point -data-dir at a fresh directory", *dataDir)
+		}
+		// Seed writes the initial checkpoint and opens the first WAL segment;
+		// Close syncs both, so the directory is ready for quepa-server.
+		if err := m.Seed(index); err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Close(); err != nil {
+			log.Fatal(err)
+		}
+		st := m.Stats()
+		fmt.Printf("durable checkpoint written to %s (epoch %d, %d bytes)\n",
+			*dataDir, st.CheckpointEpoch, st.CheckpointBytes)
 	}
 
 	// Evaluate against the generator's ground-truth index: a discovered

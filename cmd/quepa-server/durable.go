@@ -1,0 +1,124 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"quepa/internal/wal"
+	"quepa/internal/workload"
+)
+
+// This file wires the durability subsystem (internal/wal) into the server
+// process: recover-or-seed at startup, a periodic checkpoint loop, and a
+// graceful shutdown path that drains HTTP before flushing the final WAL
+// segment and checkpoint. Everything is factored so the tests can run the
+// identical code with an injected context and listener.
+
+// durableOptions is the -data-dir flag family, resolved.
+type durableOptions struct {
+	DataDir         string
+	Fsync           string
+	FsyncInterval   time.Duration
+	CheckpointEvery time.Duration
+	SegmentBytes    int64
+}
+
+// openDurable attaches the built workload to a WAL data directory. On a
+// directory holding a previous incarnation's state the recovered index
+// replaces built.Index (the generated or -index one is discarded — the
+// durable state is the authority); on a fresh directory the current
+// built.Index seeds it. Either way the returned manager journals every
+// subsequent index mutation. A nil manager (no error) means durability is
+// disabled (empty DataDir).
+func openDurable(built *workload.Built, o durableOptions) (*wal.Manager, error) {
+	if o.DataDir == "" {
+		return nil, nil
+	}
+	m, err := wal.Open(o.DataDir, wal.Options{
+		Fsync:        o.Fsync,
+		FsyncEvery:   o.FsyncInterval,
+		SegmentBytes: o.SegmentBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if m.Recovered() {
+		built.Index = m.Index()
+		return m, nil
+	}
+	if err := m.Seed(built.Index); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// startCheckpointLoop checkpoints the managed index every interval, bounding
+// the log tail a crash would have to replay. The returned stop function
+// blocks until the loop has exited; it does not write a final checkpoint —
+// that is Close's job, after HTTP has drained.
+func startCheckpointLoop(m *wal.Manager, interval time.Duration) (stop func()) {
+	if m == nil || interval <= 0 {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if err := m.Checkpoint(); err != nil {
+					log.Printf("quepa-server: periodic checkpoint: %v", err)
+				}
+			case <-quit:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}
+}
+
+// serveUntil runs srv on ln until ctx is cancelled (the signal path) or the
+// listener fails, then shuts down in order: drain in-flight HTTP requests
+// (bounded by drain), then run each hook — the WAL hook flushes the final
+// segment and writes the shutdown checkpoint, so it must only run once no
+// request can mutate the index. Returns the first error encountered.
+func serveUntil(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration, hooks ...func() error) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	var first error
+	select {
+	case err := <-errc:
+		// Listener died on its own; still run the hooks so durable state is
+		// flushed rather than left for crash recovery.
+		if !errors.Is(err, http.ErrServerClosed) {
+			first = err
+		}
+	case <-ctx.Done():
+		shCtx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			// Drain window expired with requests still in flight: close them
+			// hard. The WAL hook below still flushes whatever was journaled.
+			srv.Close()
+			first = err
+		}
+		<-errc // Serve has returned ErrServerClosed by now
+	}
+	for _, hook := range hooks {
+		if err := hook(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,246 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"quepa/internal/augment"
+	"quepa/internal/core"
+	"quepa/internal/explain"
+	"quepa/internal/resilience"
+	"quepa/internal/wal"
+	"quepa/internal/workload"
+)
+
+func buildSmall(t *testing.T) *workload.Built {
+	t.Helper()
+	spec := workload.DefaultSpec()
+	spec.Artists = 10
+	spec.AlbumsPerArtist = 2
+	built, err := workload.Build(spec, workload.Colocated())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return built
+}
+
+// TestOpenDurableSeedsThenRecovers pins the startup contract: a fresh
+// directory is seeded from the built index, and a second boot on the same
+// directory recovers that exact index — including mutations journaled after
+// the seed — instead of using the freshly generated one.
+func TestOpenDurableSeedsThenRecovers(t *testing.T) {
+	dir := t.TempDir()
+	built := buildSmall(t)
+	opts := durableOptions{DataDir: dir, Fsync: wal.FsyncAlways}
+
+	m, err := openDurable(built, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || m.Recovered() {
+		t.Fatalf("fresh dir: manager=%v recovered=%v", m, m != nil && m.Recovered())
+	}
+	// Mutate through the index the server would use: the journal must pick
+	// this up without any explicit WAL call at the mutation site.
+	rel := core.NewIdentity(
+		core.MustParseGlobalKey("durable.probe.a"),
+		core.MustParseGlobalKey("durable.probe.b"), 0.9)
+	if err := built.Index.Insert(rel); err != nil {
+		t.Fatal(err)
+	}
+	want := built.Index.Edges()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second boot: generator output differs in object but the durable state
+	// must win.
+	built2 := buildSmall(t)
+	m2, err := openDurable(built2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if !m2.Recovered() {
+		t.Fatal("second boot did not recover")
+	}
+	if built2.Index != m2.Index() {
+		t.Fatal("recovered index was not installed into the workload")
+	}
+	if !reflect.DeepEqual(built2.Index.Edges(), want) {
+		t.Fatalf("recovered edges:\n got %v\nwant %v", built2.Index.Edges(), want)
+	}
+	// Clean shutdown means nothing to replay.
+	if rec := m2.Recovery(); rec.ReplayedBatches != 0 {
+		t.Fatalf("clean restart replayed %d batches", rec.ReplayedBatches)
+	}
+}
+
+// TestOpenDurableDisabled: no data dir, no manager, no error.
+func TestOpenDurableDisabled(t *testing.T) {
+	m, err := openDurable(buildSmall(t), durableOptions{})
+	if err != nil || m != nil {
+		t.Fatalf("openDurable without dir = (%v, %v), want (nil, nil)", m, err)
+	}
+}
+
+// TestCheckpointLoopBoundsReplay drives the ticker and verifies checkpoints
+// actually land (Stats.Checkpoints grows beyond the seed checkpoint).
+func TestCheckpointLoopBoundsReplay(t *testing.T) {
+	dir := t.TempDir()
+	built := buildSmall(t)
+	m, err := openDurable(built, durableOptions{DataDir: dir, Fsync: wal.FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	base := m.Stats().Checkpoints
+
+	stop := startCheckpointLoop(m, 5*time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().Checkpoints < base+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	if got := m.Stats().Checkpoints; got < base+2 {
+		t.Fatalf("checkpoint loop wrote %d checkpoints, want >= %d", got, base+2)
+	}
+	// Nil manager / zero interval are no-ops, not panics.
+	startCheckpointLoop(nil, time.Second)()
+	startCheckpointLoop(m, 0)()
+}
+
+// TestServeUntilDrainsThenFlushes is the shutdown-ordering test: cancelling
+// the context must (1) let an in-flight request finish, (2) run the hooks
+// only after HTTP has drained, and (3) leave the WAL closed cleanly so the
+// next boot replays nothing.
+func TestServeUntilDrainsThenFlushes(t *testing.T) {
+	dir := t.TempDir()
+	built := buildSmall(t)
+	m, err := openDurable(built, durableOptions{DataDir: dir, Fsync: wal.FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	var handlerFinished, hookAfterDrain atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(inHandler)
+		<-release
+		w.WriteHeader(http.StatusOK)
+		handlerFinished.Store(true)
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	handlerDone := make(chan error, 1)
+	go func() {
+		served <- serveUntil(ctx, &http.Server{Handler: mux}, ln, 5*time.Second,
+			func() error {
+				// Runs only after Shutdown returned, i.e. after /slow finished.
+				hookAfterDrain.Store(handlerFinished.Load())
+				return nil
+			},
+			m.Close)
+	}()
+
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err == nil {
+			resp.Body.Close()
+		}
+		handlerDone <- err
+	}()
+	<-inHandler
+	cancel()                          // SIGTERM equivalent, while /slow is in flight
+	time.Sleep(20 * time.Millisecond) // let Shutdown start draining
+	close(release)
+	if err := <-handlerDone; err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("serveUntil: %v", err)
+	}
+	if !hookAfterDrain.Load() {
+		t.Fatal("shutdown hook ran before the in-flight request completed")
+	}
+
+	m2, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Abort()
+	if rec := m2.Recovery(); !rec.Recovered || rec.ReplayedBatches != 0 {
+		t.Fatalf("after graceful shutdown: recovered=%v replayed=%d, want clean checkpointed state",
+			rec.Recovered, rec.ReplayedBatches)
+	}
+}
+
+// TestStatsAndHealthzExposeDurability checks the HTTP surface in both modes.
+func TestStatsAndHealthzExposeDurability(t *testing.T) {
+	dir := t.TempDir()
+	built := buildSmall(t)
+	m, err := openDurable(built, durableOptions{DataDir: dir, Fsync: wal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	s, err := newServer(built, augment.Config{Strategy: augment.Batch, BatchSize: 32, CacheSize: 128},
+		explain.DefaultBufferCapacity, 0, resilience.BreakerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.wal = m
+
+	rec := httptest.NewRecorder()
+	s.handleStats(rec, httptest.NewRequest("GET", "/stats", nil))
+	var stats map[string]any
+	if err := json.NewDecoder(rec.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	dur, ok := stats["durability"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing durability section: %v", stats["durability"])
+	}
+	if dur["dir"] != dir || dur["fsync"] != wal.FsyncAlways {
+		t.Fatalf("durability section = %v", dur)
+	}
+
+	rec = httptest.NewRecorder()
+	s.handleHealthz(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz with healthy WAL = %d", rec.Code)
+	}
+	var hz map[string]any
+	if err := json.NewDecoder(rec.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := hz["durable_epoch"]; !ok {
+		t.Fatalf("healthz missing durable_epoch: %v", hz)
+	}
+
+	// Without a WAL the sections degrade gracefully.
+	s.wal = nil
+	rec = httptest.NewRecorder()
+	s.handleStats(rec, httptest.NewRequest("GET", "/stats", nil))
+	stats = map[string]any{}
+	if err := json.NewDecoder(rec.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if dur, ok := stats["durability"].(map[string]any); !ok || dur["enabled"] != false {
+		t.Fatalf("in-memory durability section = %v", stats["durability"])
+	}
+}

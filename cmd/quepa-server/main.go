@@ -15,8 +15,9 @@
 //	POST /explore/step?session=…&key=…     expand one object -> ranked links;
 //	                                       explain=1 attaches an EXPLAIN profile
 //	POST /explore/finish?session=…         end the session (may promote the path)
-//	GET /stats                             index/cache/telemetry/resilience/build statistics
+//	GET /stats                             index/cache/telemetry/resilience/durability/build statistics
 //	GET /healthz                           200 ok / 503 degraded with breaker snapshots
+//	                                       (and the WAL error, in durable mode)
 //	GET /metrics                           Prometheus text exposition
 //	GET /debug/traces?route=…&min_ms=…     recent slow queries as JSON span trees
 //	GET /debug/explain?route=…             recent EXPLAIN profiles, slowest first
@@ -26,6 +27,12 @@
 // completed run back into it, so the server's configuration converges as
 // traffic flows; explain=1 exposes each decision's provenance.
 //
+// With -data-dir the server runs durably: index mutations (removals from
+// degraded scans, path promotions) are journaled to a write-ahead log, the
+// index is checkpointed periodically, and startup recovers the last committed
+// state instead of rebuilding from the generator. SIGINT/SIGTERM drains
+// in-flight requests and flushes a final checkpoint before exiting.
+//
 // Example:
 //
 //	quepa-server -addr :8080 -replicas 1 &
@@ -34,19 +41,23 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	rdebug "runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"quepa/internal/aindex"
@@ -56,6 +67,7 @@ import (
 	"quepa/internal/optimizer"
 	"quepa/internal/resilience"
 	"quepa/internal/telemetry"
+	"quepa/internal/wal"
 	"quepa/internal/wire"
 	"quepa/internal/workload"
 )
@@ -64,6 +76,10 @@ type server struct {
 	built   *workload.Built
 	aug     *augment.Augmenter
 	tracker *aindex.PathTracker
+
+	// wal is the durability manager when the server runs with -data-dir;
+	// nil in the default in-memory mode. /stats and /healthz read it.
+	wal *wal.Manager
 
 	// Per-store circuit breakers: every database of the polystore is wrapped
 	// in a resilience.GuardedStore drawing its breaker from this set, which
@@ -142,6 +158,18 @@ func main() {
 		"consecutive store failures that open its circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", resilience.DefaultCooldown,
 		"how long an open breaker rejects before a half-open probe")
+	dataDir := flag.String("data-dir", "",
+		"durable mode: journal index mutations to a WAL in this directory and recover from it at startup")
+	fsyncPolicy := flag.String("fsync", wal.FsyncInterval,
+		"WAL fsync policy: always (sync every append), interval (background), off (with -data-dir)")
+	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond,
+		"how often the background fsync loop flushes the WAL (with -fsync interval)")
+	checkpointEvery := flag.Duration("checkpoint-interval", 5*time.Minute,
+		"how often to checkpoint the index, bounding crash-replay work (0 disables; with -data-dir)")
+	walSegmentBytes := flag.Int64("wal-segment-bytes", 8<<20,
+		"rotate WAL segments at this size (with -data-dir)")
+	drain := flag.Duration("drain", 10*time.Second,
+		"graceful-shutdown window for in-flight requests before the final WAL flush")
 	wireMode := flag.Bool("wire", false,
 		"serve every database over a loopback TCP wire server and augment through multiplexed wire clients (exercises the full remote fetch path)")
 	pool := flag.Int("pool", wire.DefaultPoolSize,
@@ -178,6 +206,26 @@ func main() {
 		built.Index = index
 		log.Printf("quepa-server: loaded A' index from %s", *indexPath)
 	}
+	if _, err := wal.ParseFsyncPolicy(*fsyncPolicy); err != nil {
+		log.Fatal(err)
+	}
+	manager, err := openDurable(built, durableOptions{
+		DataDir:       *dataDir,
+		Fsync:         *fsyncPolicy,
+		FsyncInterval: *fsyncEvery,
+		SegmentBytes:  *walSegmentBytes,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if manager != nil {
+		if rec := manager.Recovery(); rec.Recovered {
+			log.Printf("quepa-server: recovered index from %s: checkpoint epoch %d, %d batches (%d ops) replayed in %v",
+				*dataDir, rec.CheckpointEpoch, rec.ReplayedBatches, rec.ReplayedOps, rec.Duration.Round(time.Millisecond))
+		} else {
+			log.Printf("quepa-server: seeded fresh data dir %s (fsync=%s)", *dataDir, *fsyncPolicy)
+		}
+	}
 	if *wireMode {
 		// Re-home every store behind a loopback TCP wire server and dial it
 		// back with a multiplexed client, so the augmenter pays the real
@@ -212,6 +260,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	s.wal = manager
 
 	mux := s.routes()
 	if *debug {
@@ -225,7 +274,30 @@ func main() {
 
 	log.Printf("quepa-server: %d databases, index %d keys / %d p-relations, listening on %s",
 		built.Poly.Size(), built.Index.NodeCount(), built.Index.EdgeCount(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+
+	// Graceful shutdown: SIGINT/SIGTERM stops accepting, drains in-flight
+	// requests, stops the checkpoint ticker, and only then closes the WAL —
+	// which flushes the final segment and writes the shutdown checkpoint, so
+	// a clean restart replays nothing.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	stopCheckpoints := startCheckpointLoop(manager, *checkpointEvery)
+	err = serveUntil(ctx, &http.Server{Handler: mux}, ln, *drain,
+		func() error { stopCheckpoints(); return nil },
+		func() error {
+			if manager == nil {
+				return nil
+			}
+			return manager.Close()
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("quepa-server: shut down cleanly")
 }
 
 // routes assembles the mux with every handler wrapped in the telemetry
@@ -327,7 +399,19 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.res.AnyOpen() {
 		status, code = "degraded", http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{"status": status, "breakers": s.res.Snapshot()})
+	body := map[string]any{"breakers": s.res.Snapshot()}
+	if s.wal != nil {
+		// A sticky WAL error means new mutations are no longer being made
+		// durable — the server still answers queries, but it must fall out of
+		// the balancer so a healthy replica takes the writes.
+		if werr := s.wal.Err(); werr != nil {
+			status, code = "degraded", http.StatusServiceUnavailable
+			body["wal_error"] = werr.Error()
+		}
+		body["durable_epoch"] = s.wal.Stats().DurableEpoch
+	}
+	body["status"] = status
+	writeJSON(w, code, body)
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -746,7 +830,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	reg := telemetry.Default()
 	fallbacks := reg.CounterValue("quepa_optimizer_fallback_total", telemetry.L("reason", "untrained")) +
 		reg.CounterValue("quepa_optimizer_fallback_total", telemetry.L("reason", "parse_strategy"))
+	var durability any
+	if s.wal != nil {
+		durability = s.wal.Stats()
+	} else {
+		durability = map[string]any{"enabled": false}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
+		"durability":  durability,
 		"databases":   s.built.Poly.Size(),
 		"index_keys":  s.built.Index.NodeCount(),
 		"index_edges": s.built.Index.EdgeCount(),

@@ -61,6 +61,11 @@ type Index struct {
 	rebuildMu      sync.Mutex
 	rebuildRunning bool
 	rebuildPending bool
+
+	// journal, when non-nil, observes every mutation inside the write
+	// critical section (journal.go). The WAL manager installs itself here so
+	// crash recovery can replay mutations in application order.
+	journal Journal
 }
 
 // New returns an empty index with a fresh (empty) snapshot installed, so
@@ -96,7 +101,10 @@ func (ix *Index) Insert(r core.PRelation) error {
 	}
 	ix.mu.Lock()
 	ix.insertLocked(r)
-	ix.epoch.Add(1)
+	e := ix.epoch.Add(1)
+	if ix.journal != nil {
+		ix.journal.Log([]JournalOp{{Kind: OpInsert, Rel: r}}, e)
+	}
 	ix.mu.Unlock()
 	ix.scheduleRebuild()
 	return nil
@@ -266,9 +274,25 @@ func (ix *Index) Contains(gk core.GlobalKey) bool {
 // object no longer exists. Inferred edges between the remaining nodes stay.
 func (ix *Index) RemoveObject(gk core.GlobalKey) bool {
 	ix.mu.Lock()
+	if !ix.removeObjectLocked(gk) {
+		ix.mu.Unlock()
+		return false
+	}
+	e := ix.epoch.Add(1)
+	if ix.journal != nil {
+		ix.journal.Log([]JournalOp{{Kind: OpRemove, Key: gk}}, e)
+	}
+	ix.mu.Unlock()
+	removals.Inc()
+	ix.scheduleRebuild()
+	return true
+}
+
+// removeObjectLocked deletes gk and its incident edges under the write lock,
+// without touching the epoch or the journal; the caller owns both.
+func (ix *Index) removeObjectLocked(gk core.GlobalKey) bool {
 	nbs, ok := ix.adj[gk]
 	if !ok {
-		ix.mu.Unlock()
 		return false
 	}
 	for nb := range nbs {
@@ -276,10 +300,6 @@ func (ix *Index) RemoveObject(gk core.GlobalKey) bool {
 		ix.edges--
 	}
 	delete(ix.adj, gk)
-	ix.epoch.Add(1)
-	ix.mu.Unlock()
-	removals.Inc()
-	ix.scheduleRebuild()
 	return true
 }
 
@@ -524,6 +544,10 @@ func (ix *Index) Validate() error {
 func (ix *Index) Edges() []core.PRelation {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	return ix.edgesLocked()
+}
+
+func (ix *Index) edgesLocked() []core.PRelation {
 	out := make([]core.PRelation, 0, ix.edges)
 	for a, nbs := range ix.adj {
 		for b, e := range nbs {
@@ -552,7 +576,10 @@ func (ix *Index) InsertRaw(r core.PRelation) error {
 	}
 	ix.mu.Lock()
 	ix.setEdgeLocked(r.From, r.To, r.Type, r.Prob)
-	ix.epoch.Add(1)
+	e := ix.epoch.Add(1)
+	if ix.journal != nil {
+		ix.journal.Log([]JournalOp{{Kind: OpInsertRaw, Rel: r}}, e)
+	}
 	ix.mu.Unlock()
 	ix.scheduleRebuild()
 	return nil

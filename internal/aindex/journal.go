@@ -1,0 +1,126 @@
+// Mutation journal hook and component-level surgery.
+//
+// The durability subsystem (internal/wal) needs to observe every mutation of
+// the A' index — explicit inserts, lazy deletions triggered by the augmenter,
+// path promotions, incremental-collection deltas — in exactly the order they
+// were applied, because crash recovery replays the journal and the result
+// must be byte-identical to the pre-crash index. Rather than threading a log
+// through every caller, the index itself exposes a Journal: mutators invoke
+// it inside their write critical section, so the journal order IS the
+// application order, and the epoch passed along is the PR 5 snapshot epoch
+// the mutation produced — the WAL's batch fences align with the snapshot
+// epochs by construction.
+package aindex
+
+import (
+	"sort"
+
+	"quepa/internal/core"
+)
+
+// OpKind discriminates journal operations.
+type OpKind uint8
+
+const (
+	// OpInsert is a full Insert: replay materializes the consistency-
+	// condition closure again, which is deterministic, so logging the logical
+	// relation suffices.
+	OpInsert OpKind = iota + 1
+	// OpInsertRaw installs a relation verbatim (closure already materialized
+	// by the writer — bulk loads, component replacements).
+	OpInsertRaw
+	// OpRemove deletes a global key and its incident edges.
+	OpRemove
+)
+
+// JournalOp is one logged index mutation. Inserts carry Rel; removes carry
+// Key.
+type JournalOp struct {
+	Kind OpKind
+	Rel  core.PRelation
+	Key  core.GlobalKey
+}
+
+// Journal observes index mutations. Log is invoked while the index write
+// lock is held, with the operations of one atomic mutation and the mutation
+// epoch after applying it; epochs are therefore strictly increasing across
+// calls. Implementations must be fast, must not call back into the index,
+// and must not retain the ops slice.
+type Journal interface {
+	Log(ops []JournalOp, epoch uint64)
+}
+
+// SetJournal installs (or, with nil, removes) the mutation journal. Existing
+// state is not replayed: callers snapshot the index first (checkpoint) and
+// journal only what changes afterwards.
+func (ix *Index) SetJournal(j Journal) {
+	ix.mu.Lock()
+	ix.journal = j
+	ix.mu.Unlock()
+}
+
+// EdgesWithEpoch returns the canonical edge list together with the mutation
+// epoch it corresponds to, read atomically under the lock. Checkpoints use
+// it to stamp a snapshot with the exact epoch fence that separates the edges
+// already inside it from the journal batches that still need replaying.
+func (ix *Index) EdgesWithEpoch() ([]core.PRelation, uint64) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.edgesLocked(), ix.epoch.Load()
+}
+
+// AdvanceEpoch moves the mutation epoch forward to at least e and freezes a
+// fresh snapshot at it. Crash recovery calls it after replaying the journal
+// tail, so that post-recovery mutations produce epochs strictly greater than
+// anything already fenced in the log. Moving the epoch backwards is refused.
+func (ix *Index) AdvanceEpoch(e uint64) {
+	ix.mu.Lock()
+	if ix.epoch.Load() < e {
+		ix.epoch.Store(e)
+	}
+	ix.mu.Unlock()
+	ix.RefreshSnapshot()
+}
+
+// ReplaceComponent atomically removes the given keys and installs every edge
+// of repl in their place, as one journaled mutation (one epoch). It is the
+// apply step of incremental collection: the collector rebuilds the affected
+// connected component offline with BulkLoad and swaps it in here, instead of
+// rebuilding the whole index. The replacement's edges are expected to be
+// disjoint from the surviving adjacency (a rebuilt component only references
+// its own keys); edges that do overlap merge under the usual
+// stronger-relation-wins rule. repl may be nil for a pure removal.
+func (ix *Index) ReplaceComponent(remove []core.GlobalKey, repl *Index) {
+	var replEdges []core.PRelation
+	if repl != nil {
+		replEdges = repl.Edges()
+	}
+	// Deterministic removal order, so the journaled batch replays the exact
+	// operation sequence this call performs.
+	removed := make([]core.GlobalKey, len(remove))
+	copy(removed, remove)
+	sort.Slice(removed, func(i, j int) bool { return removed[i].Compare(removed[j]) < 0 })
+
+	ix.mu.Lock()
+	var ops []JournalOp
+	if ix.journal != nil {
+		ops = make([]JournalOp, 0, len(removed)+len(replEdges))
+	}
+	for _, gk := range removed {
+		if ix.removeObjectLocked(gk) && ops != nil {
+			ops = append(ops, JournalOp{Kind: OpRemove, Key: gk})
+		}
+	}
+	for _, e := range replEdges {
+		ix.setEdgeLocked(e.From, e.To, e.Type, e.Prob)
+		if ops != nil {
+			ops = append(ops, JournalOp{Kind: OpInsertRaw, Rel: e})
+		}
+	}
+	e := ix.epoch.Add(1)
+	if ix.journal != nil {
+		ix.journal.Log(ops, e)
+	}
+	ix.mu.Unlock()
+	ix.scheduleRebuild()
+}

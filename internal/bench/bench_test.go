@@ -276,3 +276,20 @@ func TestExplainSampling(t *testing.T) {
 		t.Errorf("profiles with sampling off = %d", len(got))
 	}
 }
+
+func TestFigRecovery(t *testing.T) {
+	points, err := FigRecovery(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPoints(t, points, "recovery")
+	series := map[string]Point{}
+	for _, p := range points {
+		series[p.Series] = p
+	}
+	for _, s := range []string{"recollect", "recover", "incremental"} {
+		if _, ok := series[s]; !ok {
+			t.Fatalf("series %q missing from points %v", s, points)
+		}
+	}
+}

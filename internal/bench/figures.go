@@ -249,12 +249,13 @@ func Fig11ef(o Options) ([]Point, error) {
 }
 
 // FigureNames lists the figure ids the harness can regenerate. "cache",
-// "ablation" and "build" are experiments beyond the paper's plotted
-// figures: the memory-based study Section VII-B(c) describes without a
-// plot, the consistency-materialization ablation, and the A' construction
-// sweep (object count × collector workers).
+// "ablation", "build" and "recovery" are experiments beyond the paper's
+// plotted figures: the memory-based study Section VII-B(c) describes without
+// a plot, the consistency-materialization ablation, the A' construction
+// sweep (object count × collector workers), and the crash-recovery-vs-
+// re-collection comparison of the durability subsystem.
 func FigureNames() []string {
-	return []string{"9", "10ab", "10cd", "11ab", "11cd", "11ef", "12", "13ab", "13cd", "cache", "ablation", "build"}
+	return []string{"9", "10ab", "10cd", "11ab", "11cd", "11ef", "12", "13ab", "13cd", "cache", "ablation", "build", "recovery"}
 }
 
 // Run executes one figure by id.
@@ -284,6 +285,8 @@ func Run(id string, o Options) ([]Point, error) {
 		return ExtraAblation(o)
 	case "build":
 		return FigBuild(o)
+	case "recovery":
+		return FigRecovery(o)
 	default:
 		return nil, fmt.Errorf("bench: unknown figure %q (known: %v)", id, FigureNames())
 	}

@@ -153,6 +153,32 @@ func clampProb(p float64) float64 {
 	return p
 }
 
+// claimBeats is the deduplication winner order: higher probability first,
+// ties broken by the canonical (direction-normalized) endpoint pair. The
+// order is total over distinct relations, which makes dedupeIdentities a pure
+// function of the relation SET — independent of input order — so the
+// incremental collector can re-run it over its maintained raw set and land on
+// exactly the claims a from-scratch pipeline run would keep.
+func claimBeats(a, b core.PRelation) bool {
+	if a.Prob != b.Prob {
+		return a.Prob > b.Prob
+	}
+	alo, ahi := normPair(a)
+	blo, bhi := normPair(b)
+	if c := alo.Compare(blo); c != 0 {
+		return c < 0
+	}
+	return ahi.Compare(bhi) < 0
+}
+
+// normPair returns the relation's endpoints in canonical order.
+func normPair(r core.PRelation) (core.GlobalKey, core.GlobalKey) {
+	if r.From.Compare(r.To) <= 0 {
+		return r.From, r.To
+	}
+	return r.To, r.From
+}
+
 // dedupeIdentities enforces the paper's rule: "two different data objects
 // belonging to the same dataset cannot participate to an identity p-relation
 // with the same object in a different database" (deduplication is a local
@@ -180,7 +206,7 @@ func (c *Collector) dedupeIdentities(rels []core.PRelation) []core.PRelation {
 			}
 			k := claimKey{object: object, dataset: claimer.Database + "." + claimer.Collection}
 			old, ok := best[k]
-			if !ok || r.Prob > old.Prob {
+			if !ok || claimBeats(r, old) {
 				best[k] = r
 			}
 		}

@@ -1,0 +1,548 @@
+// Incremental collection.
+//
+// The batch pipeline (Run/BuildIndex) is a pure function of the object
+// corpus: block, score every candidate pair, threshold, deduplicate, bulk
+// load. Incremental collection maintains the same function under a stream of
+// object upserts and deletes without re-running it: only the candidate pairs
+// a change can actually affect are re-scored, deduplication is recomputed
+// over the maintained raw relation set (cheap — it is a map pass, the
+// comparator ensemble is the expensive part), and only the connected
+// components whose relations changed are rebuilt — offline, through the same
+// aindex.BulkLoad component machinery the batch pipeline uses — and swapped
+// into the live index with Index.ReplaceComponent, which journals the whole
+// swap as one epoch-fenced batch for the WAL.
+//
+// The invariant, pinned by TestIncrementalMatchesFullRebuild: after any
+// sequence of Apply calls, Index().Edges() is identical to what
+// BuildIndex(final corpus) would produce — same relations, same
+// probabilities, same closure.
+package collector
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"quepa/internal/aindex"
+	"quepa/internal/core"
+	"quepa/internal/telemetry"
+)
+
+var (
+	deltaPairsRescored = telemetry.NewCounter("quepa_collector_delta_pairs_rescored_total",
+		"candidate pairs re-scored by incremental collection")
+	deltaComponents = telemetry.NewCounter("quepa_collector_delta_components_total",
+		"connected components rebuilt and swapped by incremental collection")
+	deltaApplies = telemetry.NewCounter("quepa_collector_delta_applies_total",
+		"incremental collection batches applied")
+)
+
+// ChangeKind discriminates changefeed entries.
+type ChangeKind int
+
+const (
+	// Upsert inserts a new object or replaces the fields of an existing one.
+	Upsert ChangeKind = iota
+	// Delete removes the object; only Change.Object.GK is consulted.
+	Delete
+)
+
+// Change is one object-level mutation from a store's changefeed.
+type Change struct {
+	Kind   ChangeKind
+	Object core.Object
+}
+
+// DeltaStats summarizes one Apply batch.
+type DeltaStats struct {
+	Changes       int           // changefeed entries processed
+	PairsRescored int           // candidate pairs put through the ensemble
+	RawChanged    int           // raw (pre-dedupe) relations added/updated/dropped
+	LiveChanged   int           // post-dedupe relations that differ from before
+	Components    int           // connected components rebuilt
+	KeysReplaced  int           // index keys inside the rebuilt components
+	RelsReloaded  int           // relations re-loaded into those components
+	Elapsed       time.Duration // wall time of the batch
+}
+
+// pairKey is an unordered candidate pair, endpoints in canonical order.
+type pairKey struct{ lo, hi core.GlobalKey }
+
+func makePairKey(a, b core.GlobalKey) pairKey {
+	if a.Compare(b) <= 0 {
+		return pairKey{lo: a, hi: b}
+	}
+	return pairKey{lo: b, hi: a}
+}
+
+// Incremental maintains a collector-built index under a change stream.
+// Methods are safe for one caller at a time (an internal mutex serializes
+// Apply); reads of the index itself go through the usual index locks.
+type Incremental struct {
+	c *Collector
+
+	mu      sync.Mutex
+	objects map[core.GlobalKey]core.Object
+	seq     map[core.GlobalKey]int // arrival order; orients scored relations
+	nextSeq int
+	tokens  map[core.GlobalKey][]string            // blocking tokens per object
+	blocks  map[string]map[core.GlobalKey]struct{} // full membership, eligibility applied on read
+	raw     map[pairKey]core.PRelation             // thresholded scores, pre-dedupe
+	live    map[pairKey]core.PRelation             // post-dedupe
+	ix      *aindex.Index
+}
+
+// NewIncremental builds the initial index from the corpus with the batch
+// pipeline's own internals and snapshots the bookkeeping — block membership
+// and the raw pre-dedupe relation set — that Apply maintains from then on.
+func NewIncremental(ctx context.Context, c *Collector, objects []core.Object) (*Incremental, error) {
+	inc := &Incremental{
+		c:       c,
+		objects: make(map[core.GlobalKey]core.Object, len(objects)),
+		seq:     make(map[core.GlobalKey]int, len(objects)),
+		tokens:  map[core.GlobalKey][]string{},
+		blocks:  map[string]map[core.GlobalKey]struct{}{},
+		raw:     map[pairKey]core.PRelation{},
+		live:    map[pairKey]core.PRelation{},
+	}
+	for _, o := range objects {
+		if _, dup := inc.objects[o.GK]; dup {
+			return nil, fmt.Errorf("collector: duplicate corpus key %v", o.GK)
+		}
+		inc.insertBookkeeping(o)
+	}
+
+	// Score the initial candidate set through the parallel batch pipeline.
+	blocks, _ := c.blocks(objects)
+	pairs, blockEnds := c.pairList(objects, blocks)
+	workers := c.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if chunks := (len(pairs) + chunkSize - 1) / chunkSize; workers > chunks {
+		workers = chunks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	buckets, err := c.scorePairs(ctx, objects, pairs, blockEnds, workers)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range buckets {
+		for _, r := range b {
+			inc.raw[makePairKey(r.From, r.To)] = r
+		}
+	}
+
+	inc.rededupe()
+	ix, err := aindex.BulkLoadWorkers(inc.liveSorted(nil), c.cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	inc.ix = ix
+	return inc, nil
+}
+
+// Index returns the maintained A' index.
+func (inc *Incremental) Index() *aindex.Index { return inc.ix }
+
+// insertBookkeeping registers an object in the map/seq/token/block tables.
+// Caller holds inc.mu (or is the constructor).
+func (inc *Incremental) insertBookkeeping(o core.Object) {
+	if _, known := inc.seq[o.GK]; !known {
+		inc.seq[o.GK] = inc.nextSeq
+		inc.nextSeq++
+	}
+	inc.objects[o.GK] = o
+	toks := make([]string, 0, 8)
+	for t := range tokenSet(o) {
+		toks = append(toks, t)
+	}
+	sort.Strings(toks)
+	inc.tokens[o.GK] = toks
+	for _, t := range toks {
+		b := inc.blocks[t]
+		if b == nil {
+			b = map[core.GlobalKey]struct{}{}
+			inc.blocks[t] = b
+		}
+		b[o.GK] = struct{}{}
+	}
+}
+
+// removeBookkeeping unregisters an object. Caller holds inc.mu.
+func (inc *Incremental) removeBookkeeping(gk core.GlobalKey) {
+	for _, t := range inc.tokens[gk] {
+		delete(inc.blocks[t], gk)
+		if len(inc.blocks[t]) == 0 {
+			delete(inc.blocks, t)
+		}
+	}
+	delete(inc.tokens, gk)
+	delete(inc.objects, gk)
+	delete(inc.seq, gk)
+}
+
+// eligible reports whether a block of the given size produces candidate
+// pairs (the batch pipeline's 2 <= size <= MaxBlockSize rule).
+func (inc *Incremental) eligible(size int) bool {
+	return size >= 2 && size <= inc.c.cfg.MaxBlockSize
+}
+
+// Apply processes one changefeed batch and brings the index to the state a
+// full rebuild over the updated corpus would produce.
+func (inc *Incremental) Apply(ctx context.Context, changes []Change) (DeltaStats, error) {
+	start := time.Now()
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return DeltaStats{}, err
+	}
+
+	// Phase 1+2: walk the changes in order, and for each one mark the
+	// affected candidate pairs against the CURRENT bookkeeping state, then
+	// apply the change to the bookkeeping before looking at the next. The
+	// interleaving matters: two inserts in one batch that land in the same
+	// block only produce their mutual pair when the second insert sees the
+	// first one's membership — evaluating the whole batch against the
+	// pre-batch state would miss it (and mis-judge eligibility crossings that
+	// several changes push through together).
+	//
+	// A change to object k touches the blocks of its old and new token sets;
+	// within each such block, pairs involving k are affected directly, and if
+	// the block crosses an eligibility boundary (grows to 2, shrinks below 2,
+	// or crosses MaxBlockSize in either direction) EVERY pair inside it gains
+	// or loses candidacy, so the whole block is affected. Blocks ineligible
+	// both before and after contribute nothing and are skipped — that is what
+	// keeps a stop-token block with thousands of members from exploding the
+	// delta.
+	affected := map[pairKey]struct{}{}
+	markPair := func(a, b core.GlobalKey) {
+		if a != b {
+			affected[makePairKey(a, b)] = struct{}{}
+		}
+	}
+	markBlockPairs := func(members []core.GlobalKey) {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				markPair(members[i], members[j])
+			}
+		}
+	}
+	for _, ch := range changes {
+		gk := ch.Object.GK
+		oldToks := inc.tokens[gk]
+		var newToks map[string]bool
+		if ch.Kind == Upsert {
+			newToks = tokenSet(ch.Object)
+		}
+		touched := map[string]bool{}
+		for _, t := range oldToks {
+			touched[t] = true
+		}
+		for t := range newToks {
+			touched[t] = true
+		}
+		for t := range touched {
+			members := memberList(inc.blocks[t])
+			before := len(members)
+			after := before
+			_, had := inc.blocks[t][gk]
+			if had && !newToks[t] {
+				after--
+			}
+			if !had && newToks[t] {
+				after++
+			}
+			eligBefore, eligAfter := inc.eligible(before), inc.eligible(after)
+			switch {
+			case !eligBefore && !eligAfter:
+				// Ineligible both sides: no pair of this block changes
+				// candidacy through it.
+			case eligBefore != eligAfter:
+				withGK := members
+				if !had {
+					withGK = append(append([]core.GlobalKey{}, members...), gk)
+				}
+				markBlockPairs(withGK)
+			default:
+				for _, m := range members {
+					markPair(gk, m)
+				}
+			}
+		}
+
+		// Apply this change before evaluating the next one.
+		switch ch.Kind {
+		case Upsert:
+			if _, known := inc.objects[gk]; known {
+				// Replace: drop old token/block membership first, keep seq.
+				for _, t := range inc.tokens[gk] {
+					delete(inc.blocks[t], gk)
+					if len(inc.blocks[t]) == 0 {
+						delete(inc.blocks, t)
+					}
+				}
+			}
+			inc.insertBookkeeping(ch.Object)
+		case Delete:
+			inc.removeBookkeeping(gk)
+		}
+	}
+
+	// Phase 3: re-score the affected pairs against the updated corpus.
+	stats := DeltaStats{Changes: len(changes)}
+	for pk := range affected {
+		a, aok := inc.objects[pk.lo]
+		b, bok := inc.objects[pk.hi]
+		old, hadRel := inc.raw[pk]
+		if !aok || !bok || !inc.isCandidate(pk) {
+			if hadRel {
+				delete(inc.raw, pk)
+				stats.RawChanged++
+			}
+			continue
+		}
+		stats.PairsRescored++
+		// Orient like the batch pipeline: the earlier-arrived object is From.
+		if inc.seq[b.GK] < inc.seq[a.GK] {
+			a, b = b, a
+		}
+		score := inc.c.Score(a, b)
+		var r core.PRelation
+		keep := true
+		switch {
+		case score >= inc.c.cfg.IdentityThreshold:
+			r = core.NewIdentity(a.GK, b.GK, clampProb(score))
+		case score >= inc.c.cfg.MatchingThreshold:
+			r = core.NewMatching(a.GK, b.GK, clampProb(score))
+		default:
+			keep = false
+		}
+		if !keep {
+			if hadRel {
+				delete(inc.raw, pk)
+				stats.RawChanged++
+			}
+			continue
+		}
+		if !hadRel || old != r {
+			inc.raw[pk] = r
+			stats.RawChanged++
+		}
+	}
+	deltaPairsRescored.Add(uint64(stats.PairsRescored))
+
+	// Phase 4: recompute deduplication over the full raw set (order-free, so
+	// a map pass suffices) and diff against the previous live set.
+	oldLive := inc.live
+	inc.rededupe()
+	changed := map[pairKey]struct{}{}
+	for pk, r := range inc.live {
+		if o, ok := oldLive[pk]; !ok || o != r {
+			changed[pk] = struct{}{}
+		}
+	}
+	for pk := range oldLive {
+		if _, ok := inc.live[pk]; !ok {
+			changed[pk] = struct{}{}
+		}
+	}
+	stats.LiveChanged = len(changed)
+	if len(changed) == 0 {
+		stats.Elapsed = time.Since(start)
+		deltaApplies.Inc()
+		return stats, nil
+	}
+
+	// Phase 5: flood-fill the affected connected components over the union
+	// of the old and new live adjacency — union, because a delta can split a
+	// component (old edges bridge it) or merge several (new edges do), and
+	// both sides must be rebuilt.
+	adj := map[core.GlobalKey][]core.GlobalKey{}
+	addAdj := func(m map[pairKey]core.PRelation) {
+		for pk := range m {
+			adj[pk.lo] = append(adj[pk.lo], pk.hi)
+			adj[pk.hi] = append(adj[pk.hi], pk.lo)
+		}
+	}
+	addAdj(oldLive)
+	addAdj(inc.live)
+	component := map[core.GlobalKey]struct{}{}
+	var queue []core.GlobalKey
+	visit := func(gk core.GlobalKey) {
+		if _, seen := component[gk]; !seen {
+			component[gk] = struct{}{}
+			queue = append(queue, gk)
+		}
+	}
+	for pk := range changed {
+		visit(pk.lo)
+		visit(pk.hi)
+	}
+	for len(queue) > 0 {
+		gk := queue[0]
+		queue = queue[1:]
+		for _, n := range adj[gk] {
+			visit(n)
+		}
+	}
+	stats.KeysReplaced = len(component)
+
+	// Phase 6: rebuild the affected components offline with the same BulkLoad
+	// machinery as the batch pipeline and swap them in atomically.
+	compRels := inc.liveSorted(component)
+	stats.RelsReloaded = len(compRels)
+	repl, err := aindex.BulkLoadWorkers(compRels, inc.c.cfg.Workers)
+	if err != nil {
+		return stats, fmt.Errorf("collector: delta bulk load: %w", err)
+	}
+	stats.Components = countComponents(compRels)
+	removeKeys := make([]core.GlobalKey, 0, len(component))
+	for gk := range component {
+		removeKeys = append(removeKeys, gk)
+	}
+	inc.ix.ReplaceComponent(removeKeys, repl)
+	deltaComponents.Add(uint64(stats.Components))
+	deltaApplies.Inc()
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}
+
+// Serve drains a changefeed until the context ends or the channel closes,
+// applying batches of up to maxBatch entries (draining whatever is
+// immediately available before re-scoring, so bursts amortize).
+func (inc *Incremental) Serve(ctx context.Context, feed <-chan Change, maxBatch int) error {
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case ch, ok := <-feed:
+			if !ok {
+				return nil
+			}
+			batch := []Change{ch}
+		drain:
+			for len(batch) < maxBatch {
+				select {
+				case more, ok := <-feed:
+					if !ok {
+						break drain
+					}
+					batch = append(batch, more)
+				default:
+					break drain
+				}
+			}
+			if _, err := inc.Apply(ctx, batch); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// isCandidate reports whether the pair shares at least one eligible block.
+// Caller holds inc.mu.
+func (inc *Incremental) isCandidate(pk pairKey) bool {
+	ta, tb := inc.tokens[pk.lo], inc.tokens[pk.hi]
+	// Both token lists are sorted; walk them in lockstep.
+	for i, j := 0, 0; i < len(ta) && j < len(tb); {
+		switch {
+		case ta[i] < tb[j]:
+			i++
+		case ta[i] > tb[j]:
+			j++
+		default:
+			if inc.eligible(len(inc.blocks[ta[i]])) {
+				return true
+			}
+			i++
+			j++
+		}
+	}
+	return false
+}
+
+// rededupe recomputes the post-dedupe live set from the raw set. Caller
+// holds inc.mu (or is the constructor).
+func (inc *Incremental) rededupe() {
+	rels := make([]core.PRelation, 0, len(inc.raw))
+	for _, r := range inc.raw {
+		rels = append(rels, r)
+	}
+	kept := inc.c.dedupeIdentities(rels)
+	inc.live = make(map[pairKey]core.PRelation, len(kept))
+	for _, r := range kept {
+		inc.live[makePairKey(r.From, r.To)] = r
+	}
+}
+
+// liveSorted returns the live relations — restricted to the given key set
+// when non-nil — in the batch pipeline's canonical (From, To) order, so a
+// component rebuild replays them in exactly the relative order a full
+// rebuild would.
+func (inc *Incremental) liveSorted(within map[core.GlobalKey]struct{}) []core.PRelation {
+	rels := make([]core.PRelation, 0, len(inc.live))
+	for pk, r := range inc.live {
+		if within != nil {
+			if _, ok := within[pk.lo]; !ok {
+				continue
+			}
+		}
+		rels = append(rels, r)
+	}
+	sort.Slice(rels, func(i, j int) bool {
+		if c := rels[i].From.Compare(rels[j].From); c != 0 {
+			return c < 0
+		}
+		return rels[i].To.Compare(rels[j].To) < 0
+	})
+	return rels
+}
+
+// countComponents counts the connected components of the relation set; keys
+// in the replaced set with no surviving relation count as removed, not as
+// components.
+func countComponents(rels []core.PRelation) int {
+	parent := map[core.GlobalKey]core.GlobalKey{}
+	var find func(core.GlobalKey) core.GlobalKey
+	find = func(x core.GlobalKey) core.GlobalKey {
+		if parent[x] == x {
+			return x
+		}
+		r := find(parent[x])
+		parent[x] = r
+		return r
+	}
+	for _, r := range rels {
+		for _, gk := range [2]core.GlobalKey{r.From, r.To} {
+			if _, ok := parent[gk]; !ok {
+				parent[gk] = gk
+			}
+		}
+		a, b := find(r.From), find(r.To)
+		if a != b {
+			parent[a] = b
+		}
+	}
+	roots := map[core.GlobalKey]struct{}{}
+	for gk := range parent {
+		roots[find(gk)] = struct{}{}
+	}
+	return len(roots)
+}
+
+func memberList(m map[core.GlobalKey]struct{}) []core.GlobalKey {
+	out := make([]core.GlobalKey, 0, len(m))
+	for gk := range m {
+		out = append(out, gk)
+	}
+	return out
+}

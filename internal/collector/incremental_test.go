@@ -1,0 +1,215 @@
+package collector
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"quepa/internal/core"
+)
+
+// corpusGen produces deterministic synthetic objects with overlapping token
+// vocabularies across three databases, so blocking, thresholding, identity
+// dedupe and closure all fire.
+type corpusGen struct{ rng *rand.Rand }
+
+var genDBs = [3][2]string{{"pg", "users"}, {"mongo", "profiles"}, {"neo", "people"}}
+
+func (g corpusGen) object(id int) core.Object {
+	db := genDBs[id%len(genDBs)]
+	entity := id / len(genDBs) % 17 // shared entity pool drives cross-db similarity
+	fields := map[string]string{
+		"name":  fmt.Sprintf("entity%03d surname%03d", entity, entity%7),
+		"email": fmt.Sprintf("entity%03d@example.com", entity),
+		"notes": fmt.Sprintf("cohort%d flavor%d", entity%5, g.rng.Intn(3)),
+	}
+	gk := core.NewGlobalKey(db[0], db[1], fmt.Sprintf("k%d", id))
+	return core.NewObject(gk, fields)
+}
+
+// liveCorpus reconstructs the final corpus in arrival order, which is the
+// order the incremental collector's orientation rule mirrors.
+type liveCorpus struct {
+	order []core.GlobalKey
+	objs  map[core.GlobalKey]core.Object
+}
+
+func newLiveCorpus(initial []core.Object) *liveCorpus {
+	lc := &liveCorpus{objs: map[core.GlobalKey]core.Object{}}
+	for _, o := range initial {
+		lc.upsert(o)
+	}
+	return lc
+}
+
+func (lc *liveCorpus) upsert(o core.Object) {
+	if _, ok := lc.objs[o.GK]; !ok {
+		lc.order = append(lc.order, o.GK)
+	}
+	lc.objs[o.GK] = o
+}
+
+func (lc *liveCorpus) delete(gk core.GlobalKey) {
+	if _, ok := lc.objs[gk]; !ok {
+		return
+	}
+	delete(lc.objs, gk)
+	for i, k := range lc.order {
+		if k == gk {
+			lc.order = append(lc.order[:i], lc.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func (lc *liveCorpus) slice() []core.Object {
+	out := make([]core.Object, 0, len(lc.objs))
+	for _, gk := range lc.order {
+		out = append(out, lc.objs[gk])
+	}
+	return out
+}
+
+// TestIncrementalMatchesFullRebuild is the equivalence property the whole
+// incremental path stands on: after any sequence of upserts and deletes, the
+// maintained index must be identical — same edges, same probabilities — to a
+// from-scratch BuildIndex over the final corpus.
+func TestIncrementalMatchesFullRebuild(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxBlockSize = 16 // small, so eligibility boundaries are actually crossed
+	cfg.Workers = 2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	for trial := 0; trial < 5; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(100 + trial)))
+			gen := corpusGen{rng: rng}
+
+			initial := make([]core.Object, 0, 60)
+			for id := 0; id < 60; id++ {
+				initial = append(initial, gen.object(id))
+			}
+			inc, err := NewIncremental(ctx, c, initial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lc := newLiveCorpus(initial)
+
+			// Sanity: the initial build must equal the batch pipeline.
+			compareWithFull(t, c, ctx, inc, lc, "initial build")
+
+			nextID := len(initial)
+			for step := 0; step < 12; step++ {
+				var batch []Change
+				for n := rng.Intn(4) + 1; n > 0; n-- {
+					switch {
+					case len(lc.order) > 10 && rng.Intn(4) == 0: // delete
+						victim := lc.order[rng.Intn(len(lc.order))]
+						batch = append(batch, Change{Kind: Delete, Object: core.Object{GK: victim}})
+						lc.delete(victim)
+					case len(lc.order) > 0 && rng.Intn(3) == 0: // field update
+						gk := lc.order[rng.Intn(len(lc.order))]
+						o := gen.object(nextID) // fresh fields...
+						o.GK = gk               // ...same key
+						batch = append(batch, Change{Kind: Upsert, Object: o})
+						lc.upsert(o)
+						nextID++
+					default: // insert
+						o := gen.object(nextID)
+						nextID++
+						batch = append(batch, Change{Kind: Upsert, Object: o})
+						lc.upsert(o)
+					}
+				}
+				if _, err := inc.Apply(ctx, batch); err != nil {
+					t.Fatalf("apply step %d: %v", step, err)
+				}
+				compareWithFull(t, c, ctx, inc, lc, fmt.Sprintf("step %d", step))
+			}
+		})
+	}
+}
+
+func compareWithFull(t *testing.T, c *Collector, ctx context.Context, inc *Incremental, lc *liveCorpus, msg string) {
+	t.Helper()
+	full, _, err := c.BuildIndex(ctx, lc.slice())
+	if err != nil {
+		t.Fatalf("%s: full rebuild: %v", msg, err)
+	}
+	got, want := inc.Index().Edges(), full.Edges()
+	if !reflect.DeepEqual(normalizeEdges(got), normalizeEdges(want)) {
+		t.Fatalf("%s: incremental index diverged from full rebuild:\n got %d edges %v\nwant %d edges %v",
+			msg, len(got), got, len(want), want)
+	}
+}
+
+// normalizeEdges canonicalizes edge direction before comparison: the two
+// pipelines may discover the same logical relation with opposite From/To
+// orientation, which the symmetric p-relation semantics make equivalent.
+func normalizeEdges(rels []core.PRelation) []core.PRelation {
+	out := make([]core.PRelation, len(rels))
+	for i, r := range rels {
+		if r.From.Compare(r.To) > 0 {
+			r = r.Reverse()
+		}
+		out[i] = r
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].From.Compare(out[j].From); c != 0 {
+			return c < 0
+		}
+		if c := out[i].To.Compare(out[j].To); c != 0 {
+			return c < 0
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}
+
+// TestIncrementalDeltaIsLocal pins the perf contract: a single-object change
+// in a large corpus must re-score a small neighborhood, not the whole
+// candidate set, and must rebuild only the touched components.
+func TestIncrementalDeltaIsLocal(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	gen := corpusGen{rng: rand.New(rand.NewSource(7))}
+	var objs []core.Object
+	for id := 0; id < 300; id++ {
+		objs = append(objs, gen.object(id))
+	}
+	inc, err := NewIncremental(ctx, c, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	totalPairs := len(func() []pairIdx {
+		blocks, _ := c.blocks(objs)
+		p, _ := c.pairList(objs, blocks)
+		return p
+	}())
+
+	o := gen.object(300)
+	st, err := inc.Apply(ctx, []Change{{Kind: Upsert, Object: o}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PairsRescored == 0 {
+		t.Fatalf("upsert rescored nothing: %+v", st)
+	}
+	if st.PairsRescored >= totalPairs/2 {
+		t.Fatalf("delta not local: rescored %d of %d total pairs", st.PairsRescored, totalPairs)
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // RelType is the type of a p-relation between two data objects.
 type RelType int
@@ -63,7 +66,9 @@ func (r PRelation) Validate() error {
 	if r.From == r.To {
 		return fmt.Errorf("core: p-relation endpoints coincide: %v", r.From)
 	}
-	if r.Prob <= 0 || r.Prob > 1 {
+	// NaN compares false against everything, so the range check alone would
+	// wave it through; reject non-finite probabilities explicitly.
+	if math.IsNaN(r.Prob) || math.IsInf(r.Prob, 0) || r.Prob <= 0 || r.Prob > 1 {
 		return fmt.Errorf("core: p-relation probability %g outside (0, 1]", r.Prob)
 	}
 	if r.Type != Identity && r.Type != Matching {

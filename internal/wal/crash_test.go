@@ -1,0 +1,137 @@
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"quepa/internal/aindex"
+)
+
+// TestCrashRecovery SIGKILLs a writer process mid-load and verifies that
+// recovery reproduces the index of some committed prefix of the workload.
+//
+// The test re-execs its own binary: the child (selected by the environment
+// variable) opens a WAL with fsync=always, seeds an empty index and applies
+// the deterministic doOp workload, printing "committed <i>" after each op
+// returns — with fsync=always, an op that returned is durable. The parent
+// reads those lines, kills the child with SIGKILL at an arbitrary point,
+// recovers the directory and checks that the recovered edge set equals
+// applyOps(k) for some k >= the highest commit it observed (the child may
+// have committed a few more ops than the parent managed to read).
+func TestCrashRecovery(t *testing.T) {
+	if dir := os.Getenv("QUEPA_WAL_CRASH_CHILD"); dir != "" {
+		crashChild(dir)
+		return // unreachable; crashChild exits
+	}
+	if testing.Short() {
+		t.Skip("crash test re-execs the test binary; skipped in -short")
+	}
+
+	dir := t.TempDir()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-test.run", "^TestCrashRecovery$", "-test.v")
+	cmd.Env = append(os.Environ(), "QUEPA_WAL_CRASH_CHILD="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read commit confirmations until we have seen enough, then pull the
+	// trigger. The exact kill point is arbitrary by design.
+	seen := -1
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		v, ok := strings.CutPrefix(line, "committed ")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("bad commit line %q", line)
+		}
+		seen = n
+		if seen >= 40 {
+			break
+		}
+	}
+	if seen < 0 {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("child produced no commits (scanner err %v)", sc.Err())
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	m, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery after SIGKILL: %v", err)
+	}
+	defer m.Close()
+	if !m.Recovered() {
+		t.Fatal("nothing recovered after SIGKILL")
+	}
+	k := matchPrefix(t, m.Index(), seen+5000)
+	if k < 0 {
+		t.Fatalf("recovered index matches no committed prefix (saw commit %d, stats %+v)",
+			seen, m.Recovery())
+	}
+	if k < seen+1 { // commit i durable => ops 0..i all recovered
+		t.Fatalf("recovery lost committed ops: matches prefix %d, but child confirmed op %d", k, seen)
+	}
+	t.Logf("killed after commit %d; recovered prefix %d (stats %+v)", seen, k, m.Recovery())
+}
+
+// crashChild is the re-exec'd writer. It never returns.
+func crashChild(dir string) {
+	m, err := Open(dir, Options{Fsync: FsyncAlways})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := m.Seed(aindex.New()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ix := m.Index()
+	w := bufio.NewWriter(os.Stdout)
+	for i := 0; i < 200000; i++ {
+		childOp(ix, i)
+		if err := m.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(w, "committed %d\n", i)
+		w.Flush()
+	}
+	// Ran off the end without being killed; linger so the parent's kill still
+	// lands on a live process.
+	time.Sleep(time.Minute)
+	os.Exit(0)
+}
+
+// childOp mirrors doOp without the testing.TB plumbing.
+func childOp(ix *aindex.Index, i int) {
+	if i%10 == 9 {
+		ix.RemoveObject(rel(i - 5).From)
+		return
+	}
+	if err := ix.Insert(rel(i)); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}

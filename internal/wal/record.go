@@ -1,0 +1,188 @@
+// WAL record framing and batch encoding.
+//
+// Every record on disk is framed as
+//
+//	length  uint32  payload byte count
+//	crc     uint32  CRC32C of the payload
+//	payload length bytes
+//
+// with all integers little-endian. A record whose frame is incomplete or
+// whose CRC does not match the payload is torn: recovery treats the first
+// torn record as the end of the log and truncates it away, which is how a
+// crash mid-write loses at most the uncommitted tail and never yields a
+// half-applied batch.
+//
+// Two payload kinds exist:
+//
+//	'H' header  — first record of every segment: magic "QWAL", format
+//	              version, and the epoch fence below which every batch of
+//	              earlier segments lies (checkpoint retention uses it to
+//	              decide which sealed segments a checkpoint has subsumed);
+//	'B' batch   — one epoch-fenced group of index mutations, appended
+//	              atomically: the epoch of the mutation that produced it and
+//	              the journal ops to replay. A batch is exactly one record,
+//	              so CRC framing gives batch atomicity for free.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"quepa/internal/aindex"
+	"quepa/internal/core"
+)
+
+const (
+	recHeader = 'H'
+	recBatch  = 'B'
+
+	walMagic   = "QWAL"
+	walVersion = 1
+
+	// frameOverhead is the length+CRC prefix of every record.
+	frameOverhead = 8
+
+	// maxRecordBytes bounds a single record so a corrupt length field cannot
+	// drive an absurd allocation during recovery; a longer record is treated
+	// as torn.
+	maxRecordBytes = 64 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame wraps a payload in the length+CRC frame.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameOverhead]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// appendHeader encodes a segment-header payload and frames it.
+func appendHeader(dst []byte, baseEpoch uint64) []byte {
+	payload := make([]byte, 0, 1+4+2+8)
+	payload = append(payload, recHeader)
+	payload = append(payload, walMagic...)
+	payload = binary.LittleEndian.AppendUint16(payload, walVersion)
+	payload = binary.LittleEndian.AppendUint64(payload, baseEpoch)
+	return appendFrame(dst, payload)
+}
+
+// parseHeader decodes a segment-header payload.
+func parseHeader(payload []byte) (baseEpoch uint64, err error) {
+	if len(payload) != 1+4+2+8 || payload[0] != recHeader {
+		return 0, fmt.Errorf("wal: malformed segment header")
+	}
+	if string(payload[1:5]) != walMagic {
+		return 0, fmt.Errorf("wal: bad segment magic %q", payload[1:5])
+	}
+	if v := binary.LittleEndian.Uint16(payload[5:7]); v != walVersion {
+		return 0, fmt.Errorf("wal: unsupported segment version %d", v)
+	}
+	return binary.LittleEndian.Uint64(payload[7:15]), nil
+}
+
+// appendBatch encodes an epoch-fenced batch payload and frames it.
+func appendBatch(dst []byte, epoch uint64, ops []aindex.JournalOp) []byte {
+	payload := make([]byte, 0, 16+32*len(ops))
+	payload = append(payload, recBatch)
+	payload = binary.LittleEndian.AppendUint64(payload, epoch)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(ops)))
+	for _, op := range ops {
+		payload = append(payload, byte(op.Kind))
+		switch op.Kind {
+		case aindex.OpInsert, aindex.OpInsertRaw:
+			payload = appendKey(payload, op.Rel.From)
+			payload = appendKey(payload, op.Rel.To)
+			payload = append(payload, byte(op.Rel.Type))
+			payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(op.Rel.Prob))
+		case aindex.OpRemove:
+			payload = appendKey(payload, op.Key)
+		}
+	}
+	return appendFrame(dst, payload)
+}
+
+func appendKey(dst []byte, gk core.GlobalKey) []byte {
+	s := gk.String()
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// batch is one decoded epoch-fenced batch.
+type batch struct {
+	epoch uint64
+	ops   []aindex.JournalOp
+}
+
+// parseBatch decodes a batch payload. Every op is validated — keys must
+// parse, relations must satisfy core.PRelation.Validate (which rejects NaN
+// and out-of-range probabilities) — so corrupt bytes that happen to pass the
+// CRC of a shorter record still cannot smuggle a bogus edge into the index.
+func parseBatch(payload []byte) (batch, error) {
+	var b batch
+	if len(payload) < 13 || payload[0] != recBatch {
+		return b, fmt.Errorf("wal: malformed batch record")
+	}
+	b.epoch = binary.LittleEndian.Uint64(payload[1:9])
+	n := binary.LittleEndian.Uint32(payload[9:13])
+	if uint64(n) > uint64(len(payload)) { // each op is at least one byte
+		return b, fmt.Errorf("wal: batch claims %d ops in %d bytes", n, len(payload))
+	}
+	rest := payload[13:]
+	b.ops = make([]aindex.JournalOp, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(rest) == 0 {
+			return b, fmt.Errorf("wal: batch truncated at op %d", i)
+		}
+		kind := aindex.OpKind(rest[0])
+		rest = rest[1:]
+		var op aindex.JournalOp
+		op.Kind = kind
+		var err error
+		switch kind {
+		case aindex.OpInsert, aindex.OpInsertRaw:
+			if op.Rel.From, rest, err = readKey(rest); err != nil {
+				return b, fmt.Errorf("wal: batch op %d: %w", i, err)
+			}
+			if op.Rel.To, rest, err = readKey(rest); err != nil {
+				return b, fmt.Errorf("wal: batch op %d: %w", i, err)
+			}
+			if len(rest) < 9 {
+				return b, fmt.Errorf("wal: batch op %d truncated", i)
+			}
+			op.Rel.Type = core.RelType(rest[0])
+			op.Rel.Prob = math.Float64frombits(binary.LittleEndian.Uint64(rest[1:9]))
+			rest = rest[9:]
+			if err := op.Rel.Validate(); err != nil {
+				return b, fmt.Errorf("wal: batch op %d: %w", i, err)
+			}
+		case aindex.OpRemove:
+			if op.Key, rest, err = readKey(rest); err != nil {
+				return b, fmt.Errorf("wal: batch op %d: %w", i, err)
+			}
+		default:
+			return b, fmt.Errorf("wal: batch op %d: unknown kind %d", i, kind)
+		}
+		b.ops = append(b.ops, op)
+	}
+	if len(rest) != 0 {
+		return b, fmt.Errorf("wal: %d trailing bytes after batch ops", len(rest))
+	}
+	return b, nil
+}
+
+func readKey(src []byte) (core.GlobalKey, []byte, error) {
+	l, n := binary.Uvarint(src)
+	if n <= 0 || l > uint64(len(src)-n) {
+		return core.GlobalKey{}, nil, fmt.Errorf("bad key length")
+	}
+	gk, err := core.ParseGlobalKey(string(src[n : n+int(l)]))
+	if err != nil {
+		return core.GlobalKey{}, nil, err
+	}
+	return gk, src[n+int(l):], nil
+}
