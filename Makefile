@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-hotpath bench-build bench-compare bench-recovery chaos crashtest fuzz figures clean
+.PHONY: all build vet test race cover bench bench-hotpath bench-build bench-compare bench-recovery bench-trace chaos crashtest fuzz figures promlint clean
 
 all: build vet test
 
@@ -55,6 +55,17 @@ BASELINE ?= BENCH_PR4.json
 bench-compare:
 	$(GO) run ./cmd/quepa-bench -fig 9 -best-of 3 -json bench_ci.json -label ci > /dev/null
 	$(GO) run ./cmd/quepa-bench -compare $(BASELINE) -tolerance 0.30 bench_ci.json
+
+# Distributed-tracing overhead gate: rerun the traced-vs-untraced hot-path
+# search pair and fail if tracing costs more than +30% and a 2ms noise floor.
+bench-trace:
+	QUEPA_TRACE_GUARD=1 $(GO) test -run TestTraceOverheadGuard -count=1 -v ./internal/augment/
+
+# Prometheus text-exposition conformance: lint the registry's /metrics
+# rendering (every metric shape the server exports, plus whatever the global
+# registry accumulated) against the 0.0.4 format rules scrapers enforce.
+promlint:
+	$(GO) test -run PromLint -count=1 ./internal/telemetry/
 
 # Crash-recovery suite: SIGKILL a re-exec'd process mid-write (both the raw
 # WAL writer and a live quepa-server under load) and verify the reopened data

@@ -52,8 +52,10 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	rdebug "runtime/debug"
+	rpprof "runtime/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -66,6 +68,7 @@ import (
 	"quepa/internal/explain"
 	"quepa/internal/optimizer"
 	"quepa/internal/resilience"
+	"quepa/internal/slo"
 	"quepa/internal/telemetry"
 	"quepa/internal/wal"
 	"quepa/internal/wire"
@@ -85,6 +88,12 @@ type server struct {
 	// in a resilience.GuardedStore drawing its breaker from this set, which
 	// /healthz and /stats expose.
 	res *resilience.Set
+
+	// slo is the burn-rate engine when the server runs with latency
+	// objectives (-slo-search-p99 / -slo-step-p99); nil otherwise. Installed
+	// after construction via installSLO so newServer's signature — shared
+	// with the tests — stays put.
+	slo *slo.Engine
 
 	// Adaptive optimizer state: the optimizer itself, and the last observed
 	// result/augmentation sizes per query signature — a query's features are
@@ -174,6 +183,22 @@ func main() {
 		"serve every database over a loopback TCP wire server and augment through multiplexed wire clients (exercises the full remote fetch path)")
 	pool := flag.Int("pool", wire.DefaultPoolSize,
 		"multiplexed connections per wire client (with -wire)")
+	traceSample := flag.Float64("trace-sample", telemetry.DefaultSampleRate,
+		"probability of keeping a fast, unflagged trace (slow/errored/degraded/breaker traces are always kept)")
+	traceLog := flag.String("trace-log", "",
+		"append kept traces as JSON lines to this file (rotated once at -trace-log-bytes)")
+	traceLogBytes := flag.Int64("trace-log-bytes", 16<<20,
+		"rotate the trace log when it reaches this size (with -trace-log)")
+	sloSearchP99 := flag.Duration("slo-search-p99", 0,
+		"latency objective for /search: -slo-target of requests must finish within this (0 disables)")
+	sloStepP99 := flag.Duration("slo-step-p99", 0,
+		"latency objective for /explore/step (0 disables)")
+	sloTarget := flag.Float64("slo-target", slo.DefaultTarget,
+		"fraction of requests that must meet the latency objective")
+	sloFastBurn := flag.Float64("slo-fast-burn", slo.DefaultFastBurn,
+		"burn-rate threshold: /healthz degrades when both alert windows burn at or above it")
+	sloInterval := flag.Duration("slo-interval", slo.DefaultInterval,
+		"how often the SLO engine samples the route histograms")
 	flag.Parse()
 	if *version {
 		fmt.Println(buildVersion())
@@ -185,6 +210,16 @@ func main() {
 	}
 	telemetry.SetLogLevel(lvl)
 	telemetry.DefaultTracer().SetSlowThreshold(*slow)
+	telemetry.DefaultTracer().SetSampleRate(*traceSample)
+	var traceSink *telemetry.TraceLog
+	if *traceLog != "" {
+		traceSink, err = telemetry.NewTraceLog(*traceLog, *traceLogBytes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		telemetry.DefaultTracer().SetExporter(traceSink)
+		log.Printf("quepa-server: exporting kept traces to %s (rotate at %d bytes)", *traceLog, *traceLogBytes)
+	}
 
 	spec := workload.DefaultSpec().Scale(*scale)
 	spec.ReplicaRounds = *replicas
@@ -262,6 +297,30 @@ func main() {
 	}
 	s.wal = manager
 
+	var objectives []slo.Objective
+	if *sloSearchP99 > 0 {
+		objectives = append(objectives, slo.Objective{Route: "/search", Latency: *sloSearchP99, Target: *sloTarget})
+	}
+	if *sloStepP99 > 0 {
+		objectives = append(objectives, slo.Objective{Route: "/explore/step", Latency: *sloStepP99, Target: *sloTarget})
+	}
+	var sloEngine *slo.Engine
+	if len(objectives) > 0 {
+		sloEngine, err = slo.New(slo.Config{
+			Objectives: objectives,
+			FastBurn:   *sloFastBurn,
+			Interval:   *sloInterval,
+			OnFastBurn: captureFastBurnProfiles(*dataDir),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.installSLO(sloEngine)
+		sloEngine.Start()
+		log.Printf("quepa-server: burn-rate alerting on %d route(s), fast-burn threshold %.1f",
+			len(objectives), *sloFastBurn)
+	}
+
 	mux := s.routes()
 	if *debug {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -289,10 +348,22 @@ func main() {
 	err = serveUntil(ctx, &http.Server{Handler: mux}, ln, *drain,
 		func() error { stopCheckpoints(); return nil },
 		func() error {
+			if sloEngine != nil {
+				sloEngine.Stop()
+			}
+			return nil
+		},
+		func() error {
 			if manager == nil {
 				return nil
 			}
 			return manager.Close()
+		},
+		func() error {
+			if traceSink == nil {
+				return nil
+			}
+			return traceSink.Close()
 		})
 	if err != nil {
 		log.Fatal(err)
@@ -349,6 +420,37 @@ func (s *server) registerMetrics() {
 		})
 }
 
+// captureFastBurnProfiles returns the SLO engine's first-trip hook: it dumps
+// goroutine and heap pprof profiles into dir (the data dir in durable mode,
+// the working directory otherwise), so the evidence of what was burning the
+// budget survives the incident. Capture failures are logged, never fatal —
+// the alert itself must not depend on the disk.
+func captureFastBurnProfiles(dir string) func(route string) {
+	if dir == "" {
+		dir = "."
+	}
+	return func(route string) {
+		stamp := time.Now().UTC().Format("20060102T150405Z")
+		for _, profile := range []string{"goroutine", "heap"} {
+			p := rpprof.Lookup(profile)
+			if p == nil {
+				continue
+			}
+			path := filepath.Join(dir, fmt.Sprintf("fastburn-%s-%s.pprof", stamp, profile))
+			f, err := os.Create(path)
+			if err != nil {
+				log.Printf("quepa-server: fast-burn profile capture: %v", err)
+				continue
+			}
+			if err := p.WriteTo(f, 0); err != nil {
+				log.Printf("quepa-server: fast-burn profile capture: %v", err)
+			}
+			f.Close()
+			log.Printf("quepa-server: SLO fast burn on %s: captured %s", route, path)
+		}
+	}
+}
+
 // statusWriter captures the response code for the request metrics.
 type statusWriter struct {
 	http.ResponseWriter
@@ -377,6 +479,12 @@ func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		span.End()
 		telemetry.NewCounter("quepa_http_requests_total", "HTTP requests served by route and status",
 			telemetry.L("route", route), telemetry.L("code", strconv.Itoa(sw.code))).Inc()
+		// The SLO engine reads this per-route series: 5xx responses spend
+		// error budget no matter how fast they were produced.
+		if sw.code >= 500 {
+			telemetry.NewCounter(slo.ErrorCounter, "HTTP 5xx responses by route",
+				telemetry.L("route", route)).Inc()
+		}
 		// start is the zero time when telemetry is off — no clock reads then.
 		if !start.IsZero() {
 			if d := time.Since(start); d >= telemetry.DefaultTracer().SlowThreshold() {
@@ -389,17 +497,29 @@ func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// installSLO attaches a burn-rate engine: /healthz starts answering 503
+// while any objective fast-burns, and /stats grows an "slo" section.
+func (s *server) installSLO(e *slo.Engine) { s.slo = e }
+
 // handleHealthz is the load-balancer probe: 200 while every store's breaker
-// admits calls, 503 as soon as one is open. The body carries the per-store
-// breaker snapshots either way, so a failing probe is self-explaining. Like
-// /metrics it skips the instrument middleware — probes fire too often to be
-// worth tracing.
+// admits calls, 503 as soon as one is open or an SLO fast-burns. The body
+// carries the per-store breaker snapshots either way, so a failing probe is
+// self-explaining. Like /metrics it skips the instrument middleware — probes
+// fire too often to be worth tracing.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status, code := "ok", http.StatusOK
 	if s.res.AnyOpen() {
 		status, code = "degraded", http.StatusServiceUnavailable
 	}
 	body := map[string]any{"breakers": s.res.Snapshot()}
+	if s.slo != nil {
+		// Fast burn means the error budget is being spent at page-worthy
+		// speed: fall out of the balancer before the budget is gone.
+		if burning := s.slo.FastBurning(); len(burning) > 0 {
+			status, code = "degraded", http.StatusServiceUnavailable
+			body["slo_fast_burn"] = burning
+		}
+	}
 	if s.wal != nil {
 		// A sticky WAL error means new mutations are no longer being made
 		// durable — the server still answers queries, but it must fall out of
@@ -425,7 +545,10 @@ func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	route := r.URL.Query().Get("route")
+	q := r.URL.Query()
+	route := q.Get("route")
+	traceID := q.Get("trace_id")
+	store := q.Get("store")
 	tracer := telemetry.DefaultTracer()
 	seen, kept := tracer.Stats()
 	all := tracer.Snapshot()
@@ -439,14 +562,39 @@ func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		if t.DurationMS < minMS {
 			continue
 		}
+		if traceID != "" && t.TraceID != traceID {
+			continue
+		}
+		// ?store= keeps traces that touched the named store anywhere in the
+		// tree — the attribute every wire/fetch span carries.
+		if store != "" && !treeHasAttr(t, "store", store) {
+			continue
+		}
 		traces = append(traces, t)
+	}
+	if q.Get("format") == "json" {
+		w.Header().Set("Content-Disposition", `attachment; filename="quepa-traces.json"`)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"slow_threshold_ms": float64(tracer.SlowThreshold().Nanoseconds()) / 1e6,
 		"roots_seen":        seen,
 		"roots_kept":        kept,
+		"sampling":          tracer.SamplingStats(),
 		"traces":            traces,
 	})
+}
+
+// treeHasAttr reports whether any span of the tree carries attrs[key] == val.
+func treeHasAttr(t telemetry.SpanJSON, key, val string) bool {
+	if t.Attrs[key] == val {
+		return true
+	}
+	for _, c := range t.Children {
+		if treeHasAttr(c, key, val) {
+			return true
+		}
+	}
+	return false
 }
 
 // handleExplain serves the EXPLAIN profile ring, slowest first, optionally
@@ -836,7 +984,17 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	} else {
 		durability = map[string]any{"enabled": false}
 	}
+	var sloSection any
+	if s.slo != nil {
+		sloSection = map[string]any{
+			"fast_burn_threshold": s.slo.FastBurnThreshold(),
+			"objectives":          s.slo.Snapshot(),
+		}
+	} else {
+		sloSection = map[string]any{"enabled": false}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
+		"slo":         sloSection,
 		"durability":  durability,
 		"databases":   s.built.Poly.Size(),
 		"index_keys":  s.built.Index.NodeCount(),

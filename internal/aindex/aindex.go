@@ -19,6 +19,7 @@
 package aindex
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -273,6 +274,13 @@ func (ix *Index) Contains(gk core.GlobalKey) bool {
 // the lazy-deletion policy: the augmenter calls it when a fetch reveals the
 // object no longer exists. Inferred edges between the remaining nodes stay.
 func (ix *Index) RemoveObject(gk core.GlobalKey) bool {
+	return ix.RemoveObjectCtx(context.Background(), gk)
+}
+
+// RemoveObjectCtx is RemoveObject with the triggering request's context, so a
+// context-aware journal (the WAL) can hang its durability spans inside the
+// trace of the request whose fetch revealed the stale object.
+func (ix *Index) RemoveObjectCtx(ctx context.Context, gk core.GlobalKey) bool {
 	ix.mu.Lock()
 	if !ix.removeObjectLocked(gk) {
 		ix.mu.Unlock()
@@ -280,7 +288,7 @@ func (ix *Index) RemoveObject(gk core.GlobalKey) bool {
 	}
 	e := ix.epoch.Add(1)
 	if ix.journal != nil {
-		ix.journal.Log([]JournalOp{{Kind: OpRemove, Key: gk}}, e)
+		ix.logCtxLocked(ctx, []JournalOp{{Kind: OpRemove, Key: gk}}, e)
 	}
 	ix.mu.Unlock()
 	removals.Inc()

@@ -13,6 +13,7 @@
 package aindex
 
 import (
+	"context"
 	"sort"
 
 	"quepa/internal/core"
@@ -48,6 +49,26 @@ type JournalOp struct {
 // and must not retain the ops slice.
 type Journal interface {
 	Log(ops []JournalOp, epoch uint64)
+}
+
+// ContextJournal is the optional extension a Journal implements to receive
+// the mutating request's context — the WAL manager uses it to attach its
+// append/fsync spans to the distributed trace of the request that paid for
+// the durability work. Mutations arriving through ctx-less entry points call
+// plain Log.
+type ContextJournal interface {
+	Journal
+	LogCtx(ctx context.Context, ops []JournalOp, epoch uint64)
+}
+
+// logCtxLocked routes one journaled batch through LogCtx when the journal
+// supports it and the caller actually has a context worth threading.
+func (ix *Index) logCtxLocked(ctx context.Context, ops []JournalOp, epoch uint64) {
+	if cj, ok := ix.journal.(ContextJournal); ok && ctx != nil {
+		cj.LogCtx(ctx, ops, epoch)
+		return
+	}
+	ix.journal.Log(ops, epoch)
 }
 
 // SetJournal installs (or, with nil, removes) the mutation journal. Existing

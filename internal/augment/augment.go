@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -539,6 +540,12 @@ func (s *sink) absorb(ctx context.Context, store string, level int, err error) e
 	if !seen {
 		degradedTotal.Inc()
 		explain.FromContext(ctx).Degraded(store, d.Reason, level)
+		// A degraded answer is exactly what tail sampling wants to keep, no
+		// matter how fast the request finished without the dropped store.
+		if sp := telemetry.SpanFromContext(ctx); sp != nil {
+			sp.Mark(telemetry.FlagDegraded)
+			sp.SetAttr("degraded_store", store)
+		}
 	}
 	return nil
 }
@@ -600,19 +607,33 @@ func (a *Augmenter) fetchStore(ctx context.Context, gk core.GlobalKey) (core.Obj
 	if rec != nil {
 		start = time.Now()
 	}
-	obj, err := a.poly.Fetch(ctx, gk)
+	// The fetch span is created only under an already-traced caller, so the
+	// cache-hit and tracing-disabled paths stay allocation-free.
+	fctx := ctx
+	var sp *telemetry.Span
+	if telemetry.SpanFromContext(ctx) != nil {
+		fctx, sp = telemetry.StartSpan(ctx, "store.fetch")
+		sp.SetAttr("store", gk.Database)
+	}
+	obj, err := a.poly.Fetch(fctx, gk)
 	if err != nil {
 		if errors.Is(err, core.ErrNotFound) {
 			if rec != nil {
 				rec.StoreOp(gk.Database, "get", 1, 0, time.Since(start), false)
 			}
-			a.index.RemoveObject(gk)
+			a.index.RemoveObjectCtx(fctx, gk)
 			a.cache.Remove(gk)
 			a.neg.Put(gk)
+			sp.End()
 			return core.Object{}, false, nil
 		}
 		if rec != nil {
 			rec.StoreOp(gk.Database, "get", 1, 0, time.Since(start), true)
+		}
+		if sp != nil {
+			sp.Mark(telemetry.FlagError)
+			sp.SetAttr("error", err.Error())
+			sp.End()
 		}
 		return core.Object{}, false, err
 	}
@@ -621,6 +642,7 @@ func (a *Augmenter) fetchStore(ctx context.Context, gk core.GlobalKey) (core.Obj
 	}
 	a.cache.Put(obj)
 	a.neg.Forget(gk)
+	sp.End()
 	return obj, true, nil
 }
 
@@ -705,11 +727,23 @@ func (a *Augmenter) fetchGroup(ctx context.Context, database, collection string,
 	if rec != nil {
 		start = time.Now()
 	}
-	objs, err := a.poly.FetchBatch(ctx, database, collection, missing)
+	fctx := ctx
+	var sp *telemetry.Span
+	if telemetry.SpanFromContext(ctx) != nil {
+		fctx, sp = telemetry.StartSpan(ctx, "store.fetchbatch")
+		sp.SetAttr("store", database)
+		sp.SetAttr("keys", strconv.Itoa(len(missing)))
+	}
+	objs, err := a.poly.FetchBatch(fctx, database, collection, missing)
 	if rec != nil {
 		rec.StoreOp(database, "getbatch", len(missing), len(objs), time.Since(start), err != nil)
 	}
 	if err != nil {
+		if sp != nil {
+			sp.Mark(telemetry.FlagError)
+			sp.SetAttr("error", err.Error())
+			sp.End()
+		}
 		return err
 	}
 	found := make(map[string]bool, len(objs))
@@ -722,11 +756,12 @@ func (a *Augmenter) fetchGroup(ctx context.Context, database, collection string,
 	for _, k := range missing {
 		if !found[k] {
 			gk := core.NewGlobalKey(database, collection, k)
-			a.index.RemoveObject(gk)
+			a.index.RemoveObjectCtx(fctx, gk)
 			a.cache.Remove(gk)
 			a.neg.Put(gk)
 		}
 	}
+	sp.End()
 	return nil
 }
 

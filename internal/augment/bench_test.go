@@ -2,6 +2,7 @@ package augment
 
 import (
 	"testing"
+	"time"
 
 	"quepa/internal/aindex"
 	"quepa/internal/core"
@@ -80,6 +81,58 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 				if _, err := aug.Search(ctx, db, query, 1); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkTraceOverhead measures what span creation itself costs on the hot
+// path. Telemetry is ON in both modes; the only difference is whether the
+// search runs inside a root span. Untraced callers skip span construction
+// entirely (the wire/augment layers gate on SpanFromContext), so the delta
+// is the full per-request price of distributed tracing at the default tail
+// sampling rate. CI guards this with a +30% / 2ms ceiling; compare locally
+// with
+//
+//	go test ./internal/augment -bench TraceOverhead -count 10 | benchstat
+func BenchmarkTraceOverhead(b *testing.B) {
+	poly, ix, db, query := syntheticPolystoreB(b, 6, 200, 13)
+	prev := telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prev)
+	tracer := telemetry.DefaultTracer()
+	prevSlow := tracer.SlowThreshold()
+	prevRate := tracer.SampleRate()
+	// Nothing here counts as "slow": the traced run pays span construction
+	// and the probabilistic tail-sampling decision, not bulk retention.
+	tracer.SetSlowThreshold(time.Hour)
+	tracer.SetSampleRate(telemetry.DefaultSampleRate)
+	defer func() {
+		tracer.SetSlowThreshold(prevSlow)
+		tracer.SetSampleRate(prevRate)
+		tracer.Reset()
+	}()
+
+	for _, mode := range []struct {
+		name   string
+		traced bool
+	}{
+		{"untraced", false},
+		{"traced", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			aug := New(poly, ix, Config{Strategy: OuterBatch, BatchSize: 64, ThreadsSize: 4})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := ctx
+				var sp *telemetry.Span
+				if mode.traced {
+					c, sp = telemetry.StartSpan(ctx, "bench request")
+				}
+				if _, err := aug.Search(c, db, query, 1); err != nil {
+					b.Fatal(err)
+				}
+				sp.End()
 			}
 		})
 	}

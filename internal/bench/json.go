@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"quepa/internal/explain"
+	"quepa/internal/telemetry"
 )
 
 // RunRecord is the machine-readable form of a benchmark campaign, written by
@@ -26,6 +27,11 @@ type RunRecord struct {
 	// Profiles holds the EXPLAIN profiles sampled during the campaign when
 	// quepa-bench ran with -explain-sample (absent otherwise).
 	Profiles []*explain.Profile `json:"profiles,omitempty"`
+	// Traces holds the tail-sampling decision counters of the campaign's
+	// tracer — how many root spans were seen, how many were kept and why —
+	// when any tracing happened (absent otherwise). The -compare guard
+	// ignores it; it documents the observability cost of the run.
+	Traces *telemetry.SamplingStats `json:"traces,omitempty"`
 }
 
 // SchemaVersion identifies the RunRecord layout.
@@ -43,6 +49,9 @@ func WriteJSON(w io.Writer, label string, opts Options, figures []string, points
 		Figures:   figures,
 		Points:    points,
 		Profiles:  ExplainProfiles(),
+	}
+	if st := telemetry.DefaultTracer().SamplingStats(); st.Seen > 0 {
+		rec.Traces = &st
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

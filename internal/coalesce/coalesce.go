@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"quepa/internal/core"
+	"quepa/internal/telemetry"
 )
 
 const groupShards = 16
@@ -47,12 +48,17 @@ type groupShard struct {
 
 // call is one in-flight fetch. Followers block on wg; the results are
 // published before wg.Done, so a woken follower reads them without locks.
+// The leader's span identity is written before the call is published, so
+// followers read it lock-free to link their traces to the fetch they rode.
 type call struct {
 	wg        sync.WaitGroup
 	obj       core.Object
 	ok        bool
 	err       error
 	followers int
+
+	ltid telemetry.TraceID // leader span identity (zero when the leader is untraced)
+	lsid telemetry.SpanID
 }
 
 // NewGroup returns an empty coalescing group.
@@ -94,13 +100,25 @@ func (g *Group) Do(ctx context.Context, gk core.GlobalKey, fetch Fetch) (obj cor
 		if c, inFlight := sh.flight[gk]; inFlight {
 			c.followers++
 			sh.mu.Unlock()
+			// A traced follower records the wait as a link span pointing at
+			// the leader's fetch. Untraced followers (no span in ctx) skip
+			// this entirely, keeping the follower join allocation-free.
+			var wsp *telemetry.Span
+			if telemetry.SpanFromContext(ctx) != nil {
+				_, wsp = telemetry.StartSpan(ctx, "coalesce.wait")
+				wsp.AddLink(c.ltid, c.lsid)
+			}
 			c.wg.Wait()
+			wsp.End()
 			if leaderAborted(c.err) && ctx.Err() == nil {
 				continue // the leader was cancelled, not us: retry as leader
 			}
 			return c.obj, c.ok, true, c.err
 		}
 		c := &call{}
+		if lsp := telemetry.SpanFromContext(ctx); lsp != nil {
+			c.ltid, c.lsid = lsp.TraceID(), lsp.SpanID()
+		}
 		c.wg.Add(1)
 		sh.flight[gk] = c
 		sh.mu.Unlock()

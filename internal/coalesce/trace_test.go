@@ -1,0 +1,96 @@
+package coalesce
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"quepa/internal/core"
+	"quepa/internal/telemetry"
+)
+
+// TestChaosFollowerLinkResolvesLeader pins the trace contract of request
+// coalescing: a traced follower that joins an in-flight fetch gets a
+// "coalesce.wait" span carrying a link that resolves to the leader's span —
+// the two requests are separate traces, but the link makes the shared fetch
+// navigable from either side. The fetch blocks until the follower has
+// registered, so the leader/follower roles are deterministic.
+func TestChaosFollowerLinkResolvesLeader(t *testing.T) {
+	prev := telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prev)
+
+	g := NewGroup()
+	release := make(chan struct{})
+	fetch := func(context.Context, core.GlobalKey) (core.Object, bool, error) {
+		<-release
+		return core.NewObject(gk, map[string]string{"v": "1"}), true, nil
+	}
+
+	lctx, leader := telemetry.StartSpan(context.Background(), "leader-request")
+	fctx, follower := telemetry.StartSpan(context.Background(), "follower-request")
+	if leader == nil || follower == nil {
+		t.Fatal("no spans (telemetry disabled?)")
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, ok, _, err := g.Do(lctx, gk, fetch); err != nil || !ok {
+			t.Errorf("leader Do = ok=%v err=%v", ok, err)
+		}
+	}()
+	waitFor(t, func() bool { _, inFlight := g.Waiters(gk); return inFlight })
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		obj, ok, shared, err := g.Do(fctx, gk, fetch)
+		if err != nil || !ok || !shared || obj.Fields["v"] != "1" {
+			t.Errorf("follower Do = %v ok=%v shared=%v err=%v", obj, ok, shared, err)
+		}
+	}()
+	waitFor(t, func() bool { followers, _ := g.Waiters(gk); return followers == 1 })
+	close(release)
+	wg.Wait()
+	follower.End()
+	leader.End()
+
+	tree := follower.JSON()
+	var wait *telemetry.SpanJSON
+	for i := range tree.Children {
+		if tree.Children[i].Name == "coalesce.wait" {
+			wait = &tree.Children[i]
+		}
+	}
+	if wait == nil {
+		t.Fatalf("follower trace has no coalesce.wait span: %+v", tree)
+	}
+	if len(wait.Links) != 1 {
+		t.Fatalf("coalesce.wait links = %v, want exactly one", wait.Links)
+	}
+	if got, want := wait.Links[0].TraceID, leader.TraceID().String(); got != want {
+		t.Errorf("link trace = %s, want leader trace %s", got, want)
+	}
+	if got, want := wait.Links[0].SpanID, leader.SpanID().String(); got != want {
+		t.Errorf("link span = %s, want leader span %s", got, want)
+	}
+	// The leader pays the fetch itself: no wait span, no self-link.
+	for _, c := range leader.JSON().Children {
+		if c.Name == "coalesce.wait" {
+			t.Errorf("leader trace grew a coalesce.wait span: %+v", c)
+		}
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

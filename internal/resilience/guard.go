@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"quepa/internal/core"
+	"quepa/internal/telemetry"
 )
 
 // GuardedStore decorates a core.Store with a circuit breaker: every data
@@ -44,8 +45,22 @@ func (g *GuardedStore) openErr() error {
 	return fmt.Errorf("resilience: store %s: %w", g.inner.Name(), ErrOpen)
 }
 
+// markBreaker stamps the caller's trace whenever the breaker is anything but
+// closed — a rejection or a probing half-open call — so tail sampling keeps
+// every trace that brushed a tripped breaker. Untraced or healthy calls pay
+// one atomic load.
+func (g *GuardedStore) markBreaker(ctx context.Context) {
+	if st := g.breaker.State(); st != Closed {
+		if sp := telemetry.SpanFromContext(ctx); sp != nil {
+			sp.Mark(telemetry.FlagBreaker)
+			sp.SetAttr("breaker_state", st.String())
+		}
+	}
+}
+
 // Get retrieves one object under the breaker.
 func (g *GuardedStore) Get(ctx context.Context, collection, key string) (core.Object, error) {
+	g.markBreaker(ctx)
 	if g.breaker.Allow() != nil {
 		return core.Object{}, g.openErr()
 	}
@@ -56,6 +71,7 @@ func (g *GuardedStore) Get(ctx context.Context, collection, key string) (core.Ob
 
 // GetBatch retrieves many objects under the breaker.
 func (g *GuardedStore) GetBatch(ctx context.Context, collection string, keys []string) ([]core.Object, error) {
+	g.markBreaker(ctx)
 	if g.breaker.Allow() != nil {
 		return nil, g.openErr()
 	}
@@ -66,6 +82,7 @@ func (g *GuardedStore) GetBatch(ctx context.Context, collection string, keys []s
 
 // Query executes a native query under the breaker.
 func (g *GuardedStore) Query(ctx context.Context, query string) ([]core.Object, error) {
+	g.markBreaker(ctx)
 	if g.breaker.Allow() != nil {
 		return nil, g.openErr()
 	}

@@ -3,8 +3,11 @@ package resilience
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync/atomic"
 	"time"
+
+	"quepa/internal/telemetry"
 )
 
 // RetryPolicy configures a Retrier. The zero value selects the defaults; a
@@ -113,16 +116,31 @@ func (r *Retrier) Backoff(attempt int) time.Duration {
 // the caller's context unchanged; per-attempt deadlines are the operation's
 // concern (the wire client maps them to connection deadlines) because
 // wrapping the context would allocate on every call.
+//
+// When the caller is traced, every attempt beyond the first runs inside a
+// child span tagged attempt=n and the caller's trace is marked FlagRetry, so
+// retry storms are visible in the kept traces.
 func (r *Retrier) Do(ctx context.Context, op func(context.Context) error) error {
 	var err error
 	for attempt := 1; ; attempt++ {
-		err = op(ctx)
+		if attempt == 1 || telemetry.SpanFromContext(ctx) == nil {
+			err = op(ctx)
+		} else {
+			actx, asp := telemetry.StartSpan(ctx, "retry.attempt")
+			asp.SetAttr("attempt", strconv.Itoa(attempt))
+			err = op(actx)
+			if err != nil {
+				asp.SetAttr("error", err.Error())
+			}
+			asp.End()
+		}
 		if err == nil || attempt >= r.policy.MaxAttempts || !Retryable(err) {
 			return err
 		}
 		if ctx.Err() != nil {
 			return err
 		}
+		telemetry.SpanFromContext(ctx).Mark(telemetry.FlagRetry)
 		d := r.Backoff(attempt)
 		if r.sleep != nil {
 			r.sleep(d)

@@ -42,6 +42,27 @@ func TestKillSwitchRecordsNothing(t *testing.T) {
 	if got := tr.Snapshot(); len(got) != 0 {
 		t.Errorf("tracer kept %d spans", len(got))
 	}
+
+	// Trace identity is inert too: no IDs minted, no traceparent rendered,
+	// and a remote continuation carrying a valid traceparent records nothing.
+	if tp := span.TraceParent(); tp != "" {
+		t.Errorf("disabled span rendered traceparent %q", tp)
+	}
+	if id := span.TraceID(); !id.IsZero() {
+		t.Errorf("disabled span has trace ID %v", id)
+	}
+	_, remote := tr.StartRemoteSpan(context.Background(),
+		"remote", "00-0123456789abcdeffedcba9876543210-deadbeefcafef00d-01")
+	remote.Mark(FlagError)
+	remote.AddLink(TraceID{Hi: 1, Lo: 2}, SpanID(3))
+	remote.AddBytes(128, 256)
+	remote.End()
+	if got := tr.Snapshot(); len(got) != 0 {
+		t.Errorf("remote continuation kept %d spans while disabled", len(got))
+	}
+	if st := tr.SamplingStats(); st.Seen != 0 {
+		t.Errorf("sampler saw %d roots while disabled", st.Seen)
+	}
 }
 
 // TestKillSwitchZeroAllocs pins the cost contract: every disabled hot-path
@@ -68,6 +89,25 @@ func TestKillSwitchZeroAllocs(t *testing.T) {
 		{"StartSpan", func() {
 			_, span := tr.StartSpan(ctx, "off")
 			span.SetAttr("k", "v")
+			span.End()
+		}},
+		{"StartRemoteSpan", func() {
+			_, span := tr.StartRemoteSpan(ctx, "off",
+				"00-0123456789abcdeffedcba9876543210-deadbeefcafef00d-01")
+			span.End()
+		}},
+		{"Span.TraceParent", func() {
+			_, span := tr.StartSpan(ctx, "off")
+			_ = span.TraceParent()
+			_ = span.TraceID()
+			_ = span.SpanID()
+			span.End()
+		}},
+		{"Span.Mark+AddLink+AddBytes", func() {
+			_, span := tr.StartSpan(ctx, "off")
+			span.Mark(FlagRetry | FlagBreaker)
+			span.AddLink(TraceID{Hi: 1, Lo: 2}, SpanID(3))
+			span.AddBytes(128, 256)
 			span.End()
 		}},
 	}

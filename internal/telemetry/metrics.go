@@ -174,6 +174,27 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return time.Duration(lower * float64(time.Second))
 }
 
+// CountAtMost returns how many observations landed in buckets whose upper
+// bound is <= d — the "good events" count for a latency SLO with objective d.
+// The answer is quantized to the bucket grid: d is effectively rounded down
+// to the nearest bucket bound (off-grid objectives undercount good events,
+// which errs toward alerting), so pick objectives on the grid for exact
+// accounting.
+func (h *Histogram) CountAtMost(d time.Duration) uint64 {
+	if h == nil {
+		return 0
+	}
+	secs := d.Seconds()
+	var cum uint64
+	for i, b := range h.bounds {
+		if b > secs {
+			break
+		}
+		cum += h.counts[i].Load()
+	}
+	return cum
+}
+
 // HistogramSnapshot is a point-in-time summary of a histogram.
 type HistogramSnapshot struct {
 	Count uint64        `json:"count"`

@@ -1,0 +1,251 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPromLintExposition is the text-exposition conformance gate behind
+// `make promlint`: it renders a registry exercising every metric shape the
+// server exports — counters, gauges, function-backed series, histograms,
+// escaped label values — and lints the output against the Prometheus text
+// format (version 0.0.4) rules that scrapers actually enforce:
+//
+//   - every sample belongs to a family announced by # HELP and # TYPE, and
+//     family blocks are contiguous (no sample after another family started)
+//   - metric and label names match the spec's character sets
+//   - histogram families expose _bucket/_sum/_count, bucket counts are
+//     cumulative and monotone in le, an le="+Inf" bucket exists, and _count
+//     equals the +Inf bucket
+//   - every sample value parses as a float; label values escape \ " and
+//     newlines
+func TestPromLintExposition(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+
+	reg := NewRegistry()
+	reg.Counter("quepa_http_requests_total", "HTTP requests",
+		L("route", "/search"), L("code", "200")).Add(7)
+	reg.Counter("quepa_http_errors_total", "HTTP 5xx responses by route",
+		L("route", "/search")).Add(2)
+	reg.Gauge("quepa_sessions_active", "open sessions").Set(3)
+	reg.GaugeFunc("quepa_slo_burn_rate", "burn rate",
+		func() float64 { return 14.4 }, L("route", "/search"), L("window", "5m"))
+	reg.GaugeFunc("quepa_slo_burn_rate", "burn rate",
+		func() float64 { return 0.25 }, L("route", "/search"), L("window", "1h"))
+	reg.Counter("quepa_escapes_total", "label escaping",
+		L("q", "say \"hi\"\nback\\slash")).Inc()
+	h := reg.Histogram("quepa_http_request_duration_seconds", "latency", nil,
+		L("route", "/search"))
+	for _, d := range []time.Duration{
+		20 * time.Microsecond, 800 * time.Microsecond, 3 * time.Millisecond,
+		40 * time.Millisecond, 2 * time.Second, time.Minute, // last lands in +Inf
+	} {
+		h.Observe(d)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lintExposition(t, sb.String())
+}
+
+// TestPromLintDefaultRegistry lints whatever the process-global registry has
+// accumulated by the time this test runs — the closest in-tree approximation
+// of scraping a live /metrics endpoint.
+func TestPromLintDefaultRegistry(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	NewCounter("promlint_default_probe_total", "ensures the registry is non-empty").Inc()
+	var sb strings.Builder
+	if err := Default().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lintExposition(t, sb.String())
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	// One sample line: name, optional {labels}, value. Label values are
+	// double-quoted with \\, \" and \n escapes.
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{((?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*",?)*)\})? (\S+)$`)
+	labelRe  = regexp.MustCompile(`([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\\\|\\"|\\n)*)"`)
+)
+
+// histState tracks one labeled histogram series while linting its buckets.
+type histState struct {
+	lastLe  float64
+	lastCum uint64
+	infSeen bool
+	inf     uint64
+}
+
+func lintExposition(t *testing.T, text string) {
+	t.Helper()
+	if strings.TrimSpace(text) == "" {
+		t.Fatal("empty exposition")
+	}
+	validTypes := map[string]bool{"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true}
+	helpSeen := map[string]bool{}
+	typeOf := map[string]string{}
+	closed := map[string]bool{} // families whose block has ended
+	hists := map[string]*histState{}
+	counts := map[string]uint64{} // histogram series -> _count value
+	current := ""
+
+	endFamily := func() {
+		if current != "" {
+			closed[current] = true
+		}
+	}
+
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			name := parts[0]
+			if !metricNameRe.MatchString(name) {
+				t.Errorf("line %d: bad metric name %q in HELP", lineNo, name)
+			}
+			if name != current {
+				endFamily()
+				current = name
+			}
+			if closed[name] {
+				t.Errorf("line %d: family %s reopened after its block ended", lineNo, name)
+			}
+			helpSeen[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				t.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				continue
+			}
+			name, kind := parts[0], parts[1]
+			if !validTypes[kind] {
+				t.Errorf("line %d: unknown TYPE %q", lineNo, kind)
+			}
+			if prevKind, ok := typeOf[name]; ok && prevKind != kind {
+				t.Errorf("line %d: family %s changed type %s -> %s", lineNo, name, prevKind, kind)
+			}
+			typeOf[name] = kind
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("line %d: unparseable sample %q", lineNo, line)
+			continue
+		}
+		name, labelBlob, value := m[1], m[3], m[4]
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			t.Errorf("line %d: sample value %q is not a float: %v", lineNo, value, err)
+		}
+		family := name
+		kind := typeOf[name]
+		if kind == "" {
+			// Histogram samples use suffixed names under the family's TYPE.
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, suffix)
+				if base != name && typeOf[base] == "histogram" {
+					family, kind = base, "histogram"
+					break
+				}
+			}
+		}
+		if kind == "" {
+			t.Errorf("line %d: sample %s has no preceding TYPE", lineNo, name)
+			continue
+		}
+		if !helpSeen[family] {
+			t.Errorf("line %d: sample %s has no preceding HELP", lineNo, name)
+		}
+		if family != current {
+			t.Errorf("line %d: sample of family %s inside block of %s", lineNo, family, current)
+		}
+
+		var le string
+		var seriesKey strings.Builder
+		seriesKey.WriteString(family)
+		for _, lm := range labelRe.FindAllStringSubmatch(labelBlob, -1) {
+			if !labelNameRe.MatchString(lm[1]) {
+				t.Errorf("line %d: bad label name %q", lineNo, lm[1])
+			}
+			if lm[1] == "le" {
+				le = lm[2]
+				continue // bucket identity excludes le
+			}
+			fmt.Fprintf(&seriesKey, "|%s=%s", lm[1], lm[2])
+		}
+
+		if kind == "histogram" && strings.HasSuffix(name, "_bucket") {
+			hs := hists[seriesKey.String()]
+			if hs == nil {
+				hs = &histState{lastLe: -1}
+				hists[seriesKey.String()] = hs
+			}
+			cum, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				t.Errorf("line %d: bucket count %q not an integer", lineNo, value)
+				continue
+			}
+			if le == "+Inf" {
+				hs.infSeen, hs.inf = true, cum
+			} else {
+				bound, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Errorf("line %d: bucket le %q not a float", lineNo, le)
+					continue
+				}
+				if bound <= hs.lastLe {
+					t.Errorf("line %d: bucket bounds not increasing (%v after %v)", lineNo, bound, hs.lastLe)
+				}
+				hs.lastLe = bound
+			}
+			if cum < hs.lastCum {
+				t.Errorf("line %d: bucket counts not cumulative (%d after %d)", lineNo, cum, hs.lastCum)
+			}
+			hs.lastCum = cum
+		}
+		if kind == "histogram" && strings.HasSuffix(name, "_count") {
+			n, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				t.Errorf("line %d: _count %q not an integer", lineNo, value)
+				continue
+			}
+			counts[seriesKey.String()] = n
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for key, hs := range hists {
+		if !hs.infSeen {
+			t.Errorf("histogram series %s has no le=\"+Inf\" bucket", key)
+		}
+		if n, ok := counts[key]; !ok {
+			t.Errorf("histogram series %s has no _count sample", key)
+		} else if n != hs.inf {
+			t.Errorf("histogram series %s: _count %d != +Inf bucket %d", key, n, hs.inf)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Trace identity. Every root span is assigned a 128-bit trace ID and every
+// span a 64-bit span ID, propagated across the wire protocol in a
+// traceparent-style header so client → server → store spans form one tree.
+//
+// IDs come from a seeded splitmix64 sequence (the same construction the
+// resilience jitter and netsim fault draws use): tests call SeedTraceIDs with
+// a fixed seed and get bit-identical trace trees, while production seeds from
+// the clock at init. The generator is allocation-free and lock-free.
+
+// TraceID is a 128-bit trace identifier. The zero value means "no trace".
+type TraceID struct {
+	Hi, Lo uint64
+}
+
+// IsZero reports whether the ID is the invalid all-zero trace ID.
+func (id TraceID) IsZero() bool { return id.Hi == 0 && id.Lo == 0 }
+
+// String renders the ID as 32 lowercase hex digits.
+func (id TraceID) String() string {
+	var b [32]byte
+	putHex64(b[:16], id.Hi)
+	putHex64(b[16:], id.Lo)
+	return string(b[:])
+}
+
+// SpanID is a 64-bit span identifier. Zero means "no span".
+type SpanID uint64
+
+// String renders the ID as 16 lowercase hex digits.
+func (id SpanID) String() string {
+	var b [16]byte
+	putHex64(b[:], uint64(id))
+	return string(b[:])
+}
+
+const hexDigits = "0123456789abcdef"
+
+func putHex64(dst []byte, v uint64) {
+	for i := 15; i >= 0; i-- {
+		dst[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	_ = dst[15]
+}
+
+func parseHex64(s string) (uint64, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < 16; i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		default:
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	return v, true
+}
+
+// idState is the process-wide ID source: a base seed plus an atomic draw
+// counter, mixed through splitmix64. Reseeding resets the counter so a fixed
+// seed always replays the same ID sequence.
+var idState struct {
+	seed atomic.Uint64
+	ctr  atomic.Uint64
+}
+
+func init() {
+	// Production default: seed from the clock so concurrent processes do not
+	// collide. Tests override with SeedTraceIDs for pinned trees.
+	idState.seed.Store(uint64(time.Now().UnixNano()) | 1)
+}
+
+// SeedTraceIDs reseeds the trace/span ID generator and restarts its draw
+// counter, making subsequent IDs a deterministic function of seed. Tests use
+// this to pin exact trace trees.
+func SeedTraceIDs(seed uint64) {
+	idState.seed.Store(seed)
+	idState.ctr.Store(0)
+}
+
+// nextIDWord draws the next 64-bit word from the seeded sequence
+// (splitmix64 over seed + n·golden-gamma, never zero-biased by the caller).
+func nextIDWord() uint64 {
+	n := idState.ctr.Add(1)
+	x := idState.seed.Load() + n*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewTraceID draws a fresh, never-zero trace ID.
+func NewTraceID() TraceID {
+	id := TraceID{Hi: nextIDWord(), Lo: nextIDWord()}
+	if id.IsZero() {
+		id.Lo = 1
+	}
+	return id
+}
+
+// NewSpanID draws a fresh, never-zero span ID.
+func NewSpanID() SpanID {
+	v := nextIDWord()
+	if v == 0 {
+		v = 1
+	}
+	return SpanID(v)
+}
+
+// FormatTraceParent renders a W3C-style traceparent value:
+// "00-<32 hex trace id>-<16 hex span id>-01".
+func FormatTraceParent(trace TraceID, span SpanID) string {
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	putHex64(b[3:19], trace.Hi)
+	putHex64(b[19:35], trace.Lo)
+	b[35] = '-'
+	putHex64(b[36:52], uint64(span))
+	b[52], b[53], b[54] = '-', '0', '1'
+	return string(b[:])
+}
+
+// ParseTraceParent parses a traceparent value produced by FormatTraceParent
+// (any 2-hex version and flags byte are accepted). It returns ok=false on any
+// malformed or all-zero input, which callers treat as "no incoming trace".
+func ParseTraceParent(s string) (TraceID, SpanID, bool) {
+	if len(s) != 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return TraceID{}, 0, false
+	}
+	hi, ok1 := parseHex64(s[3:19])
+	lo, ok2 := parseHex64(s[19:35])
+	sp, ok3 := parseHex64(s[36:52])
+	if !ok1 || !ok2 || !ok3 {
+		return TraceID{}, 0, false
+	}
+	trace := TraceID{Hi: hi, Lo: lo}
+	if trace.IsZero() || sp == 0 {
+		return TraceID{}, 0, false
+	}
+	return trace, SpanID(sp), true
+}

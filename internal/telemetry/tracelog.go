@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// DefaultTraceLogMaxBytes caps a trace-log file before it rotates.
+const DefaultTraceLogMaxBytes = 16 << 20 // 16 MiB
+
+// TraceLog is the bounded JSONL trace exporter: every kept trace is appended
+// as one JSON line. When the file would exceed maxBytes it is rotated once to
+// "<path>.1" (replacing any previous rotation), so disk use is bounded at
+// roughly twice maxBytes no matter how long the process runs.
+type TraceLog struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64
+	f        *os.File
+	size     int64
+	dropped  uint64
+}
+
+// NewTraceLog opens (or creates, appending) the trace log at path. maxBytes
+// <= 0 selects DefaultTraceLogMaxBytes.
+func NewTraceLog(path string, maxBytes int64) (*TraceLog, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultTraceLogMaxBytes
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("trace log: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trace log: %w", err)
+	}
+	return &TraceLog{path: path, maxBytes: maxBytes, f: f, size: st.Size()}, nil
+}
+
+// ExportTrace appends one kept trace as a JSON line, rotating first if the
+// write would push the file past the byte budget. Failures are counted, not
+// propagated — the trace log must never take down the serving path.
+func (l *TraceLog) ExportTrace(root SpanJSON) {
+	line, err := json.Marshal(root)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		l.dropped++
+		return
+	}
+	if l.size+int64(len(line)) > l.maxBytes && l.size > 0 {
+		if err := l.rotateLocked(); err != nil {
+			l.dropped++
+			return
+		}
+	}
+	n, err := l.f.Write(line)
+	l.size += int64(n)
+	if err != nil {
+		l.dropped++
+	}
+}
+
+// rotateLocked closes the current file, moves it to "<path>.1" (clobbering
+// any previous rotation), and reopens a fresh file at path.
+func (l *TraceLog) rotateLocked() error {
+	if err := l.f.Close(); err != nil {
+		l.f = nil
+		return err
+	}
+	if err := os.Rename(l.path, l.path+".1"); err != nil {
+		l.f = nil
+		return err
+	}
+	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		l.f = nil
+		return err
+	}
+	l.f = f
+	l.size = 0
+	return nil
+}
+
+// Dropped reports how many export attempts were lost to I/O errors.
+func (l *TraceLog) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Close flushes and closes the underlying file. Further exports are counted
+// as dropped.
+func (l *TraceLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

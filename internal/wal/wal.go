@@ -26,10 +26,12 @@
 package wal
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -298,6 +300,21 @@ func (m *Manager) Err() error {
 // inside the index write critical section, so batches land in application
 // order with strictly increasing epochs.
 func (m *Manager) Log(ops []aindex.JournalOp, epoch uint64) {
+	m.LogCtx(context.Background(), ops, epoch)
+}
+
+// LogCtx implements aindex.ContextJournal: like Log, but when the mutating
+// request is traced, the append (and, under fsync=always, the fsync) appears
+// as spans inside that request's trace — a durability stall is attributed to
+// the request that paid for it. Untraced contexts cost nothing extra.
+func (m *Manager) LogCtx(ctx context.Context, ops []aindex.JournalOp, epoch uint64) {
+	var sp *telemetry.Span
+	sctx := ctx
+	if telemetry.SpanFromContext(ctx) != nil {
+		sctx, sp = telemetry.StartSpan(ctx, "wal.append")
+		sp.SetAttr("ops", strconv.Itoa(len(ops)))
+		defer sp.End()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed || m.err != nil || m.f == nil {
@@ -308,6 +325,7 @@ func (m *Manager) Log(ops []aindex.JournalOp, epoch uint64) {
 	if err != nil {
 		m.err = fmt.Errorf("wal: append: %w", err)
 		walErrors.Inc()
+		sp.Mark(telemetry.FlagError)
 		return
 	}
 	m.segSize += int64(n)
@@ -318,7 +336,16 @@ func (m *Manager) Log(ops []aindex.JournalOp, epoch uint64) {
 	walAppends.Inc()
 	walAppendBytes.Add(uint64(n))
 	if m.opts.Fsync == FsyncAlways {
-		m.syncLocked()
+		if sp != nil {
+			_, fsp := telemetry.StartSpan(sctx, "wal.fsync")
+			m.syncLocked()
+			if m.err != nil {
+				fsp.Mark(telemetry.FlagError)
+			}
+			fsp.End()
+		} else {
+			m.syncLocked()
+		}
 	}
 	if m.segSize >= m.opts.SegmentBytes {
 		m.rotateLocked()
@@ -402,6 +429,12 @@ func (m *Manager) Checkpoint() error {
 	// read lock, and Log runs under the index write lock while wanting m.mu —
 	// taking them in the opposite order here would deadlock.
 	edges, epoch := ix.EdgesWithEpoch()
+	// Checkpoints run in the background, so the span is its own (usually
+	// fast, therefore sampled-or-dropped) root trace; a stalling checkpoint
+	// crosses the slow threshold and surfaces on its own.
+	_, sp := telemetry.StartSpan(context.Background(), "wal.checkpoint")
+	sp.SetAttr("epoch", strconv.FormatUint(epoch, 10))
+	defer sp.End()
 	start := time.Now()
 	tmp := filepath.Join(m.dir, "checkpoint.tmp")
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -199,6 +200,15 @@ func transient(err error) bool {
 func (c *Client) roundTrip(ctx context.Context, req request) (response, error) {
 	c.roundTrips.Add(1)
 	start := telemetry.Now()
+	// Trace only when the caller is already inside a span: the hot path with
+	// tracing disabled (or an untraced caller) takes zero extra allocations.
+	var sp *telemetry.Span
+	sctx := ctx
+	if telemetry.SpanFromContext(ctx) != nil {
+		sctx, sp = telemetry.StartSpan(ctx, "wire."+req.Op)
+		sp.SetAttr("store", c.name)
+		req.Trace = sp.TraceParent()
+	}
 	resp, sent, received, err := c.attempt(req)
 	if err != nil && retryableOp(req.Op) {
 		// Inlined retry loop (rather than Retrier.Do) so the no-fault path
@@ -211,8 +221,24 @@ func (c *Client) roundTrip(ctx context.Context, req request) (response, error) {
 			c.retries.Add(1)
 			clientRetries[req.Op].Inc()
 			c.retrier.Sleep(d)
+			var rsp *telemetry.Span
+			if sp != nil {
+				sp.Mark(telemetry.FlagRetry)
+				_, rsp = telemetry.StartSpan(sctx, "wire.retry")
+				rsp.SetAttr("attempt", strconv.Itoa(attempt))
+				// The server segment of a retried attempt hangs off the
+				// attempt span, so the trace shows which attempt paid.
+				req.Trace = rsp.TraceParent()
+			}
 			var s, r int
 			resp, s, r, err = c.attempt(req)
+			if rsp != nil {
+				if err != nil {
+					rsp.SetAttr("error", err.Error())
+				}
+				rsp.AddBytes(int64(s), int64(r))
+				rsp.End()
+			}
 			sent += s
 			received += r
 		}
@@ -229,6 +255,14 @@ func (c *Client) roundTrip(ctx context.Context, req request) (response, error) {
 	}
 	if rec := explain.FromContext(ctx); rec != nil {
 		rec.WireBytes(sent, received)
+	}
+	if sp != nil {
+		sp.AddBytes(int64(sent), int64(received))
+		if err != nil {
+			sp.Mark(telemetry.FlagError)
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
 	}
 	return resp, err
 }
@@ -420,12 +454,17 @@ type getWaiter struct {
 
 // getOutcome is what a waiter receives: its object (or authoritative
 // absence), a flight failure to retry, or — batch non-nil — leadership of
-// the next flight, drained queue attached.
+// the next flight, drained queue attached. Served members also receive the
+// identity of the leader's flight span so their own trace links to the frame
+// that actually carried their answer.
 type getOutcome struct {
 	obj   core.Object
 	found bool
 	err   error
 	batch []*getWaiter
+
+	ltid telemetry.TraceID // leader flight span identity (zero when untraced)
+	lsid telemetry.SpanID
 }
 
 // submitGet enrolls w for collection. When no flight is in the air the
@@ -505,9 +544,29 @@ func (c *Client) flyGetBatch(ctx context.Context, collection string, batch []*ge
 			req = request{Op: opGetBatch, Collection: collection, Keys: keys}
 		}
 	}
+	// The leader's flight span covers the shared frame; members that were
+	// served by it link to this span from their own traces.
+	var sp *telemetry.Span
+	if telemetry.SpanFromContext(ctx) != nil {
+		_, sp = telemetry.StartSpan(ctx, "wire."+req.Op)
+		sp.SetAttr("store", c.name)
+		sp.SetAttr("collection", collection)
+		if len(batch) > 1 {
+			sp.SetAttr("batched", strconv.Itoa(len(batch)))
+		}
+		req.Trace = sp.TraceParent()
+	}
 	resp, sent, received, err := c.attempt(req)
 	if rec := explain.FromContext(ctx); rec != nil {
 		rec.WireBytes(sent, received)
+	}
+	if sp != nil {
+		sp.AddBytes(int64(sent), int64(received))
+		if err != nil {
+			sp.Mark(telemetry.FlagError)
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
 	}
 	c.releaseGetLeadership(collection)
 
@@ -518,18 +577,19 @@ func (c *Client) flyGetBatch(ctx context.Context, collection string, batch []*ge
 			found[wo.Key] = fromWire(wo)
 		}
 	}
+	ltid, lsid := sp.TraceID(), sp.SpanID()
 	outcomeFor := func(m *getWaiter) getOutcome {
 		if err != nil {
-			return getOutcome{err: err}
+			return getOutcome{err: err, ltid: ltid, lsid: lsid}
 		}
 		if req.Op == opGet {
 			if resp.NotFound || len(resp.Objects) == 0 {
-				return getOutcome{}
+				return getOutcome{ltid: ltid, lsid: lsid}
 			}
-			return getOutcome{obj: fromWire(resp.Objects[0]), found: true}
+			return getOutcome{obj: fromWire(resp.Objects[0]), found: true, ltid: ltid, lsid: lsid}
 		}
 		obj, ok := found[m.key]
-		return getOutcome{obj: obj, found: ok}
+		return getOutcome{obj: obj, found: ok, ltid: ltid, lsid: lsid}
 	}
 	for _, m := range batch[1:] {
 		m.ch <- outcomeFor(m)
@@ -557,6 +617,12 @@ func (c *Client) groupGet(ctx context.Context, collection, key string) (core.Obj
 					out = c.flyGetBatch(ctx, collection, r.batch)
 				} else {
 					out = r
+					// Served by another goroutine's flight: link our span to
+					// the leader's flight span so the shared frame is visible
+					// from this trace too.
+					if r.lsid != 0 {
+						telemetry.SpanFromContext(ctx).AddLink(r.ltid, r.lsid)
+					}
 				}
 			case <-ctx.Done():
 				if c.abandonGet(collection, w) {
@@ -577,6 +643,17 @@ func (c *Client) groupGet(ctx context.Context, collection, key string) (core.Obj
 		d := c.retrier.Backoff(attempt + 1)
 		if rec := explain.FromContext(ctx); rec != nil {
 			rec.WireRetry(c.name, opGet, attempt+1, d, out.err)
+		}
+		if psp := telemetry.SpanFromContext(ctx); psp != nil {
+			psp.Mark(telemetry.FlagRetry)
+			_, rsp := telemetry.StartSpan(ctx, "wire.retry")
+			rsp.SetAttr("attempt", strconv.Itoa(attempt+1))
+			rsp.SetAttr("error", out.err.Error())
+			c.retries.Add(1)
+			clientRetries[opGet].Inc()
+			c.retrier.Sleep(d)
+			rsp.End()
+			continue
 		}
 		c.retries.Add(1)
 		clientRetries[opGet].Inc()

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"quepa/internal/core"
+	"quepa/internal/telemetry"
 )
 
 // Server exposes one store over TCP. Create it with Serve and stop it with
@@ -90,28 +91,68 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	ctx := context.Background()
 	for {
 		var req request
-		if _, err := readFrame(conn, &req); err != nil {
+		reqBytes, err := readFrame(conn, &req)
+		if err != nil {
 			return // connection closed or corrupted: drop it
 		}
 		if req.ID == 0 {
+			ctx, sp := s.continueTrace(req, reqBytes)
 			resp := s.dispatch(ctx, req)
-			if _, err := writeFrame(conn, resp); err != nil {
+			finishServerSpan(sp, resp)
+			n, err := writeFrame(conn, resp)
+			sp.AddBytes(int64(n), 0)
+			sp.End()
+			if err != nil {
 				return
 			}
 			continue
 		}
 		reqWG.Add(1)
-		go func(req request) {
+		go func(req request, reqBytes int) {
 			defer reqWG.Done()
+			ctx, sp := s.continueTrace(req, reqBytes)
 			resp := s.dispatch(ctx, req)
 			resp.ID = req.ID
+			finishServerSpan(sp, resp)
 			wmu.Lock()
-			writeFrame(conn, resp) //nolint:errcheck // a dead conn fails the read loop too
+			n, _ := writeFrame(conn, resp) //nolint:errcheck // a dead conn fails the read loop too
 			wmu.Unlock()
-		}(req)
+			sp.AddBytes(int64(n), 0)
+			sp.End()
+		}(req, reqBytes)
+	}
+}
+
+// continueTrace opens the server-side segment of the caller's distributed
+// trace when the frame carries a traceparent. Untraced frames get no span at
+// all, so legacy peers cost nothing.
+func (s *Server) continueTrace(req request, reqBytes int) (context.Context, *telemetry.Span) {
+	if req.Trace == "" {
+		return context.Background(), nil
+	}
+	ctx, sp := telemetry.StartRemoteSpan(context.Background(), "wire.server."+req.Op, req.Trace)
+	if sp != nil {
+		sp.SetAttr("store", s.store.Name())
+		sp.SetAttr("op", req.Op)
+		if req.Collection != "" {
+			sp.SetAttr("collection", req.Collection)
+		}
+		sp.AddBytes(0, int64(reqBytes))
+	}
+	return ctx, sp
+}
+
+// finishServerSpan records the dispatch outcome before the response frame is
+// written (the frame bytes land on the span afterwards).
+func finishServerSpan(sp *telemetry.Span, resp response) {
+	if sp == nil {
+		return
+	}
+	if resp.Error != "" {
+		sp.Mark(telemetry.FlagError)
+		sp.SetAttr("error", resp.Error)
 	}
 }
 

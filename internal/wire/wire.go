@@ -83,6 +83,10 @@ type request struct {
 	Key        string   `json:"key,omitempty"`
 	Keys       []string `json:"keys,omitempty"`
 	Query      string   `json:"query,omitempty"`
+	// Trace carries the caller's traceparent ("00-<trace>-<span>-01") so the
+	// server continues the distributed trace. Optional: legacy peers ignore
+	// the extra field, and an empty value means "untraced".
+	Trace string `json:"tp,omitempty"`
 }
 
 type wireObject struct {
