@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-hotpath bench-build bench-compare bench-recovery bench-trace chaos crashtest fuzz figures promlint clean
+.PHONY: all build vet test race cover bench bench-hotpath bench-build bench-compare bench-recovery bench-trace bench-cluster chaos cluster crashtest fuzz figures promlint clean
 
 all: build vet test
 
@@ -66,6 +66,24 @@ bench-trace:
 # registry accumulated) against the 0.0.4 format rules scrapers enforce.
 promlint:
 	$(GO) test -run PromLint -count=1 ./internal/telemetry/
+
+# Multi-peer cluster suite under the race detector (the CI cluster job runs
+# exactly this): ring property tests, scatter-gather equivalence against the
+# single-node index, peer-down -> "peer-open" degradation, slow-shard
+# timeouts, snapshot bootstrap and ring rebalance, the 3-peer HTTP server
+# acceptance test, and the node-count scaling check of the cluster figure.
+# Every scenario runs over in-process netsim peers with deterministic fault
+# plans, so the lane replays bit-for-bit on any runner.
+cluster:
+	$(GO) test -race -run 'Cluster|Ring|Scatter|Rebalance|Snapshot' \
+		./internal/cluster/ ./cmd/quepa-server/
+	$(GO) test -race -run 'FigClusterScaling' ./internal/bench/
+
+# Node-count campaign: the cluster figure sweeps 1/2/4 netsim peers under the
+# per-peer capacity model and reports scatter-gather throughput. The sweep
+# verifies every scattered answer against the single-node index before timing.
+bench-cluster:
+	$(GO) run ./cmd/quepa-bench -fig cluster
 
 # Crash-recovery suite: SIGKILL a re-exec'd process mid-write (both the raw
 # WAL writer and a live quepa-server under load) and verify the reopened data

@@ -15,6 +15,18 @@
 //
 //	quepa-loadgen -serve 127.0.0.1:0 -fault-rate 0.2 -fault-seed 7
 //	quepa-loadgen -serve 127.0.0.1:0 -fault-down 100:200 -fault-stall 50ms -fault-stall-in 1:50
+//
+// With -cluster the process serves one shard of a distributed QUEPA cluster
+// instead: it builds the workload, carves this peer's slice of the A' index
+// along the consistent-hash ring, and serves the shard node (database-routed
+// reads, frontier expansion, snapshots) on its own -cluster address — the
+// peer a quepa-server coordinator scatters to. The -fault-* flags and the
+// -peer-capacity/-peer-service cost model apply to the served shard, so
+// multi-node chaos and node-count scaling runs can be driven from real
+// processes:
+//
+//	quepa-loadgen -cluster 127.0.0.1:7101,127.0.0.1:7102 -shard-id 1
+//	quepa-loadgen -cluster ... -shard-id 1 -fault-down 1: -peer-capacity 4 -peer-service 2ms
 package main
 
 import (
@@ -24,8 +36,10 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
+	"quepa/internal/cluster"
 	"quepa/internal/core"
 	"quepa/internal/middleware"
 	"quepa/internal/netsim"
@@ -43,6 +57,16 @@ func main() {
 	faultDown := flag.String("fault-down", "", "down windows as request ranges from:to[,from:to...] (to exclusive, empty to = forever)")
 	faultStallIn := flag.String("fault-stall-in", "", "stall windows as request ranges from:to[,from:to...]")
 	faultStall := flag.Duration("fault-stall", 0, "added latency inside -fault-stall-in windows")
+	clusterPeers := flag.String("cluster", "",
+		"serve one cluster shard instead: comma-separated wire addresses of every peer ordered by shard id")
+	shardID := flag.Int("shard-id", 0, "this peer's shard id: the index of its own address in -cluster")
+	clusterVnodes := flag.Int("cluster-vnodes", cluster.DefaultVnodes,
+		"virtual nodes per peer on the consistent-hash ring (all peers must agree)")
+	clusterSeed := flag.Uint64("cluster-seed", 0, "ring hash seed, 0 selects the built-in default (all peers must agree)")
+	peerCapacity := flag.Int("peer-capacity", 0,
+		"simulated service capacity of the served shard: concurrent requests (0 disables; with -cluster)")
+	peerService := flag.Duration("peer-service", 0,
+		"simulated service time per object under -peer-capacity")
 	flag.Parse()
 
 	down, err := netsim.ParseWindows(*faultDown)
@@ -84,6 +108,12 @@ func main() {
 	}
 	fmt.Printf("  %-16s %d global keys, %d p-relations\n", "A' index:", built.Index.NodeCount(), built.Index.EdgeCount())
 
+	if *clusterPeers != "" {
+		serveClusterPeer(built, *clusterPeers, *shardID, *clusterVnodes, *clusterSeed, plan,
+			netsim.PeerProfile{Capacity: *peerCapacity, Service: *peerService})
+		return
+	}
+
 	if *serve == "" {
 		return
 	}
@@ -117,4 +147,47 @@ func main() {
 	for _, srv := range servers {
 		srv.Close()
 	}
+}
+
+// serveClusterPeer serves one shard of a distributed deployment: this peer's
+// A' slice plus its databases, on the address -cluster lists for -shard-id.
+// The fault plan and the capacity/service cost model wrap the node when
+// active, so chaos and scaling scenarios run against real processes.
+func serveClusterPeer(built *workload.Built, peerList string, shardID, vnodes int, seed uint64,
+	plan netsim.FaultPlan, prof netsim.PeerProfile) {
+	var peers []string
+	for _, p := range strings.Split(peerList, ",") {
+		if p = strings.TrimSpace(p); p == "" {
+			log.Fatalf("quepa-loadgen: empty peer address in -cluster %q", peerList)
+		}
+		peers = append(peers, p)
+	}
+	if shardID < 0 || shardID >= len(peers) {
+		log.Fatalf("quepa-loadgen: -shard-id %d outside peer list of %d", shardID, len(peers))
+	}
+	ring, err := cluster.NewRing(len(peers), vnodes, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := cluster.BuildShard(built.Index, ring, shardID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	node := cluster.NewNode(shardID, idx, built.Poly)
+	var store core.Store = node
+	if plan.Active() || prof.Capacity > 0 || prof.Profile.RoundTrip > 0 {
+		store = netsim.NewChaosNode(node, prof, plan, time.Sleep)
+		fmt.Printf("serving shard with %s, capacity %d × %v service\n", plan, prof.Capacity, prof.Service)
+	}
+	srv, err := wire.Serve(store, peers[shardID])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving cluster shard %d of %d on %s: A' slice %d keys / %d p-relations, ring version %x\n",
+		shardID, len(peers), srv.Addr(), idx.NodeCount(), idx.EdgeCount(), ring.Version())
+	fmt.Println("press Ctrl-C to stop")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	srv.Close()
 }

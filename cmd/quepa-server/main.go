@@ -33,6 +33,14 @@
 // state instead of rebuilding from the generator. SIGINT/SIGTERM drains
 // in-flight requests and flushes a final checkpoint before exiting.
 //
+// With -cluster host:port,... -shard-id N the server runs as one peer of a
+// sharded deployment: a consistent-hash ring partitions A' ownership across
+// the listed peers, each peer serves its shard over the wire protocol, and
+// augmentation becomes scatter-gather across the owners. /healthz and /stats
+// grow a "cluster" section (ring version, per-peer breakers, owned ranges);
+// a peer whose breaker is open shows up in answers as degraded with reason
+// "peer-open" instead of failing the query.
+//
 // Example:
 //
 //	quepa-server -addr :8080 -replicas 1 &
@@ -64,6 +72,7 @@ import (
 
 	"quepa/internal/aindex"
 	"quepa/internal/augment"
+	"quepa/internal/cluster"
 	"quepa/internal/core"
 	"quepa/internal/explain"
 	"quepa/internal/optimizer"
@@ -88,6 +97,11 @@ type server struct {
 	// in a resilience.GuardedStore drawing its breaker from this set, which
 	// /healthz and /stats expose.
 	res *resilience.Set
+
+	// cluster is the scatter-gather coordinator when the server runs as one
+	// peer of a sharded deployment (-cluster); nil in single-node mode.
+	// /healthz and /stats read it for the ring and per-peer breaker view.
+	cluster *cluster.Coordinator
 
 	// slo is the burn-rate engine when the server runs with latency
 	// objectives (-slo-search-p99 / -slo-step-p99); nil otherwise. Installed
@@ -182,7 +196,15 @@ func main() {
 	wireMode := flag.Bool("wire", false,
 		"serve every database over a loopback TCP wire server and augment through multiplexed wire clients (exercises the full remote fetch path)")
 	pool := flag.Int("pool", wire.DefaultPoolSize,
-		"multiplexed connections per wire client (with -wire)")
+		"multiplexed connections per wire client (with -wire or -cluster)")
+	clusterPeers := flag.String("cluster", "",
+		"comma-separated wire addresses of every cluster peer ordered by shard id; enables sharded scatter-gather mode")
+	shardID := flag.Int("shard-id", 0,
+		"this peer's shard id: the index of its own address in -cluster")
+	clusterVnodes := flag.Int("cluster-vnodes", cluster.DefaultVnodes,
+		"virtual nodes per peer on the consistent-hash ring (all peers must agree)")
+	clusterSeed := flag.Uint64("cluster-seed", 0,
+		"ring hash seed, 0 selects the built-in default (all peers must agree)")
 	traceSample := flag.Float64("trace-sample", telemetry.DefaultSampleRate,
 		"probability of keeping a fast, unflagged trace (slow/errored/degraded/breaker traces are always kept)")
 	traceLog := flag.String("trace-log", "",
@@ -289,13 +311,27 @@ func main() {
 		built.Poly = poly
 		log.Printf("quepa-server: wire loopback enabled, %d multiplexed connections per store", *pool)
 	}
+	bcfg := resilience.BreakerConfig{FailureThreshold: *breakerFailures, Cooldown: *breakerCooldown}
+	var clusterRT *clusterRuntime
+	if *clusterPeers != "" {
+		if *wireMode {
+			log.Fatal("quepa-server: -wire and -cluster are mutually exclusive")
+		}
+		clusterRT, err = setupCluster(built, *clusterPeers, *shardID, *clusterVnodes, *clusterSeed, bcfg, *pool, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		logClusterUp(clusterRT)
+	}
 	s, err := newServer(built, augment.Config{Strategy: augment.OuterBatch, BatchSize: 64, ThreadsSize: 8, CacheSize: 4096},
-		*explainCap, *explainSample,
-		resilience.BreakerConfig{FailureThreshold: *breakerFailures, Cooldown: *breakerCooldown})
+		*explainCap, *explainSample, bcfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	s.wal = manager
+	if clusterRT != nil {
+		s.installCluster(clusterRT)
+	}
 
 	var objectives []slo.Objective
 	if *sloSearchP99 > 0 {
@@ -364,6 +400,12 @@ func main() {
 				return nil
 			}
 			return traceSink.Close()
+		},
+		func() error {
+			if clusterRT == nil {
+				return nil
+			}
+			return clusterRT.close()
 		})
 	if err != nil {
 		log.Fatal(err)
@@ -512,6 +554,14 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status, code = "degraded", http.StatusServiceUnavailable
 	}
 	body := map[string]any{"breakers": s.res.Snapshot()}
+	if s.cluster != nil {
+		// A burning peer degrades the probe like a burning store does: its
+		// shard of every answer is missing until the breaker closes again.
+		if s.cluster.AnyPeerOpen() {
+			status, code = "degraded", http.StatusServiceUnavailable
+		}
+		body["cluster"] = s.cluster.Status(false)
+	}
 	if s.slo != nil {
 		// Fast burn means the error budget is being spent at page-worthy
 		// speed: fall out of the balancer before the budget is gone.
@@ -993,7 +1043,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	} else {
 		sloSection = map[string]any{"enabled": false}
 	}
+	var clusterSection any
+	if s.cluster != nil {
+		clusterSection = s.cluster.Status(true)
+	} else {
+		clusterSection = map[string]any{"enabled": false}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
+		"cluster":     clusterSection,
 		"slo":         sloSection,
 		"durability":  durability,
 		"databases":   s.built.Poly.Size(),

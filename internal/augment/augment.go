@@ -182,6 +182,12 @@ type Degradation struct {
 func degradeReason(err error) string {
 	var ne net.Error
 	switch {
+	// A cluster peer's breaker is checked before the store-level one: the
+	// coordinator wraps its rejections in ErrPeerOpen so a burning peer
+	// reads "peer-open" in the degraded section, distinct from a local
+	// store's "breaker_open".
+	case errors.Is(err, resilience.ErrPeerOpen):
+		return "peer-open"
 	case errors.Is(err, resilience.ErrOpen):
 		return "breaker_open"
 	case errors.Is(err, context.DeadlineExceeded), errors.As(err, &ne) && ne.Timeout():
@@ -215,7 +221,26 @@ type Augmenter struct {
 	// copy, so a query runs one coherent configuration end to end.
 	cfgMu sync.RWMutex
 	cfg   Config
+
+	// reacher, when set, replaces the local index consultation in plan
+	// building — the cluster coordinator plugs its scatter-gather
+	// reachability in here. Set once at startup, before serving.
+	reacher Reacher
 }
+
+// Reacher abstracts the A' reachability consulted while planning an
+// augmentation. The cluster coordinator implements it with a scatter-gather
+// traversal over the sharded index; the returned Degradations report shards
+// dropped mid-traversal (an open peer breaker yields reason "peer-open"),
+// which the augmenter folds into the answer's degraded section.
+type Reacher interface {
+	ReachScatter(ctx context.Context, origin core.GlobalKey, level int) ([]aindex.Hit, aindex.ReachStats, []Degradation)
+}
+
+// SetReacher routes plan building through r instead of the local A' index.
+// Call it once during startup, before the augmenter serves queries; the
+// local index remains in place for lazy deletion and stats.
+func (a *Augmenter) SetReacher(r Reacher) { a.reacher = r }
 
 // New creates an augmenter with the given configuration.
 func New(poly *core.Polystore, index *aindex.Index, cfg Config) *Augmenter {
@@ -329,17 +354,23 @@ func (a *Augmenter) AugmentObjects(ctx context.Context, origins []core.Object, l
 		recStart = time.Now()
 	}
 	start := telemetry.Now()
-	plan := a.buildPlan(rec, origins, level)
+	plan := a.buildPlan(ctx, rec, origins, level)
 	span.SetAttr("origins", itoa(len(origins)))
 	span.SetAttr("keys", itoa(len(plan.order)))
+	sink := newSink()
+	// Shards a scatter-gather reach dropped degrade the answer exactly like
+	// failing stores do — before any fetch work, so even an empty plan
+	// reports the peers whose contribution is missing.
+	for _, d := range plan.degraded {
+		sink.note(ctx, d)
+	}
 	if len(plan.order) == 0 {
 		strategyHist(strategy).Since(start)
 		if rec != nil {
 			rec.EndAugmentation(0, time.Since(recStart), nil)
 		}
-		return nil, nil, nil
+		return nil, sink.degradations(), nil
 	}
-	sink := newSink()
 	var err error
 	switch cfg.Strategy {
 	case Sequential:
@@ -381,6 +412,9 @@ type plan struct {
 	hits     map[core.GlobalKey]aindex.Hit
 	order    []core.GlobalKey   // deterministic fetch order
 	byOrigin [][]core.GlobalKey // keys grouped by the origin that reached them first
+	// degraded lists shards a scatter-gather reach dropped mid-traversal;
+	// the augmentation carries them into the answer's degraded section.
+	degraded []Degradation
 }
 
 // buildPlan consults the A' index for every origin and deduplicates the
@@ -389,19 +423,33 @@ type plan struct {
 // the per-result (outer) strategies. Origins themselves are never fetched.
 // With a non-nil recorder, the index traversal work is counted and
 // attributed to the profiled query.
-func (a *Augmenter) buildPlan(rec *explain.Recorder, origins []core.Object, level int) *plan {
+func (a *Augmenter) buildPlan(ctx context.Context, rec *explain.Recorder, origins []core.Object, level int) *plan {
 	p := &plan{hits: map[core.GlobalKey]aindex.Hit{}}
 	originSet := make(map[core.GlobalKey]bool, len(origins))
 	for _, o := range origins {
 		originSet[o.GK] = true
 	}
+	planDegraded := map[string]Degradation{}
 	var nodes, edges, skipped, snapshots int
 	for _, o := range origins {
 		var mine []core.GlobalKey
 		var hits []aindex.Hit
-		if rec == nil {
+		switch {
+		case a.reacher != nil:
+			var st aindex.ReachStats
+			var degs []Degradation
+			hits, st, degs = a.reacher.ReachScatter(ctx, o.GK, level)
+			nodes += st.Nodes
+			edges += st.Edges
+			for _, d := range degs {
+				if _, seen := planDegraded[d.Store]; !seen {
+					planDegraded[d.Store] = d
+					p.degraded = append(p.degraded, d)
+				}
+			}
+		case rec == nil:
 			hits = a.index.Reach(o.GK, level)
-		} else {
+		default:
 			var st aindex.ReachStats
 			hits, st = a.index.ReachWithStats(o.GK, level)
 			nodes += st.Nodes
@@ -526,28 +574,34 @@ func (s *sink) absorb(ctx context.Context, store string, level int, err error) e
 	if ctx.Err() != nil {
 		return err
 	}
-	d := Degradation{Store: store, Reason: degradeReason(err), Level: level}
+	s.note(ctx, Degradation{Store: store, Reason: degradeReason(err), Level: level})
+	return nil
+}
+
+// note registers one degradation (first reason per store wins), feeding the
+// counter, the explain profile and the tail-sampling span flag. It is the
+// shared marking path of absorb and of plan-level scatter degradations.
+func (s *sink) note(ctx context.Context, d Degradation) {
 	s.mu.Lock()
-	_, seen := s.degraded[store]
+	_, seen := s.degraded[d.Store]
 	if !seen {
 		if s.degraded == nil {
 			s.degraded = map[string]Degradation{}
 		}
-		s.degraded[store] = d
+		s.degraded[d.Store] = d
 		s.nDegraded.Add(1)
 	}
 	s.mu.Unlock()
 	if !seen {
 		degradedTotal.Inc()
-		explain.FromContext(ctx).Degraded(store, d.Reason, level)
+		explain.FromContext(ctx).Degraded(d.Store, d.Reason, d.Level)
 		// A degraded answer is exactly what tail sampling wants to keep, no
 		// matter how fast the request finished without the dropped store.
 		if sp := telemetry.SpanFromContext(ctx); sp != nil {
 			sp.Mark(telemetry.FlagDegraded)
-			sp.SetAttr("degraded_store", store)
+			sp.SetAttr("degraded_store", d.Store)
 		}
 	}
-	return nil
 }
 
 // degradations returns the dropped stores in deterministic order.

@@ -1,0 +1,29 @@
+package bench
+
+import "testing"
+
+// TestFigClusterScaling: the cluster figure's reason to exist — with the
+// per-peer capacity gate bounding service throughput, adding peers must
+// shorten the fixed-op sweep. The margin is generous (the ideal 1→2 peer
+// ratio is ~2×) so a loaded CI machine does not flake it.
+func TestFigClusterScaling(t *testing.T) {
+	points, err := FigCluster(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	millis := map[float64]float64{}
+	for _, p := range points {
+		if p.Figure != "cluster" || p.Millis <= 0 {
+			t.Fatalf("malformed cluster point %+v", p)
+		}
+		millis[p.X] = p.Millis
+	}
+	one, ok1 := millis[1]
+	two, ok2 := millis[2]
+	if !ok1 || !ok2 {
+		t.Fatalf("sweep missing peer counts: %+v", points)
+	}
+	if one < 1.25*two {
+		t.Errorf("no throughput scaling: 1 peer %.1fms vs 2 peers %.1fms", one, two)
+	}
+}

@@ -253,9 +253,11 @@ func Fig11ef(o Options) ([]Point, error) {
 // plotted figures: the memory-based study Section VII-B(c) describes without
 // a plot, the consistency-materialization ablation, the A' construction
 // sweep (object count × collector workers), and the crash-recovery-vs-
-// re-collection comparison of the durability subsystem.
+// re-collection comparison of the durability subsystem. "cluster" is the
+// node-count campaign: scatter-gather augmentation over 1–4 wire-served
+// peers under the netsim capacity model.
 func FigureNames() []string {
-	return []string{"9", "10ab", "10cd", "11ab", "11cd", "11ef", "12", "13ab", "13cd", "cache", "ablation", "build", "recovery"}
+	return []string{"9", "10ab", "10cd", "11ab", "11cd", "11ef", "12", "13ab", "13cd", "cache", "ablation", "build", "recovery", "cluster"}
 }
 
 // Run executes one figure by id.
@@ -287,6 +289,8 @@ func Run(id string, o Options) ([]Point, error) {
 		return FigBuild(o)
 	case "recovery":
 		return FigRecovery(o)
+	case "cluster":
+		return FigCluster(o)
 	default:
 		return nil, fmt.Errorf("bench: unknown figure %q (known: %v)", id, FigureNames())
 	}

@@ -1,0 +1,459 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"quepa/internal/aindex"
+	"quepa/internal/augment"
+	"quepa/internal/core"
+	"quepa/internal/explain"
+	"quepa/internal/netsim"
+	"quepa/internal/resilience"
+	"quepa/internal/wire"
+	"quepa/internal/workload"
+)
+
+// clusterSpec is a small deterministic workload; every peer builds the same
+// one, which is exactly the deployment model: replicated stores, partitioned
+// A' ownership.
+func clusterSpec() workload.Spec {
+	s := workload.DefaultSpec()
+	s.Artists = 30
+	s.Customers = 60
+	return s
+}
+
+// testClientConfig keeps chaos tests fast: one attempt, tight deadline.
+func testClientConfig() wire.ClientConfig {
+	return wire.ClientConfig{Retry: resilience.RetryPolicy{
+		MaxAttempts:    1,
+		AttemptTimeout: 2 * time.Second,
+	}}
+}
+
+// testCluster is an in-process multi-peer deployment: every peer serves its
+// shard node over a real wire listener, and a coordinator on shard 0 routes
+// across them.
+type testCluster struct {
+	ring  *Ring
+	ref   *workload.Built // peer 0's build doubles as the single-node reference
+	nodes []*Node
+	addrs []string
+	coord *Coordinator
+}
+
+// startCluster brings up n peers. Peers beyond the first may be wrapped by
+// the caller before serving via the wrap hook (chaos tests inject faults
+// there); a nil wrap serves nodes bare.
+func startCluster(t *testing.T, n int, wrap func(shard int, node *Node) core.Store) *testCluster {
+	t.Helper()
+	ring, err := NewRing(n, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &testCluster{ring: ring}
+	for shard := 0; shard < n; shard++ {
+		built, err := workload.Build(clusterSpec(), workload.Colocated())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shard == 0 {
+			tc.ref = built
+		}
+		idx, err := BuildShard(built.Index, ring, shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := NewNode(shard, idx, built.Poly)
+		tc.nodes = append(tc.nodes, node)
+		var served core.Store = node
+		if wrap != nil {
+			if w := wrap(shard, node); w != nil {
+				served = w
+			}
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := wire.ServeOn(served, ln)
+		t.Cleanup(func() { srv.Close() })
+		tc.addrs = append(tc.addrs, srv.Addr())
+	}
+	tc.coord, err = NewCoordinator(Config{
+		Ring:    ring,
+		Peers:   tc.addrs,
+		Self:    0,
+		Node:    tc.nodes[0],
+		Breaker: resilience.BreakerConfig{FailureThreshold: 2, Cooldown: time.Hour},
+		Client:  testClientConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tc.coord.Close)
+	return tc
+}
+
+// sampleOrigins picks deterministic traversal starting points from the
+// asserted p-relations.
+func sampleOrigins(b *workload.Built, n int) []core.GlobalKey {
+	seen := map[core.GlobalKey]bool{}
+	var out []core.GlobalKey
+	for _, r := range b.Relations() {
+		for _, gk := range []core.GlobalKey{r.From, r.To} {
+			if len(out) >= n {
+				return out
+			}
+			if !seen[gk] {
+				seen[gk] = true
+				out = append(out, gk)
+			}
+		}
+	}
+	return out
+}
+
+// TestClusterReachEquivalence: the tentpole invariant — scatter-gather
+// reachability over 1, 2 and 3 wire-served peers returns exactly the hits,
+// probabilities, distances and traversal stats of the single-node reference
+// index, with no degradations.
+func TestClusterReachEquivalence(t *testing.T) {
+	for _, peers := range []int{1, 2, 3} {
+		tc := startCluster(t, peers, nil)
+		ctx := context.Background()
+		for _, origin := range sampleOrigins(tc.ref, 20) {
+			for level := 0; level <= 2; level++ {
+				want, wantStats := tc.ref.Index.ReachWithStats(origin, level)
+				got, gotStats, degs := tc.coord.ReachScatter(ctx, origin, level)
+				if len(degs) != 0 {
+					t.Fatalf("%d peers, %v level %d: degradations %v", peers, origin, level, degs)
+				}
+				if len(want) == 0 {
+					want = nil
+				}
+				if len(got) == 0 {
+					got = nil
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%d peers, %v level %d:\n got %v\nwant %v", peers, origin, level, got, want)
+				}
+				if gotStats.Nodes != wantStats.Nodes || gotStats.Edges != wantStats.Edges {
+					t.Fatalf("%d peers, %v level %d: stats %d/%d, want %d/%d",
+						peers, origin, level, gotStats.Nodes, gotStats.Edges, wantStats.Nodes, wantStats.Edges)
+				}
+			}
+		}
+	}
+}
+
+// TestClusterRoutedStoreEquivalence: ring-routed keyed reads return exactly
+// what the local store would — Get by Get and batch fan-out alike.
+func TestClusterRoutedStoreEquivalence(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	ctx := context.Background()
+	routed, err := RoutePolystore(tc.ref.Poly, tc.coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origins := sampleOrigins(tc.ref, 40)
+	remote := 0
+	byColl := map[[2]string][]string{}
+	for _, gk := range origins {
+		direct, err1 := tc.ref.Poly.Fetch(ctx, gk)
+		rst, err := routed.Database(gk.Database)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err2 := rst.Get(ctx, gk.Collection, gk.Key)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%v: direct err %v, routed err %v", gk, err1, err2)
+		}
+		if err1 == nil && !reflect.DeepEqual(got, direct) {
+			t.Fatalf("%v: routed object differs", gk)
+		}
+		if tc.ring.Owner(gk) != 0 {
+			remote++
+		}
+		byColl[[2]string{gk.Database, gk.Collection}] = append(byColl[[2]string{gk.Database, gk.Collection}], gk.Key)
+	}
+	if remote == 0 {
+		t.Fatal("no sampled key was remote-owned; routing untested")
+	}
+	for dc, keys := range byColl {
+		direct, err := tc.ref.Poly.FetchBatch(ctx, dc[0], dc[1], keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rst, _ := routed.Database(dc[0])
+		got, err := rst.GetBatch(ctx, dc[1], keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, direct) {
+			t.Fatalf("%s.%s: routed batch of %d keys differs from direct", dc[0], dc[1], len(keys))
+		}
+	}
+}
+
+// TestClusterPeerDownDegradesPeerOpen: a peer failing every request trips
+// its circuit breaker; once open, scatter legs are rejected fast and the
+// traversal reports the peer as degraded with reason "peer-open" instead of
+// failing — the cluster acceptance behaviour.
+func TestClusterPeerDownDegradesPeerOpen(t *testing.T) {
+	const down = 2
+	tc := startCluster(t, 3, func(shard int, node *Node) core.Store {
+		if shard != down {
+			return nil
+		}
+		return netsim.NewChaosNode(node, netsim.PeerProfile{},
+			netsim.FaultPlan{Down: []netsim.Window{{From: 1}}}, func(time.Duration) {})
+	})
+	ctx := context.Background()
+	origins := sampleOrigins(tc.ref, 30)
+	sawOpen := false
+	for _, origin := range origins {
+		hits, _, degs := tc.coord.ReachScatter(ctx, origin, 2)
+		for _, d := range degs {
+			if d.Store != PeerName(down) {
+				t.Fatalf("unexpected degraded store %+v", d)
+			}
+			if !strings.HasPrefix(d.Reason, "peer-") {
+				t.Fatalf("degradation reason %q not peer-classified", d.Reason)
+			}
+			if d.Reason == "peer-open" {
+				sawOpen = true
+			}
+		}
+		_ = hits // healthy shards' results still come back; no error path exists
+	}
+	if !sawOpen {
+		t.Fatal("breaker never opened: no peer-open degradation observed")
+	}
+	if !tc.coord.AnyPeerOpen() {
+		t.Error("AnyPeerOpen is false with a burning peer")
+	}
+	st := tc.coord.Status(false)
+	var found *resilience.BreakerStatus
+	for _, ps := range st.PeerList {
+		if ps.Shard == down {
+			found = ps.Breaker
+		}
+	}
+	if found == nil || found.State != "open" {
+		t.Errorf("status does not show peer-%d open: %+v", down, found)
+	}
+}
+
+// TestClusterAugmenterPeerOpen: the full search-path behaviour — an
+// augmenter wired to the scatter coordinator over a cluster with one dead
+// peer answers successfully and reports "peer-open" in its degradations.
+func TestClusterAugmenterPeerOpen(t *testing.T) {
+	const down = 1
+	tc := startCluster(t, 2, func(shard int, node *Node) core.Store {
+		if shard != down {
+			return nil
+		}
+		return netsim.NewChaosNode(node, netsim.PeerProfile{},
+			netsim.FaultPlan{Down: []netsim.Window{{From: 1}}}, func(time.Duration) {})
+	})
+	routed, err := RoutePolystore(tc.ref.Poly, tc.coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug := augment.New(routed, tc.nodes[0].Index(), augment.Config{})
+	aug.SetReacher(tc.coord)
+	ctx := context.Background()
+	origins := sampleOrigins(tc.ref, 20)
+	sawOpen := false
+	for _, gk := range origins {
+		obj, err := tc.ref.Poly.Fetch(ctx, gk)
+		if err != nil {
+			continue
+		}
+		out, degs, err := aug.AugmentObjects(ctx, []core.Object{obj}, 2)
+		if err != nil {
+			t.Fatalf("augmenting %v: %v", gk, err)
+		}
+		for _, d := range degs {
+			if d.Reason == "peer-open" {
+				sawOpen = true
+			}
+		}
+		_ = out
+	}
+	if !sawOpen {
+		t.Fatal("no peer-open degradation surfaced through the augmenter")
+	}
+}
+
+// TestClusterSlowShardDegrades: a stalled peer is cut off by the client
+// deadline and degrades the traversal rather than hanging it.
+func TestClusterSlowShardDegrades(t *testing.T) {
+	const slow = 1
+	tc := startCluster(t, 2, func(shard int, node *Node) core.Store {
+		if shard != slow {
+			return nil
+		}
+		return netsim.NewChaosNode(node, netsim.PeerProfile{},
+			netsim.FaultPlan{Stall: 500 * time.Millisecond, StallIn: []netsim.Window{{From: 1}}}, nil)
+	})
+	tc.coord.ccfg.Retry.AttemptTimeout = 100 * time.Millisecond
+	ctx := context.Background()
+	deadline := time.Now().Add(30 * time.Second)
+	for _, origin := range sampleOrigins(tc.ref, 10) {
+		if time.Now().After(deadline) {
+			t.Fatal("slow-shard traversals did not degrade in time")
+		}
+		_, _, degs := tc.coord.ReachScatter(ctx, origin, 2)
+		for _, d := range degs {
+			if d.Store == PeerName(slow) && strings.HasPrefix(d.Reason, "peer-") {
+				return // stalled shard degraded; query survived
+			}
+		}
+	}
+	t.Fatal("stalled peer never degraded a traversal")
+}
+
+// TestClusterSnapshotBootstrap: the snapshot wire op round-trips a shard —
+// a fresh node installing a peer's epoch-stamped checkpoint answers exactly
+// like the original.
+func TestClusterSnapshotBootstrap(t *testing.T) {
+	tc := startCluster(t, 1, nil)
+	ctx := context.Background()
+	data, epoch, err := tc.coord.FetchPeerSnapshot(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewNode(0, aindex.New(), tc.ref.Poly)
+	got, err := fresh.InstallSnapshot(data, tc.ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != epoch {
+		t.Errorf("installed epoch %d, fetched %d", got, epoch)
+	}
+	for _, origin := range sampleOrigins(tc.ref, 10) {
+		want := tc.nodes[0].Index().Reach(origin, 2)
+		have := fresh.Index().Reach(origin, 2)
+		if len(want) == 0 {
+			want = nil
+		}
+		if len(have) == 0 {
+			have = nil
+		}
+		if !reflect.DeepEqual(have, want) {
+			t.Fatalf("%v: bootstrapped shard diverges from source", origin)
+		}
+	}
+}
+
+// TestClusterRebalanceJoin: growing a live 2-peer cluster to 3 — the joiner
+// merges the members' snapshots under the new ring, the coordinator swaps
+// topology, and scatter-gather answers keep matching the single-node
+// reference with no degradations.
+func TestClusterRebalanceJoin(t *testing.T) {
+	tc := startCluster(t, 2, nil)
+	ctx := context.Background()
+	ring3, err := NewRing(3, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps [][]byte
+	for shard := 0; shard < 2; shard++ {
+		data, _, err := tc.coord.FetchPeerSnapshot(ctx, shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, data)
+	}
+	joiner := NewNode(2, aindex.New(), tc.ref.Poly)
+	if err := joiner.MergeSnapshots(snaps, ring3); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := wire.ServeOn(joiner, ln)
+	t.Cleanup(func() { srv.Close() })
+	oldVersion := tc.coord.Status(false).RingVersion
+	if err := tc.coord.SetTopology(ring3, append(append([]string(nil), tc.addrs...), srv.Addr())); err != nil {
+		t.Fatal(err)
+	}
+	st := tc.coord.Status(true)
+	if st.RingVersion == oldVersion || st.Peers != 3 || len(st.PeerList) != 3 {
+		t.Fatalf("topology swap not visible in status: %+v", st)
+	}
+	for _, ps := range st.PeerList {
+		if ps.OwnedRanges == 0 || len(ps.Ranges) != ps.OwnedRanges {
+			t.Fatalf("peer %d owns no ranges after rebalance: %+v", ps.Shard, ps)
+		}
+	}
+	for _, origin := range sampleOrigins(tc.ref, 20) {
+		for level := 0; level <= 2; level++ {
+			want, _ := tc.ref.Index.ReachWithStats(origin, level)
+			got, _, degs := tc.coord.ReachScatter(ctx, origin, level)
+			if len(degs) != 0 {
+				t.Fatalf("post-rebalance degradations: %v", degs)
+			}
+			if len(want) == 0 {
+				want = nil
+			}
+			if len(got) == 0 {
+				got = nil
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("post-rebalance %v level %d diverges from reference", origin, level)
+			}
+		}
+	}
+}
+
+// TestClusterExplainScatter: profiled cluster searches expose the per-shard
+// fan-out — one ShardFanout row per contacted shard, totals counted.
+func TestClusterExplainScatter(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	routed, err := RoutePolystore(tc.ref.Poly, tc.coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug := augment.New(routed, tc.nodes[0].Index(), augment.Config{})
+	aug.SetReacher(tc.coord)
+	for _, gk := range sampleOrigins(tc.ref, 20) {
+		obj, err := tc.ref.Poly.Fetch(context.Background(), gk)
+		if err != nil {
+			continue
+		}
+		ctx, rec := explain.WithRecorder(context.Background(), "search")
+		if _, _, err := aug.AugmentObjects(ctx, []core.Object{obj}, 2); err != nil {
+			t.Fatal(err)
+		}
+		p := rec.Finish(0)
+		if len(p.Augmentations) != 1 {
+			t.Fatalf("profile has %d augmentation traces", len(p.Augmentations))
+		}
+		sc := p.Augmentations[0].Scatter
+		if len(sc) == 0 {
+			continue // origin with an empty frontier beyond hop 1
+		}
+		if p.Totals.ScatterCalls == 0 {
+			t.Fatal("scatter rows present but ScatterCalls total is zero")
+		}
+		for i, f := range sc {
+			if f.Peer != PeerName(f.Shard) || f.Calls == 0 {
+				t.Fatalf("malformed fanout row %+v", f)
+			}
+			if i > 0 && sc[i-1].Shard >= f.Shard {
+				t.Fatalf("fanout rows not sorted by shard: %+v", sc)
+			}
+		}
+		return // one profiled query with real fan-out is enough
+	}
+	t.Fatal("no sampled origin produced a scatter fan-out")
+}

@@ -1,0 +1,505 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"quepa/internal/aindex"
+	"quepa/internal/augment"
+	"quepa/internal/core"
+	"quepa/internal/explain"
+	"quepa/internal/resilience"
+	"quepa/internal/telemetry"
+	"quepa/internal/wire"
+)
+
+// Scatter-gather telemetry: fan-out volume, merge traffic and the failure
+// modes a burning peer produces.
+var (
+	scatterCalls = telemetry.NewCounter("quepa_cluster_scatter_total",
+		"frontier-expansion calls fanned out by cluster coordinators (local and remote)")
+	scatterKeys = telemetry.NewCounter("quepa_cluster_scatter_keys_total",
+		"frontier keys shipped in scatter-gather expansions")
+	scatterErrors = telemetry.NewCounter("quepa_cluster_scatter_errors_total",
+		"scatter legs that failed (transport or remote error, breaker rejections excluded)")
+	peerOpenRejects = telemetry.NewCounter("quepa_cluster_peer_open_total",
+		"scatter legs rejected fast by an open per-peer circuit breaker")
+	remoteFetches = telemetry.NewCounter("quepa_cluster_remote_fetch_total",
+		"keyed fetches routed to a remote peer by ring ownership")
+	rebalanceTotal = telemetry.NewCounter("quepa_cluster_rebalance_total",
+		"topology swaps applied by SetTopology")
+)
+
+// Config assembles a Coordinator. Ring, Peers and Self are required; every
+// peer of a deployment must construct the identical Ring (same peer count,
+// vnodes and seed — Version() fingerprints the agreement).
+type Config struct {
+	// Ring is the partition of key space this coordinator routes by.
+	Ring *Ring
+	// Peers holds one wire address per shard, indexed by shard ID.
+	Peers []string
+	// Self is this peer's shard ID.
+	Self int
+	// Node is the local shard service, consulted directly (no wire hop) for
+	// self-owned work unless LoopbackSelf is set.
+	Node *Node
+	// LoopbackSelf routes self-owned work through the wire client too, so
+	// every shard pays the same simulated network cost — the node-count
+	// scaling benchmarks and the netsim chaos suite set it; production
+	// deployments leave it false.
+	LoopbackSelf bool
+	// Breaker configures the per-peer circuit breakers.
+	Breaker resilience.BreakerConfig
+	// Client configures the pooled wire client dialed to each peer.
+	Client wire.ClientConfig
+}
+
+// Coordinator owns this peer's view of the cluster: the ring, one pooled
+// multiplexed wire client per remote peer, and one circuit breaker per peer.
+// It implements augment.Reacher — scatter-gather reachability — and backs
+// the RoutedStore fetch path. A peer whose breaker is open costs one fast
+// rejection and a "peer-open" degradation, never a failed query.
+type Coordinator struct {
+	mu    sync.RWMutex // guards ring+peers (swapped by SetTopology)
+	ring  *Ring
+	peers []string
+
+	self     int
+	node     *Node
+	loopback bool
+	breakers *resilience.Set
+	ccfg     wire.ClientConfig
+
+	cmu     sync.Mutex
+	clients map[string]*wire.Client // lazily dialed, keyed by address
+}
+
+// NewCoordinator validates the topology and builds a coordinator. Clients
+// are dialed lazily on first use, so construction succeeds before the other
+// peers are up.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.Ring == nil {
+		return nil, errors.New("cluster: coordinator needs a ring")
+	}
+	if len(cfg.Peers) != cfg.Ring.Peers() {
+		return nil, fmt.Errorf("cluster: ring of %d peers but %d addresses", cfg.Ring.Peers(), len(cfg.Peers))
+	}
+	if cfg.Self < 0 || cfg.Self >= cfg.Ring.Peers() {
+		return nil, fmt.Errorf("cluster: shard id %d outside ring of %d peers", cfg.Self, cfg.Ring.Peers())
+	}
+	if cfg.Node == nil && !cfg.LoopbackSelf {
+		return nil, errors.New("cluster: coordinator needs a local node (or LoopbackSelf)")
+	}
+	return &Coordinator{
+		ring:     cfg.Ring,
+		peers:    append([]string(nil), cfg.Peers...),
+		self:     cfg.Self,
+		node:     cfg.Node,
+		loopback: cfg.LoopbackSelf,
+		breakers: resilience.NewSet(cfg.Breaker),
+		ccfg:     cfg.Client,
+		clients:  map[string]*wire.Client{},
+	}, nil
+}
+
+// Self returns this peer's shard ID.
+func (c *Coordinator) Self() int { return c.self }
+
+// Ring returns the current ring.
+func (c *Coordinator) Ring() *Ring {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring
+}
+
+// SetTopology swaps the ring and peer list atomically — the coordinator
+// half of a rebalance. Existing wire clients to surviving addresses are
+// kept; clients to departed peers are closed.
+func (c *Coordinator) SetTopology(ring *Ring, peers []string) error {
+	if ring == nil || len(peers) != ring.Peers() {
+		return fmt.Errorf("cluster: topology of %d peers with %d addresses", ring.Peers(), len(peers))
+	}
+	keep := map[string]bool{}
+	for _, a := range peers {
+		keep[a] = true
+	}
+	c.mu.Lock()
+	c.ring = ring
+	c.peers = append([]string(nil), peers...)
+	c.mu.Unlock()
+	c.cmu.Lock()
+	var drop []*wire.Client
+	for addr, cl := range c.clients {
+		if !keep[addr] {
+			drop = append(drop, cl)
+			delete(c.clients, addr)
+		}
+	}
+	c.cmu.Unlock()
+	for _, cl := range drop {
+		cl.Close()
+	}
+	rebalanceTotal.Inc()
+	return nil
+}
+
+// Close tears down every dialed peer client.
+func (c *Coordinator) Close() {
+	c.cmu.Lock()
+	clients := make([]*wire.Client, 0, len(c.clients))
+	for addr, cl := range c.clients {
+		clients = append(clients, cl)
+		delete(c.clients, addr)
+	}
+	c.cmu.Unlock()
+	for _, cl := range clients {
+		cl.Close()
+	}
+}
+
+// topo snapshots the routing state one operation works off.
+func (c *Coordinator) topo() (*Ring, []string) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring, c.peers
+}
+
+// client returns the pooled wire client for addr, dialing on first use.
+func (c *Coordinator) client(addr string) (*wire.Client, error) {
+	c.cmu.Lock()
+	if cl, ok := c.clients[addr]; ok {
+		c.cmu.Unlock()
+		return cl, nil
+	}
+	c.cmu.Unlock()
+	cl, err := wire.DialConfig(addr, c.ccfg)
+	if err != nil {
+		return nil, err
+	}
+	c.cmu.Lock()
+	if old, ok := c.clients[addr]; ok {
+		c.cmu.Unlock()
+		cl.Close()
+		return old, nil
+	}
+	c.clients[addr] = cl
+	c.cmu.Unlock()
+	return cl, nil
+}
+
+// peerReason classifies a failed scatter leg for the degraded section.
+func peerReason(err error) string {
+	var ne net.Error
+	switch {
+	case errors.Is(err, resilience.ErrPeerOpen), errors.Is(err, resilience.ErrOpen):
+		return "peer-open"
+	case errors.Is(err, context.DeadlineExceeded), errors.As(err, &ne) && ne.Timeout():
+		return "peer-timeout"
+	default:
+		return "peer-error: " + err.Error()
+	}
+}
+
+// shardGroup is one shard's slice of a frontier, keys sorted for
+// deterministic frames.
+type shardGroup struct {
+	shard int
+	keys  []string
+	probs []float64
+}
+
+// groupFrontier partitions a weighted frontier by ring ownership, keys
+// sorted within each group and groups sorted by shard.
+func groupFrontier(ring *Ring, frontier map[core.GlobalKey]float64) []shardGroup {
+	byShard := map[int][]core.GlobalKey{}
+	for k := range frontier {
+		s := ring.Owner(k)
+		byShard[s] = append(byShard[s], k)
+	}
+	out := make([]shardGroup, 0, len(byShard))
+	for s, keys := range byShard {
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
+		g := shardGroup{shard: s, keys: make([]string, len(keys)), probs: make([]float64, len(keys))}
+		for i, k := range keys {
+			g.keys[i] = k.String()
+			g.probs[i] = frontier[k]
+		}
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].shard < out[j].shard })
+	return out
+}
+
+// scatterResult is one shard's contribution to a hop.
+type scatterResult struct {
+	shard int
+	hits  []wire.RemoteHit
+	info  wire.ReachInfo
+	wall  time.Duration // measured only for profiled queries
+	err   error
+}
+
+// expandShard runs one scatter leg: the local node directly for self-owned
+// groups (unless loopback is forced), the peer's wire client — guarded by
+// its breaker — otherwise. Each remote leg runs under a cluster.scatter
+// span tagged with the shard, continuing the caller's trace over the wire.
+func (c *Coordinator) expandShard(ctx context.Context, peers []string, g shardGroup) (res scatterResult) {
+	scatterCalls.Inc()
+	scatterKeys.Add(uint64(len(g.keys)))
+	res.shard = g.shard
+	var start time.Time
+	if explain.FromContext(ctx) != nil {
+		start = time.Now()
+		defer func() { res.wall = time.Since(start) }()
+	}
+	if g.shard == c.self && !c.loopback {
+		res.hits, res.info, res.err = c.node.ExpandFrontier(ctx, g.keys, g.probs)
+		return res
+	}
+	sctx := ctx
+	var sp *telemetry.Span
+	if telemetry.SpanFromContext(ctx) != nil {
+		sctx, sp = telemetry.StartSpan(ctx, "cluster.scatter")
+		sp.SetAttr("shard", strconv.Itoa(g.shard))
+		sp.SetAttr("peer", peers[g.shard])
+		sp.SetAttr("keys", strconv.Itoa(len(g.keys)))
+	}
+	res.err = func() error {
+		b := c.breakers.Breaker(PeerName(g.shard))
+		if err := b.Allow(); err != nil {
+			peerOpenRejects.Inc()
+			return fmt.Errorf("cluster: %s: %w", PeerName(g.shard), resilience.ErrPeerOpen)
+		}
+		cl, err := c.client(peers[g.shard])
+		if err != nil {
+			b.Record(err)
+			return err
+		}
+		res.hits, res.info, err = cl.ExpandFrontier(sctx, g.keys, g.probs)
+		b.Record(err)
+		return err
+	}()
+	if sp != nil {
+		if res.err != nil {
+			sp.Mark(telemetry.FlagError)
+			sp.SetAttr("error", res.err.Error())
+		} else {
+			sp.SetAttr("hits", strconv.Itoa(len(res.hits)))
+		}
+		sp.End()
+	}
+	if res.err != nil && !errors.Is(res.err, resilience.ErrPeerOpen) {
+		scatterErrors.Inc()
+	}
+	return res
+}
+
+// ReachScatter is the distributed α of Definition 2: a hop-synchronous
+// weighted-frontier traversal where each hop groups the frontier by owning
+// shard, expands every group in parallel (locally or over the wire) and
+// merges the candidates exactly as the single-node reference traversal
+// does — so with every peer healthy the hits, probabilities, distances and
+// even traversal stats equal aindex.Index.Reach over the unsharded index.
+// A shard that fails mid-traversal is dropped from the remaining hops and
+// reported as a Degradation instead of failing the query.
+//
+// ReachScatter implements augment.Reacher.
+func (c *Coordinator) ReachScatter(ctx context.Context, origin core.GlobalKey, level int) ([]aindex.Hit, aindex.ReachStats, []augment.Degradation) {
+	ring, peers := c.topo()
+	rec := explain.FromContext(ctx)
+	var stats aindex.ReachStats
+	maxHops := level + 1
+	best := map[core.GlobalKey]aindex.Hit{origin: {Key: origin, Prob: 1, Dist: 0}}
+	frontier := map[core.GlobalKey]float64{origin: 1}
+	degraded := map[int]augment.Degradation{}
+	for hop := 1; hop <= maxHops && len(frontier) > 0; hop++ {
+		groups := groupFrontier(ring, frontier)
+		// A shard already dropped this traversal is skipped for the rest of
+		// it: its sub-frontier is lost, the healthy shards keep going.
+		live := groups[:0]
+		for _, g := range groups {
+			if _, dead := degraded[g.shard]; !dead {
+				live = append(live, g)
+			}
+		}
+		results := make([]scatterResult, len(live))
+		if len(live) == 1 {
+			results[0] = c.expandShard(ctx, peers, live[0])
+		} else {
+			var wg sync.WaitGroup
+			for i, g := range live {
+				wg.Add(1)
+				go func(i int, g shardGroup) {
+					defer wg.Done()
+					results[i] = c.expandShard(ctx, peers, g)
+				}(i, g)
+			}
+			wg.Wait()
+		}
+		next := map[core.GlobalKey]float64{}
+		for i, res := range results {
+			if rec != nil {
+				rec.ShardScatter(res.shard, PeerName(res.shard), len(live[i].keys), len(res.hits), res.wall, res.err != nil)
+			}
+			if res.err != nil {
+				if _, seen := degraded[res.shard]; !seen {
+					degraded[res.shard] = augment.Degradation{
+						Store:  PeerName(res.shard),
+						Reason: peerReason(res.err),
+						Level:  level,
+					}
+				}
+				continue
+			}
+			stats.Nodes += res.info.Nodes
+			stats.Edges += res.info.Edges
+			for _, h := range res.hits {
+				gk, err := core.ParseGlobalKey(h.Key)
+				if err != nil {
+					continue // a peer speaking garbage cannot poison the merge
+				}
+				old, seen := best[gk]
+				if !seen || h.Prob > old.Prob {
+					dist := hop
+					if seen && old.Dist < hop {
+						dist = old.Dist
+					}
+					best[gk] = aindex.Hit{Key: gk, Prob: h.Prob, Dist: dist}
+					if h.Prob > next[gk] {
+						next[gk] = h.Prob
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	out := make([]aindex.Hit, 0, len(best)-1)
+	for k, h := range best {
+		if k == origin {
+			continue
+		}
+		out = append(out, h)
+	}
+	aindex.SortHits(out)
+	degs := make([]augment.Degradation, 0, len(degraded))
+	for _, d := range degraded {
+		degs = append(degs, d)
+	}
+	sort.Slice(degs, func(i, j int) bool { return degs[i].Store < degs[j].Store })
+	return out, stats, degs
+}
+
+// PeerGet fetches one remote-owned key from the peer owning shard, guarded
+// by its breaker. Failures come back wrapped so the augmenter's degradation
+// machinery classifies an open breaker as "peer-open".
+func (c *Coordinator) PeerGet(ctx context.Context, shard int, database, collection, key string) (core.Object, error) {
+	_, peers := c.topo()
+	b := c.breakers.Breaker(PeerName(shard))
+	if err := b.Allow(); err != nil {
+		peerOpenRejects.Inc()
+		return core.Object{}, fmt.Errorf("cluster: %s: %w", PeerName(shard), resilience.ErrPeerOpen)
+	}
+	cl, err := c.client(peers[shard])
+	if err != nil {
+		b.Record(err)
+		return core.Object{}, err
+	}
+	remoteFetches.Inc()
+	o, err := cl.GetDB(ctx, database, collection, key)
+	b.Record(err)
+	return o, err
+}
+
+// PeerGetBatch fetches a batch of remote-owned keys from one peer.
+func (c *Coordinator) PeerGetBatch(ctx context.Context, shard int, database, collection string, keys []string) ([]core.Object, error) {
+	_, peers := c.topo()
+	b := c.breakers.Breaker(PeerName(shard))
+	if err := b.Allow(); err != nil {
+		peerOpenRejects.Inc()
+		return nil, fmt.Errorf("cluster: %s: %w", PeerName(shard), resilience.ErrPeerOpen)
+	}
+	cl, err := c.client(peers[shard])
+	if err != nil {
+		b.Record(err)
+		return nil, err
+	}
+	remoteFetches.Inc()
+	objs, err := cl.GetBatchDB(ctx, database, collection, keys)
+	b.Record(err)
+	return objs, err
+}
+
+// FetchPeerSnapshot downloads the epoch-stamped A' shard checkpoint of one
+// peer — the transfer leg of bootstrap and rebalance.
+func (c *Coordinator) FetchPeerSnapshot(ctx context.Context, shard int) ([]byte, uint64, error) {
+	_, peers := c.topo()
+	cl, err := c.client(peers[shard])
+	if err != nil {
+		return nil, 0, err
+	}
+	return cl.FetchSnapshot(ctx)
+}
+
+// PeerStatus is one peer's row in the cluster section of /healthz and
+// /stats.
+type PeerStatus struct {
+	Shard int    `json:"shard"`
+	Addr  string `json:"addr"`
+	Self  bool   `json:"self,omitempty"`
+	// Breaker is the coordinator's circuit view of the peer; absent for
+	// self (a peer does not guard itself) and for peers never yet called.
+	Breaker *resilience.BreakerStatus `json:"breaker,omitempty"`
+	// OwnedRanges counts the hash-space arcs the peer owns; Ranges carries
+	// them when the caller asked for detail (/stats does, /healthz doesn't).
+	OwnedRanges int     `json:"owned_ranges"`
+	Ranges      []Range `json:"ranges,omitempty"`
+}
+
+// Status is the cluster section of /healthz and /stats: ring identity plus
+// one row per peer.
+type Status struct {
+	RingVersion uint64       `json:"ring_version"`
+	Peers       int          `json:"peers"`
+	Vnodes      int          `json:"vnodes"`
+	Self        int          `json:"self"`
+	PeerList    []PeerStatus `json:"peer_list"`
+}
+
+// Status snapshots the cluster for the status pages. includeRanges attaches
+// every peer's owned hash arcs (verbose; /stats wants it, /healthz doesn't).
+func (c *Coordinator) Status(includeRanges bool) Status {
+	ring, peers := c.topo()
+	byName := map[string]resilience.BreakerStatus{}
+	for _, bs := range c.breakers.Snapshot() {
+		byName[bs.Store] = bs
+	}
+	st := Status{
+		RingVersion: ring.Version(),
+		Peers:       ring.Peers(),
+		Vnodes:      ring.Vnodes(),
+		Self:        c.self,
+	}
+	for shard, addr := range peers {
+		ranges := ring.Ranges(shard)
+		ps := PeerStatus{Shard: shard, Addr: addr, Self: shard == c.self, OwnedRanges: len(ranges)}
+		if includeRanges {
+			ps.Ranges = ranges
+		}
+		if bs, ok := byName[PeerName(shard)]; ok && shard != c.self {
+			b := bs
+			ps.Breaker = &b
+		}
+		st.PeerList = append(st.PeerList, ps)
+	}
+	return st
+}
+
+// AnyPeerOpen reports whether any per-peer breaker currently rejects calls
+// (the /healthz signal that a peer is burning).
+func (c *Coordinator) AnyPeerOpen() bool { return c.breakers.AnyOpen() }

@@ -229,6 +229,43 @@ func (r *Recorder) StoreOp(store, op string, keys, objects int, d time.Duration,
 	r.mu.Unlock()
 }
 
+// ShardScatter records one scatter-gather leg to a cluster peer: frontier
+// keys shipped, hits gathered back, latency, and whether the call failed
+// (an open per-peer breaker counts as a failed call with zero wall time).
+// Legs are merged per shard within the open augmentation trace.
+func (r *Recorder) ShardScatter(shard int, peer string, keys, hits int, d time.Duration, failed bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.cur != nil {
+		merged := false
+		for i := range r.cur.Scatter {
+			if r.cur.Scatter[i].Shard == shard {
+				f := &r.cur.Scatter[i]
+				f.Calls++
+				f.Keys += keys
+				f.Hits += hits
+				if failed {
+					f.Errors++
+				}
+				f.WallMS += durMS(d)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			f := ShardFanout{Shard: shard, Peer: peer, Calls: 1, Keys: keys, Hits: hits, WallMS: durMS(d)}
+			if failed {
+				f.Errors = 1
+			}
+			r.cur.Scatter = append(r.cur.Scatter, f)
+		}
+	}
+	r.p.Totals.ScatterCalls++
+	r.mu.Unlock()
+}
+
 // EndAugmentation closes the open trace: objects it contributed, wall time,
 // and the error that aborted it (nil for success).
 func (r *Recorder) EndAugmentation(objects int, d time.Duration, err error) {
@@ -333,6 +370,7 @@ func (r *Recorder) Finish(objects int) *Profile {
 // in deterministic order. Callers hold r.mu.
 func (r *Recorder) flushLocked() {
 	sortFanout(r.cur.Stores)
+	sort.Slice(r.cur.Scatter, func(i, j int) bool { return r.cur.Scatter[i].Shard < r.cur.Scatter[j].Shard })
 	r.p.Augmentations = append(r.p.Augmentations, *r.cur)
 	r.cur = nil
 }

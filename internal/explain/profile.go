@@ -109,9 +109,25 @@ type AugmentationTrace struct {
 	Error           string  `json:"error,omitempty"`
 
 	Stores []StoreFanout `json:"stores,omitempty"`
+	// Scatter lists the per-shard fan-out of a clustered augmentation: one
+	// entry per peer the coordinator's scatter-gather reach consulted.
+	Scatter []ShardFanout `json:"scatter,omitempty"`
 	// Degraded lists stores whose contribution this augmentation dropped
 	// (store error or open breaker) instead of aborting the query.
 	Degraded []DegradedStore `json:"degraded,omitempty"`
+}
+
+// ShardFanout aggregates this query's scatter-gather traffic to one cluster
+// peer: frontier-expansion calls issued, frontier keys shipped, hits merged
+// back, and calls that failed (breaker-open rejections included).
+type ShardFanout struct {
+	Shard  int     `json:"shard"`
+	Peer   string  `json:"peer"`
+	Calls  int     `json:"calls"`
+	Keys   int     `json:"keys"`
+	Hits   int     `json:"hits"`
+	Errors int     `json:"errors,omitempty"`
+	WallMS float64 `json:"wall_ms"`
 }
 
 // StoreFanout aggregates this query's round trips to one store for one op.
@@ -140,4 +156,5 @@ type Totals struct {
 	BytesReceived int64 `json:"wire_bytes_received"`
 	WireRetries   int   `json:"wire_retries"`
 	Degraded      int   `json:"degraded_stores"`
+	ScatterCalls  int   `json:"scatter_calls,omitempty"`
 }

@@ -94,12 +94,12 @@ func (p FaultPlan) String() string {
 		p.Seed, p.ErrorRate, len(p.Down), p.Stall, len(p.StallIn))
 }
 
-// Chaos wraps a core.Store with a FaultPlan. It is safe for concurrent use;
-// the request sequence number advances atomically (under concurrency the
-// assignment of faults to callers follows arrival order, but the set of
-// faulted sequence numbers is fixed by the plan).
-type Chaos struct {
-	inner    core.Store
+// gate charges requests against one FaultPlan: a seeded error draw, down
+// windows, stall windows — keyed off an atomic request sequence so a run
+// replays bit-for-bit. Chaos (per-store) and ChaosNode (per-cluster-peer)
+// share it.
+type gate struct {
+	name     string
 	plan     FaultPlan
 	sleep    func(time.Duration)
 	seq      atomic.Uint64
@@ -107,12 +107,46 @@ type Chaos struct {
 	stalled  atomic.Uint64
 }
 
+// admit charges one request: an injected error, a stall, or nothing.
+func (g *gate) admit() error {
+	n := g.seq.Add(1)
+	for _, w := range g.plan.Down {
+		if w.contains(n) {
+			g.injected.Add(1)
+			return fmt.Errorf("netsim: %s request %d in down window: %w", g.name, n, ErrInjected)
+		}
+	}
+	if g.plan.ErrorRate > 0 && unit(g.plan.Seed, n) < g.plan.ErrorRate {
+		g.injected.Add(1)
+		return fmt.Errorf("netsim: %s request %d drawn to fail: %w", g.name, n, ErrInjected)
+	}
+	if g.plan.Stall > 0 {
+		for _, w := range g.plan.StallIn {
+			if w.contains(n) {
+				g.stalled.Add(1)
+				g.sleep(g.plan.Stall)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Chaos wraps a core.Store with a FaultPlan. It is safe for concurrent use;
+// the request sequence number advances atomically (under concurrency the
+// assignment of faults to callers follows arrival order, but the set of
+// faulted sequence numbers is fixed by the plan).
+type Chaos struct {
+	inner core.Store
+	g     gate
+}
+
 // NewChaos decorates a store with a fault plan. A nil sleep uses time.Sleep.
 func NewChaos(inner core.Store, plan FaultPlan, sleep func(time.Duration)) *Chaos {
 	if sleep == nil {
 		sleep = time.Sleep
 	}
-	return &Chaos{inner: inner, plan: plan, sleep: sleep}
+	return &Chaos{inner: inner, g: gate{name: inner.Name(), plan: plan, sleep: sleep}}
 }
 
 // Name returns the wrapped store's name.
@@ -127,40 +161,21 @@ func (c *Chaos) Collections() []string { return c.inner.Collections() }
 // Unwrap returns the underlying store.
 func (c *Chaos) Unwrap() core.Store { return c.inner }
 
+// Plan returns the fault plan the store charges requests against.
+func (c *Chaos) Plan() FaultPlan { return c.g.plan }
+
 // Requests returns how many data requests reached the chaos layer.
-func (c *Chaos) Requests() uint64 { return c.seq.Load() }
+func (c *Chaos) Requests() uint64 { return c.g.seq.Load() }
 
 // Injected returns how many requests were failed by the plan.
-func (c *Chaos) Injected() uint64 { return c.injected.Load() }
+func (c *Chaos) Injected() uint64 { return c.g.injected.Load() }
 
 // Stalled returns how many requests were delayed by the plan.
-func (c *Chaos) Stalled() uint64 { return c.stalled.Load() }
+func (c *Chaos) Stalled() uint64 { return c.g.stalled.Load() }
 
 // fault charges one request against the plan: an injected error, a stall,
 // or nothing.
-func (c *Chaos) fault() error {
-	n := c.seq.Add(1)
-	for _, w := range c.plan.Down {
-		if w.contains(n) {
-			c.injected.Add(1)
-			return fmt.Errorf("netsim: %s request %d in down window: %w", c.inner.Name(), n, ErrInjected)
-		}
-	}
-	if c.plan.ErrorRate > 0 && unit(c.plan.Seed, n) < c.plan.ErrorRate {
-		c.injected.Add(1)
-		return fmt.Errorf("netsim: %s request %d drawn to fail: %w", c.inner.Name(), n, ErrInjected)
-	}
-	if c.plan.Stall > 0 {
-		for _, w := range c.plan.StallIn {
-			if w.contains(n) {
-				c.stalled.Add(1)
-				c.sleep(c.plan.Stall)
-				break
-			}
-		}
-	}
-	return nil
-}
+func (c *Chaos) fault() error { return c.g.admit() }
 
 // Get retrieves one object unless the plan faults the request.
 func (c *Chaos) Get(ctx context.Context, collection, key string) (core.Object, error) {

@@ -119,7 +119,7 @@ func TestFaultPlanParseWindows(t *testing.T) {
 // metadata always bypasses the fault layer.
 func TestFaultInactivePlanIsTransparent(t *testing.T) {
 	c := chaosFixture(FaultPlan{}, func(time.Duration) { t.Error("slept with inactive plan") })
-	if c.plan.Active() {
+	if c.Plan().Active() {
 		t.Error("zero plan reports active")
 	}
 	if !(FaultPlan{ErrorRate: 0.1}).Active() || !(FaultPlan{Down: []Window{{From: 1}}}).Active() {

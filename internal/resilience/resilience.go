@@ -33,6 +33,13 @@ import (
 // with errors.Is(err, ErrOpen).
 var ErrOpen = errors.New("resilience: circuit open")
 
+// ErrPeerOpen is returned (possibly wrapped) when a cluster coordinator's
+// per-peer circuit breaker rejects a scatter-gather call to a remote shard.
+// It lives here — the import graph's leaf — so both the cluster coordinator
+// (which raises it) and the augmenter (which classifies it as the
+// "peer-open" degradation reason) can match it without importing each other.
+var ErrPeerOpen = errors.New("resilience: peer circuit open")
+
 // Defaults for RetryPolicy and BreakerConfig zero values.
 const (
 	DefaultMaxAttempts      = 3

@@ -180,10 +180,11 @@ func (c *Client) conn() (*muxConn, error) {
 }
 
 // retryableOp marks the idempotent ops: a replayed read returns the same
-// answer, so a transport failure is safe to retry.
+// answer, so a transport failure is safe to retry. The cluster ops qualify
+// too — a frontier expansion and a snapshot fetch are pure reads.
 func retryableOp(op string) bool {
 	switch op {
-	case opMeta, opGet, opGetBatch, opQuery, opKeyField:
+	case opMeta, opGet, opGetBatch, opQuery, opKeyField, opReach, opSnapshot:
 		return true
 	}
 	return false
@@ -713,6 +714,68 @@ func (c *Client) KeyField(ctx context.Context, collection string) (string, error
 		return "", err
 	}
 	return resp.KeyField, nil
+}
+
+// GetDB retrieves one object from a cluster peer that shards several
+// databases behind one listener, routing by database name. Missing keys
+// return core.ErrNotFound like Get does.
+func (c *Client) GetDB(ctx context.Context, database, collection, key string) (core.Object, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Object{}, err
+	}
+	resp, err := c.roundTrip(ctx, request{Op: opGet, Database: database, Collection: collection, Key: key})
+	if err != nil {
+		return core.Object{}, err
+	}
+	if resp.NotFound || len(resp.Objects) == 0 {
+		return core.Object{}, fmt.Errorf("%s.%s.%s: %w", database, collection, key, core.ErrNotFound)
+	}
+	return fromWire(resp.Objects[0]), nil
+}
+
+// GetBatchDB retrieves many objects of one database's collection from a
+// cluster peer in a single round trip. Like GetBatch, missing keys are
+// silently absent from the result.
+func (c *Client) GetBatchDB(ctx context.Context, database, collection string, keys []string) ([]core.Object, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(ctx, request{Op: opGetBatch, Database: database, Collection: collection, Keys: keys})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Object, len(resp.Objects))
+	for i, w := range resp.Objects {
+		out[i] = fromWire(w)
+	}
+	return out, nil
+}
+
+// ExpandFrontier asks the peer to expand a weighted key frontier one hop
+// over its A' shard — the scatter leg of a distributed Reach. keys and probs
+// are parallel; the returned hits carry the accumulated path probabilities.
+func (c *Client) ExpandFrontier(ctx context.Context, keys []string, probs []float64) ([]RemoteHit, ReachInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, ReachInfo{}, err
+	}
+	resp, err := c.roundTrip(ctx, request{Op: opReach, Keys: keys, Probs: probs})
+	if err != nil {
+		return nil, ReachInfo{}, err
+	}
+	return resp.Hits, ReachInfo{Nodes: resp.Nodes, Edges: resp.Edges}, nil
+}
+
+// FetchSnapshot downloads the peer's epoch-stamped A' shard checkpoint, the
+// bootstrap/rebalance payload a joining node loads with aindex.ReadSnapshot.
+func (c *Client) FetchSnapshot(ctx context.Context) ([]byte, uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.roundTrip(ctx, request{Op: opSnapshot})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Snapshot, resp.Epoch, nil
 }
 
 // Query executes a native-language query on the remote store.

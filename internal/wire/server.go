@@ -30,11 +30,39 @@ func Serve(store core.Store, addr string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	return ServeOn(store, ln), nil
+}
+
+// ServeOn serves the store on an already-bound listener. Cluster bring-up
+// uses it to reserve every peer's port before any peer starts dialing, so a
+// topology's addresses are known to all members ahead of time.
+func ServeOn(store core.Store, ln net.Listener) *Server {
 	s := &Server{store: store, ln: ln, conns: map[net.Conn]struct{}{}}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
+
+// Optional store capabilities a wire server forwards when the wrapped store
+// implements them. A cluster shard node implements all three; plain stores
+// implement none and the corresponding ops fail with a remote error.
+type (
+	// DBStore routes keyed reads by database — a shard node serves every
+	// database's locally-owned keys behind one listener.
+	DBStore interface {
+		GetDB(ctx context.Context, database, collection, key string) (core.Object, error)
+		GetBatchDB(ctx context.Context, database, collection string, keys []string) ([]core.Object, error)
+	}
+	// FrontierReacher expands a weighted key frontier one hop over the
+	// store's A' shard (the scatter-gather reach primitive).
+	FrontierReacher interface {
+		ExpandFrontier(ctx context.Context, keys []string, probs []float64) ([]RemoteHit, ReachInfo, error)
+	}
+	// Snapshotter ships the store's epoch-stamped A' shard checkpoint.
+	Snapshotter interface {
+		IndexSnapshot(ctx context.Context) ([]byte, uint64, error)
+	}
+)
 
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
@@ -170,6 +198,9 @@ func (s *Server) dispatch(ctx context.Context, req request) response {
 			Collections: s.store.Collections(),
 		}
 	case opGet:
+		if req.Database != "" {
+			return s.dispatchGetDB(ctx, req)
+		}
 		o, err := s.store.Get(ctx, req.Collection, req.Key)
 		if err != nil {
 			if errors.Is(err, core.ErrNotFound) {
@@ -179,11 +210,34 @@ func (s *Server) dispatch(ctx context.Context, req request) response {
 		}
 		return response{Objects: []wireObject{toWire(o)}}
 	case opGetBatch:
+		if req.Database != "" {
+			return s.dispatchGetDB(ctx, req)
+		}
 		objs, err := s.store.GetBatch(ctx, req.Collection, req.Keys)
 		if err != nil {
 			return response{Error: err.Error()}
 		}
 		return objectsResponse(objs)
+	case opReach:
+		fr, ok := s.store.(FrontierReacher)
+		if !ok {
+			return response{Error: "wire: store cannot expand reach frontiers"}
+		}
+		hits, info, err := fr.ExpandFrontier(ctx, req.Keys, req.Probs)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{Hits: hits, Nodes: info.Nodes, Edges: info.Edges}
+	case opSnapshot:
+		sn, ok := s.store.(Snapshotter)
+		if !ok {
+			return response{Error: "wire: store cannot snapshot its index"}
+		}
+		data, epoch, err := sn.IndexSnapshot(ctx)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{Snapshot: data, Epoch: epoch}
 	case opQuery:
 		objs, err := s.store.Query(ctx, req.Query)
 		if err != nil {
@@ -206,6 +260,30 @@ func (s *Server) dispatch(ctx context.Context, req request) response {
 	default:
 		return response{Error: "wire: unknown op " + req.Op}
 	}
+}
+
+// dispatchGetDB serves a database-routed get/getbatch frame against a store
+// that shards several databases behind one listener.
+func (s *Server) dispatchGetDB(ctx context.Context, req request) response {
+	dbs, ok := s.store.(DBStore)
+	if !ok {
+		return response{Error: "wire: store cannot route by database"}
+	}
+	if req.Op == opGet {
+		o, err := dbs.GetDB(ctx, req.Database, req.Collection, req.Key)
+		if err != nil {
+			if errors.Is(err, core.ErrNotFound) {
+				return response{NotFound: true}
+			}
+			return response{Error: err.Error()}
+		}
+		return response{Objects: []wireObject{toWire(o)}}
+	}
+	objs, err := dbs.GetBatchDB(ctx, req.Database, req.Collection, req.Keys)
+	if err != nil {
+		return response{Error: err.Error()}
+	}
+	return objectsResponse(objs)
 }
 
 func objectsResponse(objs []core.Object) response {

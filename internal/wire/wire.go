@@ -30,9 +30,15 @@ const (
 	opQuery    = "query"
 	opMeta     = "meta"
 	opKeyField = "keyfield"
+	// opReach expands a weighted key frontier one hop over the peer's A'
+	// shard: the cluster coordinator's scatter-gather primitive.
+	opReach = "reach"
+	// opSnapshot ships the peer's epoch-stamped A' shard in the binary
+	// checkpoint format, for shard bootstrap and ring rebalance.
+	opSnapshot = "snapshot"
 )
 
-var wireOps = []string{opGet, opGetBatch, opQuery, opMeta, opKeyField}
+var wireOps = []string{opGet, opGetBatch, opQuery, opMeta, opKeyField, opReach, opSnapshot}
 
 // Per-op client round-trip histograms and error counters, plus the server's
 // request tally, resolved once at init so the RPC path does a single
@@ -83,6 +89,13 @@ type request struct {
 	Key        string   `json:"key,omitempty"`
 	Keys       []string `json:"keys,omitempty"`
 	Query      string   `json:"query,omitempty"`
+	// Database routes get/getbatch on a cluster peer that serves several
+	// databases behind one listener (a shard node). Empty selects the classic
+	// single-store dispatch, so legacy clients and servers interoperate.
+	Database string `json:"db,omitempty"`
+	// Probs carries the frontier weights parallel to Keys for the reach op:
+	// the best path probability accumulated at each frontier key so far.
+	Probs []float64 `json:"probs,omitempty"`
 	// Trace carries the caller's traceparent ("00-<trace>-<span>-01") so the
 	// server continues the distributed trace. Optional: legacy peers ignore
 	// the extra field, and an empty value means "untraced".
@@ -106,6 +119,31 @@ type response struct {
 	Kind        int          `json:"kind,omitempty"`
 	Collections []string     `json:"collections,omitempty"`
 	KeyField    string       `json:"keyField,omitempty"`
+	// Hits answer a reach op: the one-hop expansion of the request frontier
+	// over the peer's A' shard, deduplicated by max probability.
+	Hits []RemoteHit `json:"hits,omitempty"`
+	// Nodes and Edges report the traversal work of a reach op, so the
+	// coordinator can attribute index effort to the profiled query.
+	Nodes int `json:"nodes,omitempty"`
+	Edges int `json:"edges,omitempty"`
+	// Snapshot answers a snapshot op: the peer's A' shard in the binary
+	// checkpoint format (base64 over JSON), stamped with its WAL epoch.
+	Snapshot []byte `json:"snapshot,omitempty"`
+	Epoch    uint64 `json:"epoch,omitempty"`
+}
+
+// RemoteHit is one key produced by a frontier expansion on a remote shard:
+// the key in its "db.coll.key" form and the best path probability through
+// the expanded hop (source frontier weight times edge probability).
+type RemoteHit struct {
+	Key  string  `json:"k"`
+	Prob float64 `json:"p"`
+}
+
+// ReachInfo reports the traversal work one frontier expansion performed.
+type ReachInfo struct {
+	Nodes int
+	Edges int
 }
 
 func toWire(o core.Object) wireObject {
