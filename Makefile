@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-hotpath bench-build bench-compare bench-recovery bench-trace bench-cluster chaos cluster crashtest fuzz figures promlint clean
+.PHONY: all build vet test race cover bench bench-hotpath bench-build bench-compare bench-recovery bench-trace bench-cluster bench-wire chaos cluster crashtest fuzz figures promlint clean
 
 all: build vet test
 
@@ -56,6 +56,15 @@ bench-compare:
 	$(GO) run ./cmd/quepa-bench -fig 9 -best-of 3 -json bench_ci.json -label ci > /dev/null
 	$(GO) run ./cmd/quepa-bench -compare $(BASELINE) -tolerance 0.30 bench_ci.json
 
+# Wire-codec regression guard: rerun the frame-codec A/B figure (JSON vs
+# binary series, best of 3) and fail on any point more than 30% slower than
+# the committed PR 9 baseline — past the 2ms noise floor. Catches both a
+# binary codec that lost its edge and a JSON path that regressed.
+WIRE_BASELINE ?= BENCH_PR9.json
+bench-wire:
+	$(GO) run ./cmd/quepa-bench -fig wire -best-of 3 -json bench_wire.json -label ci > /dev/null
+	$(GO) run ./cmd/quepa-bench -compare $(WIRE_BASELINE) -tolerance 0.30 bench_wire.json
+
 # Distributed-tracing overhead gate: rerun the traced-vs-untraced hot-path
 # search pair and fail if tracing costs more than +30% and a 2ms noise floor.
 bench-trace:
@@ -99,13 +108,15 @@ crashtest:
 bench-recovery:
 	$(GO) run ./cmd/quepa-bench -fig recovery
 
-# Short fuzzing pass over the parsers and the index persistence formats.
+# Short fuzzing pass over the parsers, the index persistence formats, and the
+# binary wire-frame decoder.
 fuzz:
 	$(GO) test ./internal/core -fuzz=FuzzParseGlobalKey -fuzztime=15s -run='^$$'
 	$(GO) test ./internal/stores/relstore -fuzz=FuzzParse -fuzztime=15s -run='^$$'
 	$(GO) test ./internal/stores/docstore -fuzz=FuzzParseFilter -fuzztime=15s -run='^$$'
 	$(GO) test ./internal/aindex -fuzz=FuzzJSONRoundTrip -fuzztime=15s -run='^$$'
 	$(GO) test ./internal/aindex -fuzz=FuzzReadSnapshot -fuzztime=15s -run='^$$'
+	$(GO) test ./internal/wire -fuzz=FuzzDecodeFrame -fuzztime=15s -run='^$$'
 
 # One figure: make figures FIG=11ab
 FIG ?= all

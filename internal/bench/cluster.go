@@ -119,7 +119,10 @@ func runClusterSweep(o Options, built *workload.Built, origins []core.GlobalKey,
 		Peers:        addrs,
 		Self:         0,
 		LoopbackSelf: true,
-		Client:       wire.ClientConfig{Retry: resilience.RetryPolicy{MaxAttempts: 2, AttemptTimeout: 10 * time.Second}},
+		Client: wire.ClientConfig{
+			Retry: resilience.RetryPolicy{MaxAttempts: 2, AttemptTimeout: 10 * time.Second},
+			Codec: o.Codec,
+		},
 	})
 	if err != nil {
 		return 0, err

@@ -83,6 +83,19 @@ func ReadRecordFile(path string) (*RunRecord, error) {
 	return rec, nil
 }
 
+// CodecMismatch refuses to diff campaigns measured under different pinned
+// wire codecs: a "binary got slower than json" delta is an A/B result, not a
+// regression. Records without a pin (pre-codec baselines included) compare
+// freely — their figures either do not cross the wire or ran the A/B
+// themselves, with the codec in the series label.
+func CodecMismatch(old, cur *RunRecord) error {
+	if old.Codec != "" && cur.Codec != "" && old.Codec != cur.Codec {
+		return fmt.Errorf("bench: refusing to compare codec %q run %q against codec %q run %q — rerun with matching -codec",
+			cur.Codec, cur.Label, old.Codec, old.Label)
+	}
+	return nil
+}
+
 // Compare matches the new record's points against the baseline and flags
 // every pair that slowed down by more than tolerance (a fraction: 0.30 allows
 // +30%) and by more than NoiseFloorMS.

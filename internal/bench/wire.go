@@ -1,0 +1,160 @@
+package bench
+
+// The codec A/B campaign: the warm concurrent experiment of Fig. 11 with
+// every store re-homed behind a real loopback wire server (the quepa-server
+// -wire deployment), run once per frame codec. The JSON series is the v1
+// baseline, the BINARY series is codec v2; the object cache is disabled so
+// the warm runs keep paying the wire on every fetch — "warm" here means
+// warmed connections, negotiated codecs and pooled codec buffers, which is
+// exactly the steady state the codec optimizes.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"quepa/internal/augment"
+	"quepa/internal/core"
+	"quepa/internal/resilience"
+	"quepa/internal/wire"
+	"quepa/internal/workload"
+)
+
+// wireCodecs resolves the -codec flag into the series to run: both for the
+// A/B (the default), one when pinned.
+func (o Options) wireCodecs() ([]string, error) {
+	switch o.Codec {
+	case "":
+		return []string{wire.CodecJSON, wire.CodecBinary}, nil
+	case wire.CodecJSON, wire.CodecBinary:
+		return []string{o.Codec}, nil
+	}
+	return nil, fmt.Errorf("bench: unknown codec %q (want %q or %q)", o.Codec, wire.CodecJSON, wire.CodecBinary)
+}
+
+// wirePolystore re-homes every store of built behind a loopback wire server
+// dialed back with the given codec, verifying the negotiation landed where
+// the series label claims. The returned close func tears the servers down.
+func wirePolystore(built *workload.Built, codec string) (*core.Polystore, func(), error) {
+	poly := core.NewPolystore()
+	var servers []*wire.Server
+	var clients []*wire.Client
+	closeAll := func() {
+		for _, c := range clients {
+			c.Close()
+		}
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	for _, name := range built.Poly.Databases() {
+		st, err := built.Poly.Database(name)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		srv, err := wire.Serve(st, "127.0.0.1:0")
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		servers = append(servers, srv)
+		cli, err := wire.DialConfig(srv.Addr(), wire.ClientConfig{
+			Retry: resilience.DefaultRetryPolicy(),
+			Codec: codec,
+		})
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		clients = append(clients, cli)
+		if cli.Codec() != codec {
+			closeAll()
+			return nil, nil, fmt.Errorf("bench: store %s negotiated codec %q, wanted %q — the A/B labels would lie", name, cli.Codec(), codec)
+		}
+		if err := poly.Register(cli); err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+	}
+	return poly, closeAll, nil
+}
+
+// wirePoint measures one (codec, threads) point. Each rep searches through a
+// fresh augmenter: the first search lands on empty per-augmenter state (the
+// cold sample), the following ones on the steady state the codec optimizes
+// (the warm samples). The minima across reps are the point — single wire
+// round trips are far too jittery for a 30% CI guard, and only noise ever
+// adds time to a minimum.
+func wirePoint(poly *core.Polystore, built *workload.Built, query string, ts, reps, warmRuns int) (cold, warm time.Duration, size int, err error) {
+	for rep := 0; rep < reps; rep++ {
+		aug := augment.New(poly, built.Index, augment.Config{
+			Strategy: augment.OuterBatch, ThreadsSize: ts, BatchSize: 100,
+		})
+		c, answer, err := runSearch(aug, "transactions", query, 1)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if rep == 0 || c < cold {
+			cold = c
+		}
+		size = answer.Size()
+		for i := 0; i < warmRuns; i++ {
+			w, _, err := runSearch(aug, "transactions", query, 1)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			if (rep == 0 && i == 0) || w < warm {
+				warm = w
+			}
+		}
+	}
+	return cold, warm, size, nil
+}
+
+// FigWire measures the codec A/B: augmented search time over wire-served
+// stores as a function of THREADS_SIZE, one series per frame codec, cold
+// ("wire-cold") and warm ("wire-warm"). The warm concurrent points are the
+// tentpole's headline numbers.
+func FigWire(o Options) ([]Point, error) {
+	o = o.withDefaults()
+	codecs, err := o.wireCodecs()
+	if err != nil {
+		return nil, err
+	}
+	built, err := o.build(2, workload.Centralized()) // 10 databases
+	if err != nil {
+		return nil, err
+	}
+	query, err := built.Query("transactions", o.largestQuery())
+	if err != nil {
+		return nil, err
+	}
+	reps, warmRuns := 3, 3
+	if o.Quick {
+		reps, warmRuns = 1, 1
+	}
+	var points []Point
+	for _, codec := range codecs {
+		poly, closeAll, err := wirePolystore(built, codec)
+		if err != nil {
+			return nil, err
+		}
+		series := strings.ToUpper(codec)
+		for _, ts := range o.threadSizes() {
+			// CacheSize 0: a warm cache would hide the wire entirely, and the
+			// codec lives on the wire.
+			cold, warm, size, err := wirePoint(poly, built, query, ts, reps, warmRuns)
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			points = append(points,
+				Point{Figure: "wire-cold", Series: series, XLabel: "THREADS_SIZE", X: float64(ts), Millis: ms(cold), Size: size},
+				Point{Figure: "wire-warm", Series: series, XLabel: "THREADS_SIZE", X: float64(ts), Millis: ms(warm), Size: size},
+			)
+		}
+		closeAll()
+	}
+	return points, nil
+}

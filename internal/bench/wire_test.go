@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"testing"
+
+	"quepa/internal/wire"
+)
+
+// TestFigWireAB: the codec figure runs both series by default, every point
+// well-formed, both codecs present cold and warm.
+func TestFigWireAB(t *testing.T) {
+	points, err := FigWire(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPoints(t, points, "wire-cold", "wire-warm")
+	series := map[string]map[string]bool{}
+	for _, p := range points {
+		if series[p.Figure] == nil {
+			series[p.Figure] = map[string]bool{}
+		}
+		series[p.Figure][p.Series] = true
+	}
+	for _, fig := range []string{"wire-cold", "wire-warm"} {
+		if !series[fig]["JSON"] || !series[fig]["BINARY"] {
+			t.Errorf("%s series = %v, want both codecs", fig, series[fig])
+		}
+	}
+}
+
+// TestFigWirePinned: -codec json runs only the JSON series (the pin the
+// RunRecord captures for the compare guard).
+func TestFigWirePinned(t *testing.T) {
+	o := quick()
+	o.Codec = wire.CodecJSON
+	points, err := FigWire(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Series != "JSON" {
+			t.Fatalf("pinned run produced series %q", p.Series)
+		}
+	}
+
+	o.Codec = "msgpack"
+	if _, err := FigWire(o); err == nil {
+		t.Error("unknown codec pin should fail the figure")
+	}
+}
+
+// TestCompareRefusesCrossCodec: records pinned to different codecs must not
+// diff silently; unpinned baselines keep comparing.
+func TestCompareRefusesCrossCodec(t *testing.T) {
+	jsonRec := record("a", pt("9", "S", 1, 10))
+	jsonRec.Codec = "json"
+	binRec := record("b", pt("9", "S", 1, 10))
+	binRec.Codec = "binary"
+	unpinned := record("c", pt("9", "S", 1, 10))
+
+	if err := CodecMismatch(jsonRec, binRec); err == nil {
+		t.Error("cross-codec comparison should be refused")
+	}
+	if err := CodecMismatch(jsonRec, jsonRec); err != nil {
+		t.Errorf("same-codec comparison refused: %v", err)
+	}
+	if err := CodecMismatch(unpinned, binRec); err != nil {
+		t.Errorf("unpinned baseline refused: %v", err)
+	}
+	if err := CodecMismatch(jsonRec, unpinned); err != nil {
+		t.Errorf("unpinned current refused: %v", err)
+	}
+}

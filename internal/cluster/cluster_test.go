@@ -44,6 +44,7 @@ type testCluster struct {
 	ref   *workload.Built // peer 0's build doubles as the single-node reference
 	nodes []*Node
 	addrs []string
+	srvs  []*wire.Server
 	coord *Coordinator
 }
 
@@ -83,6 +84,7 @@ func startCluster(t *testing.T, n int, wrap func(shard int, node *Node) core.Sto
 		}
 		srv := wire.ServeOn(served, ln)
 		t.Cleanup(func() { srv.Close() })
+		tc.srvs = append(tc.srvs, srv)
 		tc.addrs = append(tc.addrs, srv.Addr())
 	}
 	tc.coord, err = NewCoordinator(Config{
@@ -149,6 +151,59 @@ func TestClusterReachEquivalence(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestMixedCodecClusterScatter: the codec-v2 interop acceptance test — a
+// 3-peer cluster where one peer is pinned to the JSON-only v1 codec (an
+// un-upgraded binary in a rolling deploy). Negotiation must settle per peer,
+// and every scatter answer must stay bitwise-equal to the single-node
+// reference index, hits and traversal stats alike.
+func TestMixedCodecClusterScatter(t *testing.T) {
+	const legacy = 1
+	tc := startCluster(t, 3, nil)
+	tc.srvs[legacy].LimitCodec(1) // before the coordinator's lazy dials
+	ctx := context.Background()
+	for _, origin := range sampleOrigins(tc.ref, 20) {
+		for level := 0; level <= 2; level++ {
+			want, wantStats := tc.ref.Index.ReachWithStats(origin, level)
+			got, gotStats, degs := tc.coord.ReachScatter(ctx, origin, level)
+			if len(degs) != 0 {
+				t.Fatalf("%v level %d: degradations %v", origin, level, degs)
+			}
+			if len(want) == 0 {
+				want = nil
+			}
+			if len(got) == 0 {
+				got = nil
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("mixed-codec %v level %d:\n got %v\nwant %v", origin, level, got, want)
+			}
+			if gotStats.Nodes != wantStats.Nodes || gotStats.Edges != wantStats.Edges {
+				t.Fatalf("mixed-codec %v level %d: stats %d/%d, want %d/%d",
+					origin, level, gotStats.Nodes, gotStats.Edges, wantStats.Nodes, wantStats.Edges)
+			}
+		}
+	}
+	// The negotiation actually split: the legacy peer's client speaks JSON,
+	// at least one upgraded peer's client speaks binary.
+	codecs := map[string]int{}
+	for shard, addr := range tc.addrs {
+		if shard == 0 {
+			continue // self is loopback, no wire client
+		}
+		cli, err := tc.coord.client(addr)
+		if err != nil {
+			t.Fatalf("peer %d client: %v", shard, err)
+		}
+		codecs[cli.Codec()]++
+		if shard == legacy && cli.Codec() != wire.CodecJSON {
+			t.Errorf("legacy peer negotiated %q, want json", cli.Codec())
+		}
+	}
+	if codecs[wire.CodecBinary] == 0 {
+		t.Errorf("no peer negotiated binary: %v", codecs)
 	}
 }
 

@@ -46,6 +46,7 @@ type Client struct {
 	retries     atomic.Uint64
 	nextID      atomic.Uint64
 	closed      atomic.Bool
+	codec       atomic.Uint32 // negotiated frame codec (codecJSON until meta agrees on v2)
 	retrier     *resilience.Retrier
 
 	poolSize int
@@ -62,6 +63,15 @@ type Client struct {
 // mainly spreads demux work across readers.
 const DefaultPoolSize = 16
 
+// Codec selection for ClientConfig. The default (auto) negotiates the binary
+// v2 codec and falls back to JSON against old servers; CodecJSON pins the
+// connection to JSON v1 (the A/B baseline and the escape hatch).
+const (
+	CodecAuto   = ""
+	CodecJSON   = "json"
+	CodecBinary = "binary" // explicit form of auto: negotiate v2 when the server has it
+)
+
 // ClientConfig tunes a Client's resilience and connection behaviour.
 type ClientConfig struct {
 	// Retry governs transport-failure retries and per-attempt deadlines. The
@@ -72,6 +82,10 @@ type ClientConfig struct {
 	// trades demux parallelism against file descriptors. 0 selects
 	// DefaultPoolSize.
 	PoolSize int
+	// Codec selects the frame codec: CodecAuto/CodecBinary negotiate v2 per
+	// connection (falling back to JSON against old servers), CodecJSON pins
+	// JSON. Anything else fails Dial.
+	Codec string
 }
 
 // Dial connects to a wire server with the default configuration.
@@ -91,14 +105,37 @@ func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 		retrier:   resilience.NewRetrier(cfg.Retry),
 		getQueues: map[string]*getQueue{},
 	}
-	resp, err := c.roundTrip(context.Background(), request{Op: opMeta})
+	c.codec.Store(codecJSON)
+	// The meta exchange doubles as codec negotiation: offer v2 (in a JSON
+	// frame, so any server can read it) and switch to binary only when the
+	// server confirms. A legacy server omits the echo and JSON sticks.
+	offer := 0
+	switch cfg.Codec {
+	case CodecAuto, CodecBinary:
+		offer = codecBinary
+	case CodecJSON:
+	default:
+		return nil, fmt.Errorf("wire: unknown codec %q (want %q, %q or %q)", cfg.Codec, CodecAuto, CodecJSON, CodecBinary)
+	}
+	resp, err := c.roundTrip(context.Background(), request{Op: opMeta, Codec: offer})
 	if err != nil {
 		return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
 	}
 	c.name = resp.Name
 	c.kind = core.StoreKind(resp.Kind)
 	c.collections = resp.Collections
+	if offer >= codecBinary && resp.Codec >= codecBinary {
+		c.codec.Store(codecBinary)
+	}
 	return c, nil
+}
+
+// Codec reports the negotiated frame codec, "json" or "binary".
+func (c *Client) Codec() string {
+	if c.codec.Load() == codecBinary {
+		return CodecBinary
+	}
+	return CodecJSON
 }
 
 // SetSleep overrides the backoff sleeper (tests inject a recorder).
@@ -192,10 +229,12 @@ func retryableOp(op string) bool {
 
 // transient reports whether a round-trip failure may clear on a fresh
 // connection. Remote errors are deliberate replies; a closed client stays
-// closed.
+// closed; an oversized frame is the same size on every attempt, so retrying
+// it can never succeed.
 func transient(err error) bool {
 	var re *remoteError
-	return err != nil && !errors.As(err, &re) && !errors.Is(err, ErrClosed)
+	return err != nil && !errors.As(err, &re) &&
+		!errors.Is(err, ErrClosed) && !errors.Is(err, ErrFrameTooLarge)
 }
 
 func (c *Client) roundTrip(ctx context.Context, req request) (response, error) {
@@ -288,8 +327,15 @@ func (c *Client) attempt(req request) (response, int, int, error) {
 		}
 		return response{}, 0, 0, errConnBroken
 	}
-	sent, err := mc.send(req)
+	sent, err := mc.send(req, uint8(c.codec.Load()))
 	if err != nil {
+		if errors.Is(err, ErrFrameTooLarge) {
+			// The frame never hit the wire and the connection is intact; only
+			// this waiter needs unwinding. Non-retryable by construction.
+			mc.unregister(id)
+			putWireChan(ch)
+			return response{}, 0, 0, err
+		}
 		// send killed the connection; every waiter, ours included, has been
 		// failed. Drain our delivery so the channel can be recycled.
 		<-ch
@@ -300,7 +346,9 @@ func (c *Client) attempt(req request) (response, int, int, error) {
 		return response{}, sent, 0, err
 	}
 	c.frames.Add(1)
-	clientFrames.Inc()
+	if fc := clientFrames[req.Op]; fc != nil {
+		fc.Inc()
+	}
 	r := <-ch
 	putWireChan(ch)
 	if r.err != nil {
@@ -376,16 +424,29 @@ func (mc *muxConn) register(id uint64, ch chan wireResult) bool {
 	return true
 }
 
-// send writes one frame. A write failure kills the connection (failing every
-// in-flight waiter, the caller's included).
-func (mc *muxConn) send(req request) (int, error) {
+// send writes one frame in the given codec. A write failure kills the
+// connection (failing every in-flight waiter, the caller's included) — except
+// a size violation, which is detected before any bytes hit the wire and
+// leaves the connection usable for everyone else.
+func (mc *muxConn) send(req request, codec uint8) (int, error) {
 	mc.wmu.Lock()
-	n, err := writeFrame(mc.c, req)
+	n, err := writeRequestFrame(mc.c, &req, codec)
 	mc.wmu.Unlock()
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrFrameTooLarge) {
 		mc.kill(err)
 	}
 	return n, err
+}
+
+// unregister withdraws a waiter whose frame never reached the wire, disarming
+// the watchdog if it was the only one in flight.
+func (mc *muxConn) unregister(id uint64) {
+	mc.mu.Lock()
+	delete(mc.pending, id)
+	if mc.timeout > 0 && !mc.dead && len(mc.pending) == 0 {
+		mc.c.SetReadDeadline(time.Time{})
+	}
+	mc.mu.Unlock()
 }
 
 // kill closes the connection and fails every in-flight waiter with err.
@@ -413,7 +474,7 @@ func (mc *muxConn) kill(err error) {
 func (mc *muxConn) readLoop() {
 	for {
 		var resp response
-		n, err := readFrame(mc.c, &resp)
+		n, _, err := readResponseFrame(mc.c, &resp)
 		if err != nil {
 			mc.kill(err)
 			return

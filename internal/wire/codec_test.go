@@ -1,0 +1,606 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"quepa/internal/connector"
+	"quepa/internal/stores/kvstore"
+)
+
+// ---------------------------------------------------------------------------
+// JSON-equivalence properties: same struct in, equal structs out, both codecs.
+
+// jsonRoundTripReq pushes req through the v1 codec and back.
+func jsonRoundTripReq(t *testing.T, req *request) request {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("json encode: %v", err)
+	}
+	var out request
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("json decode: %v", err)
+	}
+	return out
+}
+
+func binRoundTripReq(t *testing.T, req *request) request {
+	t.Helper()
+	e := getEncoder()
+	defer putEncoder(e)
+	if err := e.encodeRequest(req); err != nil {
+		t.Fatalf("binary encode: %v", err)
+	}
+	frame, err := e.finish(req.Op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out request
+	if err := decodeRequestV2(string(frame[4:]), &out); err != nil {
+		t.Fatalf("binary decode: %v", err)
+	}
+	return out
+}
+
+func jsonRoundTripResp(t *testing.T, resp *response) response {
+	t.Helper()
+	b, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatalf("json encode: %v", err)
+	}
+	var out response
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("json decode: %v", err)
+	}
+	return out
+}
+
+func binRoundTripResp(t *testing.T, resp *response) response {
+	t.Helper()
+	e := getEncoder()
+	defer putEncoder(e)
+	e.encodeResponse(resp)
+	frame, err := e.finish("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out response
+	if err := decodeResponseV2(string(frame[4:]), &out); err != nil {
+		t.Fatalf("binary decode: %v", err)
+	}
+	return out
+}
+
+// sanitizeFloats replaces non-finite values: the JSON codec cannot carry
+// them at all (json.Marshal rejects NaN/Inf), so they are out of scope for
+// the equivalence property. testing/quick does not generate them, but the
+// guard keeps the property honest if that ever changes.
+func sanitizeFloats(ps []float64) {
+	for i, p := range ps {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			ps[i] = float64(i)
+		}
+	}
+}
+
+// TestQuickRequestEquivalence pins codec v2 to the JSON codec for every op:
+// an arbitrary request must round-trip through both codecs to the same
+// struct.
+func TestQuickRequestEquivalence(t *testing.T) {
+	for _, op := range wireOps {
+		op := op
+		t.Run(op, func(t *testing.T) {
+			f := func(req request) bool {
+				req.Op = op
+				sanitizeFloats(req.Probs)
+				viaJSON := jsonRoundTripReq(t, &req)
+				viaBin := binRoundTripReq(t, &req)
+				if !reflect.DeepEqual(viaJSON, viaBin) {
+					t.Logf("json: %#v\nbin:  %#v", viaJSON, viaBin)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestQuickResponseEquivalence is the response-side property, covering the
+// object lists, hits, snapshot payloads and the nil/empty field-map split.
+func TestQuickResponseEquivalence(t *testing.T) {
+	f := func(resp response) bool {
+		for i := range resp.Hits {
+			if math.IsNaN(resp.Hits[i].Prob) || math.IsInf(resp.Hits[i].Prob, 0) {
+				resp.Hits[i].Prob = float64(i)
+			}
+		}
+		viaJSON := jsonRoundTripResp(t, &resp)
+		viaBin := binRoundTripResp(t, &resp)
+		if !reflect.DeepEqual(viaJSON, viaBin) {
+			t.Logf("json: %#v\nbin:  %#v", viaJSON, viaBin)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNilEmptyFieldMap pins the one place the JSON codec distinguishes nil
+// from empty: the "fields" object has no omitempty, so both states must
+// survive codec v2 too.
+func TestNilEmptyFieldMap(t *testing.T) {
+	resp := response{Objects: []wireObject{
+		{Database: "d", Collection: "c", Key: "nil-fields", Fields: nil},
+		{Database: "d", Collection: "c", Key: "empty-fields", Fields: map[string]string{}},
+		{Database: "d", Collection: "c", Key: "one-field", Fields: map[string]string{"v": "1"}},
+	}}
+	out := binRoundTripResp(t, &resp)
+	if out.Objects[0].Fields != nil {
+		t.Errorf("nil fields decoded to %#v", out.Objects[0].Fields)
+	}
+	if out.Objects[1].Fields == nil || len(out.Objects[1].Fields) != 0 {
+		t.Errorf("empty fields decoded to %#v", out.Objects[1].Fields)
+	}
+	if out.Objects[2].Fields["v"] != "1" {
+		t.Errorf("fields decoded to %#v", out.Objects[2].Fields)
+	}
+	if !reflect.DeepEqual(jsonRoundTripResp(t, &resp), out) {
+		t.Error("codecs disagree on nil/empty field maps")
+	}
+}
+
+// TestInternTableOverflow drives more distinct interned strings through one
+// frame than the table holds, checking the encoder and decoder stay in
+// lockstep past the cap.
+func TestInternTableOverflow(t *testing.T) {
+	objs := make([]wireObject, 3*internCap)
+	for i := range objs {
+		name := "db-" + strings.Repeat("x", i%7) + string(rune('a'+i%26))
+		objs[i] = wireObject{
+			Database:   name,
+			Collection: "coll-" + name,
+			Key:        "k",
+			Fields:     map[string]string{"f" + name: "v"},
+		}
+	}
+	// Repeat the slice so back-references actually occur for early entries.
+	objs = append(objs, objs...)
+	resp := response{Objects: objs}
+	if !reflect.DeepEqual(jsonRoundTripResp(t, &resp), binRoundTripResp(t, &resp)) {
+		t.Error("codecs disagree past the intern cap")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Corruption tables: like the WAL's torn-write tables, but for frames.
+
+func encodeReqBody(t *testing.T, req *request) []byte {
+	t.Helper()
+	e := getEncoder()
+	defer putEncoder(e)
+	if err := e.encodeRequest(req); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := e.finish(req.Op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append([]byte(nil), frame[4:]...)
+}
+
+func encodeRespBody(t *testing.T, resp *response) []byte {
+	t.Helper()
+	e := getEncoder()
+	defer putEncoder(e)
+	e.encodeResponse(resp)
+	frame, err := e.finish("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append([]byte(nil), frame[4:]...)
+}
+
+func corruptionReq() *request {
+	return &request{
+		ID: 7, Op: opReach, Collection: "drop", Key: "k1",
+		Keys: []string{"a", "bb", "ccc"}, Query: "SCAN drop",
+		Database: "discount", Probs: []float64{0.5, 0.25, 1},
+		Trace: "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		Codec: 2,
+	}
+}
+
+func corruptionResp() *response {
+	return &response{
+		ID: 7, Objects: []wireObject{
+			{Database: "d", Collection: "c", Key: "k1", Fields: map[string]string{"a": "1", "b": "2"}},
+			{Database: "d", Collection: "c", Key: "k2", Fields: nil},
+		},
+		Name: "discount", Kind: 2, Collections: []string{"drop", "promo"},
+		KeyField: "id", Hits: []RemoteHit{{Key: "d.c.k1", Prob: 0.5}},
+		Nodes: 9, Edges: 4, Snapshot: []byte{1, 2, 3}, Epoch: 41, Codec: 2,
+	}
+}
+
+// TestCorruptionTruncation: every strict prefix of a valid frame must be
+// rejected — all fields are always encoded, so any cut lands mid-field or
+// trips the trailing-bytes check.
+func TestCorruptionTruncation(t *testing.T) {
+	reqBody := encodeReqBody(t, corruptionReq())
+	respBody := encodeRespBody(t, corruptionResp())
+	for i := 0; i < len(reqBody); i++ {
+		var out request
+		if err := decodeRequestV2(string(reqBody[:i]), &out); err == nil {
+			t.Fatalf("request truncated at %d/%d decoded without error", i, len(reqBody))
+		}
+	}
+	for i := 0; i < len(respBody); i++ {
+		var out response
+		if err := decodeResponseV2(string(respBody[:i]), &out); err == nil {
+			t.Fatalf("response truncated at %d/%d decoded without error", i, len(respBody))
+		}
+	}
+}
+
+// TestCorruptionBitFlips: flipping any single bit of a valid frame must never
+// panic or over-allocate. (Frames carry no checksum — TCP does — so a flip
+// may legally decode to different data; the property is memory safety.)
+func TestCorruptionBitFlips(t *testing.T) {
+	reqBody := encodeReqBody(t, corruptionReq())
+	respBody := encodeRespBody(t, corruptionResp())
+	for off := 0; off < len(reqBody); off++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), reqBody...)
+			mut[off] ^= 1 << bit
+			var out request
+			decodeRequestV2(string(mut), &out) //nolint:errcheck // must not panic; error is legal
+		}
+	}
+	for off := 0; off < len(respBody); off++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), respBody...)
+			mut[off] ^= 1 << bit
+			var out response
+			decodeResponseV2(string(mut), &out) //nolint:errcheck // must not panic; error is legal
+		}
+	}
+}
+
+// TestCorruptionTrailingBytes: a frame with appended garbage must be
+// rejected, not silently under-read.
+func TestCorruptionTrailingBytes(t *testing.T) {
+	reqBody := append(encodeReqBody(t, corruptionReq()), 0x00)
+	var req request
+	if err := decodeRequestV2(string(reqBody), &req); !errors.Is(err, errTrailingBytes) {
+		t.Errorf("request with trailing byte = %v, want errTrailingBytes", err)
+	}
+	respBody := append(encodeRespBody(t, corruptionResp()), 0xFF)
+	var resp response
+	if err := decodeResponseV2(string(respBody), &resp); !errors.Is(err, errTrailingBytes) {
+		t.Errorf("response with trailing byte = %v, want errTrailingBytes", err)
+	}
+}
+
+// TestCorruptionRandomBodies throws random bytes at both decoders — the
+// in-test complement of FuzzDecodeFrame.
+func TestCorruptionRandomBodies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		body := make([]byte, rng.Intn(256))
+		rng.Read(body)
+		if len(body) > 0 && i%2 == 0 {
+			body[0] = binMagic // steer half the cases past the magic check
+		}
+		var req request
+		decodeRequestV2(string(body), &req) //nolint:errcheck // must not panic
+		var resp response
+		decodeResponseV2(string(body), &resp) //nolint:errcheck // must not panic
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Allocation gates: the kill-switch numbers the tentpole promises.
+
+// getbatchFixture builds the request and response of a representative
+// getbatch exchange: 32 keys, 32 objects sharing one database/collection.
+func getbatchFixture() (*request, *response) {
+	keys := make([]string, 32)
+	objs := make([]wireObject, 32)
+	for i := range keys {
+		keys[i] = "key-" + string(rune('a'+i%26)) + string(rune('0'+i%10))
+		objs[i] = wireObject{
+			Database:   "discount",
+			Collection: "drop",
+			Key:        keys[i],
+			Fields:     map[string]string{"value": "40%", "tier": "gold"},
+		}
+	}
+	req := &request{ID: 3, Op: opGetBatch, Collection: "drop", Keys: keys}
+	resp := &response{ID: 3, Objects: objs}
+	return req, resp
+}
+
+// TestAllocGateBinaryEncode is the server-side promise: steady-state binary
+// response encoding does zero codec allocations (pooled buffer, one Write).
+func TestAllocGateBinaryEncode(t *testing.T) {
+	_, resp := getbatchFixture()
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := writeResponseFrame(io.Discard, resp, codecBinary, opGetBatch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("binary response encode = %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAllocGateBinaryRequestEncode covers the client's write path the same
+// way: the frame build itself must not allocate.
+func TestAllocGateBinaryRequestEncode(t *testing.T) {
+	req, _ := getbatchFixture()
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := writeRequestFrame(io.Discard, req, codecBinary); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("binary request encode = %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAllocGateGetBatchServerPath measures the full per-frame server cycle —
+// read+decode the request, encode+write the response — in both codecs, and
+// enforces the tentpole's ≥50% cut for codec v2.
+func TestAllocGateGetBatchServerPath(t *testing.T) {
+	req, resp := getbatchFixture()
+
+	cycle := func(codec uint8) float64 {
+		var frame bytes.Buffer
+		if _, err := writeRequestFrame(&frame, req, codec); err != nil {
+			t.Fatal(err)
+		}
+		raw := frame.Bytes()
+		rd := bytes.NewReader(raw)
+		return testing.AllocsPerRun(200, func() {
+			rd.Reset(raw)
+			var in request
+			if _, _, err := readRequestFrame(rd, &in); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := writeResponseFrame(io.Discard, resp, codec, opGetBatch); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	jsonAllocs := cycle(codecJSON)
+	binAllocs := cycle(codecBinary)
+	t.Logf("getbatch server path: json %.0f allocs/op, binary %.0f allocs/op", jsonAllocs, binAllocs)
+	if binAllocs > jsonAllocs/2 {
+		t.Errorf("binary getbatch server path = %.0f allocs/op, want <= half of JSON's %.0f", binAllocs, jsonAllocs)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Negotiation and the typed size violation.
+
+func servedKVForCodec(t *testing.T) *Server {
+	t.Helper()
+	db := kvstore.New("discount")
+	db.Set("drop", "k1", "40%")
+	srv, err := Serve(connector.NewKeyValue(db), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestCodecNegotiation(t *testing.T) {
+	srv := servedKVForCodec(t)
+
+	t.Run("auto-upgrades", func(t *testing.T) {
+		cli, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli.Close()
+		if cli.Codec() != CodecBinary {
+			t.Errorf("negotiated codec = %q, want binary", cli.Codec())
+		}
+		if o, err := cli.Get(context.Background(), "drop", "k1"); err != nil || o.GK.Key != "k1" {
+			t.Errorf("binary Get = %v, %v", o, err)
+		}
+	})
+
+	t.Run("json-pins", func(t *testing.T) {
+		cli, err := DialConfig(srv.Addr(), ClientConfig{Codec: CodecJSON})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli.Close()
+		if cli.Codec() != CodecJSON {
+			t.Errorf("pinned codec = %q, want json", cli.Codec())
+		}
+		if _, err := cli.Get(context.Background(), "drop", "k1"); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("unknown-codec-fails-dial", func(t *testing.T) {
+		if _, err := DialConfig(srv.Addr(), ClientConfig{Codec: "protobuf"}); err == nil {
+			t.Error("unknown codec string should fail Dial")
+		}
+	})
+}
+
+// TestCodecFallbackToJSONOnlyServer emulates a v1 peer with LimitCodec: the
+// auto client must stay on JSON and keep working.
+func TestCodecFallbackToJSONOnlyServer(t *testing.T) {
+	db := kvstore.New("legacy")
+	db.Set("drop", "k1", "40%")
+	ln, err := Serve(connector.NewKeyValue(db), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ln.LimitCodec(codecJSON)
+	cli, err := Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if cli.Codec() != CodecJSON {
+		t.Errorf("codec against JSON-only server = %q, want json", cli.Codec())
+	}
+	if o, err := cli.Get(context.Background(), "drop", "k1"); err != nil || o.Fields["value"] != "40%" {
+		t.Errorf("Get through JSON fallback = %v, %v", o, err)
+	}
+}
+
+// TestFrameTooLargeNotRetried pins the satellite: a size violation is
+// final — typed, attributed to its op, never retried, and it must not poison
+// the connection for later requests.
+func TestFrameTooLargeNotRetried(t *testing.T) {
+	srv := servedKVForCodec(t)
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	old := maxFrame
+	maxFrame = 256
+	defer func() { maxFrame = old }()
+
+	big := strings.Repeat("x", 1024)
+	before := cli.Retries()
+	_, err = cli.GetBatch(context.Background(), "drop", []string{big, big})
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized getbatch = %v, want ErrFrameTooLarge", err)
+	}
+	var fe *FrameTooLargeError
+	if !errors.As(err, &fe) || fe.Op != opGetBatch || fe.Len <= maxFrame {
+		t.Errorf("typed error = %#v, want op getbatch and Len > %d", fe, maxFrame)
+	}
+	if got := cli.Retries() - before; got != 0 {
+		t.Errorf("size violation retried %d times, want 0", got)
+	}
+	// The connection survives: a normal request on the same client works.
+	if _, err := cli.Get(context.Background(), "drop", "k1"); err != nil {
+		t.Errorf("connection poisoned by size violation: %v", err)
+	}
+}
+
+// TestServerOversizedResponse caps maxFrame below a response's size: the
+// server must answer with a small error frame instead of dying, and the
+// client must surface it as a non-retryable remote error.
+func TestServerOversizedResponse(t *testing.T) {
+	db := kvstore.New("discount")
+	big := strings.Repeat("y", 2048)
+	db.Set("drop", "k1", big)
+	srv, err := Serve(connector.NewKeyValue(db), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	old := maxFrame
+	maxFrame = 512
+	defer func() { maxFrame = old }()
+
+	before := cli.Retries()
+	_, err = cli.Get(context.Background(), "drop", "k1")
+	if err == nil {
+		t.Fatal("oversized response should fail")
+	}
+	var re *remoteError
+	if !errors.As(err, &re) || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("oversized response error = %v, want remote size violation", err)
+	}
+	if got := cli.Retries() - before; got != 0 {
+		t.Errorf("oversized response retried %d times, want 0", got)
+	}
+}
+
+// TestWireByteCounters checks the server's {dir} byte counters and the
+// per-op client frame counters move when traffic flows.
+func TestWireByteCounters(t *testing.T) {
+	srv := servedKVForCodec(t)
+	inBefore, outBefore := serverBytesIn.Value(), serverBytesOut.Value()
+	framesBefore := clientFrames[opGet].Value()
+	metaBefore := clientFrames[opMeta].Value()
+
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Get(context.Background(), "drop", "k1"); err != nil {
+		t.Fatal(err)
+	}
+
+	if in := serverBytesIn.Value() - inBefore; in <= 8 {
+		t.Errorf("server bytes in moved by %d, want > 8", in)
+	}
+	if out := serverBytesOut.Value() - outBefore; out <= 8 {
+		t.Errorf("server bytes out moved by %d, want > 8", out)
+	}
+	if d := clientFrames[opGet].Value() - framesBefore; d != 1 {
+		t.Errorf("get frames counter moved by %d, want 1", d)
+	}
+	if d := clientFrames[opMeta].Value() - metaBefore; d != 1 {
+		t.Errorf("meta frames counter moved by %d, want 1", d)
+	}
+}
+
+// BenchmarkServerGetBatchCodec is the microbenchmark behind the README's
+// allocs/op table: the full decode-request/encode-response cycle per codec.
+func BenchmarkServerGetBatchCodec(b *testing.B) {
+	req, resp := getbatchFixture()
+	for _, tc := range []struct {
+		name  string
+		codec uint8
+	}{{"json", codecJSON}, {"binary", codecBinary}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var frame bytes.Buffer
+			if _, err := writeRequestFrame(&frame, req, tc.codec); err != nil {
+				b.Fatal(err)
+			}
+			raw := frame.Bytes()
+			rd := bytes.NewReader(raw)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rd.Reset(raw)
+				var in request
+				if _, _, err := readRequestFrame(rd, &in); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := writeResponseFrame(io.Discard, resp, tc.codec, opGetBatch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

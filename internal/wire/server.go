@@ -17,6 +17,12 @@ type Server struct {
 	store core.Store
 	ln    net.Listener
 
+	// maxCodec caps the frame codec this server negotiates (codecBinary by
+	// default). LimitCodec(1) turns the server into a JSON-only v1 peer: it
+	// stops advertising codec v2 on meta and rejects binary frames, which is
+	// how the mixed-version cluster tests emulate an old binary.
+	maxCodec uint8
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -37,11 +43,16 @@ func Serve(store core.Store, addr string) (*Server, error) {
 // uses it to reserve every peer's port before any peer starts dialing, so a
 // topology's addresses are known to all members ahead of time.
 func ServeOn(store core.Store, ln net.Listener) *Server {
-	s := &Server{store: store, ln: ln, conns: map[net.Conn]struct{}{}}
+	s := &Server{store: store, ln: ln, maxCodec: codecBinary, conns: map[net.Conn]struct{}{}}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
 }
+
+// LimitCodec caps the frame codec the server will negotiate or accept.
+// LimitCodec(1) pins it to JSON (a v1 peer); the default is codec v2.
+// Call it before the first client connects.
+func (s *Server) LimitCodec(v uint8) { s.maxCodec = v }
 
 // Optional store capabilities a wire server forwards when the wrapped store
 // implements them. A cluster shard node implements all three; plain stores
@@ -121,15 +132,19 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 	for {
 		var req request
-		reqBytes, err := readFrame(conn, &req)
+		reqBytes, codec, err := readRequestFrame(conn, &req)
 		if err != nil {
 			return // connection closed or corrupted: drop it
+		}
+		serverBytesIn.Add(uint64(reqBytes))
+		if codec > s.maxCodec {
+			return // binary frame at a JSON-only server: protocol violation
 		}
 		if req.ID == 0 {
 			ctx, sp := s.continueTrace(req, reqBytes)
 			resp := s.dispatch(ctx, req)
 			finishServerSpan(sp, resp)
-			n, err := writeFrame(conn, resp)
+			n, err := s.writeResponse(conn, &resp, codec, req.Op)
 			sp.AddBytes(int64(n), 0)
 			sp.End()
 			if err != nil {
@@ -138,19 +153,33 @@ func (s *Server) handle(conn net.Conn) {
 			continue
 		}
 		reqWG.Add(1)
-		go func(req request, reqBytes int) {
+		go func(req request, reqBytes int, codec uint8) {
 			defer reqWG.Done()
 			ctx, sp := s.continueTrace(req, reqBytes)
 			resp := s.dispatch(ctx, req)
 			resp.ID = req.ID
 			finishServerSpan(sp, resp)
 			wmu.Lock()
-			n, _ := writeFrame(conn, resp) //nolint:errcheck // a dead conn fails the read loop too
+			n, _ := s.writeResponse(conn, &resp, codec, req.Op) //nolint:errcheck // a dead conn fails the read loop too
 			wmu.Unlock()
 			sp.AddBytes(int64(n), 0)
 			sp.End()
-		}(req, reqBytes)
+		}(req, reqBytes, codec)
 	}
+}
+
+// writeResponse sends resp in the codec the request arrived in. A response
+// that overflows maxFrame (a snapshot of an oversized shard, say) is replaced
+// by a small error frame naming the violation, so the client gets a definite
+// non-retryable remote error instead of a dead connection.
+func (s *Server) writeResponse(conn net.Conn, resp *response, codec uint8, op string) (int, error) {
+	n, err := writeResponseFrame(conn, resp, codec, op)
+	if errors.Is(err, ErrFrameTooLarge) {
+		small := response{ID: resp.ID, Error: err.Error()}
+		n, err = writeResponseFrame(conn, &small, codec, op)
+	}
+	serverBytesOut.Add(uint64(n))
+	return n, err
 }
 
 // continueTrace opens the server-side segment of the caller's distributed
@@ -192,11 +221,18 @@ func (s *Server) dispatch(ctx context.Context, req request) response {
 	}
 	switch req.Op {
 	case opMeta:
-		return response{
+		resp := response{
 			Name:        s.store.Name(),
 			Kind:        int(s.store.Kind()),
 			Collections: s.store.Collections(),
 		}
+		// Codec negotiation: confirm v2 only when the client offered it and
+		// this server isn't capped to JSON. Legacy clients omit the field
+		// (Codec 0) and get no echo, pinning the connection to JSON.
+		if req.Codec >= codecBinary && s.maxCodec >= codecBinary {
+			resp.Codec = codecBinary
+		}
+		return resp
 	case opGet:
 		if req.Database != "" {
 			return s.dispatchGetDB(ctx, req)

@@ -1,8 +1,10 @@
 // Package wire exposes any core.Store over TCP so that a polystore can span
 // machines, the way the paper's distributed deployment spreads its stores
-// over EC2 regions. The protocol is deliberately simple: each request and
-// response is one length-prefixed JSON frame (4-byte big-endian length
-// followed by the JSON body).
+// over EC2 regions. Each request and response is one length-prefixed frame
+// (4-byte big-endian length followed by the body); the body is either a JSON
+// document (codec v1, the compatibility format every server keeps accepting)
+// or the compact binary encoding of codec v2 (see codec.go), negotiated per
+// connection through the meta exchange.
 //
 // The Server wraps a store and serves any number of concurrent connections;
 // the Client implements core.Store over a small connection pool so the
@@ -13,15 +15,45 @@ package wire
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"quepa/internal/core"
 	"quepa/internal/telemetry"
 )
 
-// maxFrame bounds a single frame to guard against corrupted lengths.
-const maxFrame = 64 << 20 // 64 MiB
+// maxFrame bounds a single frame to guard against corrupted lengths (and
+// against callers shipping unshippable payloads). A variable so the size-
+// violation tests can shrink it; treat it as a constant everywhere else.
+var maxFrame = 64 << 20 // 64 MiB
+
+// ErrFrameTooLarge is the sentinel every frame-size violation matches via
+// errors.Is. The concrete error is always a *FrameTooLargeError naming the
+// offending length and, when known, the op.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// FrameTooLargeError reports a frame that violated maxFrame. The client
+// treats it as non-retryable: a 64 MiB-overflow frame is the same size on
+// every attempt, so retrying can never succeed.
+type FrameTooLargeError struct {
+	// Op is the operation whose frame overflowed ("" when the violation was
+	// detected on an incoming length header, before any op is known).
+	Op string
+	// Len is the offending body length in bytes.
+	Len int
+}
+
+func (e *FrameTooLargeError) Error() string {
+	op := e.Op
+	if op == "" {
+		op = "incoming"
+	}
+	return fmt.Sprintf("wire: %s frame of %d bytes exceeds the %d-byte limit", op, e.Len, maxFrame)
+}
+
+func (e *FrameTooLargeError) Unwrap() error { return ErrFrameTooLarge }
 
 // request ops.
 const (
@@ -50,6 +82,20 @@ var (
 	clientTimeouts = map[string]*telemetry.Counter{}
 	serverReqs     = map[string]*telemetry.Counter{}
 	serverBadOps   *telemetry.Counter
+
+	// clientFrames counts the frames clients actually put on the wire, per
+	// op. With multiplexing and get-batching, this runs well below the
+	// logical request count (Client.RoundTrips); the per-op breakdown is
+	// what lets the frames-saved-vs-round-trips story be told per op.
+	clientFrames = map[string]*telemetry.Counter{}
+)
+
+// Server-side byte accounting, both directions, across all connections.
+var (
+	serverBytesIn = telemetry.NewCounter("quepa_wire_server_bytes_total",
+		"frame bytes moved by wire servers (headers included)", telemetry.L("dir", "in"))
+	serverBytesOut = telemetry.NewCounter("quepa_wire_server_bytes_total",
+		"frame bytes moved by wire servers (headers included)", telemetry.L("dir", "out"))
 )
 
 func init() {
@@ -65,16 +111,12 @@ func init() {
 			"wire RPC round trips that exhausted the per-attempt deadline", label)
 		serverReqs[op] = telemetry.NewCounter("quepa_wire_server_requests_total",
 			"requests dispatched by wire servers", label)
+		clientFrames[op] = telemetry.NewCounter("quepa_wire_client_frames_total",
+			"request frames written by wire clients (physical attempts, not logical requests)", label)
 	}
 	serverBadOps = telemetry.NewCounter("quepa_wire_server_requests_total",
 		"requests dispatched by wire servers", telemetry.L("op", "unknown"))
 }
-
-// clientFrames counts the frames clients actually put on the wire. With
-// multiplexing and get-batching, this runs well below the logical request
-// count (Client.RoundTrips); the gap is the traffic the overhaul saved.
-var clientFrames = telemetry.NewCounter("quepa_wire_client_frames_total",
-	"request frames written by wire clients (physical attempts, not logical requests)")
 
 type request struct {
 	// ID tags the frame for multiplexing: a non-zero ID tells the server it
@@ -100,6 +142,10 @@ type request struct {
 	// server continues the distributed trace. Optional: legacy peers ignore
 	// the extra field, and an empty value means "untraced".
 	Trace string `json:"tp,omitempty"`
+	// Codec offers the client's maximum frame codec on the meta exchange
+	// (the codec-v2 negotiation). Legacy peers ignore it and omit the echo,
+	// which pins the connection to JSON.
+	Codec int `json:"codec,omitempty"`
 }
 
 type wireObject struct {
@@ -130,6 +176,10 @@ type response struct {
 	// checkpoint format (base64 over JSON), stamped with its WAL epoch.
 	Snapshot []byte `json:"snapshot,omitempty"`
 	Epoch    uint64 `json:"epoch,omitempty"`
+	// Codec echoes the agreed frame codec on the meta exchange: a v2 server
+	// answering a client that offered codec 2 confirms it here, and the
+	// client switches its frames to binary from the next request on.
+	Codec int `json:"codec,omitempty"`
 }
 
 // RemoteHit is one key produced by a frontier expansion on a remote shard:
@@ -159,15 +209,40 @@ func fromWire(w wireObject) core.Object {
 	return core.NewObject(core.NewGlobalKey(w.Database, w.Collection, w.Key), w.Fields)
 }
 
-// writeFrame sends one length-prefixed JSON frame, returning the bytes put
-// on the wire (header included) so the explain layer can account for them.
-func writeFrame(w io.Writer, v any) (int, error) {
+// ---------------------------------------------------------------------------
+// Frame I/O
+
+// bodyBuf is a pooled frame read buffer. The pointer indirection keeps the
+// pool from allocating a fresh interface box per Put.
+type bodyBuf struct{ b []byte }
+
+var bodyPool = sync.Pool{New: func() any { return &bodyBuf{b: make([]byte, 512)} }}
+
+func getBody(n int) *bodyBuf {
+	bb := bodyPool.Get().(*bodyBuf)
+	if cap(bb.b) < n {
+		bb.b = make([]byte, n)
+	}
+	bb.b = bb.b[:n]
+	return bb
+}
+
+func putBody(bb *bodyBuf) {
+	if cap(bb.b) > poolableCap {
+		return
+	}
+	bodyPool.Put(bb)
+}
+
+// writeJSONFrame sends one length-prefixed JSON frame — the v1 codec,
+// preserved byte for byte so legacy peers interoperate.
+func writeJSONFrame(w io.Writer, v any, op string) (int, error) {
 	body, err := json.Marshal(v)
 	if err != nil {
 		return 0, fmt.Errorf("wire: encoding frame: %w", err)
 	}
 	if len(body) > maxFrame {
-		return 0, fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+		return 0, &FrameTooLargeError{Op: op, Len: len(body)}
 	}
 	var head [4]byte
 	binary.BigEndian.PutUint32(head[:], uint32(len(body)))
@@ -180,23 +255,101 @@ func writeFrame(w io.Writer, v any) (int, error) {
 	return len(head) + len(body), nil
 }
 
-// readFrame receives one length-prefixed JSON frame into v, returning the
-// bytes consumed (header included).
-func readFrame(r io.Reader, v any) (int, error) {
+// writeRequestFrame sends req in the given codec, returning the bytes put on
+// the wire (header included) so the explain layer can account for them.
+// Binary frames serialize into a pooled buffer and go out in one Write.
+func writeRequestFrame(w io.Writer, req *request, codec uint8) (int, error) {
+	if codec != codecBinary {
+		return writeJSONFrame(w, req, req.Op)
+	}
+	e := getEncoder()
+	defer putEncoder(e)
+	if err := e.encodeRequest(req); err != nil {
+		return 0, err
+	}
+	frame, err := e.finish(req.Op)
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(frame)
+	return n, err
+}
+
+// writeResponseFrame sends resp in the given codec; op names the dispatched
+// operation in size-violation errors.
+func writeResponseFrame(w io.Writer, resp *response, codec uint8, op string) (int, error) {
+	if codec != codecBinary {
+		return writeJSONFrame(w, resp, op)
+	}
+	e := getEncoder()
+	defer putEncoder(e)
+	e.encodeResponse(resp)
+	frame, err := e.finish(op)
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(frame)
+	return n, err
+}
+
+// readFrameInto receives one length-prefixed frame and decodes it through
+// decodeJSON/decodeBinary depending on the body's first byte. The body lands
+// in a pooled buffer that is recycled before returning, so the decoders must
+// copy what they keep (the binary decoders copy once into a string and slice
+// it; encoding/json copies inherently).
+func readFrameInto(r io.Reader, decodeJSON func([]byte) error, decodeBinary func(string) error) (int, uint8, error) {
 	var head [4]byte
 	if _, err := io.ReadFull(r, head[:]); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	n := binary.BigEndian.Uint32(head[:])
-	if n > maxFrame {
-		return 0, fmt.Errorf("wire: incoming frame of %d bytes exceeds limit", n)
+	if int64(n) > int64(maxFrame) {
+		return 0, 0, &FrameTooLargeError{Len: int(n)}
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, err
+	if n == 0 {
+		return 0, 0, fmt.Errorf("wire: empty frame")
 	}
-	if err := json.Unmarshal(body, v); err != nil {
-		return 0, fmt.Errorf("wire: decoding frame: %w", err)
+	bb := getBody(int(n))
+	defer putBody(bb)
+	if _, err := io.ReadFull(r, bb.b); err != nil {
+		return 0, 0, err
 	}
-	return len(head) + len(body), nil
+	total := len(head) + int(n)
+	switch bb.b[0] {
+	case '{':
+		if err := decodeJSON(bb.b); err != nil {
+			return 0, codecJSON, fmt.Errorf("wire: decoding frame: %w", err)
+		}
+		return total, codecJSON, nil
+	case binMagic:
+		if err := decodeBinary(string(bb.b)); err != nil {
+			return 0, codecBinary, fmt.Errorf("wire: decoding frame: %w", err)
+		}
+		return total, codecBinary, nil
+	default:
+		return 0, 0, fmt.Errorf("wire: unknown frame codec byte 0x%02x", bb.b[0])
+	}
+}
+
+// readRequestFrame receives one request frame, reporting the codec it
+// arrived in so the server can answer in kind.
+func readRequestFrame(r io.Reader, req *request) (int, uint8, error) {
+	return readFrameInto(r,
+		func(b []byte) error {
+			*req = request{}
+			return json.Unmarshal(b, req)
+		},
+		func(body string) error { return decodeRequestV2(body, req) },
+	)
+}
+
+// readResponseFrame receives one response frame in either codec.
+func readResponseFrame(r io.Reader, resp *response) (int, uint8, error) {
+	return readFrameInto(r,
+		func(b []byte) error {
+			*resp = response{}
+			return json.Unmarshal(b, resp)
+		},
+		func(body string) error { return decodeResponseV2(body, resp) },
+	)
 }

@@ -161,32 +161,43 @@ func TestServerClose(t *testing.T) {
 }
 
 func TestFrameRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
 	in := request{Op: opGetBatch, Collection: "c", Keys: []string{"a", "b"}}
-	wrote, err := writeFrame(&buf, in)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var out request
-	read, err := readFrame(&buf, &out)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if wrote != read || wrote <= 4 {
-		t.Errorf("frame byte counts: wrote %d, read %d", wrote, read)
-	}
-	if out.Op != in.Op || out.Collection != in.Collection || len(out.Keys) != 2 {
-		t.Errorf("frame round trip = %+v", out)
+	for _, codec := range []uint8{codecJSON, codecBinary} {
+		var buf bytes.Buffer
+		wrote, err := writeRequestFrame(&buf, &in, codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out request
+		read, gotCodec, err := readRequestFrame(&buf, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wrote != read || wrote <= 4 {
+			t.Errorf("codec %d frame byte counts: wrote %d, read %d", codec, wrote, read)
+		}
+		if gotCodec != codec {
+			t.Errorf("sniffed codec = %d, want %d", gotCodec, codec)
+		}
+		if out.Op != in.Op || out.Collection != in.Collection || len(out.Keys) != 2 {
+			t.Errorf("codec %d frame round trip = %+v", codec, out)
+		}
 	}
 }
 
 func TestFrameLimit(t *testing.T) {
-	// A corrupted length header must be rejected, not allocated.
+	// A corrupted length header must be rejected, not allocated — with the
+	// typed size violation every limit check shares.
 	var buf bytes.Buffer
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
 	var out request
-	if _, err := readFrame(&buf, &out); err == nil {
-		t.Error("oversized frame should fail")
+	_, _, err := readRequestFrame(&buf, &out)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized frame = %v, want ErrFrameTooLarge", err)
+	}
+	var tooBig *FrameTooLargeError
+	if !errors.As(err, &tooBig) || tooBig.Len != 0xFFFFFFFF {
+		t.Errorf("typed error = %#v, want Len 0xFFFFFFFF", tooBig)
 	}
 }
 
