@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-hotpath bench-build bench-compare bench-recovery bench-trace bench-cluster bench-wire chaos cluster crashtest fuzz figures promlint clean
+.PHONY: all build vet test race cover bench bench-hotpath bench-build bench-compare bench-recovery bench-trace bench-cluster bench-wire bench-rcache chaos cluster crashtest fuzz figures promlint clean
 
 all: build vet test
 
@@ -64,6 +64,16 @@ WIRE_BASELINE ?= BENCH_PR9.json
 bench-wire:
 	$(GO) run ./cmd/quepa-bench -fig wire -best-of 3 -json bench_wire.json -label ci > /dev/null
 	$(GO) run ./cmd/quepa-bench -compare $(WIRE_BASELINE) -tolerance 0.30 bench_wire.json
+
+# Result-cache regression guard: rerun the rcache A/B figure (warm skewed
+# stream cache-on vs cache-off, plus the 3-peer delta-frontier bytes-on-wire
+# series, best of 3) and fail on any point more than 30% slower than the
+# committed PR 10 baseline — past the 2ms noise floor. Catches a cache that
+# stopped hitting and a compact codec that lost its byte edge alike.
+RCACHE_BASELINE ?= BENCH_PR10.json
+bench-rcache:
+	$(GO) run ./cmd/quepa-bench -fig rcache -best-of 3 -json bench_rcache.json -label ci > /dev/null
+	$(GO) run ./cmd/quepa-bench -compare $(RCACHE_BASELINE) -tolerance 0.30 bench_rcache.json
 
 # Distributed-tracing overhead gate: rerun the traced-vs-untraced hot-path
 # search pair and fail if tracing costs more than +30% and a 2ms noise floor.

@@ -55,6 +55,7 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.30, "with -compare: allowed slowdown fraction before a point fails")
 	bestOf := flag.Int("best-of", 1, "run each figure N times and keep every point's fastest measurement (steadies the -compare guard)")
 	codec := flag.String("codec", "", "pin the wire frame codec for wire-crossing figures: json or binary (empty negotiates, and runs -fig wire as a two-series A/B)")
+	skew := flag.Float64("skew", 0, "Zipf exponent of the skewed origin stream for -fig rcache (must be > 1; 0 selects 1.1)")
 	mutexProfile := flag.String("mutexprofile", "", "write a pprof mutex-contention profile of the campaign to this file")
 	blockProfile := flag.String("blockprofile", "", "write a pprof blocking profile of the campaign to this file")
 	flag.Parse()
@@ -80,7 +81,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "quepa-bench: -codec %q: want json or binary\n", *codec)
 		os.Exit(2)
 	}
-	opts := bench.Options{Quick: *quick, Seed: *seed, BaselineBudget: *budget, Codec: *codec}
+	if *skew != 0 && *skew <= 1 {
+		fmt.Fprintf(os.Stderr, "quepa-bench: -skew %g: the Zipf exponent must be > 1\n", *skew)
+		os.Exit(2)
+	}
+	opts := bench.Options{Quick: *quick, Seed: *seed, BaselineBudget: *budget, Codec: *codec, Skew: *skew}
 	bench.SetExplainSampling(*explainSample)
 
 	ids := []string{*fig}
@@ -167,6 +172,9 @@ func runCompare(baselinePath string, tolerance float64, args []string) int {
 	if err := bench.CodecMismatch(old, cur); err != nil {
 		fmt.Fprintf(os.Stderr, "quepa-bench: %v\n", err)
 		return 2
+	}
+	if warn := bench.EnvironmentMismatch(old, cur); warn != "" {
+		fmt.Fprintf(os.Stderr, "quepa-bench: WARNING: %s\n", warn)
 	}
 	cmp := bench.Compare(old, cur, tolerance)
 	if err := cmp.WriteMarkdown(os.Stdout); err != nil {

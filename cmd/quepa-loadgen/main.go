@@ -34,11 +34,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"os/signal"
 	"strings"
 	"time"
 
+	"quepa/internal/augment"
 	"quepa/internal/cluster"
 	"quepa/internal/core"
 	"quepa/internal/middleware"
@@ -67,7 +69,15 @@ func main() {
 		"simulated service capacity of the served shard: concurrent requests (0 disables; with -cluster)")
 	peerService := flag.Duration("peer-service", 0,
 		"simulated service time per object under -peer-capacity")
+	queries := flag.Int("queries", 0,
+		"replay this many Zipf-skewed single-origin augmentations against the built polystore and print throughput (0 disables)")
+	skew := flag.Float64("skew", 1.1, "Zipf exponent of the -queries origin stream (must be > 1)")
+	queryLevel := flag.Int("query-level", 2, "augmentation level the -queries stream runs at")
 	flag.Parse()
+
+	if *skew <= 1 {
+		log.Fatalf("quepa-loadgen: -skew %g: the Zipf exponent must be > 1", *skew)
+	}
 
 	down, err := netsim.ParseWindows(*faultDown)
 	if err != nil {
@@ -108,6 +118,12 @@ func main() {
 	}
 	fmt.Printf("  %-16s %d global keys, %d p-relations\n", "A' index:", built.Index.NodeCount(), built.Index.EdgeCount())
 
+	if *queries > 0 {
+		if err := replaySkewed(built, *queries, *skew, *queryLevel, *seed); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	if *clusterPeers != "" {
 		serveClusterPeer(built, *clusterPeers, *shardID, *clusterVnodes, *clusterSeed, plan,
 			netsim.PeerProfile{Capacity: *peerCapacity, Service: *peerService})
@@ -147,6 +163,49 @@ func main() {
 	for _, srv := range servers {
 		srv.Close()
 	}
+}
+
+// replaySkewed drives a Zipf-skewed single-origin augmentation stream
+// against the built polystore — the hot-key access pattern exploration
+// sessions produce, and the workload the result cache optimizes — and
+// prints its throughput.
+func replaySkewed(built *workload.Built, queries int, skew float64, level int, seed int64) error {
+	seen := map[core.GlobalKey]bool{}
+	var objs []core.Object
+	ctx := context.Background()
+	for _, r := range built.Relations() {
+		if len(objs) >= 64 {
+			break
+		}
+		if seen[r.From] {
+			continue
+		}
+		seen[r.From] = true
+		obj, err := built.Poly.Fetch(ctx, r.From)
+		if err != nil {
+			continue
+		}
+		objs = append(objs, obj)
+	}
+	if len(objs) < 2 {
+		return fmt.Errorf("quepa-loadgen: workload has %d fetchable origins", len(objs))
+	}
+	z := rand.NewZipf(rand.New(rand.NewSource(seed)), skew, 1, uint64(len(objs)-1))
+	aug := augment.New(built.Poly, built.Index, augment.Config{Strategy: augment.Sequential})
+	distinct := map[int]bool{}
+	start := time.Now()
+	for i := 0; i < queries; i++ {
+		j := int(z.Uint64())
+		distinct[j] = true
+		if _, _, err := aug.AugmentObjects(ctx, []core.Object{objs[j]}, level); err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("replayed %d augmentations (level %d, skew %g, %d distinct of %d origins) in %v: %.0f q/s\n",
+		queries, level, skew, len(distinct), len(objs), elapsed.Round(time.Millisecond),
+		float64(queries)/elapsed.Seconds())
+	return nil
 }
 
 // serveClusterPeer serves one shard of a distributed deployment: this peer's

@@ -107,6 +107,11 @@ func setupCluster(built *workload.Built, peerList string, shardID, vnodes int, s
 func (s *server) installCluster(c *clusterRuntime) {
 	s.cluster = c.coord
 	s.aug.SetReacher(c.coord)
+	// One result cache serves both layers: the coordinator memoizes whole
+	// scatter traversals against the ring-version+index-epoch fingerprint,
+	// and component surgery on the local shard flushes it explicitly.
+	c.coord.SetResultCache(s.rcache)
+	c.node.Index().SetInvalidationHook(s.rcache.Invalidate)
 }
 
 // logClusterUp announces the membership once at startup.

@@ -76,6 +76,7 @@ import (
 	"quepa/internal/core"
 	"quepa/internal/explain"
 	"quepa/internal/optimizer"
+	"quepa/internal/rcache"
 	"quepa/internal/resilience"
 	"quepa/internal/slo"
 	"quepa/internal/telemetry"
@@ -88,6 +89,12 @@ type server struct {
 	built   *workload.Built
 	aug     *augment.Augmenter
 	tracker *aindex.PathTracker
+
+	// rcache memoizes Reach result sets and augmentation outcomes, keyed by
+	// the index's snapshot epoch so mutations invalidate for free. It is
+	// shared with the cluster coordinator in sharded mode. -rcache-cap sizes
+	// it; 0 disables.
+	rcache *rcache.Cache
 
 	// wal is the durability manager when the server runs with -data-dir;
 	// nil in the default in-memory mode. /stats and /healthz read it.
@@ -139,6 +146,10 @@ type lastRun struct {
 // optimizer's MaxLogs bound on its run log.
 const maxLastSeen = 4096
 
+// defaultRcacheCap is the default -rcache-cap: reach/outcome results the
+// result cache holds before LRU eviction.
+const defaultRcacheCap = 4096
+
 // newServer assembles a server around a built workload — shared between main
 // and the tests so both run the identical wiring. Every store of the
 // polystore is re-registered behind a circuit breaker before the augmenter
@@ -152,6 +163,7 @@ func newServer(built *workload.Built, cfg augment.Config, explainCap, explainEve
 	s := &server{
 		built:        built,
 		aug:          augment.New(built.Poly, built.Index, cfg),
+		rcache:       rcache.New(defaultRcacheCap),
 		tracker:      aindex.NewPathTracker(built.Index, aindex.DefaultPromotionPolicy),
 		res:          res,
 		opt:          optimizer.NewAdaptive(),
@@ -162,6 +174,11 @@ func newServer(built *workload.Built, cfg augment.Config, explainCap, explainEve
 	}
 	s.opt.RetrainEvery = 256
 	s.opt.MaxLogs = 4096
+	s.aug.SetResultCache(s.rcache)
+	// Component-level index surgery (ReplaceComponent) flushes the result
+	// cache explicitly; ordinary mutations invalidate for free through the
+	// epoch in every entry's validation key.
+	built.Index.SetInvalidationHook(s.rcache.Invalidate)
 	s.registerMetrics()
 	return s, nil
 }
@@ -176,6 +193,8 @@ func main() {
 	version := flag.Bool("version", false, "print build information and exit")
 	explainCap := flag.Int("explain-cap", explain.DefaultBufferCapacity, "EXPLAIN profiles kept in the /debug/explain ring")
 	explainSample := flag.Int("explain-sample", 0, "profile every K-th request even without explain=1 (0 disables)")
+	rcacheCap := flag.Int("rcache-cap", defaultRcacheCap,
+		"reach/outcome results the epoch-validated result cache holds (0 disables memoization)")
 	logLevel := flag.String("log-level", "info", "minimum structured log level: debug, info, warn, error")
 	breakerFailures := flag.Int("breaker-failures", resilience.DefaultFailureThreshold,
 		"consecutive store failures that open its circuit breaker")
@@ -333,6 +352,12 @@ func main() {
 		log.Fatal(err)
 	}
 	s.wal = manager
+	s.rcache.Resize(*rcacheCap)
+	if manager != nil && manager.Recovery().Recovered {
+		// A recovered index replaced the built one wholesale; any memoized
+		// result predating recovery is flushed rather than trusted to age out.
+		s.rcache.Invalidate()
+	}
 	if clusterRT != nil {
 		s.installCluster(clusterRT)
 	}
@@ -439,6 +464,7 @@ func (s *server) routes() *http.ServeMux {
 // sessions) on the default registry as function-backed series.
 func (s *server) registerMetrics() {
 	s.aug.Cache().RegisterMetrics(telemetry.Default())
+	s.rcache.RegisterMetrics(telemetry.Default())
 	reg := telemetry.Default()
 	reg.GaugeFunc("quepa_index_keys", "global keys in the A' index",
 		func() float64 { return float64(s.built.Index.NodeCount()) })
@@ -558,6 +584,10 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status, code = "degraded", http.StatusServiceUnavailable
 	}
 	body := map[string]any{"breakers": s.res.Snapshot()}
+	body["rcache"] = map[string]any{
+		"len":       s.rcache.Len(),
+		"hit_ratio": s.rcache.HitRatio(),
+	}
 	if s.cluster != nil {
 		// A burning peer degrades the probe like a burning store does: its
 		// shard of every answer is missing until the breaker closes again.
@@ -1053,10 +1083,21 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	} else {
 		clusterSection = map[string]any{"enabled": false}
 	}
+	rcStats := s.rcache.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"cluster":     clusterSection,
-		"slo":         sloSection,
-		"durability":  durability,
+		"cluster":    clusterSection,
+		"slo":        sloSection,
+		"durability": durability,
+		"rcache": map[string]any{
+			"capacity":         s.rcache.Capacity(),
+			"len":              rcStats.Len,
+			"hits":             rcStats.Hits,
+			"misses":           rcStats.Misses,
+			"hit_ratio":        s.rcache.HitRatio(),
+			"epoch_mismatches": rcStats.EpochMismatches,
+			"evictions":        rcStats.Evictions,
+			"invalidations":    rcStats.Invalidations,
+		},
 		"databases":   s.built.Poly.Size(),
 		"index_keys":  s.built.Index.NodeCount(),
 		"index_edges": s.built.Index.EdgeCount(),

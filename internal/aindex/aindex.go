@@ -67,6 +67,13 @@ type Index struct {
 	// critical section (journal.go). The WAL manager installs itself here so
 	// crash recovery can replay mutations in application order.
 	journal Journal
+
+	// invalidate, when non-nil, is called after component-level surgery
+	// (ReplaceComponent) commits — the one mutation class whose effects a
+	// purely epoch-keyed result cache must not wait out, because rebalances
+	// swap whole shards at once. Ordinary mutations rely on the epoch bump
+	// alone. Stored atomically so reads need no lock.
+	invalidate atomic.Pointer[func()]
 }
 
 // New returns an empty index with a fresh (empty) snapshot installed, so

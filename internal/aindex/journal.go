@@ -80,6 +80,26 @@ func (ix *Index) SetJournal(j Journal) {
 	ix.mu.Unlock()
 }
 
+// Epoch returns the current mutation epoch. Result caches key their entries
+// by it: any mutation bumps the epoch, so entries computed against an older
+// index state simply stop validating and age out of the LRU.
+func (ix *Index) Epoch() uint64 { return ix.epoch.Load() }
+
+// SetInvalidationHook installs (or, with nil, removes) a callback invoked
+// after every ReplaceComponent commits. Component surgery is the mutation
+// class where epoch aging is not enough for derived caches: a cluster
+// rebalance or an incremental-collection apply swaps a whole region of the
+// index at once, and any result computed against the old region must become
+// unservable immediately, not after LRU pressure. The hook runs outside the
+// index locks and must not call back into mutators.
+func (ix *Index) SetInvalidationHook(f func()) {
+	if f == nil {
+		ix.invalidate.Store(nil)
+		return
+	}
+	ix.invalidate.Store(&f)
+}
+
 // EdgesWithEpoch returns the canonical edge list together with the mutation
 // epoch it corresponds to, read atomically under the lock. Checkpoints use
 // it to stamp a snapshot with the exact epoch fence that separates the edges
@@ -144,4 +164,7 @@ func (ix *Index) ReplaceComponent(remove []core.GlobalKey, repl *Index) {
 	}
 	ix.mu.Unlock()
 	ix.scheduleRebuild()
+	if f := ix.invalidate.Load(); f != nil {
+		(*f)()
+	}
 }

@@ -31,6 +31,7 @@ import (
 	"quepa/internal/coalesce"
 	"quepa/internal/core"
 	"quepa/internal/explain"
+	"quepa/internal/rcache"
 	"quepa/internal/resilience"
 	"quepa/internal/telemetry"
 	"quepa/internal/validator"
@@ -226,6 +227,13 @@ type Augmenter struct {
 	// building — the cluster coordinator plugs its scatter-gather
 	// reachability in here. Set once at startup, before serving.
 	reacher Reacher
+
+	// rc, when set, memoizes Reach result sets and single-origin
+	// augmentation outcomes against the index epoch. Epoch validation makes
+	// invalidation free: every mutator bumps the epoch, so stale entries
+	// become unaddressable and age out of the LRU. Set once at startup,
+	// before serving.
+	rc *rcache.Cache
 }
 
 // Reacher abstracts the A' reachability consulted while planning an
@@ -241,6 +249,17 @@ type Reacher interface {
 // Call it once during startup, before the augmenter serves queries; the
 // local index remains in place for lazy deletion and stats.
 func (a *Augmenter) SetReacher(r Reacher) { a.reacher = r }
+
+// SetResultCache installs the reach/outcome memoization cache. Call it once
+// during startup, before the augmenter serves queries. A nil cache (the
+// default) disables memoization. When a cluster reacher is installed the
+// augmenter leaves reach memoization to the coordinator, which keys entries
+// by the scatter epoch; the local cache then only serves outcome entries.
+func (a *Augmenter) SetResultCache(rc *rcache.Cache) { a.rc = rc }
+
+// ResultCache exposes the reach/outcome memoization cache (nil when
+// disabled), for the status pages and tests.
+func (a *Augmenter) ResultCache() *rcache.Cache { return a.rc }
 
 // New creates an augmenter with the given configuration.
 func New(poly *core.Polystore, index *aindex.Index, cfg Config) *Augmenter {
@@ -354,6 +373,29 @@ func (a *Augmenter) AugmentObjects(ctx context.Context, origins []core.Object, l
 		recStart = time.Now()
 	}
 	start := telemetry.Now()
+	// Single-origin, locally-indexed augmentations are whole-outcome
+	// memoizable. The epoch is read before any index or store consultation,
+	// so a mutation racing this call leaves the entry unaddressable at the
+	// new epoch rather than serving stale data; Rank filters by minProb
+	// after the fact, so one entry serves every threshold.
+	var (
+		outKey   rcache.Key
+		outEpoch uint64
+		memoize  bool
+	)
+	if a.rc != nil && a.reacher == nil && len(origins) == 1 {
+		outKey = rcache.Key{GK: origins[0].GK, Level: level, Kind: rcache.KindOutcome}
+		outEpoch = a.index.Epoch()
+		if v, ok := a.rc.GetOutcome(outKey, outEpoch); ok {
+			out := v.([]AugmentedObject)
+			rec.RcacheHits(1)
+			if rec != nil {
+				rec.EndAugmentation(len(out), time.Since(recStart), nil)
+			}
+			return out, nil, nil
+		}
+		memoize = true
+	}
 	plan := a.buildPlan(ctx, rec, origins, level)
 	span.SetAttr("origins", itoa(len(origins)))
 	span.SetAttr("keys", itoa(len(plan.order)))
@@ -399,6 +441,11 @@ func (a *Augmenter) AugmentObjects(ctx context.Context, origins []core.Object, l
 		return nil, nil, err
 	}
 	out := plan.answer(sink)
+	// Only clean outcomes are cacheable: a degraded answer reflects a
+	// transient store failure and must not outlive it.
+	if memoize && sink.nDegraded.Load() == 0 {
+		a.rc.PutOutcome(outKey, outEpoch, out)
+	}
 	if rec != nil {
 		rec.EndAugmentation(len(out), time.Since(recStart), nil)
 	}
@@ -430,7 +477,16 @@ func (a *Augmenter) buildPlan(ctx context.Context, rec *explain.Recorder, origin
 		originSet[o.GK] = true
 	}
 	planDegraded := map[string]Degradation{}
-	var nodes, edges, skipped, snapshots int
+	var nodes, edges, skipped, snapshots, rcacheHits int
+	// Reach memoization is local-index only: the cluster coordinator keys
+	// its own entries by the scatter epoch. The epoch is read once before
+	// any traversal, so a mutation racing the loop strands the entries at
+	// the pre-mutation epoch instead of mislabeling post-mutation results.
+	useRcache := a.rc != nil && a.reacher == nil
+	var reachEpoch uint64
+	if useRcache {
+		reachEpoch = a.index.Epoch()
+	}
 	for _, o := range origins {
 		var mine []core.GlobalKey
 		var hits []aindex.Hit
@@ -447,6 +503,21 @@ func (a *Augmenter) buildPlan(ctx context.Context, rec *explain.Recorder, origin
 					p.degraded = append(p.degraded, d)
 				}
 			}
+		case useRcache:
+			rkey := rcache.Key{GK: o.GK, Level: level, Kind: rcache.KindReach}
+			if cached, _, ok := a.rc.GetReach(rkey, reachEpoch); ok {
+				hits = cached
+				rcacheHits++
+				break
+			}
+			var st aindex.ReachStats
+			hits, st = a.index.ReachWithStats(o.GK, level)
+			nodes += st.Nodes
+			edges += st.Edges
+			if st.Snapshot {
+				snapshots++
+			}
+			a.rc.PutReach(rkey, reachEpoch, hits, st)
 		case rec == nil:
 			hits = a.index.Reach(o.GK, level)
 		default:
@@ -479,6 +550,7 @@ func (a *Augmenter) buildPlan(ctx context.Context, rec *explain.Recorder, origin
 	if rec != nil {
 		rec.PlanStats(len(p.order), nodes, edges, skipped)
 		rec.SnapshotReaches(snapshots)
+		rec.RcacheHits(rcacheHits)
 	}
 	return p
 }

@@ -1,0 +1,153 @@
+package augment
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"quepa/internal/core"
+	"quepa/internal/explain"
+	"quepa/internal/rcache"
+)
+
+// fetchOrigin loads Lucy's album — the running-example origin the result
+// cache tests augment from.
+func fetchOrigin(t *testing.T, poly *core.Polystore) core.Object {
+	t.Helper()
+	obj, err := poly.Fetch(ctx, core.MustParseGlobalKey("transactions.inventory.a32"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+// TestResultCacheMemoizesOutcome: with a result cache attached, repeating a
+// single-origin augmentation serves the whole outcome from the cache —
+// bitwise-equal to the cold answer, with the hit attributed to EXPLAIN.
+func TestResultCacheMemoizesOutcome(t *testing.T) {
+	poly, ix := polyphony(t)
+	aug := New(poly, ix, Config{Strategy: Sequential})
+	rc := rcache.New(64)
+	aug.SetResultCache(rc)
+	obj := fetchOrigin(t, poly)
+
+	cold, _, err := aug.AugmentObjects(ctx, []core.Object{obj}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rctx, rec := explain.WithRecorder(context.Background(), "/search")
+	warm, _, err := aug.AugmentObjects(rctx, []core.Object{obj}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm, cold) {
+		t.Fatalf("memoized answer diverges:\ncold %v\nwarm %v", cold, warm)
+	}
+	p := rec.Finish(len(warm))
+	if p == nil || p.Totals.RcacheHits == 0 {
+		t.Fatalf("no rcache hit attributed to the profile: %+v", p)
+	}
+	if st := rc.Stats(); st.Hits == 0 {
+		t.Fatalf("cache stats recorded no hit: %+v", st)
+	}
+}
+
+// TestResultCacheStaleAfterMutation: an index mutation bumps the epoch, so
+// warm entries stop being served — the next query recomputes, matches an
+// uncached augmenter exactly, and the probe registers an epoch mismatch.
+func TestResultCacheStaleAfterMutation(t *testing.T) {
+	poly, ix := polyphony(t)
+	aug := New(poly, ix, Config{Strategy: Sequential})
+	rc := rcache.New(64)
+	aug.SetResultCache(rc)
+	obj := fetchOrigin(t, poly)
+	if _, _, err := aug.AugmentObjects(ctx, []core.Object{obj}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if rc.Len() == 0 {
+		t.Fatal("warmup stored nothing")
+	}
+	// A new p-relation inside the reachable component changes the answer —
+	// serving the warm entry now would be observably wrong.
+	rel := core.NewIdentity(core.MustParseGlobalKey("catalogue.albums.d1"),
+		core.MustParseGlobalKey("similar-items.items.n2"), 0.4)
+	if err := ix.Insert(rel); err != nil {
+		t.Fatal(err)
+	}
+	before := rc.Stats().EpochMismatches
+	got, _, err := aug.AugmentObjects(ctx, []core.Object{obj}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := New(poly, ix, Config{Strategy: Sequential}).AugmentObjects(ctx, []core.Object{obj}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-mutation cached answer diverges:\n got %v\nwant %v", got, want)
+	}
+	if after := rc.Stats().EpochMismatches; after <= before {
+		t.Fatalf("no epoch mismatch recorded (before %d, after %d)", before, after)
+	}
+}
+
+// TestResultCacheConcurrentMutationEquivalence: cached queries racing a
+// mutator never serve a wrong answer. The mutator only adds raw relations
+// between brand-new keys unreachable from the origin, so the correct answer
+// is invariant throughout — every answer served during the race must equal
+// the reference, and after quiescing the cached augmenter must still agree
+// with an uncached one bitwise.
+func TestResultCacheConcurrentMutationEquivalence(t *testing.T) {
+	poly, ix := polyphony(t)
+	aug := New(poly, ix, Config{Strategy: Sequential})
+	rc := rcache.New(64)
+	aug.SetResultCache(rc)
+	obj := fetchOrigin(t, poly)
+	want, _, err := New(poly, ix, Config{Strategy: Sequential}).AugmentObjects(ctx, []core.Object{obj}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			a := core.GlobalKey{Database: "pad", Collection: "p", Key: fmt.Sprintf("a%d", i)}
+			b := core.GlobalKey{Database: "pad", Collection: "p", Key: fmt.Sprintf("b%d", i)}
+			if err := ix.InsertRaw(core.NewIdentity(a, b, 0.5)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		got, _, err := aug.AugmentObjects(ctx, []core.Object{obj}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iteration %d: answer diverged under concurrent mutation", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	got, _, err := aug.AugmentObjects(ctx, []core.Object{obj}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _, err := New(poly, ix, Config{Strategy: Sequential}).AugmentObjects(ctx, []core.Object{obj}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, plain) {
+		t.Fatalf("quiesced cached answer diverges from uncached:\n got %v\nwant %v", got, plain)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 )
 
 // NoiseFloorMS is the absolute slowdown below which a point can never count
@@ -94,6 +95,27 @@ func CodecMismatch(old, cur *RunRecord) error {
 			cur.Codec, cur.Label, old.Codec, old.Label)
 	}
 	return nil
+}
+
+// EnvironmentMismatch describes how the two records' measurement
+// environments differ — Go toolchain or scheduler parallelism — and returns
+// "" when they match (or when either side predates the fields). Unlike
+// CodecMismatch it never refuses the diff: a cross-environment comparison is
+// sometimes all there is, but the reader must know the deltas may be the
+// machine, not the code.
+func EnvironmentMismatch(old, cur *RunRecord) string {
+	var diffs []string
+	if old.GoVersion != "" && cur.GoVersion != "" && old.GoVersion != cur.GoVersion {
+		diffs = append(diffs, fmt.Sprintf("Go toolchain %s (baseline) vs %s (new)", old.GoVersion, cur.GoVersion))
+	}
+	if old.GoMaxProcs != 0 && cur.GoMaxProcs != 0 && old.GoMaxProcs != cur.GoMaxProcs {
+		diffs = append(diffs, fmt.Sprintf("GOMAXPROCS %d (baseline) vs %d (new)", old.GoMaxProcs, cur.GoMaxProcs))
+	}
+	if len(diffs) == 0 {
+		return ""
+	}
+	return "the records were measured in different environments: " + strings.Join(diffs, "; ") +
+		" — time deltas may reflect the machine, not the code"
 }
 
 // Compare matches the new record's points against the baseline and flags

@@ -257,8 +257,11 @@ func Fig11ef(o Options) ([]Point, error) {
 // node-count campaign: scatter-gather augmentation over 1–4 wire-served
 // peers under the netsim capacity model. "wire" is the frame-codec A/B: the
 // warm concurrent experiment over wire-served stores, one series per codec.
+// "rcache" is the result-cache A/B: warm Zipf-skewed augmentations with and
+// without the epoch-consistent cache, plus the delta-frontier bytes-on-wire
+// comparison over a 3-peer cluster.
 func FigureNames() []string {
-	return []string{"9", "10ab", "10cd", "11ab", "11cd", "11ef", "12", "13ab", "13cd", "cache", "ablation", "build", "recovery", "cluster", "wire"}
+	return []string{"9", "10ab", "10cd", "11ab", "11cd", "11ef", "12", "13ab", "13cd", "cache", "ablation", "build", "recovery", "cluster", "wire", "rcache"}
 }
 
 // Run executes one figure by id.
@@ -294,6 +297,8 @@ func Run(id string, o Options) ([]Point, error) {
 		return FigCluster(o)
 	case "wire":
 		return FigWire(o)
+	case "rcache":
+		return FigRcache(o)
 	default:
 		return nil, fmt.Errorf("bench: unknown figure %q (known: %v)", id, FigureNames())
 	}

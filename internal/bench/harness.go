@@ -49,6 +49,11 @@ type Options struct {
 	// ("wire", "cluster"): "json" or "binary". Empty negotiates normally —
 	// and makes the wire figure run both series as an A/B.
 	Codec string
+	// Skew is the Zipf exponent of the skewed origin stream the rcache
+	// figure replays (must be > 1; 0 selects 1.1). Higher exponents
+	// concentrate queries on fewer origins — exactly the regime where
+	// result memoization pays.
+	Skew float64
 }
 
 func (o Options) withDefaults() Options {
@@ -57,6 +62,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BaselineBudget == 0 {
 		o.BaselineBudget = 12 << 20
+	}
+	if o.Skew == 0 {
+		o.Skew = 1.1
 	}
 	return o
 }

@@ -16,12 +16,17 @@ import (
 // schema, same figures, same seed — any drift between two files is a real
 // performance change, not a harness change.
 type RunRecord struct {
-	Schema    string    `json:"schema"` // bumped only on incompatible layout changes
-	Label     string    `json:"label"`  // e.g. "PR1"
-	GoVersion string    `json:"go_version"`
-	Timestamp time.Time `json:"timestamp"`
-	Seed      int64     `json:"seed"`
-	Quick     bool      `json:"quick"`
+	Schema    string `json:"schema"` // bumped only on incompatible layout changes
+	Label     string `json:"label"`  // e.g. "PR1"
+	GoVersion string `json:"go_version"`
+	// GoMaxProcs records the scheduler parallelism the campaign ran under.
+	// Millisecond baselines from a 2-core CI runner and a 16-core laptop are
+	// not comparable; -compare warns loudly when the environments differ
+	// (absent in pre-PR10 baselines, which compare without the warning).
+	GoMaxProcs int       `json:"go_max_procs,omitempty"`
+	Timestamp  time.Time `json:"timestamp"`
+	Seed       int64     `json:"seed"`
+	Quick      bool      `json:"quick"`
 	// Codec records the -codec pin the campaign ran under ("" when the run
 	// negotiated normally). Comparisons across records with different pinned
 	// codecs are refused: the numbers measure different wire formats.
@@ -44,16 +49,17 @@ const SchemaVersion = "quepa-bench/1"
 // WriteJSON renders a campaign as an indented RunRecord.
 func WriteJSON(w io.Writer, label string, opts Options, figures []string, points []Point) error {
 	rec := RunRecord{
-		Schema:    SchemaVersion,
-		Label:     label,
-		GoVersion: runtime.Version(),
-		Timestamp: time.Now().UTC().Truncate(time.Second),
-		Seed:      opts.withDefaults().Seed,
-		Quick:     opts.Quick,
-		Codec:     opts.Codec,
-		Figures:   figures,
-		Points:    points,
-		Profiles:  ExplainProfiles(),
+		Schema:     SchemaVersion,
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Truncate(time.Second),
+		Seed:       opts.withDefaults().Seed,
+		Quick:      opts.Quick,
+		Codec:      opts.Codec,
+		Figures:    figures,
+		Points:     points,
+		Profiles:   ExplainProfiles(),
 	}
 	if st := telemetry.DefaultTracer().SamplingStats(); st.Seen > 0 {
 		rec.Traces = &st

@@ -13,6 +13,7 @@ import (
 	"quepa/internal/core"
 	"quepa/internal/explain"
 	"quepa/internal/netsim"
+	"quepa/internal/rcache"
 	"quepa/internal/resilience"
 	"quepa/internal/wire"
 	"quepa/internal/workload"
@@ -102,6 +103,30 @@ func startCluster(t *testing.T, n int, wrap func(shard int, node *Node) core.Sto
 	return tc
 }
 
+// newCoordinator builds an extra coordinator over the same topology — the
+// engine and cache variants the equivalence tests compare against each
+// other.
+func (tc *testCluster) newCoordinator(t *testing.T, mod func(*Config)) *Coordinator {
+	t.Helper()
+	cfg := Config{
+		Ring:    tc.ring,
+		Peers:   tc.addrs,
+		Self:    0,
+		Node:    tc.nodes[0],
+		Breaker: resilience.BreakerConfig{FailureThreshold: 2, Cooldown: time.Hour},
+		Client:  testClientConfig(),
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	return coord
+}
+
 // sampleOrigins picks deterministic traversal starting points from the
 // asserted p-relations.
 func sampleOrigins(b *workload.Built, n int) []core.GlobalKey {
@@ -123,71 +148,157 @@ func sampleOrigins(b *workload.Built, n int) []core.GlobalKey {
 
 // TestClusterReachEquivalence: the tentpole invariant — scatter-gather
 // reachability over 1, 2 and 3 wire-served peers returns exactly the hits,
-// probabilities, distances and traversal stats of the single-node reference
-// index, with no degradations.
+// probabilities and distances of the single-node reference index, with no
+// degradations, under every engine: the hop-synchronous scatter (which also
+// pins traversal stats — its hop barrier makes them deterministic), the
+// pipelined delta scatter, and the pipelined scatter behind a warm result
+// cache.
 func TestClusterReachEquivalence(t *testing.T) {
 	for _, peers := range []int{1, 2, 3} {
 		tc := startCluster(t, peers, nil)
+		hopSync := tc.newCoordinator(t, func(c *Config) { c.HopSync = true })
+		rc := rcache.New(1024)
+		cached := tc.newCoordinator(t, func(c *Config) { c.Rcache = rc })
 		ctx := context.Background()
-		for _, origin := range sampleOrigins(tc.ref, 20) {
-			for level := 0; level <= 2; level++ {
-				want, wantStats := tc.ref.Index.ReachWithStats(origin, level)
-				got, gotStats, degs := tc.coord.ReachScatter(ctx, origin, level)
-				if len(degs) != 0 {
-					t.Fatalf("%d peers, %v level %d: degradations %v", peers, origin, level, degs)
-				}
-				if len(want) == 0 {
-					want = nil
-				}
-				if len(got) == 0 {
-					got = nil
-				}
-				if !reflect.DeepEqual(got, want) {
-					t.Fatalf("%d peers, %v level %d:\n got %v\nwant %v", peers, origin, level, got, want)
-				}
-				if gotStats.Nodes != wantStats.Nodes || gotStats.Edges != wantStats.Edges {
-					t.Fatalf("%d peers, %v level %d: stats %d/%d, want %d/%d",
-						peers, origin, level, gotStats.Nodes, gotStats.Edges, wantStats.Nodes, wantStats.Edges)
-				}
-			}
-		}
-	}
-}
-
-// TestMixedCodecClusterScatter: the codec-v2 interop acceptance test — a
-// 3-peer cluster where one peer is pinned to the JSON-only v1 codec (an
-// un-upgraded binary in a rolling deploy). Negotiation must settle per peer,
-// and every scatter answer must stay bitwise-equal to the single-node
-// reference index, hits and traversal stats alike.
-func TestMixedCodecClusterScatter(t *testing.T) {
-	const legacy = 1
-	tc := startCluster(t, 3, nil)
-	tc.srvs[legacy].LimitCodec(1) // before the coordinator's lazy dials
-	ctx := context.Background()
-	for _, origin := range sampleOrigins(tc.ref, 20) {
-		for level := 0; level <= 2; level++ {
-			want, wantStats := tc.ref.Index.ReachWithStats(origin, level)
-			got, gotStats, degs := tc.coord.ReachScatter(ctx, origin, level)
+		check := func(name string, got []aindex.Hit, degs []augment.Degradation, origin core.GlobalKey, level int, want []aindex.Hit) {
+			t.Helper()
 			if len(degs) != 0 {
-				t.Fatalf("%v level %d: degradations %v", origin, level, degs)
-			}
-			if len(want) == 0 {
-				want = nil
+				t.Fatalf("%s, %d peers, %v level %d: degradations %v", name, peers, origin, level, degs)
 			}
 			if len(got) == 0 {
 				got = nil
 			}
 			if !reflect.DeepEqual(got, want) {
-				t.Fatalf("mixed-codec %v level %d:\n got %v\nwant %v", origin, level, got, want)
+				t.Fatalf("%s, %d peers, %v level %d:\n got %v\nwant %v", name, peers, origin, level, got, want)
 			}
+		}
+		for _, origin := range sampleOrigins(tc.ref, 20) {
+			for level := 0; level <= 2; level++ {
+				want, wantStats := tc.ref.Index.ReachWithStats(origin, level)
+				if len(want) == 0 {
+					want = nil
+				}
+				got, gotStats, degs := hopSync.ReachScatter(ctx, origin, level)
+				check("hop-sync", got, degs, origin, level, want)
+				if gotStats.Nodes != wantStats.Nodes || gotStats.Edges != wantStats.Edges {
+					t.Fatalf("%d peers, %v level %d: stats %d/%d, want %d/%d",
+						peers, origin, level, gotStats.Nodes, gotStats.Edges, wantStats.Nodes, wantStats.Edges)
+				}
+				got, _, degs = tc.coord.ReachScatter(ctx, origin, level)
+				check("pipelined", got, degs, origin, level, want)
+				// First call fills the cache, second must serve from it —
+				// both bitwise-equal to the reference.
+				got, _, degs = cached.ReachScatter(ctx, origin, level)
+				check("cache-fill", got, degs, origin, level, want)
+				got, _, degs = cached.ReachScatter(ctx, origin, level)
+				check("cache-hit", got, degs, origin, level, want)
+			}
+		}
+		if st := rc.Stats(); st.Hits == 0 {
+			t.Fatalf("%d peers: result cache never hit: %+v", peers, st)
+		}
+	}
+}
+
+// TestScatterCacheInvalidatesOnLocalMutation: a local index mutation bumps
+// the epoch, so every cached scatter result stops being served — observed
+// through the epoch-mismatch counter — and post-mutation answers still match
+// the reference. The inserted relation joins two brand-new keys unreachable
+// from any sampled origin, so the expected answers are unchanged while the
+// epoch moves.
+func TestScatterCacheInvalidatesOnLocalMutation(t *testing.T) {
+	tc := startCluster(t, 2, nil)
+	rc := rcache.New(1024)
+	tc.coord.SetResultCache(rc)
+	ctx := context.Background()
+	origins := sampleOrigins(tc.ref, 10)
+	for _, origin := range origins {
+		tc.coord.ReachScatter(ctx, origin, 2)
+	}
+	if rc.Len() == 0 {
+		t.Fatal("warmup stored nothing")
+	}
+	pad := core.NewIdentity(core.MustParseGlobalKey("zzz.pad.a"), core.MustParseGlobalKey("zzz.pad.b"), 0.5)
+	if err := tc.nodes[0].Index().InsertRaw(pad); err != nil {
+		t.Fatal(err)
+	}
+	before := rc.Stats().EpochMismatches
+	for _, origin := range origins {
+		want := tc.ref.Index.Reach(origin, 2)
+		if len(want) == 0 {
+			want = nil
+		}
+		got, _, degs := tc.coord.ReachScatter(ctx, origin, 2)
+		if len(degs) != 0 {
+			t.Fatalf("%v: degradations %v", origin, degs)
+		}
+		if len(got) == 0 {
+			got = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: post-mutation result diverges from reference", origin)
+		}
+	}
+	if after := rc.Stats().EpochMismatches; after <= before {
+		t.Fatalf("no epoch mismatches recorded after mutation (before %d, after %d)", before, after)
+	}
+}
+
+// TestMixedCodecClusterScatter: the mixed-version interop acceptance test —
+// a 3-peer cluster spanning all three wire generations: one peer pinned to
+// the JSON-only v1 codec, one to the generic binary v2 layout (a peer that
+// predates the compact reach frames), and one on the full v3 codec, as in a
+// rolling deploy caught mid-flight. Negotiation must settle per peer, and
+// every scatter answer must stay bitwise-equal to the single-node reference
+// index, hits and traversal stats alike.
+func TestMixedCodecClusterScatter(t *testing.T) {
+	const legacy = 1
+	const v2peer = 2
+	tc := startCluster(t, 3, nil)
+	tc.srvs[legacy].LimitCodec(1) // before the coordinators' lazy dials
+	tc.srvs[v2peer].LimitCodec(2)
+	hopSync := tc.newCoordinator(t, func(c *Config) { c.HopSync = true })
+	rc := rcache.New(1024)
+	cached := tc.newCoordinator(t, func(c *Config) { c.Rcache = rc })
+	ctx := context.Background()
+	for _, origin := range sampleOrigins(tc.ref, 20) {
+		for level := 0; level <= 2; level++ {
+			want, wantStats := tc.ref.Index.ReachWithStats(origin, level)
+			if len(want) == 0 {
+				want = nil
+			}
+			check := func(name string, got []aindex.Hit, degs []augment.Degradation) {
+				t.Helper()
+				if len(degs) != 0 {
+					t.Fatalf("%s %v level %d: degradations %v", name, origin, level, degs)
+				}
+				if len(got) == 0 {
+					got = nil
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s %v level %d:\n got %v\nwant %v", name, origin, level, got, want)
+				}
+			}
+			got, gotStats, degs := hopSync.ReachScatter(ctx, origin, level)
+			check("mixed-codec hop-sync", got, degs)
 			if gotStats.Nodes != wantStats.Nodes || gotStats.Edges != wantStats.Edges {
 				t.Fatalf("mixed-codec %v level %d: stats %d/%d, want %d/%d",
 					origin, level, gotStats.Nodes, gotStats.Edges, wantStats.Nodes, wantStats.Edges)
 			}
+			got, _, degs = tc.coord.ReachScatter(ctx, origin, level)
+			check("mixed-codec pipelined", got, degs)
+			got, _, degs = cached.ReachScatter(ctx, origin, level)
+			check("mixed-codec cache-fill", got, degs)
+			got, _, degs = cached.ReachScatter(ctx, origin, level)
+			check("mixed-codec cache-hit", got, degs)
 		}
 	}
+	if st := rc.Stats(); st.Hits == 0 {
+		t.Fatalf("mixed-codec result cache never hit: %+v", st)
+	}
 	// The negotiation actually split: the legacy peer's client speaks JSON,
-	// at least one upgraded peer's client speaks binary.
+	// the capped binary peer still reports binary (it negotiated the v2
+	// layout, not the compact frames).
 	codecs := map[string]int{}
 	for shard, addr := range tc.addrs {
 		if shard == 0 {
@@ -200,6 +311,9 @@ func TestMixedCodecClusterScatter(t *testing.T) {
 		codecs[cli.Codec()]++
 		if shard == legacy && cli.Codec() != wire.CodecJSON {
 			t.Errorf("legacy peer negotiated %q, want json", cli.Codec())
+		}
+		if shard == v2peer && cli.Codec() != wire.CodecBinary {
+			t.Errorf("v2-capped peer negotiated %q, want binary", cli.Codec())
 		}
 	}
 	if codecs[wire.CodecBinary] == 0 {
@@ -467,6 +581,72 @@ func TestClusterRebalanceJoin(t *testing.T) {
 				t.Fatalf("post-rebalance %v level %d diverges from reference", origin, level)
 			}
 		}
+	}
+}
+
+// TestRebalanceInvalidatesReachCache: the scatter cache keys carry the ring
+// version, so a live 2→3 SetTopology rebalance orphans every warm entry —
+// each post-rebalance probe lands on the old ring's fingerprint, records an
+// epoch mismatch, and recomputes against the new topology instead of serving
+// a stale routing. No flush call is involved; coherence is purely the key.
+func TestRebalanceInvalidatesReachCache(t *testing.T) {
+	tc := startCluster(t, 2, nil)
+	rc := rcache.New(1024)
+	tc.coord.SetResultCache(rc)
+	ctx := context.Background()
+	origins := sampleOrigins(tc.ref, 10)
+	for _, origin := range origins {
+		if _, _, degs := tc.coord.ReachScatter(ctx, origin, 2); len(degs) != 0 {
+			t.Fatalf("warmup %v: degradations %v", origin, degs)
+		}
+	}
+	if rc.Len() == 0 {
+		t.Fatal("warmup stored nothing")
+	}
+	ring3, err := NewRing(3, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps [][]byte
+	for shard := 0; shard < 2; shard++ {
+		data, _, err := tc.coord.FetchPeerSnapshot(ctx, shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, data)
+	}
+	joiner := NewNode(2, aindex.New(), tc.ref.Poly)
+	if err := joiner.MergeSnapshots(snaps, ring3); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := wire.ServeOn(joiner, ln)
+	t.Cleanup(func() { srv.Close() })
+	if err := tc.coord.SetTopology(ring3, append(append([]string(nil), tc.addrs...), srv.Addr())); err != nil {
+		t.Fatal(err)
+	}
+	before := rc.Stats().EpochMismatches
+	for _, origin := range origins {
+		want := tc.ref.Index.Reach(origin, 2)
+		if len(want) == 0 {
+			want = nil
+		}
+		got, _, degs := tc.coord.ReachScatter(ctx, origin, 2)
+		if len(degs) != 0 {
+			t.Fatalf("post-rebalance %v: degradations %v", origin, degs)
+		}
+		if len(got) == 0 {
+			got = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("post-rebalance %v served a stale cached result", origin)
+		}
+	}
+	if after := rc.Stats().EpochMismatches; after <= before {
+		t.Fatalf("no epoch mismatches recorded across rebalance (before %d, after %d)", before, after)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"quepa/internal/augment"
 	"quepa/internal/core"
 	"quepa/internal/explain"
+	"quepa/internal/rcache"
 	"quepa/internal/resilience"
 	"quepa/internal/telemetry"
 	"quepa/internal/wire"
@@ -34,6 +35,10 @@ var (
 		"keyed fetches routed to a remote peer by ring ownership")
 	rebalanceTotal = telemetry.NewCounter("quepa_cluster_rebalance_total",
 		"topology swaps applied by SetTopology")
+	deltaKeysShipped = telemetry.NewCounter("quepa_cluster_delta_keys_total",
+		"frontier keys shipped by pipelined delta scatters (after pareto suppression)")
+	deltaSuppressed = telemetry.NewCounter("quepa_cluster_delta_suppressed_total",
+		"frontier arrivals dropped as pareto-dominated by the pipelined scatter")
 )
 
 // Config assembles a Coordinator. Ring, Peers and Self are required; every
@@ -58,6 +63,16 @@ type Config struct {
 	Breaker resilience.BreakerConfig
 	// Client configures the pooled wire client dialed to each peer.
 	Client wire.ClientConfig
+	// Rcache, when non-nil, memoizes whole ReachScatter results keyed by
+	// (origin, level) and validated against the scatter epoch — ring version
+	// in the high bits, the local shard's index epoch in the low 48. A nil
+	// cache disables memoization.
+	Rcache *rcache.Cache
+	// HopSync forces the legacy hop-synchronous scatter (a full barrier
+	// between hops) instead of the pipelined delta traversal. The A/B
+	// benchmarks and the equivalence tests set it; deployments leave it
+	// false.
+	HopSync bool
 }
 
 // Coordinator owns this peer's view of the cluster: the ring, one pooled
@@ -75,6 +90,8 @@ type Coordinator struct {
 	loopback bool
 	breakers *resilience.Set
 	ccfg     wire.ClientConfig
+	rc       *rcache.Cache
+	hopSync  bool
 
 	cmu     sync.Mutex
 	clients map[string]*wire.Client // lazily dialed, keyed by address
@@ -104,12 +121,19 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		loopback: cfg.LoopbackSelf,
 		breakers: resilience.NewSet(cfg.Breaker),
 		ccfg:     cfg.Client,
+		rc:       cfg.Rcache,
+		hopSync:  cfg.HopSync,
 		clients:  map[string]*wire.Client{},
 	}, nil
 }
 
 // Self returns this peer's shard ID.
 func (c *Coordinator) Self() int { return c.self }
+
+// SetResultCache installs (or replaces) the scatter result cache after
+// construction — the server shares one cache between the augmenter and the
+// coordinator. Call it before serving traffic.
+func (c *Coordinator) SetResultCache(rc *rcache.Cache) { c.rc = rc }
 
 // Ring returns the current ring.
 func (c *Coordinator) Ring() *Ring {
@@ -300,18 +324,75 @@ func (c *Coordinator) expandShard(ctx context.Context, peers []string, g shardGr
 	return res
 }
 
-// ReachScatter is the distributed α of Definition 2: a hop-synchronous
-// weighted-frontier traversal where each hop groups the frontier by owning
-// shard, expands every group in parallel (locally or over the wire) and
-// merges the candidates exactly as the single-node reference traversal
-// does — so with every peer healthy the hits, probabilities, distances and
-// even traversal stats equal aindex.Index.Reach over the unsharded index.
-// A shard that fails mid-traversal is dropped from the remaining hops and
-// reported as a Degradation instead of failing the query.
+// ReachScatter is the distributed α of Definition 2: a weighted-frontier
+// traversal over the sharded A' index whose hits, probabilities and
+// distances equal aindex.Index.Reach over the unsharded index whenever
+// every peer is healthy. A shard that fails mid-traversal is dropped from
+// the remainder of the traversal and reported as a Degradation instead of
+// failing the query.
+//
+// Two engines back it. The default pipelined engine dispatches per-peer
+// delta frontiers — only arrivals that beat every earlier (distance, prob)
+// pair for their key — and launches hop n+1 legs the moment a hop n
+// response lands, with no barrier between hops. Config.HopSync selects the
+// legacy engine, which expands one full hop at a time behind a barrier.
+// When Config.Rcache is set, whole clean results are memoized against the
+// scatter epoch, so a repeated origin costs zero network legs until the
+// topology or the local shard's index moves.
 //
 // ReachScatter implements augment.Reacher.
 func (c *Coordinator) ReachScatter(ctx context.Context, origin core.GlobalKey, level int) ([]aindex.Hit, aindex.ReachStats, []augment.Degradation) {
 	ring, peers := c.topo()
+	var (
+		key   rcache.Key
+		epoch uint64
+	)
+	if c.rc != nil {
+		key = rcache.Key{GK: origin, Level: level, Kind: rcache.KindScatter}
+		epoch = c.scatterEpoch(ring)
+		if hits, stats, ok := c.rc.GetReach(key, epoch); ok {
+			explain.FromContext(ctx).RcacheHits(1)
+			return hits, stats, nil
+		}
+	}
+	var (
+		hits  []aindex.Hit
+		stats aindex.ReachStats
+		degs  []augment.Degradation
+	)
+	if c.hopSync {
+		hits, stats, degs = c.reachScatterSync(ctx, ring, peers, origin, level)
+	} else {
+		hits, stats, degs = c.reachScatterPipelined(ctx, ring, peers, origin, level)
+	}
+	// Only clean traversals are cacheable: a degraded result reflects a
+	// transient peer failure, not the index, and must not outlive it.
+	if c.rc != nil && len(degs) == 0 {
+		c.rc.PutReach(key, epoch, hits, stats)
+	}
+	return hits, stats, degs
+}
+
+// scatterEpoch fingerprints the cluster state a cached scatter result is
+// valid against: the ring version in the high 16 bits (a rebalance re-keys
+// every entry for free) and the local shard's index epoch in the low 48
+// (local surgery and snapshot installs re-key too). Mutations that land
+// only on remote shards are covered by the explicit Invalidate hook the
+// server wires to ReplaceComponent and WAL recovery, not by this
+// fingerprint.
+func (c *Coordinator) scatterEpoch(ring *Ring) uint64 {
+	var idx uint64
+	if c.node != nil {
+		idx = c.node.Index().Epoch()
+	}
+	return ring.Version()<<48 | idx&(1<<48-1)
+}
+
+// reachScatterSync is the legacy hop-synchronous engine: each hop groups
+// the frontier by owning shard, expands every group in parallel and merges
+// behind a full barrier before the next hop starts. With every peer healthy
+// even its traversal stats equal the single-node reference traversal.
+func (c *Coordinator) reachScatterSync(ctx context.Context, ring *Ring, peers []string, origin core.GlobalKey, level int) ([]aindex.Hit, aindex.ReachStats, []augment.Degradation) {
 	rec := explain.FromContext(ctx)
 	var stats aindex.ReachStats
 	maxHops := level + 1
@@ -393,6 +474,203 @@ func (c *Coordinator) ReachScatter(ctx context.Context, origin core.GlobalKey, l
 	}
 	sort.Slice(degs, func(i, j int) bool { return degs[i].Store < degs[j].Store })
 	return out, stats, degs
+}
+
+// paretoPair is one undominated (hop, prob) discovery for a key. A pair
+// dominates another when it is no longer and no less probable; only
+// undominated arrivals are merged and re-dispatched, which is what makes
+// the out-of-order pipelined traversal converge to the same fixed point as
+// the hop-ordered one: for every key, Prob is the maximum chain probability
+// and Dist the minimum chain length over all chains of at most maxHops.
+type paretoPair struct {
+	hop  int
+	prob float64
+}
+
+// pipeGroup is one in-flight pipelined dispatch: a shard's slice of
+// newly-improved frontier keys, all carrying the same hop tag.
+type pipeGroup struct {
+	shardGroup
+	tag int
+}
+
+// pipeScatter is the state of one pipelined traversal. One mutex guards the
+// merge state; legs run outside it and re-enter through absorb.
+type pipeScatter struct {
+	c     *Coordinator
+	ctx   context.Context
+	ring  *Ring
+	peers []string
+	rec   *explain.Recorder
+	level int
+	// maxHops caps chain length at level+1, exactly as the reference
+	// traversal does.
+	maxHops int
+
+	mu       sync.Mutex
+	best     map[core.GlobalKey]aindex.Hit
+	pareto   map[core.GlobalKey][]paretoPair
+	degraded map[int]augment.Degradation
+	stats    aindex.ReachStats
+	inflight int
+	shipped  int
+	done     chan struct{}
+}
+
+// reachScatterPipelined is the delta-frontier engine: there is no hop
+// barrier — the moment one leg's response lands, its undominated arrivals
+// are grouped by owner and dispatched at the next hop tag while sibling
+// legs of the previous hop are still in flight. Each (key, prob, hop)
+// triple is shipped to a peer at most once; dominated re-arrivals (a cycle,
+// or a slower chain beaten to the key) are suppressed entirely, which is
+// the "delta" in delta frontier.
+func (c *Coordinator) reachScatterPipelined(ctx context.Context, ring *Ring, peers []string, origin core.GlobalKey, level int) ([]aindex.Hit, aindex.ReachStats, []augment.Degradation) {
+	p := &pipeScatter{
+		c:        c,
+		ctx:      ctx,
+		ring:     ring,
+		peers:    peers,
+		rec:      explain.FromContext(ctx),
+		level:    level,
+		maxHops:  level + 1,
+		best:     map[core.GlobalKey]aindex.Hit{origin: {Key: origin, Prob: 1, Dist: 0}},
+		pareto:   map[core.GlobalKey][]paretoPair{origin: {{hop: 0, prob: 1}}},
+		degraded: map[int]augment.Degradation{},
+		done:     make(chan struct{}),
+	}
+	if p.maxHops >= 1 {
+		g := pipeGroup{
+			shardGroup: shardGroup{shard: ring.Owner(origin), keys: []string{origin.String()}, probs: []float64{1}},
+			tag:        1,
+		}
+		p.mu.Lock()
+		p.launch([]pipeGroup{g})
+		p.mu.Unlock()
+	} else {
+		close(p.done)
+	}
+	<-p.done
+	deltaKeysShipped.Add(uint64(p.shipped))
+	p.rec.DeltaFrontierKeys(p.shipped)
+	out := make([]aindex.Hit, 0, len(p.best)-1)
+	for k, h := range p.best {
+		if k == origin {
+			continue
+		}
+		out = append(out, h)
+	}
+	aindex.SortHits(out)
+	degs := make([]augment.Degradation, 0, len(p.degraded))
+	for _, d := range p.degraded {
+		degs = append(degs, d)
+	}
+	sort.Slice(degs, func(i, j int) bool { return degs[i].Store < degs[j].Store })
+	return out, p.stats, degs
+}
+
+// launch registers groups as in-flight and spawns one leg per group. The
+// caller must hold p.mu; counting before spawning keeps inflight from
+// transiently hitting zero while work remains.
+func (p *pipeScatter) launch(groups []pipeGroup) {
+	p.inflight += len(groups)
+	for _, g := range groups {
+		p.shipped += len(g.keys)
+		go p.run(g)
+	}
+}
+
+func (p *pipeScatter) run(g pipeGroup) {
+	res := p.c.expandShard(p.ctx, p.peers, g.shardGroup)
+	p.absorb(g, res)
+}
+
+// absorb merges one completed leg and immediately dispatches whatever it
+// improved — this is the pipelining: hop n+1 legs launch while other hop-n
+// legs are still in flight.
+func (p *pipeScatter) absorb(g pipeGroup, res scatterResult) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rec != nil {
+		p.rec.ShardScatter(res.shard, PeerName(res.shard), len(g.keys), len(res.hits), res.wall, res.err != nil)
+	}
+	var next []pipeGroup
+	if res.err != nil {
+		// A failed shard is degraded for the rest of this traversal: its
+		// sub-frontier is lost, the healthy shards keep going — the same
+		// contract as the hop-synchronous engine.
+		if _, seen := p.degraded[res.shard]; !seen {
+			p.degraded[res.shard] = augment.Degradation{
+				Store:  PeerName(res.shard),
+				Reason: peerReason(res.err),
+				Level:  p.level,
+			}
+		}
+	} else {
+		p.stats.Nodes += res.info.Nodes
+		p.stats.Edges += res.info.Edges
+		improved := map[core.GlobalKey]float64{}
+		for _, h := range res.hits {
+			gk, err := core.ParseGlobalKey(h.Key)
+			if err != nil {
+				continue // a peer speaking garbage cannot poison the merge
+			}
+			if p.merge(gk, h.Prob, g.tag) {
+				if pr, ok := improved[gk]; !ok || h.Prob > pr {
+					improved[gk] = h.Prob
+				}
+			} else {
+				deltaSuppressed.Inc()
+			}
+		}
+		if g.tag < p.maxHops && len(improved) > 0 {
+			for _, sg := range groupFrontier(p.ring, improved) {
+				if _, dead := p.degraded[sg.shard]; dead {
+					continue
+				}
+				next = append(next, pipeGroup{shardGroup: sg, tag: g.tag + 1})
+			}
+		}
+	}
+	p.launch(next)
+	p.inflight--
+	if p.inflight == 0 {
+		close(p.done)
+	}
+}
+
+// merge folds one arrival into the key's pareto set and best entry. It
+// reports whether (hop, prob) was undominated — the condition under which
+// the arrival must be re-dispatched. Re-dispatching on a shorter hop even
+// when the probability does not improve is required for distance
+// correctness: a slow two-hop chain must still shorten distances downstream
+// after a fast five-hop chain delivered a higher probability first.
+func (p *pipeScatter) merge(gk core.GlobalKey, prob float64, hop int) bool {
+	pairs := p.pareto[gk]
+	for _, q := range pairs {
+		if q.hop <= hop && q.prob >= prob {
+			return false
+		}
+	}
+	kept := pairs[:0]
+	for _, q := range pairs {
+		if !(hop <= q.hop && prob >= q.prob) {
+			kept = append(kept, q)
+		}
+	}
+	p.pareto[gk] = append(kept, paretoPair{hop: hop, prob: prob})
+	h, seen := p.best[gk]
+	if !seen {
+		p.best[gk] = aindex.Hit{Key: gk, Prob: prob, Dist: hop}
+		return true
+	}
+	if prob > h.Prob {
+		h.Prob = prob
+	}
+	if hop < h.Dist {
+		h.Dist = hop
+	}
+	p.best[gk] = h
+	return true
 }
 
 // PeerGet fetches one remote-owned key from the peer owning shard, guarded
@@ -503,3 +781,18 @@ func (c *Coordinator) Status(includeRanges bool) Status {
 // AnyPeerOpen reports whether any per-peer breaker currently rejects calls
 // (the /healthz signal that a peer is burning).
 func (c *Coordinator) AnyPeerOpen() bool { return c.breakers.AnyOpen() }
+
+// ReachBytes sums the cumulative reach-op wire bytes moved by every peer
+// client this coordinator has dialed, both directions. The scatter-bytes
+// bench diffs it around a traversal batch to price the frontier traffic of
+// one engine against another's.
+func (c *Coordinator) ReachBytes() (sent, received uint64) {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	for _, cl := range c.clients {
+		s, r := cl.ReachBytes()
+		sent += s
+		received += r
+	}
+	return sent, received
+}

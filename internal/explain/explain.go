@@ -153,6 +153,31 @@ func (r *Recorder) SnapshotReaches(n int) {
 	r.mu.Unlock()
 }
 
+// RcacheHits attributes n result-cache hits to this query: reach sets or
+// whole augmentation outcomes served from the epoch-consistent cache.
+func (r *Recorder) RcacheHits(n int) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.mu.Lock()
+	if r.cur != nil {
+		r.cur.RcacheHits += n
+	}
+	r.p.Totals.RcacheHits += n
+	r.mu.Unlock()
+}
+
+// DeltaFrontierKeys attributes n frontier keys shipped to peers by the
+// pipelined delta scatter.
+func (r *Recorder) DeltaFrontierKeys(n int) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.p.Totals.DeltaFrontierKeys += n
+	r.mu.Unlock()
+}
+
 // CacheHits attributes n object-cache hits to this query.
 func (r *Recorder) CacheHits(n int) {
 	if r == nil || n == 0 {

@@ -74,6 +74,9 @@ func (p *Profile) WriteTree(w io.Writer) {
 		fmt.Fprintf(w, "    index nodes=%d edges=%d origins-skipped=%d\n",
 			a.IndexNodes, a.IndexEdges, a.OriginsSkipped)
 		fmt.Fprintf(w, "    cache %d hits / %d misses\n", a.CacheHits, a.CacheMisses)
+		if a.RcacheHits > 0 {
+			fmt.Fprintf(w, "    rcache %d hits (reach/outcome served from the result cache)\n", a.RcacheHits)
+		}
 		for _, f := range a.Stores {
 			writeFanout(w, "    ", f)
 		}
@@ -87,6 +90,10 @@ func (p *Profile) WriteTree(w io.Writer) {
 	}
 	if p.Totals.RankPruned > 0 {
 		fmt.Fprintf(w, "  rank pruned %d augmented objects below the presentation threshold\n", p.Totals.RankPruned)
+	}
+	if p.Totals.RcacheHits > 0 || p.Totals.DeltaFrontierKeys > 0 {
+		fmt.Fprintf(w, "  rcache %d hits  delta-frontier %d keys shipped to peers\n",
+			p.Totals.RcacheHits, p.Totals.DeltaFrontierKeys)
 	}
 }
 

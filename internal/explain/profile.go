@@ -99,9 +99,12 @@ type AugmentationTrace struct {
 	// SnapshotReaches counts the reachability lookups of this augmentation
 	// that were served lock-free from the A' index's CSR snapshot (the rest
 	// fell back to the locked traversal because a mutation was in flight).
-	SnapshotReaches int     `json:"snapshot_reaches,omitempty"`
-	CacheHits       int     `json:"cache_hits"`
-	CacheMisses     int     `json:"cache_misses"`
+	SnapshotReaches int `json:"snapshot_reaches,omitempty"`
+	// RcacheHits counts reach/outcome lookups of this augmentation served
+	// from the epoch-consistent result cache instead of recomputed.
+	RcacheHits  int `json:"rcache_hits,omitempty"`
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
 	CoalescedHits   int     `json:"coalesced_hits,omitempty"`
 	NegativeHits    int     `json:"negative_hits,omitempty"`
 	Fetched         int     `json:"fetched"`
@@ -157,4 +160,11 @@ type Totals struct {
 	WireRetries   int   `json:"wire_retries"`
 	Degraded      int   `json:"degraded_stores"`
 	ScatterCalls  int   `json:"scatter_calls,omitempty"`
+	// RcacheHits counts results served from the epoch-consistent result
+	// cache (reach sets, whole augmentation outcomes, scatter results).
+	RcacheHits int `json:"rcache_hits,omitempty"`
+	// DeltaFrontierKeys counts the frontier keys actually shipped to peers by
+	// the pipelined delta scatter — the denominator for "how much did delta
+	// encoding save" is Totals.ScatterCalls × the full frontier size.
+	DeltaFrontierKeys int `json:"delta_frontier_keys,omitempty"`
 }

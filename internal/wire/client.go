@@ -44,15 +44,21 @@ type Client struct {
 	roundTrips  atomic.Uint64 // logical requests issued by callers
 	frames      atomic.Uint64 // physical request frames written
 	retries     atomic.Uint64
-	nextID      atomic.Uint64
-	closed      atomic.Bool
-	codec       atomic.Uint32 // negotiated frame codec (codecJSON until meta agrees on v2)
-	retrier     *resilience.Retrier
+	// Per-direction byte tallies of reach ops only (headers included): the
+	// delta-frontier bytes-on-wire measurement needs scatter traffic isolated
+	// from get/getbatch fetches sharing the same client.
+	reachSent     atomic.Uint64
+	reachReceived atomic.Uint64
+	nextID        atomic.Uint64
+	closed        atomic.Bool
+	codec         atomic.Uint32 // negotiated frame codec (codecJSON until meta agrees on v2)
+	retrier       *resilience.Retrier
 
-	poolSize int
-	rr       atomic.Uint64 // round-robin cursor over conns
-	connMu   sync.Mutex
-	conns    []*muxConn // lazily dialed; slots replaced when dead
+	poolSize  int
+	plainKeys bool          // ClientConfig.PlainKeys: never use the Frontier field
+	rr        atomic.Uint64 // round-robin cursor over conns
+	connMu    sync.Mutex
+	conns     []*muxConn // lazily dialed; slots replaced when dead
 
 	gmu       sync.Mutex
 	getQueues map[string]*getQueue // natural get-batching, keyed by collection
@@ -86,6 +92,11 @@ type ClientConfig struct {
 	// connection (falling back to JSON against old servers), CodecJSON pins
 	// JSON. Anything else fails Dial.
 	Codec string
+	// PlainKeys ships reach frontiers as plain string lists even on binary
+	// connections, bypassing the front-coded Frontier field. The scatter-
+	// bytes bench uses it as the LEGACY series to price the delta encoding;
+	// production clients leave it false.
+	PlainKeys bool
 }
 
 // Dial connects to a wire server with the default configuration.
@@ -101,6 +112,7 @@ func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 	c := &Client{
 		addr:      addr,
 		poolSize:  cfg.PoolSize,
+		plainKeys: cfg.PlainKeys,
 		conns:     make([]*muxConn, cfg.PoolSize),
 		retrier:   resilience.NewRetrier(cfg.Retry),
 		getQueues: map[string]*getQueue{},
@@ -112,7 +124,7 @@ func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 	offer := 0
 	switch cfg.Codec {
 	case CodecAuto, CodecBinary:
-		offer = codecBinary
+		offer = codecDelta
 	case CodecJSON:
 	default:
 		return nil, fmt.Errorf("wire: unknown codec %q (want %q, %q or %q)", cfg.Codec, CodecAuto, CodecJSON, CodecBinary)
@@ -125,14 +137,15 @@ func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 	c.kind = core.StoreKind(resp.Kind)
 	c.collections = resp.Collections
 	if offer >= codecBinary && resp.Codec >= codecBinary {
-		c.codec.Store(codecBinary)
+		c.codec.Store(uint32(min(resp.Codec, offer)))
 	}
 	return c, nil
 }
 
-// Codec reports the negotiated frame codec, "json" or "binary".
+// Codec reports the negotiated frame codec, "json" or "binary" (binary
+// covers both the v2 layout and the v3 compact reach frames).
 func (c *Client) Codec() string {
-	if c.codec.Load() == codecBinary {
+	if c.codec.Load() >= codecBinary {
 		return CodecBinary
 	}
 	return CodecJSON
@@ -284,6 +297,14 @@ func (c *Client) roundTrip(ctx context.Context, req request) (response, error) {
 		}
 	}
 	clientHists[req.Op].Since(start)
+	if sent > 0 || received > 0 {
+		clientBytesOut[req.Op].Add(uint64(sent))
+		clientBytesIn[req.Op].Add(uint64(received))
+		if req.Op == opReach {
+			c.reachSent.Add(uint64(sent))
+			c.reachReceived.Add(uint64(received))
+		}
+	}
 	if err != nil {
 		if ec := clientErrs[req.Op]; ec != nil {
 			ec.Inc()
@@ -376,7 +397,7 @@ type wireResult struct {
 // consumed its single delivery, so a pooled channel is always empty.
 var wireChans = sync.Pool{New: func() any { return make(chan wireResult, 1) }}
 
-func getWireChan() chan wireResult  { return wireChans.Get().(chan wireResult) }
+func getWireChan() chan wireResult   { return wireChans.Get().(chan wireResult) }
 func putWireChan(ch chan wireResult) { wireChans.Put(ch) }
 
 // muxConn is one multiplexed connection: a write mutex serializes outgoing
@@ -815,15 +836,40 @@ func (c *Client) GetBatchDB(ctx context.Context, database, collection string, ke
 // ExpandFrontier asks the peer to expand a weighted key frontier one hop
 // over its A' shard — the scatter leg of a distributed Reach. keys and probs
 // are parallel; the returned hits carry the accumulated path probabilities.
+//
+// On a negotiated codec-v3 connection the keys travel in the front-coded
+// Frontier field of a compact reach frame and the hits come back front-coded
+// in DHits — sorted global keys share long "db.collection." prefixes, so
+// this elides most key bytes, and the compact frame drops the generic
+// layout's empty slots. Against v1 JSON and v2 binary peers the exchange
+// stays on the plain Keys/Hits fields, which is what keeps mixed-codec
+// clusters interoperating.
 func (c *Client) ExpandFrontier(ctx context.Context, keys []string, probs []float64) ([]RemoteHit, ReachInfo, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, ReachInfo{}, err
 	}
-	resp, err := c.roundTrip(ctx, request{Op: opReach, Keys: keys, Probs: probs})
+	req := request{Op: opReach, Probs: probs}
+	if c.codec.Load() >= codecDelta && !c.plainKeys {
+		req.Frontier = keys
+	} else {
+		req.Keys = keys
+	}
+	resp, err := c.roundTrip(ctx, req)
 	if err != nil {
 		return nil, ReachInfo{}, err
 	}
-	return resp.Hits, ReachInfo{Nodes: resp.Nodes, Edges: resp.Edges}, nil
+	hits := resp.Hits
+	if len(resp.DHits) > 0 {
+		hits = resp.DHits
+	}
+	return hits, ReachInfo{Nodes: resp.Nodes, Edges: resp.Edges}, nil
+}
+
+// ReachBytes reports the cumulative wire bytes (headers included) this
+// client's reach ops have moved, both directions. The scatter-bytes bench
+// diffs it around a traversal to isolate frontier traffic from fetches.
+func (c *Client) ReachBytes() (sent, received uint64) {
+	return c.reachSent.Load(), c.reachReceived.Load()
 }
 
 // FetchSnapshot downloads the peer's epoch-stamped A' shard checkpoint, the

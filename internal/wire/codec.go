@@ -38,15 +38,26 @@ import (
 )
 
 // Frame codec versions. codecJSON is the v1 compatibility codec every server
-// keeps accepting; codecBinary is the compact frame format of codec v2.
+// keeps accepting; codecBinary is the compact frame format of codec v2;
+// codecDelta is codec v3, which adds the op-specific compact reach frames the
+// delta-frontier scatter ships (generic v2 frames remain valid on a v3
+// connection — only reach traffic uses the compact form).
 const (
 	codecJSON   = 1
 	codecBinary = 2
+	codecDelta  = 3
 )
 
 // binMagic is the first body byte of every codec-v2 frame. It can never
 // collide with JSON: a JSON frame body always starts with '{' (0x7B).
 const binMagic = 0x02
+
+// binMagicDelta opens a codec-v3 compact reach frame: a reach request or
+// response stripped to the fields the op actually uses. A generic v2 frame
+// spends ~24 bytes encoding the empty slots of the full request/response
+// structs on every scatter leg; the compact form drops them, which is where
+// most of the delta-frontier byte reduction beyond front-coding comes from.
+const binMagicDelta = 0x03
 
 // internCap bounds the per-frame string intern table. The encoder and the
 // decoder apply the identical "append literals while the table has room"
@@ -166,6 +177,23 @@ func (e *encoder) sortedFields(m map[string]string) {
 	}
 }
 
+// frontStr emits s as (shared-prefix length with prev, suffix). Over a
+// sorted key list — global keys share long "db.collection." prefixes — this
+// elides most of every key after the first; the decoder rebuilds each key
+// from its predecessor.
+func (e *encoder) frontStr(prev, s string) {
+	p := 0
+	max := len(prev)
+	if len(s) < max {
+		max = len(s)
+	}
+	for p < max && prev[p] == s[p] {
+		p++
+	}
+	e.uvarint(uint64(p))
+	e.str(s[p:])
+}
+
 // finish stamps the length header and returns the complete frame, or a
 // typed size violation naming the op.
 func (e *encoder) finish(op string) ([]byte, error) {
@@ -201,7 +229,77 @@ func (e *encoder) encodeRequest(req *request) error {
 	}
 	e.str(req.Trace)
 	e.varint(int64(req.Codec))
+	e.uvarint(uint64(len(req.Frontier)))
+	prev := ""
+	for _, k := range req.Frontier {
+		e.frontStr(prev, k)
+		prev = k
+	}
 	return nil
+}
+
+// encodeDeltaRequest appends req as a codec-v3 compact reach frame: ID,
+// trace, and the front-coded frontier with its parallel probs — nothing
+// else. Only the reach op has a compact form (the magic byte itself names
+// the op; a future compact op would claim its own magic); every other op
+// stays on the generic v2 layout even on a v3 connection.
+func (e *encoder) encodeDeltaRequest(req *request) error {
+	if req.Op != opReach {
+		return fmt.Errorf("wire: codec v3 has no compact frame for op %q", req.Op)
+	}
+	e.u8(binMagicDelta)
+	e.uvarint(req.ID)
+	// The frontier count carries a has-trace flag in its low bit: scatter
+	// legs are untraced unless the query is sampled, so the common case
+	// drops the empty trace string's length byte.
+	head := uint64(len(req.Frontier)) << 1
+	if req.Trace != "" {
+		head |= 1
+	}
+	e.uvarint(head)
+	if req.Trace != "" {
+		e.str(req.Trace)
+	}
+	prev := ""
+	for _, k := range req.Frontier {
+		e.frontStr(prev, k)
+		prev = k
+	}
+	for i := range req.Frontier {
+		var p float64
+		if i < len(req.Probs) {
+			p = req.Probs[i]
+		}
+		e.f64(p)
+	}
+	return nil
+}
+
+// encodeDeltaResponse appends resp as a codec-v3 compact reach frame: ID,
+// error, traversal stats and the front-coded hit list.
+func (e *encoder) encodeDeltaResponse(resp *response) {
+	e.u8(binMagicDelta)
+	e.uvarint(resp.ID)
+	// Like the request's trace, the hit count carries a has-error flag in
+	// its low bit so the healthy path drops the empty string's length byte.
+	head := uint64(len(resp.DHits)) << 1
+	if resp.Error != "" {
+		head |= 1
+	}
+	e.uvarint(head)
+	if resp.Error != "" {
+		e.str(resp.Error)
+	}
+	// Traversal stats are counts, never negative: uvarint keeps the common
+	// 64..127 range in one byte where zigzag varints would need two.
+	e.uvarint(uint64(resp.Nodes))
+	e.uvarint(uint64(resp.Edges))
+	prev := ""
+	for _, h := range resp.DHits {
+		e.frontStr(prev, h.Key)
+		e.f64(h.Prob)
+		prev = h.Key
+	}
 }
 
 // encodeResponse appends resp in the fixed v2 layout. The object list is
@@ -252,6 +350,13 @@ func (e *encoder) encodeResponse(resp *response) {
 	e.rawBytes(resp.Snapshot)
 	e.uvarint(resp.Epoch)
 	e.varint(int64(resp.Codec))
+	e.uvarint(uint64(len(resp.DHits)))
+	prev := ""
+	for _, h := range resp.DHits {
+		e.frontStr(prev, h.Key)
+		e.f64(h.Prob)
+		prev = h.Key
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -289,6 +394,7 @@ var (
 	errVarintOverflow = errors.New("wire: codec-v2 varint overflow")
 	errTrailingBytes  = errors.New("wire: trailing bytes after codec-v2 frame")
 	errInternRange    = errors.New("wire: codec-v2 intern reference out of range")
+	errFrontPrefix    = errors.New("wire: codec-v2 front-coded prefix exceeds previous key")
 )
 
 func (d *decoder) u8() (byte, error) {
@@ -388,6 +494,28 @@ func (d *decoder) intern() (string, error) {
 	return d.tab[v-1], nil
 }
 
+// frontStr decodes one front-coded string: the shared-prefix length against
+// the previous element, then the suffix. A prefix claim longer than the
+// previous key marks a corrupted frame. Keys with a nonzero prefix cost one
+// concatenation; the first key of a list is still a zero-copy substring.
+func (d *decoder) frontStr(prev string) (string, error) {
+	p, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if p > uint64(len(prev)) {
+		return "", errFrontPrefix
+	}
+	suffix, err := d.str()
+	if err != nil {
+		return "", err
+	}
+	if p == 0 {
+		return suffix, nil
+	}
+	return prev[:p] + suffix, nil
+}
+
 // count reads an element count and rejects any claim the remaining bytes
 // cannot possibly hold (minSize is the smallest encoding of one element), so
 // a corrupted frame can never trigger a giant allocation.
@@ -479,6 +607,143 @@ func decodeRequestV2(body string, req *request) error {
 		return err
 	}
 	req.Codec = int(codecField)
+	nfront, err := d.count(2)
+	if err != nil {
+		return err
+	}
+	if nfront > 0 {
+		frontier := make([]string, 0, min(nfront, sliceCap))
+		prev := ""
+		for i := 0; i < nfront; i++ {
+			k, err := d.frontStr(prev)
+			if err != nil {
+				return err
+			}
+			frontier = append(frontier, k)
+			prev = k
+		}
+		req.Frontier = frontier
+	}
+	if d.off != len(d.s) {
+		return errTrailingBytes
+	}
+	return nil
+}
+
+// decodeDeltaRequest parses a codec-v3 compact reach frame into the same
+// request struct the generic decoders fill, so the server dispatch path is
+// codec-blind.
+func decodeDeltaRequest(body string, req *request) error {
+	if len(body) == 0 || body[0] != binMagicDelta {
+		return fmt.Errorf("wire: not a codec-v3 frame")
+	}
+	d := getDecoder(body)
+	defer putDecoder(d)
+	d.off = 1
+	*req = request{}
+	req.Op = opReach
+	var err error
+	if req.ID, err = d.uvarint(); err != nil {
+		return err
+	}
+	head, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if head&1 != 0 {
+		if req.Trace, err = d.str(); err != nil {
+			return err
+		}
+	}
+	// Min element size 10: a front-coded key (prefix uvarint + suffix
+	// length) plus its 8-byte prob in the parallel block — the same sanity
+	// bound count() applies, checked by hand because of the flag bit.
+	n := int(head >> 1)
+	if n > (len(d.s)-d.off)/10 {
+		return errShortFrame
+	}
+	if n > 0 {
+		frontier := make([]string, 0, min(n, sliceCap))
+		prev := ""
+		for i := 0; i < n; i++ {
+			k, err := d.frontStr(prev)
+			if err != nil {
+				return err
+			}
+			frontier = append(frontier, k)
+			prev = k
+		}
+		probs := make([]float64, 0, min(n, sliceCap))
+		for i := 0; i < n; i++ {
+			p, err := d.f64()
+			if err != nil {
+				return err
+			}
+			probs = append(probs, p)
+		}
+		req.Frontier = frontier
+		req.Probs = probs
+	}
+	if d.off != len(d.s) {
+		return errTrailingBytes
+	}
+	return nil
+}
+
+// decodeDeltaResponse parses a codec-v3 compact reach response.
+func decodeDeltaResponse(body string, resp *response) error {
+	if len(body) == 0 || body[0] != binMagicDelta {
+		return fmt.Errorf("wire: not a codec-v3 frame")
+	}
+	d := getDecoder(body)
+	defer putDecoder(d)
+	d.off = 1
+	*resp = response{}
+	var err error
+	if resp.ID, err = d.uvarint(); err != nil {
+		return err
+	}
+	head, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if head&1 != 0 {
+		if resp.Error, err = d.str(); err != nil {
+			return err
+		}
+	}
+	nodes, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	resp.Nodes = int(nodes)
+	edges, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	resp.Edges = int(edges)
+	// Same 10-byte-per-hit sanity bound as the request, checked by hand
+	// because of the flag bit.
+	ndhits := int(head >> 1)
+	if ndhits > (len(d.s)-d.off)/10 {
+		return errShortFrame
+	}
+	if ndhits > 0 {
+		dhits := make([]RemoteHit, 0, min(ndhits, sliceCap))
+		prev := ""
+		for i := 0; i < ndhits; i++ {
+			var h RemoteHit
+			if h.Key, err = d.frontStr(prev); err != nil {
+				return err
+			}
+			if h.Prob, err = d.f64(); err != nil {
+				return err
+			}
+			dhits = append(dhits, h)
+			prev = h.Key
+		}
+		resp.DHits = dhits
+	}
 	if d.off != len(d.s) {
 		return errTrailingBytes
 	}
@@ -611,6 +876,26 @@ func decodeResponseV2(body string, resp *response) error {
 		return err
 	}
 	resp.Codec = int(codecField)
+	ndhits, err := d.count(10)
+	if err != nil {
+		return err
+	}
+	if ndhits > 0 {
+		dhits := make([]RemoteHit, 0, min(ndhits, sliceCap))
+		prev := ""
+		for i := 0; i < ndhits; i++ {
+			var h RemoteHit
+			if h.Key, err = d.frontStr(prev); err != nil {
+				return err
+			}
+			if h.Prob, err = d.f64(); err != nil {
+				return err
+			}
+			dhits = append(dhits, h)
+			prev = h.Key
+		}
+		resp.DHits = dhits
+	}
 	if d.off != len(d.s) {
 		return errTrailingBytes
 	}

@@ -96,7 +96,7 @@ func corruptionFuzzResp() *response {
 			Fields: map[string]string{"f": "v"}}},
 		Error: "", NotFound: true, Name: "n", Kind: 1,
 		Collections: []string{"c"}, KeyField: "id",
-		Hits: []RemoteHit{{Key: "d.c.k", Prob: 0.25}},
+		Hits:  []RemoteHit{{Key: "d.c.k", Prob: 0.25}},
 		Nodes: 3, Edges: 2, Snapshot: []byte{9}, Epoch: 5, Codec: 2,
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"testing/quick"
 
 	"quepa/internal/connector"
+	"quepa/internal/core"
 	"quepa/internal/stores/kvstore"
 )
 
@@ -127,6 +128,11 @@ func TestQuickResponseEquivalence(t *testing.T) {
 				resp.Hits[i].Prob = float64(i)
 			}
 		}
+		for i := range resp.DHits {
+			if math.IsNaN(resp.DHits[i].Prob) || math.IsInf(resp.DHits[i].Prob, 0) {
+				resp.DHits[i].Prob = float64(i)
+			}
+		}
 		viaJSON := jsonRoundTripResp(t, &resp)
 		viaBin := binRoundTripResp(t, &resp)
 		if !reflect.DeepEqual(viaJSON, viaBin) {
@@ -161,6 +167,54 @@ func TestNilEmptyFieldMap(t *testing.T) {
 	}
 	if !reflect.DeepEqual(jsonRoundTripResp(t, &resp), out) {
 		t.Error("codecs disagree on nil/empty field maps")
+	}
+}
+
+// TestFrontCodedFrontier pins the shared-prefix elision of the delta-frontier
+// fields: a sorted global-key list must round-trip exactly and encode smaller
+// than the plain Keys form, and corrupt prefix claims must be rejected.
+func TestFrontCodedFrontier(t *testing.T) {
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = "warehouse.transactions.tx-" + strings.Repeat("0", 4) + string(rune('a'+i%26)) + string(rune('a'+i/26))
+	}
+	front := &request{Op: opReach, Frontier: keys, Probs: make([]float64, len(keys))}
+	plain := &request{Op: opReach, Keys: keys, Probs: make([]float64, len(keys))}
+	out := binRoundTripReq(t, front)
+	if !reflect.DeepEqual(out.Frontier, keys) {
+		t.Fatalf("frontier round trip mangled keys: %v", out.Frontier)
+	}
+	fb, pb := encodeReqBody(t, front), encodeReqBody(t, plain)
+	if len(fb) >= len(pb) {
+		t.Errorf("front-coded frame (%d bytes) not smaller than plain keys (%d bytes)", len(fb), len(pb))
+	}
+	if !reflect.DeepEqual(jsonRoundTripReq(t, front), out) {
+		t.Error("codecs disagree on the frontier field")
+	}
+
+	hits := make([]RemoteHit, len(keys))
+	for i, k := range keys {
+		hits[i] = RemoteHit{Key: k, Prob: 1 / float64(i+1)}
+	}
+	resp := &response{DHits: hits}
+	rout := binRoundTripResp(t, resp)
+	if !reflect.DeepEqual(rout.DHits, hits) {
+		t.Fatalf("dhits round trip mangled hits")
+	}
+
+	// A prefix length exceeding the previous key is a corrupted frame, not a
+	// panic or a bogus decode.
+	body := encodeReqBody(t, &request{Op: opReach, Frontier: []string{"ab", "abc"}})
+	// The last frontier element encodes as uvarint(2) "c"; flip the prefix
+	// length to an impossible 9.
+	idx := bytes.LastIndexByte(body, 2)
+	if idx < 0 {
+		t.Fatal("could not locate prefix byte")
+	}
+	body[idx] = 9
+	var req request
+	if err := decodeRequestV2(string(body), &req); !errors.Is(err, errFrontPrefix) && err == nil {
+		t.Fatalf("corrupt prefix accepted: %v", err)
 	}
 }
 
@@ -338,6 +392,9 @@ func getbatchFixture() (*request, *response) {
 // TestAllocGateBinaryEncode is the server-side promise: steady-state binary
 // response encoding does zero codec allocations (pooled buffer, one Write).
 func TestAllocGateBinaryEncode(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc gate is plain-build only")
+	}
 	_, resp := getbatchFixture()
 	allocs := testing.AllocsPerRun(200, func() {
 		if _, err := writeResponseFrame(io.Discard, resp, codecBinary, opGetBatch); err != nil {
@@ -352,6 +409,9 @@ func TestAllocGateBinaryEncode(t *testing.T) {
 // TestAllocGateBinaryRequestEncode covers the client's write path the same
 // way: the frame build itself must not allocate.
 func TestAllocGateBinaryRequestEncode(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc gate is plain-build only")
+	}
 	req, _ := getbatchFixture()
 	allocs := testing.AllocsPerRun(200, func() {
 		if _, err := writeRequestFrame(io.Discard, req, codecBinary); err != nil {
@@ -602,5 +662,281 @@ func BenchmarkServerGetBatchCodec(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Codec v3: compact reach frames.
+
+func encodeDeltaReqBody(t *testing.T, req *request) []byte {
+	t.Helper()
+	e := getEncoder()
+	defer putEncoder(e)
+	if err := e.encodeDeltaRequest(req); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := e.finish(req.Op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append([]byte(nil), frame[4:]...)
+}
+
+func encodeDeltaRespBody(t *testing.T, resp *response) []byte {
+	t.Helper()
+	e := getEncoder()
+	defer putEncoder(e)
+	e.encodeDeltaResponse(resp)
+	frame, err := e.finish(opReach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append([]byte(nil), frame[4:]...)
+}
+
+// TestCompactReachRoundTrip pins the codec-v3 compact frames: a reach request
+// (frontier with parallel probs, traced and untraced) and a reach response
+// (hits, stats, clean and errored) must round-trip exactly, and the compact
+// form must encode strictly smaller than the generic v2 layout of the same
+// exchange.
+func TestCompactReachRoundTrip(t *testing.T) {
+	keys := []string{
+		"catalogue.albums.d1", "catalogue.albums.d12", "catalogue.albums.d2",
+		"similar-items.items.n4", "transactions.inventory.a7",
+	}
+	probs := []float64{1, 0.81, 0.72, 0.5, 0.25}
+	for _, trace := range []string{"", "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"} {
+		req := &request{Op: opReach, ID: 42, Trace: trace, Frontier: keys, Probs: probs}
+		body := encodeDeltaReqBody(t, req)
+		var out request
+		if err := decodeDeltaRequest(string(body), &out); err != nil {
+			t.Fatalf("trace %q: decode: %v", trace, err)
+		}
+		want := request{Op: opReach, ID: 42, Trace: trace, Frontier: keys, Probs: probs}
+		if !reflect.DeepEqual(out, want) {
+			t.Fatalf("trace %q: round trip = %#v, want %#v", trace, out, want)
+		}
+		generic := encodeReqBody(t, req)
+		if len(body) >= len(generic) {
+			t.Errorf("trace %q: compact request (%d bytes) not smaller than generic (%d bytes)", trace, len(body), len(generic))
+		}
+	}
+
+	hits := []RemoteHit{
+		{Key: "catalogue.albums.d3", Prob: 0.9},
+		{Key: "catalogue.albums.d31", Prob: 0.45},
+		{Key: "transactions.sales.s9", Prob: 0.4},
+	}
+	for _, errMsg := range []string{"", "reach: shard detached"} {
+		resp := &response{ID: 42, Error: errMsg, Nodes: 70, Edges: 128, DHits: hits}
+		body := encodeDeltaRespBody(t, resp)
+		var out response
+		if err := decodeDeltaResponse(string(body), &out); err != nil {
+			t.Fatalf("error %q: decode: %v", errMsg, err)
+		}
+		want := response{ID: 42, Error: errMsg, Nodes: 70, Edges: 128, DHits: hits}
+		if !reflect.DeepEqual(out, want) {
+			t.Fatalf("error %q: round trip = %#v, want %#v", errMsg, out, want)
+		}
+		generic := encodeRespBody(t, resp)
+		if len(body) >= len(generic) {
+			t.Errorf("error %q: compact response (%d bytes) not smaller than generic (%d bytes)", errMsg, len(body), len(generic))
+		}
+	}
+
+	// An empty frontier and an empty hit list (degenerate but legal).
+	var out request
+	if err := decodeDeltaRequest(string(encodeDeltaReqBody(t, &request{Op: opReach, ID: 1})), &out); err != nil {
+		t.Fatalf("empty frontier: %v", err)
+	}
+	if out.Frontier != nil || out.Probs != nil {
+		t.Errorf("empty frontier decoded to %#v", out)
+	}
+	var rout response
+	if err := decodeDeltaResponse(string(encodeDeltaRespBody(t, &response{ID: 1})), &rout); err != nil {
+		t.Fatalf("empty response: %v", err)
+	}
+	if rout.DHits != nil {
+		t.Errorf("empty response decoded to %#v", rout)
+	}
+}
+
+// TestQuickCompactReachEquivalence is the quick-check property for the v3
+// frames: any reach-shaped request (sorted or not, arbitrary probs) must
+// survive the compact round trip bit for bit.
+func TestQuickCompactReachEquivalence(t *testing.T) {
+	f := func(keys []string, seed int64, traced bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		probs := make([]float64, len(keys))
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		req := request{Op: opReach, ID: rng.Uint64(), Frontier: keys, Probs: probs}
+		if len(keys) == 0 {
+			req.Frontier, req.Probs = nil, nil
+		}
+		if traced {
+			req.Trace = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+		}
+		body := encodeDeltaReqBody(t, &req)
+		var out request
+		if err := decodeDeltaRequest(string(body), &out); err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		return reflect.DeepEqual(out, req)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompactReachCorruption runs the truncation and bit-flip tables over the
+// v3 frames: every strict prefix rejected, every single-bit flip memory-safe,
+// trailing garbage rejected.
+func TestCompactReachCorruption(t *testing.T) {
+	req := &request{
+		Op: opReach, ID: 9,
+		Trace:    "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		Frontier: []string{"catalogue.albums.d1", "catalogue.albums.d2"},
+		Probs:    []float64{1, 0.5},
+	}
+	resp := &response{ID: 9, Nodes: 70, Edges: 128, DHits: []RemoteHit{
+		{Key: "catalogue.albums.d3", Prob: 0.9},
+		{Key: "catalogue.albums.d31", Prob: 0.45},
+	}}
+	reqBody := encodeDeltaReqBody(t, req)
+	respBody := encodeDeltaRespBody(t, resp)
+	for i := 1; i < len(reqBody); i++ {
+		var out request
+		if err := decodeDeltaRequest(string(reqBody[:i]), &out); err == nil {
+			t.Fatalf("compact request truncated at %d/%d decoded without error", i, len(reqBody))
+		}
+	}
+	for i := 1; i < len(respBody); i++ {
+		var out response
+		if err := decodeDeltaResponse(string(respBody[:i]), &out); err == nil {
+			t.Fatalf("compact response truncated at %d/%d decoded without error", i, len(respBody))
+		}
+	}
+	for off := 0; off < len(reqBody); off++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), reqBody...)
+			mut[off] ^= 1 << bit
+			var out request
+			if mut[0] == binMagicDelta {
+				decodeDeltaRequest(string(mut), &out) //nolint:errcheck // must not panic; error is legal
+			}
+		}
+	}
+	for off := 0; off < len(respBody); off++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), respBody...)
+			mut[off] ^= 1 << bit
+			var out response
+			if mut[0] == binMagicDelta {
+				decodeDeltaResponse(string(mut), &out) //nolint:errcheck // must not panic; error is legal
+			}
+		}
+	}
+	var out request
+	if err := decodeDeltaRequest(string(append(reqBody, 0x00)), &out); !errors.Is(err, errTrailingBytes) {
+		t.Errorf("compact request with trailing byte = %v, want errTrailingBytes", err)
+	}
+	var rout response
+	if err := decodeDeltaResponse(string(append(respBody, 0xFF)), &rout); !errors.Is(err, errTrailingBytes) {
+		t.Errorf("compact response with trailing byte = %v, want errTrailingBytes", err)
+	}
+}
+
+// reachEcho wraps a plain store with a deterministic FrontierReacher so the
+// codec tests can drive reach exchanges without a cluster: every key expands
+// to key+".x" at half its probability.
+type reachEcho struct {
+	core.Store
+}
+
+func (reachEcho) ExpandFrontier(ctx context.Context, keys []string, probs []float64) ([]RemoteHit, ReachInfo, error) {
+	hits := make([]RemoteHit, len(keys))
+	for i, k := range keys {
+		var p float64
+		if i < len(probs) {
+			p = probs[i] / 2
+		}
+		hits[i] = RemoteHit{Key: k + ".x", Prob: p}
+	}
+	return hits, ReachInfo{Nodes: len(keys), Edges: 2 * len(keys)}, nil
+}
+
+func servedReachEcho(t *testing.T) *Server {
+	t.Helper()
+	db := kvstore.New("discount")
+	db.Set("drop", "k1", "40%")
+	srv, err := Serve(reachEcho{Store: connector.NewKeyValue(db)}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestCodecV2PeerReach emulates version skew against a binary peer that
+// predates the compact reach frames: LimitCodec(2) negotiates the v2 layout,
+// so the client must keep its reach traffic on the plain Keys/Hits exchange
+// instead of shipping a Frontier field the old decoder would reject. The
+// bytes on the wire are checked against the generic encoding of the exact
+// request, which proves no compact frame flew.
+func TestCodecV2PeerReach(t *testing.T) {
+	srv := servedReachEcho(t)
+	srv.LimitCodec(codecBinary)
+	cli, err := DialConfig(srv.Addr(), ClientConfig{Codec: CodecBinary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if cli.Codec() != CodecBinary {
+		t.Fatalf("negotiated codec = %q, want binary", cli.Codec())
+	}
+	if got := cli.codec.Load(); got != codecBinary {
+		t.Fatalf("negotiated codec version = %d, want %d", got, codecBinary)
+	}
+	hits, _, err := cli.ExpandFrontier(context.Background(), []string{"d.c.k1"}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].Key != "d.c.k1.x" || hits[0].Prob != 0.5 {
+		t.Fatalf("v2 peer reach = %v", hits)
+	}
+	// ID 2: the meta exchange took ID 1 on this connection.
+	want := encodeReqBody(t, &request{Op: opReach, ID: 2, Keys: []string{"d.c.k1"}, Probs: []float64{1}})
+	if sent, _ := cli.ReachBytes(); sent != uint64(4+len(want)) {
+		t.Errorf("v2 peer reach sent %d bytes, want the generic frame's %d", sent, 4+len(want))
+	}
+}
+
+// TestCodecV3Negotiation pins the happy path: against a default server the
+// client lands on codec v3 and reach traffic flows through the compact
+// frames — proven by the bytes on the wire matching the compact encoding of
+// the exact request.
+func TestCodecV3Negotiation(t *testing.T) {
+	srv := servedReachEcho(t)
+	cli, err := DialConfig(srv.Addr(), ClientConfig{Codec: CodecBinary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if got := cli.codec.Load(); got != codecDelta {
+		t.Fatalf("negotiated codec version = %d, want %d", got, codecDelta)
+	}
+	hits, info, err := cli.ExpandFrontier(context.Background(), []string{"d.c.k1"}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].Key != "d.c.k1.x" || info.Edges != 2 {
+		t.Fatalf("compact reach exchange returned hits=%v info=%+v", hits, info)
+	}
+	want := encodeDeltaReqBody(t, &request{Op: opReach, ID: 2, Frontier: []string{"d.c.k1"}, Probs: []float64{1}})
+	if sent, _ := cli.ReachBytes(); sent != uint64(4+len(want)) {
+		t.Errorf("v3 reach sent %d bytes, want the compact frame's %d", sent, 4+len(want))
 	}
 }

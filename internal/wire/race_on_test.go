@@ -1,0 +1,7 @@
+//go:build race
+
+package wire
+
+// raceEnabled: see race_test.go. This build has the race detector on, so the
+// allocation gates skip themselves.
+const raceEnabled = true

@@ -1,0 +1,9 @@
+//go:build !race
+
+package wire
+
+// raceEnabled reports whether the race detector instruments this build. The
+// allocation gates skip under -race: instrumentation inserts shadow-memory
+// allocations the production binary never pays for, so the zero-alloc promise
+// only holds (and is only meaningful) in a plain build.
+const raceEnabled = false

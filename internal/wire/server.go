@@ -17,10 +17,11 @@ type Server struct {
 	store core.Store
 	ln    net.Listener
 
-	// maxCodec caps the frame codec this server negotiates (codecBinary by
-	// default). LimitCodec(1) turns the server into a JSON-only v1 peer: it
-	// stops advertising codec v2 on meta and rejects binary frames, which is
-	// how the mixed-version cluster tests emulate an old binary.
+	// maxCodec caps the frame codec this server negotiates (codecDelta by
+	// default). LimitCodec(1) turns the server into a JSON-only v1 peer,
+	// LimitCodec(2) into a binary peer that predates the compact reach
+	// frames, which is how the mixed-version cluster tests emulate old
+	// binaries.
 	maxCodec uint8
 
 	mu     sync.Mutex
@@ -43,14 +44,15 @@ func Serve(store core.Store, addr string) (*Server, error) {
 // uses it to reserve every peer's port before any peer starts dialing, so a
 // topology's addresses are known to all members ahead of time.
 func ServeOn(store core.Store, ln net.Listener) *Server {
-	s := &Server{store: store, ln: ln, maxCodec: codecBinary, conns: map[net.Conn]struct{}{}}
+	s := &Server{store: store, ln: ln, maxCodec: codecDelta, conns: map[net.Conn]struct{}{}}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
 }
 
 // LimitCodec caps the frame codec the server will negotiate or accept.
-// LimitCodec(1) pins it to JSON (a v1 peer); the default is codec v2.
+// LimitCodec(1) pins it to JSON (a v1 peer), LimitCodec(2) to the generic
+// binary layout (a v2 peer); the default is codec v3.
 // Call it before the first client connects.
 func (s *Server) LimitCodec(v uint8) { s.maxCodec = v }
 
@@ -226,11 +228,12 @@ func (s *Server) dispatch(ctx context.Context, req request) response {
 			Kind:        int(s.store.Kind()),
 			Collections: s.store.Collections(),
 		}
-		// Codec negotiation: confirm v2 only when the client offered it and
-		// this server isn't capped to JSON. Legacy clients omit the field
-		// (Codec 0) and get no echo, pinning the connection to JSON.
+		// Codec negotiation: confirm the highest version both sides speak,
+		// but only when the client offered binary and this server isn't
+		// capped to JSON. Legacy clients omit the field (Codec 0) and get no
+		// echo, pinning the connection to JSON.
 		if req.Codec >= codecBinary && s.maxCodec >= codecBinary {
-			resp.Codec = codecBinary
+			resp.Codec = min(req.Codec, int(s.maxCodec))
 		}
 		return resp
 	case opGet:
@@ -259,9 +262,20 @@ func (s *Server) dispatch(ctx context.Context, req request) response {
 		if !ok {
 			return response{Error: "wire: store cannot expand reach frontiers"}
 		}
-		hits, info, err := fr.ExpandFrontier(ctx, req.Keys, req.Probs)
+		// A frontier in the front-coded field (codec-v2 clients) is answered
+		// front-coded; plain Keys (v1 peers) get plain Hits. Expansion output
+		// is key-sorted, which is what makes the response front-coding pay.
+		keys := req.Keys
+		delta := len(req.Frontier) > 0
+		if delta {
+			keys = req.Frontier
+		}
+		hits, info, err := fr.ExpandFrontier(ctx, keys, req.Probs)
 		if err != nil {
 			return response{Error: err.Error()}
+		}
+		if delta {
+			return response{DHits: hits, Nodes: info.Nodes, Edges: info.Edges}
 		}
 		return response{Hits: hits, Nodes: info.Nodes, Edges: info.Edges}
 	case opSnapshot:

@@ -88,6 +88,12 @@ var (
 	// logical request count (Client.RoundTrips); the per-op breakdown is
 	// what lets the frames-saved-vs-round-trips story be told per op.
 	clientFrames = map[string]*telemetry.Counter{}
+
+	// Per-op client byte accounting, both directions (headers included) — the
+	// client-side counterpart of quepa_wire_server_bytes_total, broken down by
+	// op so the delta-frontier savings show up as shrinking reach bytes.
+	clientBytesOut = map[string]*telemetry.Counter{}
+	clientBytesIn  = map[string]*telemetry.Counter{}
 )
 
 // Server-side byte accounting, both directions, across all connections.
@@ -113,6 +119,10 @@ func init() {
 			"requests dispatched by wire servers", label)
 		clientFrames[op] = telemetry.NewCounter("quepa_wire_client_frames_total",
 			"request frames written by wire clients (physical attempts, not logical requests)", label)
+		clientBytesOut[op] = telemetry.NewCounter("quepa_wire_client_bytes_total",
+			"frame bytes moved by wire clients (headers included)", label, telemetry.L("dir", "out"))
+		clientBytesIn[op] = telemetry.NewCounter("quepa_wire_client_bytes_total",
+			"frame bytes moved by wire clients (headers included)", label, telemetry.L("dir", "in"))
 	}
 	serverBadOps = telemetry.NewCounter("quepa_wire_server_requests_total",
 		"requests dispatched by wire servers", telemetry.L("op", "unknown"))
@@ -146,6 +156,12 @@ type request struct {
 	// (the codec-v2 negotiation). Legacy peers ignore it and omit the echo,
 	// which pins the connection to JSON.
 	Codec int `json:"codec,omitempty"`
+	// Frontier is the delta-frontier form of a reach op: like Keys (parallel
+	// to Probs), but sent only on codec-v2 connections, where the binary
+	// layout front-codes the sorted key list (shared-prefix elision). The
+	// pipelined coordinator ships only the keys a peer has not seen yet here;
+	// v1 JSON peers keep receiving plain Keys.
+	Frontier []string `json:"fr,omitempty"`
 }
 
 type wireObject struct {
@@ -180,6 +196,10 @@ type response struct {
 	// answering a client that offered codec 2 confirms it here, and the
 	// client switches its frames to binary from the next request on.
 	Codec int `json:"codec,omitempty"`
+	// DHits answer a delta-frontier reach op (request.Frontier): the same
+	// payload as Hits, but the binary layout front-codes the key-sorted hit
+	// list the same way the request front-codes its frontier.
+	DHits []RemoteHit `json:"dhits,omitempty"`
 }
 
 // RemoteHit is one key produced by a frontier expansion on a remote shard:
@@ -259,12 +279,18 @@ func writeJSONFrame(w io.Writer, v any, op string) (int, error) {
 // the wire (header included) so the explain layer can account for them.
 // Binary frames serialize into a pooled buffer and go out in one Write.
 func writeRequestFrame(w io.Writer, req *request, codec uint8) (int, error) {
-	if codec != codecBinary {
+	if codec < codecBinary {
 		return writeJSONFrame(w, req, req.Op)
 	}
 	e := getEncoder()
 	defer putEncoder(e)
-	if err := e.encodeRequest(req); err != nil {
+	// On a v3 connection only delta reach traffic uses the compact frame;
+	// every other op stays on the generic v2 layout.
+	if codec >= codecDelta && req.Op == opReach && len(req.Frontier) > 0 {
+		if err := e.encodeDeltaRequest(req); err != nil {
+			return 0, err
+		}
+	} else if err := e.encodeRequest(req); err != nil {
 		return 0, err
 	}
 	frame, err := e.finish(req.Op)
@@ -278,12 +304,19 @@ func writeRequestFrame(w io.Writer, req *request, codec uint8) (int, error) {
 // writeResponseFrame sends resp in the given codec; op names the dispatched
 // operation in size-violation errors.
 func writeResponseFrame(w io.Writer, resp *response, codec uint8, op string) (int, error) {
-	if codec != codecBinary {
+	if codec < codecBinary {
 		return writeJSONFrame(w, resp, op)
 	}
 	e := getEncoder()
 	defer putEncoder(e)
-	e.encodeResponse(resp)
+	// A request that arrived as a compact v3 reach frame is answered in
+	// kind: the compact response carries exactly the fields a reach answer
+	// uses (error, stats, hits).
+	if codec >= codecDelta {
+		e.encodeDeltaResponse(resp)
+	} else {
+		e.encodeResponse(resp)
+	}
 	frame, err := e.finish(op)
 	if err != nil {
 		return 0, err
@@ -326,6 +359,11 @@ func readFrameInto(r io.Reader, decodeJSON func([]byte) error, decodeBinary func
 			return 0, codecBinary, fmt.Errorf("wire: decoding frame: %w", err)
 		}
 		return total, codecBinary, nil
+	case binMagicDelta:
+		if err := decodeBinary(string(bb.b)); err != nil {
+			return 0, codecDelta, fmt.Errorf("wire: decoding frame: %w", err)
+		}
+		return total, codecDelta, nil
 	default:
 		return 0, 0, fmt.Errorf("wire: unknown frame codec byte 0x%02x", bb.b[0])
 	}
@@ -339,7 +377,12 @@ func readRequestFrame(r io.Reader, req *request) (int, uint8, error) {
 			*req = request{}
 			return json.Unmarshal(b, req)
 		},
-		func(body string) error { return decodeRequestV2(body, req) },
+		func(body string) error {
+			if body[0] == binMagicDelta {
+				return decodeDeltaRequest(body, req)
+			}
+			return decodeRequestV2(body, req)
+		},
 	)
 }
 
@@ -350,6 +393,11 @@ func readResponseFrame(r io.Reader, resp *response) (int, uint8, error) {
 			*resp = response{}
 			return json.Unmarshal(b, resp)
 		},
-		func(body string) error { return decodeResponseV2(body, resp) },
+		func(body string) error {
+			if body[0] == binMagicDelta {
+				return decodeDeltaResponse(body, resp)
+			}
+			return decodeResponseV2(body, resp)
+		},
 	)
 }
